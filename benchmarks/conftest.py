@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md and the recorded outcomes in EXPERIMENTS.md).
+Sessions are module-scoped so the expensive model training happens once per
+use case; the benchmarked callables are the interactions the paper times
+implicitly (perturbation re-prediction, optimisation, study aggregation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WhatIfSession
+
+#: Dataset sizes used by the benchmark harness (kept moderate so the whole
+#: suite regenerates every figure in a few minutes on a laptop).
+DEAL_ROWS = 800
+RETENTION_ROWS = 600
+MARKETING_DAYS = 180
+
+
+@pytest.fixture(scope="session")
+def deal_session() -> WhatIfSession:
+    """Deal-closing session (use case U3, Figure 2)."""
+    return WhatIfSession.from_use_case(
+        "deal_closing", dataset_kwargs={"n_prospects": DEAL_ROWS}, random_state=0
+    )
+
+
+@pytest.fixture(scope="session")
+def marketing_session() -> WhatIfSession:
+    """Marketing-mix session (use case U1)."""
+    return WhatIfSession.from_use_case(
+        "marketing_mix", dataset_kwargs={"n_days": MARKETING_DAYS}, random_state=0
+    )
+
+
+@pytest.fixture(scope="session")
+def retention_session() -> WhatIfSession:
+    """Customer-retention session (use case U2)."""
+    return WhatIfSession.from_use_case(
+        "customer_retention", dataset_kwargs={"n_customers": RETENTION_ROWS}, random_state=0
+    )
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a small aligned table of result rows under a heading."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(_fmt(row[h])) for row in rows)) for h in headers
+    }
+    print("  " + " | ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  " + " | ".join(_fmt(row[h]).ljust(widths[h]) for h in headers))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,52 @@
+"""E1 (Figure 2-E): driver importance analysis on the deal-closing use case.
+
+Paper's reported result: the three most important drivers of the deal-closing
+KPI are *Open Marketing Email*, *Renewal*, and *Call*; the three least
+important are *LinkedIn Contact*, *Initiate New Contact*, and *Meeting*;
+importances are displayed in [-1, 1] and verified against Shapley / Pearson /
+Spearman.
+
+This benchmark regenerates the ranked bar-chart rows and times the full
+importance computation (model importances + verification).
+"""
+
+from __future__ import annotations
+
+from .conftest import print_table
+
+PAPER_TOP3 = {"Open Marketing Email", "Renewal", "Call"}
+PAPER_BOTTOM3 = {"LinkedIn Contact", "Initiate New Contact", "Meeting"}
+
+
+def test_figure2e_driver_importance(benchmark, deal_session):
+    result = benchmark.pedantic(
+        lambda: deal_session.driver_importance(verify=True),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "rank": entry.rank,
+            "driver": entry.driver,
+            "importance": entry.importance,
+            "pearson": entry.verification["pearson"],
+            "shapley": entry.verification["shapley"],
+        }
+        for entry in result.drivers
+    ]
+    print_table("Figure 2-E: driver importance (deal closing)", rows)
+    print(f"paper top-3:    {sorted(PAPER_TOP3)}")
+    print(f"measured top-3: {result.top(3)}")
+    print(f"paper bottom-3:    {sorted(PAPER_BOTTOM3)}")
+    print(f"measured bottom-3: {result.bottom(3)}")
+    print(f"model confidence (CV accuracy): {result.model_confidence:.3f}")
+
+    benchmark.extra_info["top3"] = result.top(3)
+    benchmark.extra_info["bottom3"] = result.bottom(3)
+    benchmark.extra_info["model_confidence"] = result.model_confidence
+
+    # shape checks: importances in display range, planted drivers recovered
+    assert all(-1.0 <= entry.importance <= 1.0 for entry in result.drivers)
+    assert len(PAPER_TOP3 & set(result.top(4))) >= 2
+    assert len(PAPER_BOTTOM3 & set(result.bottom(5))) >= 2

@@ -1,0 +1,86 @@
+"""P1 (performance): interactive latency of every functionality vs dataset size.
+
+The paper's future-work section highlights "fast real-time response when the
+data is large" as a requirement for the what-if interactions.  This benchmark
+measures the end-to-end server-path latency (JSON request -> handler -> model
+-> JSON response) of each view's interaction at three dataset sizes, which is
+the table a systems reader would ask for first.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.server import SystemDServer
+
+from .conftest import print_table
+
+SIZES = (500, 2000, 8000)
+
+
+def _measure(server: SystemDServer, action: str, **params) -> float:
+    response = server.request(action, **params)
+    assert response.ok, response.error
+    return response.elapsed_ms
+
+
+def _measure_all(n_prospects: int) -> dict[str, float]:
+    server = SystemDServer()
+    timings: dict[str, float] = {}
+    started = time.perf_counter()
+    server.request(
+        "load_use_case", use_case="deal_closing", dataset_kwargs={"n_prospects": n_prospects}
+    )
+    timings["load_use_case"] = (time.perf_counter() - started) * 1000.0
+    timings["driver_importance (no verify)"] = _measure(
+        server, "driver_importance", verify=False
+    )
+    timings["sensitivity (+40% one driver)"] = _measure(
+        server, "sensitivity", perturbations={"Open Marketing Email": 40.0}
+    )
+    timings["per_data (one row)"] = _measure(
+        server, "per_data", row_index=0, perturbations={"Call": 20.0}
+    )
+    timings["goal_inversion (20 calls)"] = _measure(
+        server, "goal_inversion", goal="maximize", n_calls=20,
+        drivers=["Open Marketing Email", "Renewal", "Call"],
+    )
+    timings["constrained (20 calls)"] = _measure(
+        server, "constrained", bounds={"Open Marketing Email": [40.0, 80.0]},
+        n_calls=20, drivers=["Open Marketing Email", "Renewal", "Call"],
+    )
+    return timings
+
+
+def test_interactive_latency_by_dataset_size(benchmark):
+    results = {}
+
+    def sweep():
+        for size in SIZES:
+            results[size] = _measure_all(size)
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    actions = list(results[SIZES[0]].keys())
+    rows = []
+    for action in actions:
+        row = {"interaction": action}
+        for size in SIZES:
+            row[f"{size}_rows_ms"] = results[size][action]
+        rows.append(row)
+    print_table("P1: per-interaction latency (ms) vs dataset size", rows)
+
+    benchmark.extra_info["latency_ms"] = {
+        str(size): results[size] for size in SIZES
+    }
+
+    # shape checks: the single-perturbation interactions stay interactive
+    # (well under a second at the small size, seconds at the large one), and
+    # latency grows with dataset size rather than exploding unpredictably
+    assert results[500]["sensitivity (+40% one driver)"] < 1000.0
+    assert results[500]["per_data (one row)"] < 500.0
+    assert (
+        results[8000]["sensitivity (+40% one driver)"]
+        >= results[500]["sensitivity (+40% one driver)"] * 0.5
+    )

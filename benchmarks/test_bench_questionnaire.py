@@ -1,0 +1,37 @@
+"""E5 (Table 1): the evaluation questionnaire inventory.
+
+Paper's Table 1 lists the questions used for the pre-study interview, the
+Likert-scale system-usability block, and the open-ended feedback block.  This
+benchmark regenerates the per-category inventory (counts and the questions
+themselves) and times the trivially cheap lookup, mostly as a completeness
+check that the harness carries the full instrument.
+"""
+
+from __future__ import annotations
+
+from repro.study import ALL_QUESTIONS, questions_by_category
+
+from .conftest import print_table
+
+
+def test_table1_questionnaire_inventory(benchmark):
+    grouped = benchmark(questions_by_category)
+
+    rows = [
+        {"category": category, "n_questions": len(questions)}
+        for category, questions in grouped.items()
+    ]
+    print_table("Table 1: questionnaire inventory", rows)
+    for category, questions in grouped.items():
+        print(f"\n[{category}]")
+        for question in questions:
+            marker = " (Likert 1-5)" if question.likert else ""
+            print(f"  {question.qid}: {question.text[:90]}{marker}")
+
+    benchmark.extra_info["counts"] = {k: len(v) for k, v in grouped.items()}
+
+    assert len(grouped["pre_study"]) == 9
+    assert len(grouped["usability"]) == 8
+    assert len(grouped["open_ended"]) == 5
+    assert len(ALL_QUESTIONS) == 22
+    assert all(q.likert for q in grouped["usability"])

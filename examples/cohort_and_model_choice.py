@@ -1,0 +1,67 @@
+"""Cohort drill-down and model choice — the paper's feedback and §5 follow-ups.
+
+Two extensions the paper motivates but leaves open, exercised on the
+deal-closing use case:
+
+* **Per-cohort analysis** — the study participants asked to "slice, dice and
+  drill ... such as per customer-cohort or prospect-stage analysis".  Here the
+  prospects are bucketed into high-touch / low-touch cohorts by call volume
+  and driver importance + sensitivity are re-run inside each cohort.
+* **Interpretability vs accuracy** — §5 asks which model family business users
+  should get.  `compare_models` cross-validates every candidate family and
+  recommends the most interpretable one within tolerance of the best.
+
+Run with::
+
+    python examples/cohort_and_model_choice.py
+"""
+
+from repro import WhatIfSession
+from repro.core import CohortAnalysis
+
+
+def main() -> None:
+    session = WhatIfSession.from_use_case("deal_closing", dataset_kwargs={"n_prospects": 800})
+
+    # ------------------------------------------------------------------ #
+    # 1. cohort drill-down: high-touch vs low-touch prospects
+    # ------------------------------------------------------------------ #
+    cohorts = CohortAnalysis.from_bucketing(
+        session.frame,
+        session.kpi,
+        session.drivers,
+        "Call",
+        bucketer=lambda calls: "high touch (4+ calls)" if calls >= 4 else "low touch",
+        random_state=0,
+    )
+    print("Baseline deal-closing rate per cohort:")
+    for cohort, kpi_value in cohorts.kpi_by_cohort().items():
+        print(f"  {cohort:<22} {kpi_value:.1f}%")
+
+    importance = cohorts.driver_importance()
+    print("\nTop-3 drivers per cohort:")
+    for cohort, result in importance.per_cohort.items():
+        print(f"  {cohort:<22} {result.top(3)}")
+
+    sensitivity = cohorts.sensitivity({"Open Marketing Email": 40.0})
+    print("\nUp-lift of +40% Open Marketing Email per cohort:")
+    for cohort, uplift in sensitivity.uplift_by_cohort().items():
+        print(f"  {cohort:<22} {uplift:+.2f} points")
+
+    # ------------------------------------------------------------------ #
+    # 2. which model family should the business user get?
+    # ------------------------------------------------------------------ #
+    comparison = session.compare_models()
+    print("\nInterpretability vs accuracy (deal-closing KPI):")
+    for candidate in sorted(comparison.candidates, key=lambda c: -c.accuracy):
+        print(
+            f"  {candidate.name:<20} CV accuracy {candidate.accuracy:.3f} "
+            f"(interpretability {candidate.interpretability:.2f})"
+        )
+    print(f"most accurate:      {comparison.most_accurate().name}")
+    print(f"recommended choice: {comparison.recommended().name} "
+          "(most interpretable within 5% of the best)")
+
+
+if __name__ == "__main__":
+    main()

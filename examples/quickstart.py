@@ -1,0 +1,57 @@
+"""Quickstart: the four what-if functionalities in ~40 lines.
+
+Loads the deal-closing use case (paper Figure 2) and runs, in order:
+driver importance analysis, sensitivity analysis, goal inversion, and
+constrained analysis — the workflow a business user walks through in the UI.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import WhatIfSession
+
+
+def main() -> None:
+    # View (A)/(B): pick the use case; the KPI and driver list come preconfigured.
+    session = WhatIfSession.from_use_case("deal_closing", dataset_kwargs={"n_prospects": 800})
+    print(f"dataset: {session.frame.shape[0]} prospects, KPI = {session.kpi.name!r}")
+
+    # Functionality 1 — driver importance analysis (view E).
+    importance = session.driver_importance(verify=False)
+    print("\nDriver importance (most to least):")
+    for entry in importance.drivers:
+        print(f"  {entry.rank:>2}. {entry.driver:<24} {entry.importance:+.2f}")
+    print(f"model confidence: {importance.model_confidence:.2f}")
+
+    # Functionality 2 — sensitivity analysis (views F/G/H): +40% marketing emails opened.
+    top_driver = importance.top(1)[0]
+    sensitivity = session.sensitivity({top_driver: 40.0}, track_as=f"{top_driver} +40%")
+    print(
+        f"\nSensitivity: {top_driver} +40% -> KPI "
+        f"{sensitivity.original_kpi:.2f}{sensitivity.kpi_unit} => "
+        f"{sensitivity.perturbed_kpi:.2f}{sensitivity.kpi_unit} "
+        f"(uplift {sensitivity.uplift:+.2f})"
+    )
+
+    # Functionality 3 — goal inversion (view I): maximise the deal-closing rate.
+    inversion = session.goal_inversion("maximize", n_calls=25, track_as="free maximum")
+    print(f"\nGoal inversion: best KPI {inversion.best_kpi:.2f} (uplift {inversion.uplift:+.2f})")
+
+    # Functionality 4 — constrained analysis: the top driver may only rise 40-80%.
+    constrained = session.constrained_analysis(
+        {top_driver: (40.0, 80.0)}, n_calls=25, track_as="constrained maximum"
+    )
+    print(
+        f"Constrained analysis ({top_driver} +40%..+80%): best KPI "
+        f"{constrained.best_kpi:.2f} (uplift {constrained.uplift:+.2f})"
+    )
+
+    # Options tracking: every analysis above was recorded as a scenario.
+    print("\nTracked scenarios:")
+    for row in session.scenarios.compare():
+        print(f"  #{row['scenario_id']} {row['name']:<24} KPI {row['kpi_value']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

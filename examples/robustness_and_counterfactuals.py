@@ -1,0 +1,71 @@
+"""Robustness and counterfactual extensions (paper §5 and §6).
+
+Two of the paper's forward-looking concerns, exercised end-to-end:
+
+* **Robustness / model multiplicity** — how stable is the driver-importance
+  ranking across bootstrap-retrained models, and how brittle is a
+  goal-inversion recommendation when the model is refit on resampled data?
+* **Counterfactual explanations** — per-prospect "what minimal activity change
+  would flip this prediction?", the single-row analogue of goal inversion.
+
+Run with::
+
+    python examples/robustness_and_counterfactuals.py
+"""
+
+from repro import WhatIfSession
+from repro.counterfactual import generate_counterfactuals
+from repro.robustness import importance_stability, recommendation_robustness
+
+
+def main() -> None:
+    session = WhatIfSession.from_use_case("deal_closing", dataset_kwargs={"n_prospects": 500})
+
+    # 1. importance-ranking stability under bootstrap model multiplicity
+    stability = importance_stability(session, n_resamples=6)
+    print("Importance-ranking stability across 6 bootstrap-retrained forests:")
+    print(f"  mean pairwise Spearman agreement: {stability.mean_pairwise_spearman:.2f}")
+    print(f"  mean top-3 overlap:               {stability.mean_top_k_overlap:.2f}")
+    print("  rank spread per driver (max - min rank):")
+    for driver, spread in sorted(stability.rank_spread.items(), key=lambda kv: kv[1]):
+        print(f"    {driver:<24} {spread}")
+
+    # 2. how brittle is the "best" recommendation?
+    recommendation = session.goal_inversion("maximize", n_calls=20)
+    robustness = recommendation_robustness(
+        session, recommendation.driver_changes, n_resamples=6
+    )
+    print("\nRecommendation robustness (re-evaluated under resampled models):")
+    print(f"  nominal KPI promised:  {robustness.nominal_kpi:.2f}%")
+    print(f"  resampled KPI range:   {robustness.worst_case_kpi:.2f}% .. {robustness.best_case_kpi:.2f}%")
+    print(f"  std across models:     {robustness.kpi_std:.2f}")
+    print(f"  regret vs nominal:     {robustness.regret_vs_nominal:.2f} points")
+
+    # 3. counterfactuals for a prospect the model predicts will NOT close
+    predictions = session.model.predict_rows(session.frame)
+    losing_prospect = int(predictions.argmin())
+    result = generate_counterfactuals(
+        session.model,
+        losing_prospect,
+        desired_direction="increase",
+        threshold=0.5,
+        n_counterfactuals=3,
+    )
+    print(
+        f"\nCounterfactuals for prospect {losing_prospect} "
+        f"(closing probability {result.original_prediction:.2f}):"
+    )
+    if not result.found:
+        print("  no counterfactual found within the observed activity ranges")
+    for i, counterfactual in enumerate(result.counterfactuals, start=1):
+        changes = ", ".join(
+            f"{driver} {delta:+.0f}" for driver, delta in counterfactual.changes.items()
+        )
+        print(
+            f"  {i}. p={counterfactual.prediction:.2f}, {counterfactual.n_changed} drivers "
+            f"changed (distance {counterfactual.distance:.2f}): {changes}"
+        )
+
+
+if __name__ == "__main__":
+    main()

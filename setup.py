@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so the package can be installed editable in
+offline environments whose setuptools/wheel combination predates PEP 660
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

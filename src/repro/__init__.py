@@ -1,0 +1,48 @@
+"""repro — reproduction of "Augmenting Decision Making via Interactive What-If
+Analysis" (Gathani et al., CIDR 2022).
+
+The package rebuilds the paper's SystemD prototype as a library: a columnar
+dataframe substrate (:mod:`repro.frame`), a from-scratch ML substrate
+(:mod:`repro.ml`), importance-verification statistics (:mod:`repro.stats`), a
+Bayesian-optimisation substrate (:mod:`repro.optimize`), and on top of those
+the four what-if functionalities (:mod:`repro.core`), a JSON client/server
+layer (:mod:`repro.server`), synthetic use-case datasets
+(:mod:`repro.datasets`), a declarative spec language (:mod:`repro.spec`), the
+user-study harness (:mod:`repro.study`), robustness analysis
+(:mod:`repro.robustness`), and counterfactual explanations
+(:mod:`repro.counterfactual`).
+
+Quickstart::
+
+    from repro import WhatIfSession
+
+    session = WhatIfSession.from_use_case("deal_closing")
+    importance = session.driver_importance()
+    lift = session.sensitivity({"Open Marketing Email": 40.0})
+    best = session.constrained_analysis({"Open Marketing Email": (40.0, 80.0)})
+"""
+
+from .core import (
+    KPI,
+    DriverBound,
+    GoalInversionResult,
+    ImportanceResult,
+    Perturbation,
+    PerturbationSet,
+    SensitivityResult,
+    WhatIfSession,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "WhatIfSession",
+    "KPI",
+    "Perturbation",
+    "PerturbationSet",
+    "DriverBound",
+    "ImportanceResult",
+    "SensitivityResult",
+    "GoalInversionResult",
+    "__version__",
+]

@@ -1,0 +1,307 @@
+"""Command-line interface for the what-if analysis library.
+
+The paper's §5 "Specification and Reuse" motivates running analyses outside
+the interactive UI — from saved specifications, scripts, and other platforms.
+The CLI covers the non-interactive entry points:
+
+``python -m repro list-use-cases``
+    Show the registered business use cases.
+``python -m repro importance --use-case deal_closing``
+    Driver importance analysis, printed as a table (optionally JSON).
+``python -m repro sensitivity --use-case deal_closing --perturb "Open Marketing Email=40"``
+    Sensitivity analysis for one or more driver perturbations.
+``python -m repro goal --use-case deal_closing --goal maximize --bound "Open Marketing Email=40:80"``
+    Goal inversion / constrained analysis.
+``python -m repro run-spec experiment.json``
+    Execute a declarative experiment specification and print its results.
+``python -m repro serve --port 8765``
+    Start the JSON HTTP backend.
+
+Every command accepts ``--json`` to emit machine-readable output instead of
+tables, so the CLI composes with other tooling the way the paper envisions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from typing import Any
+
+from .core import WhatIfSession
+from .datasets import list_use_cases
+from .server import to_json_safe
+from .spec import SpecError, execute_spec, load_spec, spec_to_sql
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing helpers
+# --------------------------------------------------------------------------- #
+def _parse_assignment(text: str) -> tuple[str, float]:
+    """Parse ``"Driver Name=40"`` into ``("Driver Name", 40.0)``."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected DRIVER=AMOUNT, got {text!r}"
+        )
+    name, _, value = text.partition("=")
+    try:
+        return name.strip(), float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid amount in {text!r}") from exc
+
+
+def _parse_bound(text: str) -> tuple[str, tuple[float, float]]:
+    """Parse ``"Driver Name=40:80"`` into ``("Driver Name", (40.0, 80.0))``."""
+    name, amount = text.partition("=")[::2]
+    if ":" not in amount:
+        raise argparse.ArgumentTypeError(f"expected DRIVER=LOW:HIGH, got {text!r}")
+    low, _, high = amount.partition(":")
+    try:
+        return name.strip(), (float(low), float(high))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid bound in {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interactive what-if analysis (CIDR 2022 reproduction) — CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-use-cases", help="list the registered business use cases")
+
+    def add_session_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--use-case", required=True, help="use case key (see list-use-cases)")
+        sub.add_argument("--rows", type=int, default=None, help="synthetic dataset size")
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+        sub.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    importance = subparsers.add_parser("importance", help="driver importance analysis")
+    add_session_arguments(importance)
+    importance.add_argument("--no-verify", action="store_true", help="skip verification measures")
+
+    sensitivity = subparsers.add_parser("sensitivity", help="sensitivity analysis")
+    add_session_arguments(sensitivity)
+    sensitivity.add_argument(
+        "--perturb", type=_parse_assignment, action="append", required=True,
+        metavar="DRIVER=AMOUNT", help="perturbation (repeatable)",
+    )
+    sensitivity.add_argument(
+        "--mode", choices=("percentage", "absolute"), default="percentage"
+    )
+
+    goal = subparsers.add_parser("goal", help="goal inversion / constrained analysis")
+    add_session_arguments(goal)
+    goal.add_argument("--goal", choices=("maximize", "minimize", "target"), default="maximize")
+    goal.add_argument("--target-value", type=float, default=None)
+    goal.add_argument(
+        "--bound", type=_parse_bound, action="append", default=[],
+        metavar="DRIVER=LOW:HIGH", help="per-driver perturbation bound (repeatable)",
+    )
+    goal.add_argument("--n-calls", type=int, default=40)
+    goal.add_argument("--optimizer", choices=("bayesian", "random", "grid"), default="bayesian")
+
+    run_spec = subparsers.add_parser("run-spec", help="execute a declarative experiment spec")
+    run_spec.add_argument("path", help="path to the JSON specification")
+    run_spec.add_argument("--json", action="store_true", help="emit JSON instead of a summary")
+    run_spec.add_argument("--sql", action="store_true", help="print the SQL data slice and exit")
+
+    serve = subparsers.add_parser("serve", help="start the JSON HTTP backend")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# output helpers
+# --------------------------------------------------------------------------- #
+def _emit(payload: Any, as_json: bool, printer) -> None:
+    if as_json:
+        print(json.dumps(to_json_safe(payload), indent=2))
+    else:
+        printer(payload)
+
+
+def _print_table(rows: list[dict[str, Any]]) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0])
+    widths = {h: max(len(h), *(len(_format(r[h])) for r in rows)) for h in headers}
+    print(" | ".join(h.ljust(widths[h]) for h in headers))
+    print("-+-".join("-" * widths[h] for h in headers))
+    for row in rows:
+        print(" | ".join(_format(row[h]).ljust(widths[h]) for h in headers))
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _session_from_args(args: argparse.Namespace) -> WhatIfSession:
+    dataset_kwargs: dict[str, Any] = {}
+    if args.rows is not None:
+        size_parameter = {
+            "deal_closing": "n_prospects",
+            "customer_retention": "n_customers",
+            "marketing_mix": "n_days",
+        }.get(args.use_case)
+        if size_parameter:
+            dataset_kwargs[size_parameter] = args.rows
+    return WhatIfSession.from_use_case(
+        args.use_case, dataset_kwargs=dataset_kwargs, random_state=args.seed
+    )
+
+
+# --------------------------------------------------------------------------- #
+# commands
+# --------------------------------------------------------------------------- #
+def _command_list_use_cases(_args: argparse.Namespace) -> int:
+    _print_table(
+        [
+            {"key": u.key, "title": u.title, "kpi": u.kpi, "kind": u.kpi_kind}
+            for u in list_use_cases()
+        ]
+    )
+    return 0
+
+
+def _command_importance(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    result = session.driver_importance(verify=not args.no_verify)
+    _emit(
+        result,
+        args.json,
+        lambda r: _print_table(
+            [
+                {"rank": e.rank, "driver": e.driver, "importance": e.importance,
+                 **({"pearson": e.verification.get("pearson")} if e.verification else {})}
+                for e in r.drivers
+            ]
+        ),
+    )
+    if not args.json:
+        print(f"model confidence: {result.model_confidence:.3f}")
+    return 0
+
+
+def _command_sensitivity(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    perturbations = dict(args.perturb)
+    result = session.sensitivity(perturbations, mode=args.mode)
+    _emit(
+        result,
+        args.json,
+        lambda r: _print_table(
+            [
+                {"kpi": r.kpi, "original": r.original_kpi, "perturbed": r.perturbed_kpi,
+                 "uplift": r.uplift, "direction": r.direction}
+            ]
+        ),
+    )
+    return 0
+
+
+def _command_goal(args: argparse.Namespace) -> int:
+    session = _session_from_args(args)
+    bounds = dict(args.bound)
+    if bounds:
+        result = session.constrained_analysis(
+            bounds,
+            goal=args.goal,
+            target_value=args.target_value,
+            n_calls=args.n_calls,
+            optimizer=args.optimizer,
+        )
+    else:
+        result = session.goal_inversion(
+            args.goal,
+            target_value=args.target_value,
+            n_calls=args.n_calls,
+            optimizer=args.optimizer,
+        )
+    _emit(
+        result,
+        args.json,
+        lambda r: (
+            _print_table(
+                [{"kpi": r.kpi, "goal": r.goal, "original": r.original_kpi,
+                  "best": r.best_kpi, "uplift": r.uplift, "confidence": r.model_confidence}]
+            ),
+            _print_table(
+                [{"driver": d, "change": c} for d, c in r.driver_changes.items()]
+            ),
+        ),
+    )
+    return 0
+
+
+def _command_run_spec(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.path)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.sql:
+        print(spec_to_sql(spec))
+        return 0
+    try:
+        run = execute_spec(spec)
+    except SpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(to_json_safe(run.to_dict()), indent=2))
+    else:
+        print(f"experiment: {spec.name}")
+        for name, result in run.results.items():
+            summary = to_json_safe(result.to_dict())
+            headline = {
+                key: summary[key]
+                for key in ("best_kpi", "uplift", "original_kpi", "perturbed_kpi", "model_confidence")
+                if key in summary
+            }
+            print(f"  {name}: {headline or 'completed'}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking loop
+    from .server import serve_http
+
+    httpd = serve_http(args.host, args.port)
+    print(f"SystemD backend listening on http://{args.host}:{httpd.server_address[1]}")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+    return 0
+
+
+_COMMANDS = {
+    "list-use-cases": _command_list_use_cases,
+    "importance": _command_importance,
+    "sensitivity": _command_sensitivity,
+    "goal": _command_goal,
+    "run-spec": _command_run_spec,
+    "serve": _command_serve,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

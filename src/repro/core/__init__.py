@@ -1,0 +1,65 @@
+"""The what-if engine: SystemD's four functionalities and the session façade.
+
+* :class:`~repro.core.session.WhatIfSession` — the public entry point.
+* :class:`~repro.core.kpi.KPI`, :class:`~repro.core.perturbation.Perturbation`,
+  :class:`~repro.core.perturbation.PerturbationSet` — the analysis vocabulary.
+* :mod:`~repro.core.driver_importance`, :mod:`~repro.core.sensitivity`,
+  :mod:`~repro.core.goal_inversion`, :mod:`~repro.core.constrained` — the four
+  functionalities as standalone functions over a
+  :class:`~repro.core.model_manager.ModelManager`.
+"""
+
+from .cohort import CohortAnalysis, CohortResult
+from .constrained import DriverBound, budget_constraint, run_constrained_analysis
+from .driver_importance import compute_driver_importance
+from .model_comparison import ModelCandidate, ModelComparisonResult, compare_models
+from .goal_inversion import DEFAULT_PERTURBATION_RANGE, GOALS, invert_goal
+from .kpi import KPI, infer_kpi_kind
+from .model_manager import ModelManager
+from .perturbation import PERTURBATION_MODES, Perturbation, PerturbationSet
+from .results import (
+    ComparisonPoint,
+    ComparisonResult,
+    DriverImportance,
+    GoalInversionResult,
+    ImportanceResult,
+    PerDataResult,
+    SensitivityResult,
+)
+from .scenario import Scenario, ScenarioManager
+from .sensitivity import run_comparison, run_per_data, run_sensitivity
+from .session import WhatIfSession
+
+__all__ = [
+    "WhatIfSession",
+    "CohortAnalysis",
+    "CohortResult",
+    "ModelCandidate",
+    "ModelComparisonResult",
+    "compare_models",
+    "KPI",
+    "infer_kpi_kind",
+    "ModelManager",
+    "Perturbation",
+    "PerturbationSet",
+    "PERTURBATION_MODES",
+    "DriverBound",
+    "budget_constraint",
+    "compute_driver_importance",
+    "run_sensitivity",
+    "run_comparison",
+    "run_per_data",
+    "invert_goal",
+    "run_constrained_analysis",
+    "GOALS",
+    "DEFAULT_PERTURBATION_RANGE",
+    "Scenario",
+    "ScenarioManager",
+    "DriverImportance",
+    "ImportanceResult",
+    "SensitivityResult",
+    "ComparisonPoint",
+    "ComparisonResult",
+    "PerDataResult",
+    "GoalInversionResult",
+]

@@ -1,0 +1,149 @@
+"""Constrained analysis (functionality 4, paper views (G)+(I)).
+
+"In practice, it is not always feasible for users to take the actions
+recommended by freely optimized goal inversion" — recommendations may violate
+budgets or domain knowledge.  Constrained analysis lets users set low/high
+bounds on one or more drivers (plus richer linear or callable constraints) and
+re-runs goal inversion inside the feasible region, which is exactly how the
+Figure 2 walk-through constrains *Open Marketing Email* to a +40%..+80%
+increase and still reaches a much higher deal-closing rate.
+
+The module also provides :class:`DriverBound`, a small value object the server
+protocol and the spec grammar use to express per-driver constraints, and a
+helper that turns business rules ("total extra spend under $X") into the
+optimizer's :class:`~repro.optimize.constraints.LinearConstraint`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..optimize import CallableConstraint, ConstraintSet, LinearConstraint
+from .goal_inversion import DEFAULT_PERTURBATION_RANGE, invert_goal
+from .model_manager import ModelManager
+from .results import GoalInversionResult
+
+__all__ = ["DriverBound", "budget_constraint", "run_constrained_analysis"]
+
+
+@dataclass(frozen=True)
+class DriverBound:
+    """Low/high bound on one driver's perturbation.
+
+    Attributes
+    ----------
+    driver:
+        Driver column name.
+    low, high:
+        Inclusive bounds on the perturbation amount (percent or absolute,
+        depending on the analysis mode).
+    """
+
+    driver: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low >= self.high:
+            raise ValueError(
+                f"bound for {self.driver!r} must satisfy low < high, got [{self.low}, {self.high}]"
+            )
+
+    def as_tuple(self) -> tuple[float, float]:
+        """``(low, high)`` pair."""
+        return (self.low, self.high)
+
+    def describe(self) -> str:
+        """Readable rendering, e.g. ``"Open Marketing Email in [40, 80]"``."""
+        return f"{self.driver} in [{self.low:g}, {self.high:g}]"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {"driver": self.driver, "low": self.low, "high": self.high}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DriverBound":
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls(payload["driver"], float(payload["low"]), float(payload["high"]))
+
+
+def budget_constraint(
+    weights: Mapping[str, float], budget: float, *, name: str = "budget"
+) -> LinearConstraint:
+    """Build a total-budget constraint over perturbation amounts.
+
+    ``weights`` maps each driver to the cost of one perturbation unit (e.g.
+    dollars per +1% of channel spend); the weighted sum of perturbations must
+    stay at or below ``budget``.
+    """
+    return LinearConstraint(coefficients=dict(weights), operator="<=", bound=budget, name=name)
+
+
+def run_constrained_analysis(
+    manager: ModelManager,
+    bounds: Sequence[DriverBound] | Mapping[str, tuple[float, float]],
+    *,
+    goal: str = "maximize",
+    target_value: float | None = None,
+    drivers: Sequence[str] | None = None,
+    extra_constraints: Sequence[LinearConstraint | CallableConstraint] = (),
+    mode: str = "percentage",
+    default_range: tuple[float, float] = DEFAULT_PERTURBATION_RANGE,
+    n_calls: int = 40,
+    optimizer: str = "bayesian",
+    random_state: int | None = 0,
+) -> GoalInversionResult:
+    """Goal inversion restricted to user-specified constraints.
+
+    Parameters
+    ----------
+    manager:
+        The session's model manager.
+    bounds:
+        Either a sequence of :class:`DriverBound` or a mapping of driver name
+        to ``(low, high)``; these drivers' perturbations are confined to the
+        given interval while unbounded drivers use ``default_range``.
+    goal, target_value, drivers, mode, default_range, n_calls, optimizer,
+    random_state:
+        Forwarded to :func:`~repro.core.goal_inversion.invert_goal`.
+    extra_constraints:
+        Additional linear or callable constraints over the perturbation
+        vector (budgets, equality rules, domain-knowledge predicates).
+
+    Returns
+    -------
+    GoalInversionResult
+        Same shape as free goal inversion, with constraint descriptions
+        recorded alongside the recommendation.
+    """
+    if isinstance(bounds, Mapping):
+        bound_map = {driver: (float(low), float(high)) for driver, (low, high) in bounds.items()}
+    else:
+        bound_map = {bound.driver: bound.as_tuple() for bound in bounds}
+    unknown = [driver for driver in bound_map if driver not in manager.drivers]
+    if unknown:
+        raise ValueError(f"constrained drivers are not model inputs: {unknown}")
+
+    constraint_set = ConstraintSet(list(extra_constraints))
+    chosen = list(drivers) if drivers is not None else list(manager.drivers)
+    # Constrained drivers must be part of the varied set, otherwise the bound
+    # would silently have no effect.
+    for driver in bound_map:
+        if driver not in chosen:
+            chosen.append(driver)
+
+    return invert_goal(
+        manager,
+        goal=goal,
+        target_value=target_value,
+        drivers=chosen,
+        bounds=bound_map,
+        constraints=constraint_set,
+        mode=mode,
+        default_range=default_range,
+        n_calls=n_calls,
+        optimizer=optimizer,
+        random_state=random_state,
+    )

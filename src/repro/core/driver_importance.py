@@ -1,0 +1,174 @@
+"""Driver importance analysis (functionality 1, paper view (E)).
+
+The view shows a horizontal bar chart of drivers ranked by how strongly they
+drive the KPI, with signed importances in ``[-1, 1]``.  The paper computes
+importances from the model itself — linear-regression coefficients for
+continuous KPIs and random-forest feature importances for discrete KPIs —
+"because they are relatively easier for users to understand", and then
+*verifies* them against Shapley values, Pearson correlation, and Spearman rank
+correlation "to ensure that the model coefficients are not misleading".
+
+:func:`compute_driver_importance` reproduces that pipeline:
+
+1. take the model-native importance scores from the model manager;
+2. sign them by each driver's marginal direction (forest importances are
+   unsigned, so the sign comes from the Pearson correlation with the KPI);
+3. normalise into ``[-1, 1]`` by the maximum absolute score;
+4. compute the verification measures per driver and rank-agreement summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats import (
+    global_shapley_importance,
+    pearson_correlation,
+    permutation_importance,
+    spearman_correlation,
+    spearman_rank_agreement,
+    top_k_overlap,
+)
+from .model_manager import ModelManager
+from .results import DriverImportance, ImportanceResult
+
+__all__ = ["compute_driver_importance"]
+
+
+def _normalise_signed(scores: np.ndarray) -> np.ndarray:
+    """Scale signed scores into [-1, 1] by the maximum absolute value."""
+    peak = np.max(np.abs(scores)) if scores.size else 0.0
+    if peak == 0:
+        return np.zeros_like(scores)
+    return scores / peak
+
+
+def compute_driver_importance(
+    manager: ModelManager,
+    *,
+    verify: bool = True,
+    shapley_samples: int = 40,
+    shapley_permutations: int = 10,
+    permutation_repeats: int = 3,
+    random_state: int | None = 0,
+) -> ImportanceResult:
+    """Run driver importance analysis for a trained model manager.
+
+    Parameters
+    ----------
+    manager:
+        The session's model manager (fitted lazily if necessary).
+    verify:
+        Whether to compute the Shapley / Pearson / Spearman / permutation
+        verification (disable for latency benchmarks).
+    shapley_samples, shapley_permutations:
+        Sampling effort of the Monte-Carlo Shapley estimate.
+    permutation_repeats:
+        Shuffles per driver for permutation importance.
+    random_state:
+        Seed for the stochastic verification estimates.
+
+    Returns
+    -------
+    ImportanceResult
+        Drivers ordered most-to-least important by absolute importance.
+    """
+    frame = manager.frame
+    drivers = manager.drivers
+    kpi = manager.kpi
+
+    X = frame.to_matrix(drivers)
+    y = kpi.target_vector(frame)
+
+    raw = manager.raw_importances()
+    pearson = np.array(
+        [pearson_correlation(X[:, j], y) for j in range(len(drivers))]
+    )
+    if kpi.is_discrete:
+        # forest importances are magnitudes; recover the direction of each
+        # driver's effect from its correlation with the KPI
+        signs = np.sign(pearson)
+        signs[signs == 0] = 1.0
+        signed = raw * signs
+    else:
+        signed = raw
+    importances = _normalise_signed(signed)
+
+    verification_per_driver: list[dict[str, float]] = [{} for _ in drivers]
+    agreement: dict[str, dict[str, float]] = {}
+    if verify:
+        spearman = np.array(
+            [spearman_correlation(X[:, j], y) for j in range(len(drivers))]
+        )
+        shapley = global_shapley_importance(
+            manager.model if not kpi.is_discrete else manager.model,
+            X,
+            n_samples=shapley_samples,
+            n_permutations=shapley_permutations,
+            signed=True,
+            random_state=random_state,
+        )
+        perm = permutation_importance(
+            manager.model,
+            X,
+            y if not kpi.is_discrete else y,
+            n_repeats=permutation_repeats,
+            scoring=_scoring_for(manager),
+            random_state=random_state,
+        )["importances_mean"]
+
+        for j, driver in enumerate(drivers):
+            verification_per_driver[j] = {
+                "pearson": float(pearson[j]),
+                "spearman": float(spearman[j]),
+                "shapley": float(shapley[j]),
+                "permutation": float(perm[j]),
+            }
+        top_k = min(3, len(drivers))
+        for name, scores in (
+            ("pearson", pearson),
+            ("spearman", spearman),
+            ("shapley", shapley),
+            ("permutation", perm),
+        ):
+            agreement[name] = {
+                "spearman_rank_agreement": spearman_rank_agreement(
+                    np.abs(importances), np.abs(scores)
+                ),
+                f"top{top_k}_overlap": top_k_overlap(importances, scores, top_k),
+            }
+
+    order = np.argsort(-np.abs(importances), kind="stable")
+    entries = []
+    for rank, index in enumerate(order, start=1):
+        entries.append(
+            DriverImportance(
+                driver=drivers[int(index)],
+                importance=float(importances[int(index)]),
+                rank=rank,
+                verification=verification_per_driver[int(index)],
+            )
+        )
+
+    return ImportanceResult(
+        kpi=kpi.name,
+        model_kind=manager.model_kind,
+        drivers=tuple(entries),
+        model_confidence=manager.confidence(),
+        agreement=agreement,
+    )
+
+
+def _scoring_for(manager: ModelManager):
+    """Scoring callable for permutation importance matching the KPI kind."""
+    if manager.kpi.is_discrete:
+        def score(model, X, y):
+            predictions = model.predict(X)
+            return float(np.mean(predictions == y))
+
+        return score
+
+    def score(model, X, y):  # R^2 via the estimator's own score
+        return float(model.score(X, y))
+
+    return score

@@ -1,0 +1,149 @@
+"""KPI definitions (paper view (C): KPI Selection).
+
+A KPI is the dependent variable of the analysis — "sales" for marketing mix,
+"retained after six months" for customer retention, "deal closed?" for deal
+closing.  The paper distinguishes *continuous* KPIs (modelled with linear
+regression, reported as an average) and *discrete* KPIs (modelled with a
+random-forest classifier, reported as the share of positive predictions — the
+"deal closing rate" bar in Figure 2).  :class:`KPI` captures the column, its
+kind, and how a vector of per-row predictions aggregates into the single
+number shown in the KPI bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..frame import Column, DataFrame
+
+__all__ = ["KPI", "infer_kpi_kind"]
+
+_KINDS = ("continuous", "discrete")
+_AGGREGATIONS = ("mean", "sum", "rate")
+
+
+def infer_kpi_kind(column: Column) -> str:
+    """Infer whether a KPI column is continuous or discrete.
+
+    Boolean columns and numeric columns with at most two distinct values are
+    treated as discrete (classification); everything else is continuous.
+    """
+    if column.dtype == "bool":
+        return "discrete"
+    if column.dtype == "string":
+        raise ValueError(
+            f"column {column.name!r} is textual and cannot be a KPI; "
+            "choose a numeric or boolean column"
+        )
+    return "discrete" if column.nunique() <= 2 else "continuous"
+
+
+@dataclass(frozen=True)
+class KPI:
+    """A key performance indicator.
+
+    Attributes
+    ----------
+    name:
+        Column name of the KPI in the dataset.
+    kind:
+        ``"continuous"`` or ``"discrete"``.
+    aggregation:
+        How per-row predictions become the headline KPI number:
+        ``"rate"`` (share of positive predictions, as a percentage — the
+        default for discrete KPIs), ``"mean"`` (default for continuous KPIs),
+        or ``"sum"``.
+    positive_label:
+        For discrete KPIs, the label counted as a success (default 1/True).
+    """
+
+    name: str
+    kind: str
+    aggregation: str = ""
+    positive_label: Any = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        aggregation = self.aggregation or ("rate" if self.kind == "discrete" else "mean")
+        object.__setattr__(self, "aggregation", aggregation)
+        if self.aggregation not in _AGGREGATIONS:
+            raise ValueError(
+                f"aggregation must be one of {_AGGREGATIONS}, got {self.aggregation!r}"
+            )
+        if self.kind == "continuous" and self.aggregation == "rate":
+            raise ValueError("a continuous KPI cannot use the 'rate' aggregation")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_frame(
+        cls, frame: DataFrame, name: str, *, aggregation: str = "", positive_label: Any = True
+    ) -> "KPI":
+        """Build a KPI for column ``name`` of ``frame``, inferring its kind."""
+        column = frame.column(name)
+        return cls(
+            name=name,
+            kind=infer_kpi_kind(column),
+            aggregation=aggregation,
+            positive_label=positive_label,
+        )
+
+    @property
+    def is_discrete(self) -> bool:
+        """Whether the KPI is discrete (classification)."""
+        return self.kind == "discrete"
+
+    @property
+    def unit(self) -> str:
+        """Display unit of the aggregate KPI value."""
+        return "%" if self.aggregation == "rate" else ""
+
+    def target_vector(self, frame: DataFrame) -> np.ndarray:
+        """Extract the training target from ``frame``.
+
+        Discrete KPIs become 0/1 with 1 marking ``positive_label``;
+        continuous KPIs are returned as floats.
+        """
+        column = frame.column(self.name)
+        if self.is_discrete:
+            if column.dtype == "bool":
+                values = column.to_numeric()
+                positive = 1.0 if self.positive_label in (True, 1, 1.0) else 0.0
+                return (values == positive).astype(np.float64)
+            values = column.to_numeric()
+            return (values == float(self.positive_label)).astype(np.float64)
+        return column.to_numeric()
+
+    def aggregate(self, predictions: np.ndarray) -> float:
+        """Collapse per-row predictions into the headline KPI value.
+
+        For the ``"rate"`` aggregation, predictions are interpreted as positive
+        -class probabilities (or 0/1 labels) and the result is a percentage in
+        ``[0, 100]``; for ``"mean"``/``"sum"`` the result is in the KPI's own
+        unit.
+        """
+        predictions = np.asarray(predictions, dtype=np.float64)
+        if predictions.size == 0:
+            raise ValueError("cannot aggregate zero predictions")
+        if self.aggregation == "rate":
+            return float(np.clip(predictions, 0.0, 1.0).mean() * 100.0)
+        if self.aggregation == "sum":
+            return float(predictions.sum())
+        return float(predictions.mean())
+
+    def observed_value(self, frame: DataFrame) -> float:
+        """The KPI aggregated over the *observed* labels (no model involved)."""
+        return self.aggregate(self.target_vector(frame))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "aggregation": self.aggregation,
+            "positive_label": self.positive_label,
+            "unit": self.unit,
+        }

@@ -1,0 +1,223 @@
+"""Interpretability-vs-accuracy model comparison (paper §5).
+
+"It is well-known that some models are simpler and easier to interpret while
+others are more accurate but difficult to explain.  It is essential that we
+study which models to pick for our business users.  Do we allow our users to
+have a say in this choice?"
+
+This module operationalises that study: train every candidate model family the
+substrate offers on the session's (drivers, KPI) problem, cross-validate each,
+attach a coarse interpretability score (how directly a business user can read
+the model: linear coefficients > single tree > forest), and report the menu so
+a user — or a policy — can pick the model the rest of the what-if analysis
+runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..frame import DataFrame
+from ..ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    LinearRegression,
+    LogisticRegression,
+    Pipeline,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    Ridge,
+    StandardScaler,
+    cross_val_score,
+)
+from .kpi import KPI
+
+__all__ = ["ModelCandidate", "ModelComparisonResult", "compare_models"]
+
+#: Interpretability scores on a 0-1 scale: how directly a business user can
+#: read the fitted model (1 = coefficients with units, 0 = black box).
+INTERPRETABILITY = {
+    "linear_regression": 1.0,
+    "ridge_regression": 0.95,
+    "logistic_regression": 0.9,
+    "decision_tree": 0.7,
+    "random_forest": 0.4,
+}
+
+
+@dataclass(frozen=True)
+class ModelCandidate:
+    """One entry of the interpretability-vs-accuracy menu.
+
+    Attributes
+    ----------
+    name:
+        Model family identifier.
+    accuracy:
+        Mean cross-validated score (R² for continuous KPIs, accuracy for
+        discrete ones), clipped to [0, 1].
+    accuracy_std:
+        Standard deviation of the cross-validated score across folds.
+    interpretability:
+        Coarse 0-1 interpretability score (see :data:`INTERPRETABILITY`).
+    params:
+        Hyperparameters the candidate was trained with.
+    """
+
+    name: str
+    accuracy: float
+    accuracy_std: float
+    interpretability: float
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "name": self.name,
+            "accuracy": self.accuracy,
+            "accuracy_std": self.accuracy_std,
+            "interpretability": self.interpretability,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class ModelComparisonResult:
+    """The full menu plus the recommendations derived from it."""
+
+    kpi: str
+    kpi_kind: str
+    candidates: tuple[ModelCandidate, ...]
+
+    def most_accurate(self) -> ModelCandidate:
+        """Candidate with the best cross-validated score."""
+        return max(self.candidates, key=lambda c: c.accuracy)
+
+    def most_interpretable(self) -> ModelCandidate:
+        """Candidate with the highest interpretability score."""
+        return max(self.candidates, key=lambda c: c.interpretability)
+
+    def recommended(self, *, accuracy_tolerance: float = 0.05) -> ModelCandidate:
+        """The model the system would pick for a business user.
+
+        The most interpretable candidate whose accuracy is within
+        ``accuracy_tolerance`` of the best — the compromise the paper's
+        question points at.
+        """
+        best = self.most_accurate().accuracy
+        acceptable = [
+            c for c in self.candidates if c.accuracy >= best - accuracy_tolerance
+        ]
+        return max(acceptable, key=lambda c: c.interpretability)
+
+    def pareto_front(self) -> list[ModelCandidate]:
+        """Candidates not dominated on (accuracy, interpretability)."""
+        front = []
+        for candidate in self.candidates:
+            dominated = any(
+                other.accuracy >= candidate.accuracy
+                and other.interpretability >= candidate.interpretability
+                and (
+                    other.accuracy > candidate.accuracy
+                    or other.interpretability > candidate.interpretability
+                )
+                for other in self.candidates
+            )
+            if not dominated:
+                front.append(candidate)
+        return sorted(front, key=lambda c: -c.accuracy)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "kpi": self.kpi,
+            "kpi_kind": self.kpi_kind,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "most_accurate": self.most_accurate().name,
+            "most_interpretable": self.most_interpretable().name,
+            "recommended": self.recommended().name,
+        }
+
+
+def _candidate_estimators(kpi: KPI, random_state: int | None):
+    if kpi.is_discrete:
+        return {
+            "logistic_regression": Pipeline(
+                [("scale", StandardScaler()), ("model", LogisticRegression())]
+            ),
+            "decision_tree": DecisionTreeClassifier(max_depth=4, random_state=random_state),
+            "random_forest": RandomForestClassifier(
+                n_estimators=40, max_depth=8, random_state=random_state
+            ),
+        }
+    return {
+        "linear_regression": Pipeline(
+            [("scale", StandardScaler()), ("model", LinearRegression())]
+        ),
+        "ridge_regression": Pipeline(
+            [("scale", StandardScaler()), ("model", Ridge(alpha=1.0))]
+        ),
+        "decision_tree": DecisionTreeRegressor(max_depth=4, random_state=random_state),
+        "random_forest": RandomForestRegressor(
+            n_estimators=40, max_depth=8, random_state=random_state
+        ),
+    }
+
+
+def compare_models(
+    frame: DataFrame,
+    kpi: KPI,
+    drivers: list[str],
+    *,
+    cv_folds: int = 3,
+    random_state: int | None = 0,
+) -> ModelComparisonResult:
+    """Cross-validate every candidate model family on the (drivers, KPI) problem.
+
+    Parameters
+    ----------
+    frame:
+        The analysis dataset.
+    kpi:
+        KPI definition (decides which families are candidates).
+    drivers:
+        Driver columns used as model inputs.
+    cv_folds:
+        Cross-validation folds for the accuracy estimate.
+    random_state:
+        Seed for tree/forest candidates and fold shuffling.
+    """
+    if not drivers:
+        raise ValueError("at least one driver is required")
+    X = frame.to_matrix(drivers)
+    y = kpi.target_vector(frame)
+
+    candidates = []
+    for name, estimator in _candidate_estimators(kpi, random_state).items():
+        if isinstance(estimator, Pipeline):
+            scores = cross_val_score(
+                estimator.clone_unfitted(), X, y, cv=cv_folds, random_state=random_state
+            )
+        else:
+            scores = cross_val_score(estimator, X, y, cv=cv_folds, random_state=random_state)
+        candidates.append(
+            ModelCandidate(
+                name=name,
+                accuracy=float(np.clip(scores.mean(), 0.0, 1.0)),
+                accuracy_std=float(scores.std()),
+                interpretability=INTERPRETABILITY[name],
+                params=(
+                    estimator.final_estimator.get_params()
+                    if isinstance(estimator, Pipeline)
+                    else estimator.get_params()
+                ),
+            )
+        )
+    return ModelComparisonResult(
+        kpi=kpi.name,
+        kpi_kind=kpi.kind,
+        candidates=tuple(candidates),
+    )

@@ -1,0 +1,226 @@
+"""Perturbations of driver values (paper views (F)/(G): Options & Perturbation).
+
+A perturbation describes how a driver's values are hypothetically changed
+before the KPI model re-predicts — the heart of what-if analysis.  The paper
+supports two modes:
+
+* **percentage** — "a 40% increase on Open Marketing Email means increasing
+  the marketing emails opened for every prospect by 40%";
+* **absolute** — add a fixed amount to every row's value.
+
+Perturbations can target the whole dataset (sensitivity analysis, goal
+inversion) or a single row (per-data analysis).  A :class:`PerturbationSet`
+bundles one perturbation per driver, applies them to a frame immutably, and
+supports composition/inversion so scenarios can be stacked and undone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..frame import DataFrame
+
+__all__ = ["Perturbation", "PerturbationSet", "PERTURBATION_MODES"]
+
+#: Supported perturbation modes.
+PERTURBATION_MODES = ("percentage", "absolute")
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """A change applied to every value of one driver.
+
+    Attributes
+    ----------
+    driver:
+        Column name of the driver being perturbed.
+    amount:
+        Magnitude: percentage points for ``mode="percentage"`` (``40`` means
+        +40%), or the additive amount for ``mode="absolute"``.
+    mode:
+        ``"percentage"`` or ``"absolute"``.
+    clip_non_negative:
+        Whether to clamp perturbed values at zero.  Activity counts and spend
+        cannot go negative, so this defaults to True.
+    """
+
+    driver: str
+    amount: float
+    mode: str = "percentage"
+    clip_non_negative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in PERTURBATION_MODES:
+            raise ValueError(
+                f"mode must be one of {PERTURBATION_MODES}, got {self.mode!r}"
+            )
+        if not np.isfinite(self.amount):
+            raise ValueError("perturbation amount must be finite")
+
+    # ------------------------------------------------------------------ #
+    def apply_to_values(self, values: np.ndarray) -> np.ndarray:
+        """Return perturbed copies of ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        if self.mode == "percentage":
+            perturbed = values * (1.0 + self.amount / 100.0)
+        else:
+            perturbed = values + self.amount
+        if self.clip_non_negative:
+            perturbed = np.maximum(perturbed, 0.0)
+        return perturbed
+
+    def apply(self, frame: DataFrame) -> DataFrame:
+        """Return ``frame`` with this driver's column perturbed."""
+        column = frame.column(self.driver)
+        perturbed = self.apply_to_values(column.to_numeric())
+        return frame.with_column(name=self.driver, values=perturbed)
+
+    def apply_to_row(self, frame: DataFrame, index: int) -> DataFrame:
+        """Return ``frame`` with only row ``index`` of this driver perturbed."""
+        current = float(frame.column(self.driver)[index])
+        new_value = float(self.apply_to_values(np.array([current]))[0])
+        return frame.with_row_updated(index, {self.driver: new_value})
+
+    def inverse(self) -> "Perturbation":
+        """The perturbation that (approximately) undoes this one.
+
+        Exact for absolute mode; for percentage mode the inverse of ``+p%`` is
+        ``-100*p/(100+p)%`` (undefined at -100%, which would zero the driver).
+        Clipping is disabled on inverses since undoing may legitimately lower
+        values back below a clamp.
+        """
+        if self.mode == "absolute":
+            return Perturbation(self.driver, -self.amount, "absolute", clip_non_negative=False)
+        if self.amount == -100.0:
+            raise ValueError("a -100% perturbation cannot be inverted")
+        inverse_amount = -100.0 * self.amount / (100.0 + self.amount)
+        return Perturbation(self.driver, inverse_amount, "percentage", clip_non_negative=False)
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``"Open Marketing Email +40%"``."""
+        sign = "+" if self.amount >= 0 else ""
+        if self.mode == "percentage":
+            return f"{self.driver} {sign}{self.amount:g}%"
+        return f"{self.driver} {sign}{self.amount:g}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "driver": self.driver,
+            "amount": self.amount,
+            "mode": self.mode,
+            "clip_non_negative": self.clip_non_negative,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Perturbation":
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls(
+            driver=payload["driver"],
+            amount=float(payload["amount"]),
+            mode=payload.get("mode", "percentage"),
+            clip_non_negative=bool(payload.get("clip_non_negative", True)),
+        )
+
+
+class PerturbationSet:
+    """An ordered collection of perturbations, at most one per driver.
+
+    Parameters
+    ----------
+    perturbations:
+        The perturbations; adding a second perturbation for the same driver
+        replaces the first (matching the UI, where each driver has one slider).
+    """
+
+    def __init__(self, perturbations: Sequence[Perturbation] = ()) -> None:
+        self._by_driver: dict[str, Perturbation] = {}
+        for perturbation in perturbations:
+            self._by_driver[perturbation.driver] = perturbation
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_mapping(
+        cls, amounts: Mapping[str, float], *, mode: str = "percentage"
+    ) -> "PerturbationSet":
+        """Build a set from ``{driver: amount}`` using one shared mode."""
+        return cls([Perturbation(driver, amount, mode) for driver, amount in amounts.items()])
+
+    def add(self, perturbation: Perturbation) -> "PerturbationSet":
+        """Return a new set with ``perturbation`` added (or replaced)."""
+        return PerturbationSet(list(self) + [perturbation])
+
+    def remove(self, driver: str) -> "PerturbationSet":
+        """Return a new set without the perturbation for ``driver``."""
+        return PerturbationSet([p for p in self if p.driver != driver])
+
+    def __len__(self) -> int:
+        return len(self._by_driver)
+
+    def __iter__(self) -> Iterator[Perturbation]:
+        return iter(self._by_driver.values())
+
+    def __contains__(self, driver: object) -> bool:
+        return driver in self._by_driver
+
+    def __getitem__(self, driver: str) -> Perturbation:
+        return self._by_driver[driver]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PerturbationSet):
+            return NotImplemented
+        return self._by_driver == other._by_driver
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"PerturbationSet({self.describe()})"
+
+    @property
+    def drivers(self) -> list[str]:
+        """Drivers touched by this set."""
+        return list(self._by_driver)
+
+    def amounts(self) -> dict[str, float]:
+        """Mapping of driver to perturbation amount."""
+        return {driver: p.amount for driver, p in self._by_driver.items()}
+
+    # ------------------------------------------------------------------ #
+    def apply(self, frame: DataFrame) -> DataFrame:
+        """Apply every perturbation to the whole frame."""
+        result = frame
+        for perturbation in self:
+            result = perturbation.apply(result)
+        return result
+
+    def apply_to_row(self, frame: DataFrame, index: int) -> DataFrame:
+        """Apply every perturbation to a single row only."""
+        result = frame
+        for perturbation in self:
+            result = perturbation.apply_to_row(result, index)
+        return result
+
+    def compose(self, other: "PerturbationSet") -> "PerturbationSet":
+        """Apply ``other`` on top of this set (other wins on shared drivers)."""
+        return PerturbationSet(list(self) + list(other))
+
+    def inverse(self) -> "PerturbationSet":
+        """Set of inverse perturbations (see :meth:`Perturbation.inverse`)."""
+        return PerturbationSet([p.inverse() for p in self])
+
+    def describe(self) -> str:
+        """Readable summary, e.g. ``"Open Marketing Email +40%, Call -10%"``."""
+        if not self._by_driver:
+            return "(no perturbations)"
+        return ", ".join(p.describe() for p in self)
+
+    def to_list(self) -> list[dict[str, Any]]:
+        """JSON-safe representation."""
+        return [p.to_dict() for p in self]
+
+    @classmethod
+    def from_list(cls, payload: Sequence[Mapping[str, Any]]) -> "PerturbationSet":
+        """Reconstruct from :meth:`to_list` output."""
+        return cls([Perturbation.from_dict(item) for item in payload])

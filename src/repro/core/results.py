@@ -1,0 +1,330 @@
+"""Typed result objects returned by the four what-if functionalities.
+
+Every analysis returns a small dataclass with a ``to_dict`` method; the server
+layer serialises these straight into the JSON payloads the paper's client
+renders, and the benchmark harness prints them as the rows of the reproduced
+tables/figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "DriverImportance",
+    "ImportanceResult",
+    "SensitivityResult",
+    "ComparisonPoint",
+    "ComparisonResult",
+    "PerDataResult",
+    "GoalInversionResult",
+]
+
+
+@dataclass(frozen=True)
+class DriverImportance:
+    """Importance of one driver (one bar of the driver-importance chart).
+
+    Attributes
+    ----------
+    driver:
+        Driver column name.
+    importance:
+        Signed importance in ``[-1, 1]`` (the paper's display range).
+    rank:
+        1-based rank by absolute importance (1 = most important).
+    verification:
+        Cross-check scores for the same driver: Pearson and Spearman
+        correlation with the KPI, estimated Shapley importance, and
+        permutation importance.
+    """
+
+    driver: str
+    importance: float
+    rank: int
+    verification: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "driver": self.driver,
+            "importance": self.importance,
+            "rank": self.rank,
+            "verification": dict(self.verification),
+        }
+
+
+@dataclass(frozen=True)
+class ImportanceResult:
+    """Output of driver importance analysis (functionality 1).
+
+    Attributes
+    ----------
+    kpi:
+        KPI column name.
+    model_kind:
+        ``"linear_regression"`` or ``"random_forest_classifier"``.
+    drivers:
+        Per-driver importances, ordered most-to-least important.
+    model_confidence:
+        Cross-validated model score (R² or accuracy) in ``[0, 1]``.
+    agreement:
+        Rank-agreement diagnostics between the model importances and each
+        verification measure (Spearman rank agreement and top-3 overlap).
+    """
+
+    kpi: str
+    model_kind: str
+    drivers: tuple[DriverImportance, ...]
+    model_confidence: float
+    agreement: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def top(self, k: int = 3) -> list[str]:
+        """Names of the ``k`` most important drivers."""
+        return [d.driver for d in self.drivers[:k]]
+
+    def bottom(self, k: int = 3) -> list[str]:
+        """Names of the ``k`` least important drivers."""
+        return [d.driver for d in self.drivers[-k:]]
+
+    def importance_of(self, driver: str) -> float:
+        """Signed importance of ``driver``."""
+        for entry in self.drivers:
+            if entry.driver == driver:
+                return entry.importance
+        raise KeyError(f"driver {driver!r} not present in the importance result")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "kpi": self.kpi,
+            "model_kind": self.model_kind,
+            "model_confidence": self.model_confidence,
+            "drivers": [d.to_dict() for d in self.drivers],
+            "agreement": {k: dict(v) for k, v in self.agreement.items()},
+        }
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Output of a single sensitivity-analysis run (functionality 2).
+
+    Attributes
+    ----------
+    kpi:
+        KPI column name.
+    original_kpi:
+        KPI value predicted on the original dataset (blue bar).
+    perturbed_kpi:
+        KPI value predicted on the perturbed dataset (yellow bar).
+    uplift:
+        ``perturbed_kpi - original_kpi`` (positive = green, negative = red).
+    perturbations:
+        The perturbations applied (JSON-safe list).
+    kpi_unit:
+        ``"%"`` for rate KPIs, empty otherwise.
+    """
+
+    kpi: str
+    original_kpi: float
+    perturbed_kpi: float
+    uplift: float
+    perturbations: list[dict[str, Any]]
+    kpi_unit: str = ""
+
+    @property
+    def relative_uplift(self) -> float:
+        """Uplift as a fraction of the original KPI (0 when original is 0)."""
+        if self.original_kpi == 0:
+            return 0.0
+        return self.uplift / abs(self.original_kpi)
+
+    @property
+    def direction(self) -> str:
+        """``"up"``, ``"down"``, or ``"flat"``."""
+        if self.uplift > 1e-12:
+            return "up"
+        if self.uplift < -1e-12:
+            return "down"
+        return "flat"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "kpi": self.kpi,
+            "original_kpi": self.original_kpi,
+            "perturbed_kpi": self.perturbed_kpi,
+            "uplift": self.uplift,
+            "relative_uplift": self.relative_uplift,
+            "direction": self.direction,
+            "kpi_unit": self.kpi_unit,
+            "perturbations": list(self.perturbations),
+        }
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """KPI achieved for one driver at one perturbation magnitude."""
+
+    driver: str
+    amount: float
+    kpi_value: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {"driver": self.driver, "amount": self.amount, "kpi_value": self.kpi_value}
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Output of comparison analysis: KPI trends per driver over a range.
+
+    This is the "view sensitivity analysis in its entirety and compare KPI
+    trends over all drivers" feature of Section 2-H.
+    """
+
+    kpi: str
+    original_kpi: float
+    mode: str
+    points: tuple[ComparisonPoint, ...]
+
+    def series_for(self, driver: str) -> list[ComparisonPoint]:
+        """All points for one driver, ordered by perturbation amount."""
+        return sorted(
+            (p for p in self.points if p.driver == driver), key=lambda p: p.amount
+        )
+
+    def drivers(self) -> list[str]:
+        """Drivers covered by the comparison, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for point in self.points:
+            seen.setdefault(point.driver, None)
+        return list(seen)
+
+    def most_sensitive_driver(self) -> str:
+        """Driver whose KPI range (max - min over the sweep) is largest."""
+        best_driver = ""
+        best_range = -1.0
+        for driver in self.drivers():
+            values = [p.kpi_value for p in self.series_for(driver)]
+            value_range = max(values) - min(values)
+            if value_range > best_range:
+                best_range = value_range
+                best_driver = driver
+        return best_driver
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "kpi": self.kpi,
+            "original_kpi": self.original_kpi,
+            "mode": self.mode,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+@dataclass(frozen=True)
+class PerDataResult:
+    """Output of per-data sensitivity analysis: one row drilled down.
+
+    Attributes
+    ----------
+    row_index:
+        Index of the analysed data point.
+    original_prediction:
+        Model prediction (probability or value) for the untouched row.
+    perturbed_prediction:
+        Prediction after perturbing only that row.
+    original_row / perturbed_row:
+        Driver values before and after perturbation (for display).
+    """
+
+    kpi: str
+    row_index: int
+    original_prediction: float
+    perturbed_prediction: float
+    original_row: dict[str, Any]
+    perturbed_row: dict[str, Any]
+    perturbations: list[dict[str, Any]]
+
+    @property
+    def uplift(self) -> float:
+        """Change in the row-level prediction."""
+        return self.perturbed_prediction - self.original_prediction
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "kpi": self.kpi,
+            "row_index": self.row_index,
+            "original_prediction": self.original_prediction,
+            "perturbed_prediction": self.perturbed_prediction,
+            "uplift": self.uplift,
+            "original_row": dict(self.original_row),
+            "perturbed_row": dict(self.perturbed_row),
+            "perturbations": list(self.perturbations),
+        }
+
+
+@dataclass(frozen=True)
+class GoalInversionResult:
+    """Output of goal inversion / constrained analysis (functionalities 3-4).
+
+    Attributes
+    ----------
+    kpi:
+        KPI column name.
+    goal:
+        ``"maximize"``, ``"minimize"``, or ``"target"``.
+    target_value:
+        The requested KPI value when ``goal == "target"``; None otherwise.
+    best_kpi:
+        Best KPI value attained.
+    original_kpi:
+        KPI value on the unperturbed data (for uplift).
+    uplift:
+        ``best_kpi - original_kpi``.
+    driver_changes:
+        Recommended perturbation per driver (in the perturbation mode used).
+    mode:
+        Perturbation mode of the recommendations.
+    model_confidence:
+        Cross-validated model score reported alongside recommendations.
+    constraints:
+        Human-readable constraint descriptions applied to the search.
+    n_evaluations:
+        Number of model evaluations the optimiser used.
+    achieved_target:
+        For target goals, whether the target was reached within tolerance.
+    """
+
+    kpi: str
+    goal: str
+    target_value: float | None
+    best_kpi: float
+    original_kpi: float
+    uplift: float
+    driver_changes: dict[str, float]
+    mode: str
+    model_confidence: float
+    constraints: list[str] = field(default_factory=list)
+    n_evaluations: int = 0
+    achieved_target: bool | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "kpi": self.kpi,
+            "goal": self.goal,
+            "target_value": self.target_value,
+            "best_kpi": self.best_kpi,
+            "original_kpi": self.original_kpi,
+            "uplift": self.uplift,
+            "driver_changes": dict(self.driver_changes),
+            "mode": self.mode,
+            "model_confidence": self.model_confidence,
+            "constraints": list(self.constraints),
+            "n_evaluations": self.n_evaluations,
+            "achieved_target": self.achieved_target,
+        }

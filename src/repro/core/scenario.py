@@ -1,0 +1,156 @@
+"""Scenario (option) management.
+
+The paper argues "there are often multiple feasible choices with dynamic costs
+and trade-offs bound to decision paths.  Systems should enable rapid discovery
+as well as management and tracking of these choices (options), making them
+first-class citizens of data analysis."  A :class:`Scenario` is one such
+option — a named analysis (sensitivity run or goal inversion) with its inputs
+and outcome — and :class:`ScenarioManager` is the session's ledger of them:
+record, list, compare, and rank scenarios by the KPI they achieve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from .results import GoalInversionResult, SensitivityResult
+
+__all__ = ["Scenario", "ScenarioManager"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A tracked analysis option.
+
+    Attributes
+    ----------
+    scenario_id:
+        Monotonically increasing identifier assigned by the manager.
+    name:
+        User-supplied label ("increase emails 40%", "constrained max", ...).
+    kind:
+        ``"sensitivity"`` or ``"goal_inversion"``.
+    kpi_value:
+        The KPI value this scenario achieves (perturbed KPI for sensitivity,
+        best KPI for goal inversion).
+    uplift:
+        KPI change versus the original data.
+    detail:
+        The full result payload (JSON-safe).
+    notes:
+        Free-form user notes.
+    """
+
+    scenario_id: int
+    name: str
+    kind: str
+    kpi_value: float
+    uplift: float
+    detail: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "scenario_id": self.scenario_id,
+            "name": self.name,
+            "kind": self.kind,
+            "kpi_value": self.kpi_value,
+            "uplift": self.uplift,
+            "detail": dict(self.detail),
+            "notes": self.notes,
+        }
+
+
+class ScenarioManager:
+    """Ledger of scenarios explored during a what-if session."""
+
+    def __init__(self) -> None:
+        self._scenarios: list[Scenario] = []
+        self._ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self):
+        return iter(self._scenarios)
+
+    # ------------------------------------------------------------------ #
+    def record_sensitivity(
+        self, name: str, result: SensitivityResult, *, notes: str = ""
+    ) -> Scenario:
+        """Track a sensitivity-analysis outcome as a scenario."""
+        scenario = Scenario(
+            scenario_id=next(self._ids),
+            name=name,
+            kind="sensitivity",
+            kpi_value=result.perturbed_kpi,
+            uplift=result.uplift,
+            detail=result.to_dict(),
+            notes=notes,
+        )
+        self._scenarios.append(scenario)
+        return scenario
+
+    def record_goal_inversion(
+        self, name: str, result: GoalInversionResult, *, notes: str = ""
+    ) -> Scenario:
+        """Track a goal-inversion / constrained-analysis outcome as a scenario."""
+        scenario = Scenario(
+            scenario_id=next(self._ids),
+            name=name,
+            kind="goal_inversion",
+            kpi_value=result.best_kpi,
+            uplift=result.uplift,
+            detail=result.to_dict(),
+            notes=notes,
+        )
+        self._scenarios.append(scenario)
+        return scenario
+
+    # ------------------------------------------------------------------ #
+    def get(self, scenario_id: int) -> Scenario:
+        """Look up a scenario by id."""
+        for scenario in self._scenarios:
+            if scenario.scenario_id == scenario_id:
+                return scenario
+        raise KeyError(f"no scenario with id {scenario_id}")
+
+    def list(self) -> list[Scenario]:
+        """All scenarios in recording order."""
+        return list(self._scenarios)
+
+    def best(self, *, maximize: bool = True) -> Scenario:
+        """The scenario achieving the best KPI value."""
+        if not self._scenarios:
+            raise ValueError("no scenarios recorded yet")
+        key = (lambda s: s.kpi_value) if maximize else (lambda s: -s.kpi_value)
+        return max(self._scenarios, key=key)
+
+    def rank(self, *, maximize: bool = True) -> list[Scenario]:
+        """Scenarios ordered best-to-worst by the KPI they achieve."""
+        return sorted(self._scenarios, key=lambda s: s.kpi_value, reverse=maximize)
+
+    def compare(self, scenario_ids: list[int] | None = None) -> list[dict[str, Any]]:
+        """Side-by-side comparison table of the selected (or all) scenarios."""
+        chosen = (
+            [self.get(sid) for sid in scenario_ids]
+            if scenario_ids is not None
+            else self._scenarios
+        )
+        return [
+            {
+                "scenario_id": s.scenario_id,
+                "name": s.name,
+                "kind": s.kind,
+                "kpi_value": s.kpi_value,
+                "uplift": s.uplift,
+            }
+            for s in chosen
+        ]
+
+    def clear(self) -> None:
+        """Forget all recorded scenarios."""
+        self._scenarios.clear()

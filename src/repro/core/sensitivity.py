@@ -1,0 +1,153 @@
+"""Sensitivity analysis (functionality 2, paper view (H)).
+
+Three flavours, all of which re-run the trained KPI model on hypothetically
+perturbed data and compare against the original prediction:
+
+* :func:`run_sensitivity` — the headline interaction: apply a perturbation set
+  to the whole dataset, show original vs perturbed KPI and the up-/down-lift
+  (the blue/yellow bars of Figure 2-H);
+* :func:`run_comparison` — the *comparison analysis* feature: sweep each
+  driver individually over a range of perturbation magnitudes so the user can
+  "view sensitivity analysis in its entirety and compare KPI trends over all
+  drivers";
+* :func:`run_per_data` — the *per-data analysis* feature: perturb a single
+  data point and observe the change in its own predicted KPI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .model_manager import ModelManager
+from .perturbation import Perturbation, PerturbationSet
+from .results import ComparisonPoint, ComparisonResult, PerDataResult, SensitivityResult
+
+__all__ = ["run_sensitivity", "run_comparison", "run_per_data"]
+
+
+def run_sensitivity(
+    manager: ModelManager, perturbations: PerturbationSet
+) -> SensitivityResult:
+    """Dataset-level sensitivity analysis.
+
+    Parameters
+    ----------
+    manager:
+        The session's model manager.
+    perturbations:
+        The perturbation set to apply to every row.
+
+    Returns
+    -------
+    SensitivityResult
+        Original KPI, perturbed KPI, and their difference (the up-lift).
+    """
+    unknown = [p.driver for p in perturbations if p.driver not in manager.drivers]
+    if unknown:
+        raise ValueError(
+            f"perturbed drivers are not model inputs: {unknown}; "
+            f"available drivers: {manager.drivers}"
+        )
+    original_kpi = manager.baseline_kpi()
+    perturbed_frame = perturbations.apply(manager.frame)
+    perturbed_kpi = manager.predict_kpi(perturbed_frame)
+    return SensitivityResult(
+        kpi=manager.kpi.name,
+        original_kpi=original_kpi,
+        perturbed_kpi=perturbed_kpi,
+        uplift=perturbed_kpi - original_kpi,
+        perturbations=perturbations.to_list(),
+        kpi_unit=manager.kpi.unit,
+    )
+
+
+def run_comparison(
+    manager: ModelManager,
+    drivers: Sequence[str] | None = None,
+    amounts: Sequence[float] = (-40.0, -20.0, 0.0, 20.0, 40.0),
+    *,
+    mode: str = "percentage",
+) -> ComparisonResult:
+    """Comparison analysis: sweep each driver individually over ``amounts``.
+
+    Parameters
+    ----------
+    manager:
+        The session's model manager.
+    drivers:
+        Drivers to sweep (default: every model driver).
+    amounts:
+        Perturbation magnitudes applied one at a time to one driver at a time.
+    mode:
+        Perturbation mode shared by the sweep.
+
+    Returns
+    -------
+    ComparisonResult
+        One :class:`ComparisonPoint` per (driver, amount) pair.
+    """
+    chosen = list(drivers) if drivers is not None else list(manager.drivers)
+    unknown = [d for d in chosen if d not in manager.drivers]
+    if unknown:
+        raise ValueError(f"unknown drivers for comparison analysis: {unknown}")
+    if not amounts:
+        raise ValueError("comparison analysis needs at least one perturbation amount")
+
+    original_kpi = manager.baseline_kpi()
+    points: list[ComparisonPoint] = []
+    for driver in chosen:
+        for amount in amounts:
+            if amount == 0:
+                kpi_value = original_kpi
+            else:
+                perturbed = Perturbation(driver, float(amount), mode).apply(manager.frame)
+                kpi_value = manager.predict_kpi(perturbed)
+            points.append(
+                ComparisonPoint(driver=driver, amount=float(amount), kpi_value=kpi_value)
+            )
+    return ComparisonResult(
+        kpi=manager.kpi.name,
+        original_kpi=original_kpi,
+        mode=mode,
+        points=tuple(points),
+    )
+
+
+def run_per_data(
+    manager: ModelManager, row_index: int, perturbations: PerturbationSet
+) -> PerDataResult:
+    """Per-data analysis: perturb one row and re-predict its KPI.
+
+    Parameters
+    ----------
+    manager:
+        The session's model manager.
+    row_index:
+        Index of the data point to drill into.
+    perturbations:
+        Perturbations applied to that row only.
+    """
+    frame = manager.frame
+    if not 0 <= row_index < frame.n_rows:
+        raise IndexError(
+            f"row index {row_index} out of range for a dataset of {frame.n_rows} rows"
+        )
+    unknown = [p.driver for p in perturbations if p.driver not in manager.drivers]
+    if unknown:
+        raise ValueError(f"perturbed drivers are not model inputs: {unknown}")
+
+    original_prediction = manager.predict_row(frame, row_index)
+    perturbed_frame = perturbations.apply_to_row(frame, row_index)
+    perturbed_prediction = manager.predict_row(perturbed_frame, row_index)
+
+    original_row = {d: frame.column(d)[row_index] for d in manager.drivers}
+    perturbed_row = {d: perturbed_frame.column(d)[row_index] for d in manager.drivers}
+    return PerDataResult(
+        kpi=manager.kpi.name,
+        row_index=row_index,
+        original_prediction=original_prediction,
+        perturbed_prediction=perturbed_prediction,
+        original_row=original_row,
+        perturbed_row=perturbed_row,
+        perturbations=perturbations.to_list(),
+    )

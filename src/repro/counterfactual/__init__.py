@@ -1,0 +1,6 @@
+"""Counterfactual explanations: per-row goal inversion phrased as a DiCE-style
+diverse counterfactual search (paper §6, model-understanding related work)."""
+
+from .dice import Counterfactual, CounterfactualResult, generate_counterfactuals
+
+__all__ = ["Counterfactual", "CounterfactualResult", "generate_counterfactuals"]

@@ -1,0 +1,220 @@
+"""Diverse counterfactual explanations for single data points.
+
+The related-work section positions goal inversion as "akin to" counterfactual
+explanation methods (DECE, ViCE, Gamut, DiCE): *what minimal change to this
+prospect's activities would flip the model's prediction?*  Per-data goal
+inversion is exactly that question asked about one row, so we provide a small
+DiCE-style searcher:
+
+* the query instance is one row of the dataset;
+* candidates are perturbed copies of that row restricted to the allowed
+  drivers and their observed value ranges;
+* the loss trades off (a) reaching the desired prediction, (b) proximity to
+  the original row (L1, range-normalised), and (c) sparsity (how many drivers
+  change);
+* diversity across the returned set is enforced greedily by requiring a
+  minimum normalised distance between accepted counterfactuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core import ModelManager
+
+__all__ = ["Counterfactual", "CounterfactualResult", "generate_counterfactuals"]
+
+
+@dataclass(frozen=True)
+class Counterfactual:
+    """One counterfactual: a modified row and its predicted outcome."""
+
+    changes: dict[str, float]
+    new_values: dict[str, float]
+    prediction: float
+    distance: float
+    n_changed: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "changes": dict(self.changes),
+            "new_values": dict(self.new_values),
+            "prediction": self.prediction,
+            "distance": self.distance,
+            "n_changed": self.n_changed,
+        }
+
+
+@dataclass(frozen=True)
+class CounterfactualResult:
+    """The counterfactual set for one query row."""
+
+    row_index: int
+    original_prediction: float
+    desired_direction: str
+    threshold: float
+    counterfactuals: tuple[Counterfactual, ...] = field(default_factory=tuple)
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one counterfactual crossed the threshold."""
+        return len(self.counterfactuals) > 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "row_index": self.row_index,
+            "original_prediction": self.original_prediction,
+            "desired_direction": self.desired_direction,
+            "threshold": self.threshold,
+            "counterfactuals": [c.to_dict() for c in self.counterfactuals],
+        }
+
+
+def generate_counterfactuals(
+    manager: ModelManager,
+    row_index: int,
+    *,
+    desired_direction: str = "increase",
+    threshold: float = 0.5,
+    drivers: list[str] | None = None,
+    n_counterfactuals: int = 3,
+    n_candidates: int = 400,
+    diversity_distance: float = 0.15,
+    random_state: int | None = 0,
+) -> CounterfactualResult:
+    """Search for diverse counterfactuals for one data point.
+
+    Parameters
+    ----------
+    manager:
+        The session's model manager (provides the prediction function and the
+        dataset whose ranges bound the search).
+    row_index:
+        Row to explain.
+    desired_direction:
+        ``"increase"`` (push the prediction above ``threshold``) or
+        ``"decrease"`` (push it below).
+    threshold:
+        Decision threshold on the model's row-level prediction (probability
+        for discrete KPIs).
+    drivers:
+        Drivers allowed to change (default: all model drivers).
+    n_counterfactuals:
+        Maximum number of diverse counterfactuals to return.
+    n_candidates:
+        Random candidates sampled around the query row.
+    diversity_distance:
+        Minimum normalised L1 distance between returned counterfactuals.
+    random_state:
+        Seed for reproducibility.
+    """
+    if desired_direction not in ("increase", "decrease"):
+        raise ValueError("desired_direction must be 'increase' or 'decrease'")
+    frame = manager.frame
+    if not 0 <= row_index < frame.n_rows:
+        raise IndexError(f"row index {row_index} out of range")
+    allowed = list(drivers) if drivers is not None else list(manager.drivers)
+    unknown = [d for d in allowed if d not in manager.drivers]
+    if unknown:
+        raise ValueError(f"drivers not part of the model: {unknown}")
+
+    rng = np.random.default_rng(random_state)
+    original_prediction = manager.predict_row(frame, row_index)
+    original = np.array(
+        [float(frame.column(d)[row_index]) for d in manager.drivers], dtype=np.float64
+    )
+
+    # per-driver observed ranges (used both to sample and to normalise distance)
+    lows = np.array([frame.column(d).min() for d in manager.drivers])
+    highs = np.array([frame.column(d).max() for d in manager.drivers])
+    spans = np.where(highs - lows == 0, 1.0, highs - lows)
+    allowed_mask = np.array([d in set(allowed) for d in manager.drivers])
+
+    # sample candidates: each mutates a random subset of the allowed drivers
+    candidates = np.tile(original, (n_candidates, 1))
+    for i in range(n_candidates):
+        n_mutations = rng.integers(1, max(2, allowed_mask.sum() + 1))
+        mutate = rng.choice(np.flatnonzero(allowed_mask), size=min(n_mutations, allowed_mask.sum()), replace=False)
+        candidates[i, mutate] = lows[mutate] + rng.random(mutate.size) * spans[mutate]
+
+    predictions = manager.predict_rows(
+        _frame_with_rows(frame, row_index, candidates, manager.drivers, n_candidates)
+    )
+
+    if desired_direction == "increase":
+        valid = predictions >= threshold
+    else:
+        valid = predictions <= threshold
+
+    distances = np.sum(np.abs(candidates - original) / spans, axis=1) / len(manager.drivers)
+    n_changed = np.sum(np.abs(candidates - original) > 1e-12, axis=1)
+    # loss: prefer valid, then close, then sparse
+    order = np.lexsort((n_changed, distances, ~valid))
+
+    accepted: list[Counterfactual] = []
+    accepted_rows: list[np.ndarray] = []
+    for index in order:
+        if not valid[index]:
+            break
+        if len(accepted) >= n_counterfactuals:
+            break
+        candidate = candidates[index]
+        if accepted_rows:
+            min_distance = min(
+                float(np.sum(np.abs(candidate - row) / spans) / len(manager.drivers))
+                for row in accepted_rows
+            )
+            if min_distance < diversity_distance:
+                continue
+        changes = {
+            driver: float(candidate[j] - original[j])
+            for j, driver in enumerate(manager.drivers)
+            if abs(candidate[j] - original[j]) > 1e-12
+        }
+        accepted.append(
+            Counterfactual(
+                changes=changes,
+                new_values={
+                    driver: float(candidate[j]) for j, driver in enumerate(manager.drivers)
+                },
+                prediction=float(predictions[index]),
+                distance=float(distances[index]),
+                n_changed=int(n_changed[index]),
+            )
+        )
+        accepted_rows.append(candidate)
+
+    return CounterfactualResult(
+        row_index=row_index,
+        original_prediction=original_prediction,
+        desired_direction=desired_direction,
+        threshold=threshold,
+        counterfactuals=tuple(accepted),
+    )
+
+
+def _frame_with_rows(frame, row_index, candidates, drivers, n_candidates):
+    """Build a frame of candidate rows sharing the query row's other columns."""
+    from ..frame import Column, DataFrame
+
+    base_row = frame.row(row_index)
+    columns = []
+    driver_positions = {d: j for j, d in enumerate(drivers)}
+    for name in frame.columns:
+        if name in driver_positions:
+            values = candidates[:, driver_positions[name]]
+            columns.append(Column(name, values, dtype="float"))
+        else:
+            columns.append(
+                Column(
+                    name,
+                    [base_row[name]] * n_candidates,
+                    dtype=frame.column(name).dtype,
+                )
+            )
+    return DataFrame(columns)

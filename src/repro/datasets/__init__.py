@@ -1,0 +1,54 @@
+"""Synthetic use-case datasets standing in for Sigma's proprietary data.
+
+Three generators mirror the schemas described in the paper's Section 3:
+marketing mix (U1), customer retention (U2), and deal closing (U3), plus a
+registry that captures each use case's KPI and default driver exclusions.
+"""
+
+from .deals import (
+    DEAL_DRIVERS,
+    DEAL_KPI,
+    DEAL_TEXT_COLUMNS,
+    DRIVER_WEIGHTS,
+    load_deal_closing,
+)
+from .marketing import (
+    CHANNEL_DAILY_BUDGET,
+    CHANNEL_EFFECTIVENESS,
+    MARKETING_CHANNELS,
+    MARKETING_KPI,
+    load_marketing_mix,
+)
+from .registry import USE_CASES, UseCase, get_use_case, list_use_cases, load_use_case
+from .retention import (
+    RETENTION_ACTIVITY_DRIVERS,
+    RETENTION_FORMULA_DRIVERS,
+    RETENTION_KPI,
+    RETENTION_OBVIOUS_DRIVER,
+    RETENTION_TEXT_COLUMNS,
+    load_customer_retention,
+)
+
+__all__ = [
+    "DEAL_DRIVERS",
+    "DEAL_KPI",
+    "DEAL_TEXT_COLUMNS",
+    "DRIVER_WEIGHTS",
+    "load_deal_closing",
+    "MARKETING_CHANNELS",
+    "MARKETING_KPI",
+    "CHANNEL_EFFECTIVENESS",
+    "CHANNEL_DAILY_BUDGET",
+    "load_marketing_mix",
+    "RETENTION_KPI",
+    "RETENTION_ACTIVITY_DRIVERS",
+    "RETENTION_FORMULA_DRIVERS",
+    "RETENTION_OBVIOUS_DRIVER",
+    "RETENTION_TEXT_COLUMNS",
+    "load_customer_retention",
+    "UseCase",
+    "USE_CASES",
+    "get_use_case",
+    "list_use_cases",
+    "load_use_case",
+]

@@ -1,0 +1,112 @@
+"""Synthetic marketing-mix dataset (use case U1).
+
+The paper's U1 dataset "describ[es] investments made over a period of 6 months
+on 5 media channels (Internet, Facebook, YouTube, TV and Radio) and
+corresponding sales achieved per day".  Sigma's real spend data is
+proprietary, so this generator produces a 6-month daily panel with:
+
+* per-channel daily investments with realistic scales and weekly seasonality;
+* sales responding to each channel with diminishing returns (square-root
+  response curves, the standard marketing-mix assumption), plus a baseline and
+  weekly seasonality;
+* channel effectiveness ordered Internet > Facebook > YouTube > TV > Radio so
+  the driver-importance view has a definite planted ranking to recover.
+
+The KPI (``Sales``) is continuous, so SystemD trains a linear regression on
+this use case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Column, DataFrame
+
+__all__ = [
+    "MARKETING_CHANNELS",
+    "MARKETING_KPI",
+    "CHANNEL_EFFECTIVENESS",
+    "CHANNEL_DAILY_BUDGET",
+    "load_marketing_mix",
+]
+
+#: The five media channels of use case U1.
+MARKETING_CHANNELS = ("Internet", "Facebook", "YouTube", "TV", "Radio")
+
+#: KPI column name (continuous).
+MARKETING_KPI = "Sales"
+
+#: Incremental sales per sqrt-dollar of spend — the planted effectiveness
+#: ordering the driver-importance view should recover.
+CHANNEL_EFFECTIVENESS = {
+    "Internet": 95.0,
+    "Facebook": 70.0,
+    "YouTube": 55.0,
+    "TV": 30.0,
+    "Radio": 18.0,
+}
+
+#: Mean daily spend per channel, in dollars.
+CHANNEL_DAILY_BUDGET = {
+    "Internet": 1400.0,
+    "Facebook": 1100.0,
+    "YouTube": 900.0,
+    "TV": 1600.0,
+    "Radio": 500.0,
+}
+
+_BASELINE_SALES = 20_000.0
+_WEEKLY_AMPLITUDE = 0.02
+
+
+def load_marketing_mix(
+    n_days: int = 180, *, random_state: int = 11, noise: float = 600.0
+) -> DataFrame:
+    """Generate the synthetic marketing-mix daily panel.
+
+    Parameters
+    ----------
+    n_days:
+        Number of daily observations (180 ≈ the paper's six months).
+    random_state:
+        Seed for reproducibility.
+    noise:
+        Standard deviation of the Gaussian noise added to daily sales.
+
+    Returns
+    -------
+    DataFrame
+        Columns: ``Day`` (1-based index), ``Day Of Week`` (0-6), one spend
+        column per channel, and the continuous KPI ``Sales``.
+    """
+    if n_days < 14:
+        raise ValueError("n_days must cover at least two weeks")
+    rng = np.random.default_rng(random_state)
+
+    day_index = np.arange(1, n_days + 1)
+    day_of_week = (day_index - 1) % 7
+
+    spend: dict[str, np.ndarray] = {}
+    for position, channel in enumerate(MARKETING_CHANNELS):
+        base = CHANNEL_DAILY_BUDGET[channel]
+        # spend drifts smoothly (campaign pacing) with day-to-day jitter; the
+        # phase offset is deterministic per channel so the panel is reproducible
+        phase = 2.0 * np.pi * position / len(MARKETING_CHANNELS)
+        drift = 1.0 + 0.25 * np.sin(2 * np.pi * day_index / 60.0 + phase)
+        jitter = rng.gamma(shape=8.0, scale=1.0 / 8.0, size=n_days)
+        spend[channel] = np.maximum(base * drift * jitter, 0.0)
+
+    sales = np.full(n_days, _BASELINE_SALES)
+    for channel in MARKETING_CHANNELS:
+        sales += CHANNEL_EFFECTIVENESS[channel] * np.sqrt(spend[channel])
+    sales *= 1.0 + _WEEKLY_AMPLITUDE * np.sin(2 * np.pi * day_of_week / 7.0)
+    sales += rng.normal(0.0, noise, size=n_days)
+    sales = np.maximum(sales, 0.0)
+
+    columns = [
+        Column("Day", day_index, dtype="int"),
+        Column("Day Of Week", day_of_week, dtype="int"),
+    ]
+    columns.extend(Column(channel, spend[channel], dtype="float") for channel in MARKETING_CHANNELS)
+    columns.append(Column(MARKETING_KPI, sales, dtype="float"))
+    return DataFrame(columns)

@@ -1,0 +1,124 @@
+"""Use-case registry (paper view (A): Use Case Selection).
+
+SystemD's UI starts by letting the user pick one of the three supported
+business use cases; picking one loads its dataset, preselects the KPI, and
+excludes textual columns from the driver list.  The registry captures that
+metadata so the session façade, the server handlers, and the spec executor
+all resolve use cases the same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..frame import DataFrame
+from .deals import DEAL_KPI, DEAL_TEXT_COLUMNS, load_deal_closing
+from .marketing import MARKETING_KPI, load_marketing_mix
+from .retention import RETENTION_KPI, RETENTION_TEXT_COLUMNS, load_customer_retention
+
+__all__ = ["UseCase", "USE_CASES", "get_use_case", "list_use_cases", "load_use_case"]
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """Metadata describing one of the supported business use cases.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier used by the server protocol and the spec grammar.
+    title:
+        Human-readable name shown in the use-case selection view.
+    description:
+        One-paragraph description of the business question.
+    kpi:
+        Default KPI column.
+    kpi_kind:
+        ``"continuous"`` or ``"discrete"``; decides the model family.
+    excluded_drivers:
+        Columns deselected by default in the driver list view (textual
+        identifiers and bookkeeping columns).
+    loader:
+        Zero-argument-friendly callable returning the dataset.
+    """
+
+    key: str
+    title: str
+    description: str
+    kpi: str
+    kpi_kind: str
+    excluded_drivers: tuple[str, ...] = ()
+    loader: Callable[..., DataFrame] = field(default=None, repr=False)
+
+    def load(self, **kwargs) -> DataFrame:
+        """Load the use case's dataset (kwargs forwarded to the generator)."""
+        return self.loader(**kwargs)
+
+
+USE_CASES: dict[str, UseCase] = {
+    "marketing_mix": UseCase(
+        key="marketing_mix",
+        title="Marketing Mix Modeling",
+        description=(
+            "Quantify the impact of investments in five media channels "
+            "(Internet, Facebook, YouTube, TV, Radio) on daily sales, and decide "
+            "which channel budgets to increase or decrease to maximize sales."
+        ),
+        kpi=MARKETING_KPI,
+        kpi_kind="continuous",
+        excluded_drivers=("Day", "Day Of Week"),
+        loader=load_marketing_mix,
+    ),
+    "customer_retention": UseCase(
+        key="customer_retention",
+        title="Customer Retention Analysis",
+        description=(
+            "Find the customer product activities and hypothesis formulas that "
+            "drive six-month retention, and plan interventions that maximize the "
+            "retained share."
+        ),
+        kpi=RETENTION_KPI,
+        kpi_kind="discrete",
+        excluded_drivers=RETENTION_TEXT_COLUMNS,
+        loader=load_customer_retention,
+    ),
+    "deal_closing": UseCase(
+        key="deal_closing",
+        title="Deal Closing Analysis",
+        description=(
+            "Relate prospect and sales-team activities (marketing emails opened, "
+            "calls, renewals, meetings, ...) to whether a deal closes, and find "
+            "the activity changes that raise the deal-closing rate."
+        ),
+        kpi=DEAL_KPI,
+        kpi_kind="discrete",
+        excluded_drivers=DEAL_TEXT_COLUMNS,
+        loader=load_deal_closing,
+    ),
+}
+
+
+def list_use_cases() -> list[UseCase]:
+    """All registered use cases, in registry order."""
+    return list(USE_CASES.values())
+
+
+def get_use_case(key: str) -> UseCase:
+    """Look up a use case by key.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid keys when ``key`` is unknown.
+    """
+    if key not in USE_CASES:
+        raise KeyError(
+            f"unknown use case {key!r}; available: {', '.join(sorted(USE_CASES))}"
+        )
+    return USE_CASES[key]
+
+
+def load_use_case(key: str, **kwargs) -> DataFrame:
+    """Convenience: look up and load a use case's dataset in one call."""
+    return get_use_case(key).load(**kwargs)

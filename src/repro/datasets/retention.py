@@ -1,0 +1,172 @@
+"""Synthetic customer-retention dataset (use case U2).
+
+The paper's U2 dataset is Sigma's multi-touch attribution table: one row per
+customer, columns for product activities ("using help chat, opening new
+document, adding a visualization"), *hypothesis formula* columns the product
+manager adds ("pivoting on data, performing join operation, using 3+ formulas
+in two weeks"), and a label for whether the customer was retained after six
+months.  The study also notes the product manager "explicitly asked us to
+remove an obvious predictor and perform the functionalities again".
+
+This generator plants that structure:
+
+* activity counts over the customer's first weeks;
+* derived boolean hypothesis-formula drivers computed from the raw counts;
+* one deliberately *obvious* predictor (``Weekly Active Days``) that nearly
+  determines the label, so the "remove the obvious predictor and re-run"
+  experiment (E7) has something to remove;
+* a retention label driven mostly by engagement depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Column, DataFrame
+
+__all__ = [
+    "RETENTION_KPI",
+    "RETENTION_ACTIVITY_DRIVERS",
+    "RETENTION_FORMULA_DRIVERS",
+    "RETENTION_OBVIOUS_DRIVER",
+    "RETENTION_TEXT_COLUMNS",
+    "load_customer_retention",
+]
+
+#: KPI column name (discrete / binary).
+RETENTION_KPI = "Retained After 6 Months"
+
+#: The near-deterministic driver the product manager asks to remove.
+RETENTION_OBVIOUS_DRIVER = "Weekly Active Days"
+
+#: Textual columns excluded from model training.
+RETENTION_TEXT_COLUMNS = ("Customer",)
+
+#: Raw activity-count drivers.
+RETENTION_ACTIVITY_DRIVERS = (
+    "Help Chats",
+    "Documents Created",
+    "Visualizations Added",
+    "Pivot Tables Used",
+    "Join Operations",
+    "Formulas Used",
+    "Demo Meetings Attended",
+    "Dashboards Shared",
+    "Support Tickets",
+    "Weekly Active Days",
+)
+
+#: Hypothesis-formula drivers derived from the raw activities.
+RETENTION_FORMULA_DRIVERS = (
+    "Used 3+ Formulas In First Two Weeks",
+    "Attended 2+ Demo Meetings",
+    "Shared A Dashboard",
+)
+
+_ACTIVITY_MEANS = {
+    "Help Chats": 2.0,
+    "Documents Created": 5.0,
+    "Visualizations Added": 4.0,
+    "Pivot Tables Used": 2.5,
+    "Join Operations": 1.8,
+    "Formulas Used": 6.0,
+    "Demo Meetings Attended": 1.2,
+    "Dashboards Shared": 1.0,
+    "Support Tickets": 1.5,
+}
+
+#: Weight of each driver in the latent retention score (support tickets hurt).
+_RETENTION_WEIGHTS = {
+    "Formulas Used": 0.40,
+    "Visualizations Added": 0.32,
+    "Documents Created": 0.28,
+    "Demo Meetings Attended": 0.26,
+    "Dashboards Shared": 0.22,
+    "Pivot Tables Used": 0.18,
+    "Join Operations": 0.15,
+    "Help Chats": 0.06,
+    "Support Tickets": -0.20,
+}
+
+_TARGET_RETENTION_RATE = 0.55
+
+
+def load_customer_retention(
+    n_customers: int = 1000,
+    *,
+    random_state: int = 23,
+    noise: float = 0.9,
+    include_formula_drivers: bool = True,
+) -> DataFrame:
+    """Generate the synthetic customer-retention dataset.
+
+    Parameters
+    ----------
+    n_customers:
+        Number of customer rows.
+    random_state:
+        Seed for reproducibility.
+    noise:
+        Scale of the Gaussian noise in the latent retention score.
+    include_formula_drivers:
+        Whether to add the derived hypothesis-formula boolean drivers.
+
+    Returns
+    -------
+    DataFrame
+        Columns: ``Customer`` (string), the activity counts, the derived
+        formula drivers (optional), and the boolean KPI.
+    """
+    if n_customers < 10:
+        raise ValueError("n_customers must be at least 10")
+    rng = np.random.default_rng(random_state)
+
+    counts = {
+        activity: rng.poisson(mean, size=n_customers).astype(np.int64)
+        for activity, mean in _ACTIVITY_MEANS.items()
+    }
+
+    score = np.zeros(n_customers)
+    for activity, weight in _RETENTION_WEIGHTS.items():
+        score += weight * counts[activity] / _ACTIVITY_MEANS[activity]
+    score += rng.normal(0.0, noise, size=n_customers)
+
+    threshold = np.quantile(score, 1.0 - _TARGET_RETENTION_RATE)
+    retained = score > threshold
+
+    # the "obvious" predictor: weekly active days correlate almost perfectly
+    # with the retention outcome (retained customers simply keep logging in)
+    active_days = np.where(
+        retained,
+        rng.integers(4, 8, size=n_customers),
+        rng.integers(0, 3, size=n_customers),
+    ).astype(np.int64)
+
+    columns = [
+        Column("Customer", [f"Customer-{i:05d}" for i in range(n_customers)], dtype="string")
+    ]
+    for activity in RETENTION_ACTIVITY_DRIVERS:
+        if activity == RETENTION_OBVIOUS_DRIVER:
+            columns.append(Column(activity, active_days, dtype="int"))
+        else:
+            columns.append(Column(activity, counts[activity], dtype="int"))
+    if include_formula_drivers:
+        columns.append(
+            Column(
+                "Used 3+ Formulas In First Two Weeks",
+                counts["Formulas Used"] >= 3,
+                dtype="bool",
+            )
+        )
+        columns.append(
+            Column(
+                "Attended 2+ Demo Meetings",
+                counts["Demo Meetings Attended"] >= 2,
+                dtype="bool",
+            )
+        )
+        columns.append(
+            Column("Shared A Dashboard", counts["Dashboards Shared"] >= 1, dtype="bool")
+        )
+    columns.append(Column(RETENTION_KPI, retained, dtype="bool"))
+    return DataFrame(columns)

@@ -1,0 +1,49 @@
+"""Columnar dataframe substrate (the pandas substitute under SystemD).
+
+Public surface:
+
+* :class:`~repro.frame.dataframe.DataFrame` — the table abstraction.
+* :class:`~repro.frame.column.Column` — typed immutable column vectors.
+* :func:`~repro.frame.expressions.add_formula_column` — hypothesis-formula drivers.
+* :func:`~repro.frame.io.read_csv` / :func:`~repro.frame.io.write_csv` — file I/O.
+"""
+
+from .column import Column, infer_dtype
+from .dataframe import DataFrame
+from .errors import (
+    ColumnNotFoundError,
+    DuplicateColumnError,
+    EmptyFrameError,
+    ExpressionError,
+    FrameError,
+    JoinError,
+    LengthMismatchError,
+    TypeMismatchError,
+)
+from .expressions import add_formula_column, evaluate_expression, validate_expression
+from .groupby import GroupBy
+from .io import read_csv, read_json_records, write_csv, write_json_records
+from .join import join_frames
+
+__all__ = [
+    "Column",
+    "DataFrame",
+    "GroupBy",
+    "ColumnNotFoundError",
+    "DuplicateColumnError",
+    "EmptyFrameError",
+    "ExpressionError",
+    "FrameError",
+    "JoinError",
+    "LengthMismatchError",
+    "TypeMismatchError",
+    "add_formula_column",
+    "evaluate_expression",
+    "validate_expression",
+    "infer_dtype",
+    "join_frames",
+    "read_csv",
+    "read_json_records",
+    "write_csv",
+    "write_json_records",
+]

@@ -1,0 +1,503 @@
+"""Typed column vectors for the dataframe substrate.
+
+A :class:`Column` wraps a one-dimensional :class:`numpy.ndarray` together with a
+name and a logical dtype.  The logical dtype is deliberately small — SystemD
+only needs numeric drivers/KPIs, boolean labels, and string (categorical)
+attributes such as account names that get excluded from model training — and is
+one of:
+
+``"float"``
+    continuous numeric data (investments, sales, rates).
+``"int"``
+    integer counts (number of chats, meetings, emails opened).
+``"bool"``
+    binary labels (deal closed?, retained after six months?).
+``"string"``
+    free-text / categorical identifiers (account names, regions).
+
+Columns are immutable value objects: every transforming method returns a new
+``Column``.  This keeps what-if perturbations side-effect free, which is what
+lets the sensitivity engine compare "original" and "perturbed" KPI values
+without defensive copying at every call site.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any, Callable
+
+import numpy as np
+
+from .errors import TypeMismatchError
+
+__all__ = ["Column", "infer_dtype", "LOGICAL_DTYPES"]
+
+#: Logical dtypes understood by the frame layer.
+LOGICAL_DTYPES = ("float", "int", "bool", "string")
+
+_NUMPY_DTYPES = {
+    "float": np.float64,
+    "int": np.int64,
+    "bool": np.bool_,
+    "string": object,
+}
+
+
+def infer_dtype(values: Iterable[Any]) -> str:
+    """Infer the logical dtype of ``values``.
+
+    The inference is conservative: booleans win over ints (``True`` is an
+    ``int`` subclass in Python), any float promotes the column to ``"float"``,
+    and any non-numeric value makes the column ``"string"``.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of Python scalars (or a numpy array).
+
+    Returns
+    -------
+    str
+        One of :data:`LOGICAL_DTYPES`.
+    """
+    values = list(values)
+    if not values:
+        return "float"
+    if isinstance(values, np.ndarray):  # pragma: no cover - defensive
+        values = values.tolist()
+    saw_float = False
+    saw_int = False
+    saw_bool = False
+    for value in values:
+        if isinstance(value, (bool, np.bool_)):
+            saw_bool = True
+        elif isinstance(value, (int, np.integer)):
+            saw_int = True
+        elif isinstance(value, (float, np.floating)):
+            if not np.isnan(value):
+                saw_float = True
+            else:
+                saw_float = True
+        elif value is None:
+            saw_float = True
+        else:
+            return "string"
+    if saw_float:
+        return "float"
+    if saw_int:
+        return "int"
+    if saw_bool:
+        return "bool"
+    return "float"
+
+
+def _coerce(values: Sequence[Any] | np.ndarray, dtype: str) -> np.ndarray:
+    """Coerce ``values`` into a numpy array matching the logical ``dtype``."""
+    if dtype not in _NUMPY_DTYPES:
+        raise TypeMismatchError(
+            f"unknown logical dtype {dtype!r}; expected one of {LOGICAL_DTYPES}"
+        )
+    if dtype == "string":
+        array = np.array([None if v is None else str(v) for v in values], dtype=object)
+    else:
+        array = np.asarray(values, dtype=_NUMPY_DTYPES[dtype])
+    if array.ndim != 1:
+        raise TypeMismatchError(
+            f"columns must be one-dimensional, got shape {array.shape}"
+        )
+    return array
+
+
+class Column:
+    """A named, typed, immutable vector of values.
+
+    Parameters
+    ----------
+    name:
+        Column name as shown in the table view.
+    values:
+        The data.  Accepts lists, tuples, or numpy arrays.
+    dtype:
+        Logical dtype; inferred from the values when omitted.
+    """
+
+    __slots__ = ("_name", "_values", "_dtype")
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence[Any] | np.ndarray,
+        dtype: str | None = None,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypeMismatchError("column name must be a non-empty string")
+        if isinstance(values, np.ndarray) and values.ndim != 1:
+            raise TypeMismatchError(
+                f"columns must be one-dimensional, got shape {values.shape}"
+            )
+        if dtype is None:
+            dtype = infer_dtype(values)
+        self._name = name
+        self._dtype = dtype
+        self._values = _coerce(values, dtype)
+        self._values.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Column name."""
+        return self._name
+
+    @property
+    def dtype(self) -> str:
+        """Logical dtype (one of :data:`LOGICAL_DTYPES`)."""
+        return self._dtype
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying (read-only) numpy array."""
+        return self._values
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the column can participate in model training directly."""
+        return self._dtype in ("float", "int", "bool")
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __iter__(self):
+        return iter(self._values.tolist())
+
+    def __getitem__(self, index):
+        result = self._values[index]
+        if np.isscalar(result) or result is None or isinstance(result, str):
+            return self._to_python_scalar(result)
+        if isinstance(result, np.ndarray) and result.ndim == 0:
+            return self._to_python_scalar(result[()])
+        return Column(self._name, result, dtype=self._dtype)
+
+    def _to_python_scalar(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if self._dtype == "bool":
+            return bool(value)
+        if self._dtype == "int":
+            return int(value)
+        if self._dtype == "float":
+            return float(value)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(v) for v in self._values[:5].tolist())
+        suffix = ", ..." if len(self) > 5 else ""
+        return f"Column({self._name!r}, dtype={self._dtype}, [{preview}{suffix}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self._name != other._name or self._dtype != other._dtype:
+            return False
+        if len(self) != len(other):
+            return False
+        if self._dtype == "string":
+            return bool(np.array_equal(self._values, other._values))
+        return bool(
+            np.array_equal(self._values, other._values, equal_nan=self._dtype == "float")
+        )
+
+    def __hash__(self) -> int:  # columns are value objects but arrays are unhashable
+        return hash((self._name, self._dtype, len(self)))
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def rename(self, name: str) -> "Column":
+        """Return a copy of the column under a new name."""
+        return Column(name, self._values, dtype=self._dtype)
+
+    def astype(self, dtype: str) -> "Column":
+        """Return a copy cast to another logical dtype.
+
+        Casting a ``string`` column to a numeric dtype parses each entry with
+        ``float``/``int`` and raises :class:`TypeMismatchError` when parsing
+        fails, so bad CSV input surfaces immediately rather than as NaNs deep
+        inside a model fit.
+        """
+        if dtype == self._dtype:
+            return self
+        if dtype == "string":
+            return Column(self._name, [str(v) for v in self._values], dtype="string")
+        if self._dtype == "string":
+            converted = []
+            for value in self._values:
+                try:
+                    if dtype == "bool":
+                        converted.append(_parse_bool(value))
+                    elif dtype == "int":
+                        converted.append(int(float(value)))
+                    else:
+                        converted.append(float(value))
+                except (TypeError, ValueError) as exc:
+                    raise TypeMismatchError(
+                        f"cannot cast value {value!r} in column {self._name!r} to {dtype}"
+                    ) from exc
+            return Column(self._name, converted, dtype=dtype)
+        return Column(self._name, self._values.astype(_NUMPY_DTYPES[dtype]), dtype=dtype)
+
+    def to_numeric(self) -> np.ndarray:
+        """Return the values as ``float64``, for model training.
+
+        Raises
+        ------
+        TypeMismatchError
+            If the column is a string column.
+        """
+        if not self.is_numeric:
+            raise TypeMismatchError(
+                f"column {self._name!r} has dtype 'string' and cannot be used numerically"
+            )
+        return self._values.astype(np.float64)
+
+    def copy(self) -> "Column":
+        """Return a copy (cheap; data is shared copy-on-write via immutability)."""
+        return Column(self._name, self._values.copy(), dtype=self._dtype)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def map(self, func: Callable[[Any], Any], dtype: str | None = None) -> "Column":
+        """Apply ``func`` to every element and return a new column."""
+        mapped = [func(v) for v in self]
+        return Column(self._name, mapped, dtype=dtype)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
+        """Return the column restricted to ``indices`` (in the given order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Column(self._name, self._values[indices], dtype=self._dtype)
+
+    def mask(self, predicate: np.ndarray) -> "Column":
+        """Return the column filtered by a boolean ``predicate`` array."""
+        predicate = np.asarray(predicate, dtype=bool)
+        return Column(self._name, self._values[predicate], dtype=self._dtype)
+
+    def with_value_at(self, index: int, value: Any) -> "Column":
+        """Return a copy with position ``index`` replaced by ``value``."""
+        data = self._values.copy()
+        data[index] = value
+        return Column(self._name, data, dtype=self._dtype)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def _require_numeric(self, operation: str) -> np.ndarray:
+        if not self.is_numeric:
+            raise TypeMismatchError(
+                f"{operation} requires a numeric column, but {self._name!r} is string-typed"
+            )
+        return self._values.astype(np.float64)
+
+    def sum(self) -> float:
+        """Sum of the values (numeric columns only)."""
+        return float(np.nansum(self._require_numeric("sum")))
+
+    def mean(self) -> float:
+        """Arithmetic mean, ignoring NaN."""
+        return float(np.nanmean(self._require_numeric("mean")))
+
+    def std(self, ddof: int = 1) -> float:
+        """Standard deviation, ignoring NaN."""
+        return float(np.nanstd(self._require_numeric("std"), ddof=ddof))
+
+    def min(self) -> float:
+        """Minimum value, ignoring NaN."""
+        return float(np.nanmin(self._require_numeric("min")))
+
+    def max(self) -> float:
+        """Maximum value, ignoring NaN."""
+        return float(np.nanmax(self._require_numeric("max")))
+
+    def median(self) -> float:
+        """Median, ignoring NaN."""
+        return float(np.nanmedian(self._require_numeric("median")))
+
+    def quantile(self, q: float) -> float:
+        """``q``-quantile (0 <= q <= 1), ignoring NaN."""
+        return float(np.nanquantile(self._require_numeric("quantile"), q))
+
+    def nunique(self) -> int:
+        """Number of distinct values (NaN counts once)."""
+        if self._dtype == "string":
+            return len({v for v in self._values})
+        values = self._values.astype(np.float64)
+        finite = values[~np.isnan(values)]
+        count = len(np.unique(finite))
+        if np.isnan(values).any():
+            count += 1
+        return count
+
+    def unique(self) -> list[Any]:
+        """Distinct values in first-appearance order."""
+        seen: dict[Any, None] = {}
+        for value in self:
+            if value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def value_counts(self) -> dict[Any, int]:
+        """Mapping of value -> number of occurrences, ordered by count descending."""
+        counts: dict[Any, int] = {}
+        for value in self:
+            counts[value] = counts.get(value, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: (-item[1], str(item[0]))))
+
+    def isna(self) -> np.ndarray:
+        """Boolean mask of missing entries (NaN for numeric, None for string)."""
+        if self._dtype == "string":
+            return np.array([v is None for v in self._values], dtype=bool)
+        if self._dtype == "float":
+            return np.isnan(self._values)
+        return np.zeros(len(self), dtype=bool)
+
+    def fillna(self, value: Any) -> "Column":
+        """Return a copy with missing entries replaced by ``value``."""
+        mask = self.isna()
+        if not mask.any():
+            return self
+        data = self._values.copy()
+        data[mask] = value
+        return Column(self._name, data, dtype=self._dtype)
+
+    def describe(self) -> dict[str, float | int | str]:
+        """Summary statistics used by the table view."""
+        summary: dict[str, float | int | str] = {
+            "name": self._name,
+            "dtype": self._dtype,
+            "count": len(self),
+            "n_missing": int(self.isna().sum()),
+            "n_unique": self.nunique(),
+        }
+        if self.is_numeric and len(self) > 0:
+            summary.update(
+                mean=self.mean(),
+                std=self.std() if len(self) > 1 else 0.0,
+                min=self.min(),
+                max=self.max(),
+                median=self.median(),
+            )
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # comparisons (return boolean masks for DataFrame.filter)
+    # ------------------------------------------------------------------ #
+    def _comparison_operand(self, other: Any) -> Any:
+        if isinstance(other, Column):
+            return other.values
+        return other
+
+    def eq(self, other: Any) -> np.ndarray:
+        """Element-wise equality mask."""
+        return np.asarray(self._values == self._comparison_operand(other), dtype=bool)
+
+    def ne(self, other: Any) -> np.ndarray:
+        """Element-wise inequality mask."""
+        return ~self.eq(other)
+
+    def gt(self, other: Any) -> np.ndarray:
+        """Element-wise ``>`` mask (numeric only)."""
+        return np.asarray(
+            self._require_numeric(">") > self._comparison_operand(other), dtype=bool
+        )
+
+    def ge(self, other: Any) -> np.ndarray:
+        """Element-wise ``>=`` mask (numeric only)."""
+        return np.asarray(
+            self._require_numeric(">=") >= self._comparison_operand(other), dtype=bool
+        )
+
+    def lt(self, other: Any) -> np.ndarray:
+        """Element-wise ``<`` mask (numeric only)."""
+        return np.asarray(
+            self._require_numeric("<") < self._comparison_operand(other), dtype=bool
+        )
+
+    def le(self, other: Any) -> np.ndarray:
+        """Element-wise ``<=`` mask (numeric only)."""
+        return np.asarray(
+            self._require_numeric("<=") <= self._comparison_operand(other), dtype=bool
+        )
+
+    def isin(self, values: Iterable[Any]) -> np.ndarray:
+        """Membership mask."""
+        allowed = set(values)
+        return np.array([v in allowed for v in self], dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic (used by perturbations and hypothesis formulas)
+    # ------------------------------------------------------------------ #
+    def _binary(self, other: Any, op: Callable[[np.ndarray, Any], np.ndarray]) -> "Column":
+        left = self._require_numeric("arithmetic")
+        if isinstance(other, Column):
+            right = other._require_numeric("arithmetic")
+        else:
+            right = other
+        return Column(self._name, op(left, right), dtype="float")
+
+    def add(self, other: Any) -> "Column":
+        """Element-wise addition; returns a float column."""
+        return self._binary(other, np.add)
+
+    def sub(self, other: Any) -> "Column":
+        """Element-wise subtraction; returns a float column."""
+        return self._binary(other, np.subtract)
+
+    def mul(self, other: Any) -> "Column":
+        """Element-wise multiplication; returns a float column."""
+        return self._binary(other, np.multiply)
+
+    def div(self, other: Any) -> "Column":
+        """Element-wise division; returns a float column."""
+        return self._binary(other, np.divide)
+
+    def clip(self, lower: float | None = None, upper: float | None = None) -> "Column":
+        """Clip numeric values into ``[lower, upper]``."""
+        values = self._require_numeric("clip")
+        return Column(self._name, np.clip(values, lower, upper), dtype="float")
+
+    def scale(self, factor: float) -> "Column":
+        """Multiply every value by ``factor`` (percentage perturbations)."""
+        return self.mul(factor)
+
+    def shift_by(self, delta: float) -> "Column":
+        """Add ``delta`` to every value (absolute perturbations)."""
+        return self.add(delta)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def tolist(self) -> list[Any]:
+        """Return the values as a plain Python list of native scalars."""
+        return [self._to_python_scalar(v) for v in self._values]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation used by the server layer."""
+        return {"name": self._name, "dtype": self._dtype, "values": self.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Column":
+        """Reconstruct a column from :meth:`to_dict` output."""
+        return cls(payload["name"], payload["values"], dtype=payload.get("dtype"))
+
+
+def _parse_bool(value: Any) -> bool:
+    """Parse common textual encodings of booleans found in CSV exports."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    text = str(value).strip().lower()
+    if text in ("true", "t", "yes", "y", "1", "1.0"):
+        return True
+    if text in ("false", "f", "no", "n", "0", "0.0"):
+        return False
+    raise ValueError(f"cannot interpret {value!r} as a boolean")

@@ -1,0 +1,67 @@
+"""Exceptions raised by the :mod:`repro.frame` dataframe substrate.
+
+The frame layer is the relational surface every SystemD functionality sits on,
+so its errors form a small, explicit hierarchy that calling code (the what-if
+engine, the server handlers, the spec executor) can catch precisely instead of
+trapping bare ``ValueError``.
+"""
+
+from __future__ import annotations
+
+
+class FrameError(Exception):
+    """Base class for all dataframe-related errors."""
+
+
+class ColumnNotFoundError(FrameError, KeyError):
+    """A referenced column name does not exist in the frame.
+
+    Carries the missing name and the set of available names so error messages
+    surfaced to business users (through the server layer) can suggest what is
+    actually available.
+    """
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):  # noqa: D107
+        self.name = name
+        self.available = tuple(available)
+        message = f"column {name!r} not found"
+        if self.available:
+            message += f"; available columns: {', '.join(self.available)}"
+        super().__init__(message)
+
+
+class DuplicateColumnError(FrameError):
+    """Two columns with the same name were supplied to a frame constructor."""
+
+    def __init__(self, name: str):  # noqa: D107
+        self.name = name
+        super().__init__(f"duplicate column name {name!r}")
+
+
+class LengthMismatchError(FrameError):
+    """Column lengths disagree when building or mutating a frame."""
+
+    def __init__(self, expected: int, got: int, name: str | None = None):  # noqa: D107
+        self.expected = expected
+        self.got = got
+        self.name = name
+        where = f" for column {name!r}" if name is not None else ""
+        super().__init__(
+            f"length mismatch{where}: expected {expected} rows, got {got}"
+        )
+
+
+class TypeMismatchError(FrameError):
+    """An operation was applied to a column whose dtype does not support it."""
+
+
+class EmptyFrameError(FrameError):
+    """An operation that requires at least one row/column received an empty frame."""
+
+
+class ExpressionError(FrameError):
+    """A hypothesis-formula expression failed to parse or evaluate."""
+
+
+class JoinError(FrameError):
+    """A join could not be performed (missing keys, incompatible key types)."""

@@ -1,0 +1,246 @@
+"""Hypothesis-formula expressions over dataframe columns.
+
+Section 3 of the paper (customer-retention use case) describes business users
+adding *hypothesis formulas* as extra drivers — e.g. "customer used 3+ formulas
+in the first two weeks" or "attended 2+ demo meetings" — and the feedback
+section asks for integration with a worksheet so users can add calculated
+columns.  This module provides that calculation surface: a small, safe
+expression language evaluated column-wise against a frame.
+
+The grammar is a restricted subset of Python expressions parsed with
+:mod:`ast`: column names are bare identifiers or backtick-quoted names (for
+columns containing spaces, e.g. ```Visualizations Added` >= 5``), literals are
+numbers/strings/booleans, and the allowed operators are arithmetic
+(``+ - * /``), comparisons (``== != < <= > >=``), boolean combinators
+(``and``, ``or``, ``not``), and a few whitelisted functions (``abs``, ``min``,
+``max``, ``log``, ``exp``, ``where``).  Nothing else parses, so specs coming
+over the wire from the client cannot execute arbitrary code.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from typing import Any, Callable
+
+import numpy as np
+
+from .column import Column
+from .dataframe import DataFrame
+from .errors import ColumnNotFoundError, ExpressionError
+
+__all__ = ["evaluate_expression", "add_formula_column", "validate_expression"]
+
+_ALLOWED_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": np.abs,
+    "min": np.minimum,
+    "max": np.maximum,
+    "log": np.log,
+    "log1p": np.log1p,
+    "exp": np.exp,
+    "sqrt": np.sqrt,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "where": np.where,
+    "clip": np.clip,
+}
+
+_ALLOWED_CONSTANTS = {"pi": math.pi, "e": math.e, "True": True, "False": False}
+
+_BACKTICK_PATTERN = re.compile(r"`([^`]+)`")
+
+
+def _extract_backticks(expression: str) -> tuple[str, dict[str, str]]:
+    """Replace backtick-quoted column names with synthetic identifiers.
+
+    Returns the rewritten expression and the ``identifier -> column name``
+    mapping the evaluator uses to resolve them.
+    """
+    aliases: dict[str, str] = {}
+
+    def substitute(match: re.Match) -> str:
+        column_name = match.group(1)
+        alias = f"__col{len(aliases)}__"
+        aliases[alias] = column_name
+        return alias
+
+    return _BACKTICK_PATTERN.sub(substitute, expression), aliases
+
+
+class _Evaluator(ast.NodeVisitor):
+    """Evaluate a parsed expression tree against a frame's columns."""
+
+    def __init__(self, frame: DataFrame, aliases: dict[str, str] | None = None) -> None:
+        self._frame = frame
+        self._aliases = aliases or {}
+
+    def evaluate(self, node: ast.AST) -> Any:
+        return self.visit(node)
+
+    # -- leaves ---------------------------------------------------------- #
+    def visit_Expression(self, node: ast.Expression) -> Any:  # noqa: N802
+        return self.visit(node.body)
+
+    def visit_Constant(self, node: ast.Constant) -> Any:  # noqa: N802
+        if isinstance(node.value, (int, float, bool, str)) or node.value is None:
+            return node.value
+        raise ExpressionError(f"unsupported literal {node.value!r}")
+
+    def visit_Name(self, node: ast.Name) -> Any:  # noqa: N802
+        if node.id in _ALLOWED_CONSTANTS:
+            return _ALLOWED_CONSTANTS[node.id]
+        column_name = self._aliases.get(node.id, node.id)
+        try:
+            column = self._frame.column(column_name)
+        except ColumnNotFoundError as exc:
+            raise ExpressionError(str(exc)) from exc
+        if column.is_numeric:
+            return column.to_numeric()
+        return np.array(column.tolist(), dtype=object)
+
+    # -- operators ------------------------------------------------------- #
+    def visit_BinOp(self, node: ast.BinOp) -> Any:  # noqa: N802
+        left = self.visit(node.left)
+        right = self.visit(node.right)
+        operations = {
+            ast.Add: np.add,
+            ast.Sub: np.subtract,
+            ast.Mult: np.multiply,
+            ast.Div: np.divide,
+            ast.Pow: np.power,
+            ast.Mod: np.mod,
+        }
+        op_type = type(node.op)
+        if op_type not in operations:
+            raise ExpressionError(f"operator {op_type.__name__} is not allowed")
+        try:
+            return operations[op_type](left, right)
+        except TypeError as exc:
+            raise ExpressionError(f"invalid operands for {op_type.__name__}: {exc}") from exc
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> Any:  # noqa: N802
+        operand = self.visit(node.operand)
+        if isinstance(node.op, ast.USub):
+            return np.negative(operand)
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Not):
+            return np.logical_not(operand)
+        raise ExpressionError(f"unary operator {type(node.op).__name__} is not allowed")
+
+    def visit_Compare(self, node: ast.Compare) -> Any:  # noqa: N802
+        if len(node.ops) != 1 or len(node.comparators) != 1:
+            raise ExpressionError("chained comparisons are not supported")
+        left = self.visit(node.left)
+        right = self.visit(node.comparators[0])
+        comparisons = {
+            ast.Eq: lambda a, b: a == b,
+            ast.NotEq: lambda a, b: a != b,
+            ast.Lt: lambda a, b: a < b,
+            ast.LtE: lambda a, b: a <= b,
+            ast.Gt: lambda a, b: a > b,
+            ast.GtE: lambda a, b: a >= b,
+        }
+        op_type = type(node.ops[0])
+        if op_type not in comparisons:
+            raise ExpressionError(f"comparison {op_type.__name__} is not allowed")
+        return comparisons[op_type](left, right)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> Any:  # noqa: N802
+        values = [np.asarray(self.visit(value), dtype=bool) for value in node.values]
+        combined = values[0]
+        for value in values[1:]:
+            if isinstance(node.op, ast.And):
+                combined = np.logical_and(combined, value)
+            else:
+                combined = np.logical_or(combined, value)
+        return combined
+
+    def visit_Call(self, node: ast.Call) -> Any:  # noqa: N802
+        if not isinstance(node.func, ast.Name):
+            raise ExpressionError("only simple function calls are allowed")
+        name = node.func.id
+        if name not in _ALLOWED_FUNCTIONS:
+            raise ExpressionError(
+                f"function {name!r} is not allowed; allowed: {sorted(_ALLOWED_FUNCTIONS)}"
+            )
+        if node.keywords:
+            raise ExpressionError("keyword arguments are not supported in formulas")
+        args = [self.visit(arg) for arg in node.args]
+        return _ALLOWED_FUNCTIONS[name](*args)
+
+    def generic_visit(self, node: ast.AST) -> Any:
+        raise ExpressionError(f"syntax element {type(node).__name__} is not allowed")
+
+
+def validate_expression(expression: str) -> tuple[ast.Expression, dict[str, str]]:
+    """Parse ``expression`` and check it only uses the allowed grammar.
+
+    Returns the parsed tree plus the backtick alias mapping so callers can
+    evaluate it later without re-parsing.  Raises :class:`ExpressionError` for
+    anything outside the whitelisted grammar (attribute access, subscripts,
+    lambdas, ...).
+    """
+    rewritten, aliases = _extract_backticks(expression)
+    try:
+        tree = ast.parse(rewritten, mode="eval")
+    except SyntaxError as exc:
+        raise ExpressionError(f"could not parse formula {expression!r}: {exc}") from exc
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (
+                ast.Attribute,
+                ast.Subscript,
+                ast.Lambda,
+                ast.ListComp,
+                ast.SetComp,
+                ast.DictComp,
+                ast.GeneratorExp,
+                ast.Await,
+                ast.Yield,
+                ast.Starred,
+                ast.FormattedValue,
+                ast.JoinedStr,
+            ),
+        ):
+            raise ExpressionError(
+                f"syntax element {type(node).__name__} is not allowed in formulas"
+            )
+    return tree, aliases
+
+
+def evaluate_expression(frame: DataFrame, expression: str) -> np.ndarray:
+    """Evaluate ``expression`` against ``frame`` and return a vector.
+
+    Scalars broadcast to the frame length so ``"Sales * 0"`` and plain ``"1"``
+    both yield full-length vectors.
+    """
+    tree, aliases = validate_expression(expression)
+    result = _Evaluator(frame, aliases).evaluate(tree)
+    if np.isscalar(result) or isinstance(result, (bool, int, float, str)):
+        result = np.full(frame.n_rows, result)
+    result = np.asarray(result)
+    if result.shape[0] != frame.n_rows:
+        raise ExpressionError(
+            f"formula produced {result.shape[0]} values for {frame.n_rows} rows"
+        )
+    return result
+
+
+def add_formula_column(frame: DataFrame, name: str, expression: str) -> DataFrame:
+    """Return ``frame`` with a derived column ``name`` computed from ``expression``.
+
+    Boolean results (e.g. ``"Formulas_Used >= 3"``) are stored as ``bool``
+    columns so they behave as binary drivers in model training, matching how
+    the paper's product manager encodes hypothesis formulas.
+    """
+    values = evaluate_expression(frame, expression)
+    if values.dtype == bool:
+        column = Column(name, values.astype(bool), dtype="bool")
+    elif values.dtype.kind in "if":
+        column = Column(name, values.astype(np.float64), dtype="float")
+    else:
+        column = Column(name, [str(v) for v in values], dtype="string")
+    return frame.with_column(column)

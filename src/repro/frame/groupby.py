@@ -1,0 +1,141 @@
+"""Group-by support for the dataframe substrate.
+
+Slicing and dicing — "retention per customer cohort", "sales per media channel
+per month" — is exactly the exploratory workload the paper says business users
+currently perform by hand.  The what-if engine itself only needs whole-table
+model training, but the server layer and the spec executor expose group-by so
+that analyses can be run per cohort, so we implement the standard split-apply-
+combine here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any, Iterator
+
+import numpy as np
+
+from .column import Column
+from .dataframe import DataFrame
+from .errors import TypeMismatchError
+
+__all__ = ["GroupBy"]
+
+_REDUCERS = {
+    "sum": np.nansum,
+    "mean": np.nanmean,
+    "min": np.nanmin,
+    "max": np.nanmax,
+    "median": np.nanmedian,
+    "std": lambda v: np.nanstd(v, ddof=1) if len(v) > 1 else 0.0,
+    "count": len,
+    "nunique": lambda v: len(np.unique(v[~np.isnan(v)])) if len(v) else 0,
+}
+
+
+class GroupBy:
+    """Lazily grouped view of a :class:`~repro.frame.dataframe.DataFrame`.
+
+    Parameters
+    ----------
+    frame:
+        Source frame.
+    keys:
+        Names of the key columns to group on.
+    """
+
+    def __init__(self, frame: DataFrame, keys: Sequence[str]) -> None:
+        self._frame = frame
+        self._keys = list(keys)
+        for key in self._keys:
+            frame.column(key)  # raises ColumnNotFoundError early
+        self._groups = self._build_groups()
+
+    def _build_groups(self) -> dict[tuple[Any, ...], list[int]]:
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        key_columns = [self._frame.column(key) for key in self._keys]
+        for index in range(self._frame.n_rows):
+            key = tuple(column[index] for column in key_columns)
+            groups.setdefault(key, []).append(index)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    @property
+    def keys(self) -> list[str]:
+        """The grouping column names."""
+        return list(self._keys)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct key combinations."""
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[tuple[tuple[Any, ...], DataFrame]]:
+        for key, indices in self._groups.items():
+            yield key, self._frame.take(indices)
+
+    def groups(self) -> dict[tuple[Any, ...], list[int]]:
+        """Mapping of group key to row indices."""
+        return {key: list(indices) for key, indices in self._groups.items()}
+
+    def get_group(self, key: tuple[Any, ...] | Any) -> DataFrame:
+        """Return the sub-frame for one group key."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        if key not in self._groups:
+            raise KeyError(f"group {key!r} not found")
+        return self._frame.take(self._groups[key])
+
+    def size(self) -> DataFrame:
+        """Group sizes as a frame with the key columns plus ``"size"``."""
+        rows = []
+        for key, indices in self._groups.items():
+            row = dict(zip(self._keys, key))
+            row["size"] = len(indices)
+            rows.append(row)
+        return DataFrame.from_records(rows)
+
+    def agg(self, aggregations: Mapping[str, str]) -> DataFrame:
+        """Aggregate each group.
+
+        ``aggregations`` maps value-column name to a reducer name (``sum``,
+        ``mean``, ``min``, ``max``, ``median``, ``std``, ``count``,
+        ``nunique``).  The result has one row per group, with the key columns
+        followed by columns named ``"<column>_<reducer>"``.
+        """
+        for column, how in aggregations.items():
+            if how not in _REDUCERS:
+                raise TypeMismatchError(
+                    f"unknown aggregation {how!r}; expected one of {sorted(_REDUCERS)}"
+                )
+            self._frame.column(column)
+        rows = []
+        for key, indices in self._groups.items():
+            row: dict[str, Any] = dict(zip(self._keys, key))
+            subframe = self._frame.take(indices)
+            for column, how in aggregations.items():
+                values = subframe.column(column)
+                if how == "count":
+                    row[f"{column}_{how}"] = float(len(values))
+                elif how == "nunique":
+                    row[f"{column}_{how}"] = float(values.nunique())
+                else:
+                    row[f"{column}_{how}"] = float(
+                        _REDUCERS[how](values.to_numeric())
+                    )
+            rows.append(row)
+        return DataFrame.from_records(rows)
+
+    def apply(self, func) -> dict[tuple[Any, ...], Any]:
+        """Apply ``func`` to every group's sub-frame; return key -> result."""
+        return {key: func(self._frame.take(indices)) for key, indices in self._groups.items()}
+
+    def mean(self, columns: Sequence[str] | None = None) -> DataFrame:
+        """Convenience: per-group mean of ``columns`` (default: numeric non-keys)."""
+        if columns is None:
+            columns = [
+                name
+                for name in self._frame.numeric_columns()
+                if name not in self._keys
+            ]
+        return self.agg({name: "mean" for name in columns})

@@ -1,0 +1,107 @@
+"""CSV and JSON-records I/O for the dataframe substrate.
+
+SystemD's backend loads use-case datasets from files or a warehouse export and
+ships them to the client as JSON.  These readers/writers cover both ends:
+CSV for on-disk datasets and JSON records for the wire protocol.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from .column import Column, infer_dtype
+from .dataframe import DataFrame
+from .errors import FrameError
+
+__all__ = ["read_csv", "write_csv", "read_json_records", "write_json_records"]
+
+
+def _parse_cell(text: str) -> Any:
+    """Parse a CSV cell into the most specific Python scalar."""
+    stripped = text.strip()
+    if stripped == "":
+        return None
+    lowered = stripped.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        as_int = int(stripped)
+        return as_int
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return stripped
+
+
+def read_csv(path: str | Path, *, delimiter: str = ",") -> DataFrame:
+    """Read a CSV file with a header row into a :class:`DataFrame`.
+
+    Cell dtypes are inferred per column (bool, int, float, then string); empty
+    cells become missing values.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FrameError(f"CSV file not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise FrameError(f"CSV file {path} is empty") from None
+        rows = [row for row in reader if row]
+    columns = {}
+    for j, name in enumerate(header):
+        raw = [_parse_cell(row[j]) if j < len(row) else None for row in rows]
+        non_missing = [v for v in raw if v is not None]
+        dtype = infer_dtype(non_missing) if non_missing else "float"
+        if dtype in ("int", "bool") and any(v is None for v in raw):
+            dtype = "float"
+        if dtype != "string":
+            raw = [float("nan") if v is None else v for v in raw]
+        columns[name.strip()] = Column(name.strip(), raw, dtype=dtype)
+    return DataFrame(columns)
+
+
+def write_csv(frame: DataFrame, path: str | Path, *, delimiter: str = ",") -> None:
+    """Write ``frame`` to a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(frame.columns)
+        for _, row in frame.iterrows():
+            writer.writerow(["" if _is_missing(v) else v for v in row.values()])
+
+
+def _is_missing(value: Any) -> bool:
+    if value is None:
+        return True
+    return isinstance(value, float) and value != value  # NaN check
+
+
+def read_json_records(path: str | Path) -> DataFrame:
+    """Read a JSON file containing a list of row objects."""
+    path = Path(path)
+    if not path.exists():
+        raise FrameError(f"JSON file not found: {path}")
+    with path.open() as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, list):
+        raise FrameError("JSON records file must contain a top-level list of objects")
+    return DataFrame.from_records(payload)
+
+
+def write_json_records(frame: DataFrame, path: str | Path, *, indent: int | None = None) -> None:
+    """Write ``frame`` as a JSON list of row objects."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = []
+    for _, row in frame.iterrows():
+        records.append({k: (None if _is_missing(v) else v) for k, v in row.items()})
+    with path.open("w") as handle:
+        json.dump(records, handle, indent=indent)

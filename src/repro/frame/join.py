@@ -1,0 +1,98 @@
+"""Joins for the dataframe substrate.
+
+Business datasets in the paper's use cases come from several operational
+systems (CRM activity logs, marketing spend, support interactions).  The
+backend needs to combine them before driver/KPI analysis, so the frame layer
+supports hash joins on one or more key columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from .dataframe import DataFrame
+from .errors import JoinError
+
+__all__ = ["join_frames"]
+
+_SUPPORTED = ("inner", "left")
+
+
+def join_frames(
+    left: DataFrame,
+    right: DataFrame,
+    on: Sequence[str],
+    *,
+    how: str = "inner",
+    suffix: str = "_right",
+) -> DataFrame:
+    """Hash-join two frames on the key columns ``on``.
+
+    Parameters
+    ----------
+    left, right:
+        The frames to join.
+    on:
+        Key column names; must exist in both frames.
+    how:
+        ``"inner"`` (only matching keys) or ``"left"`` (all left rows; right
+        values missing where no match).
+    suffix:
+        Appended to right-hand column names that collide with left-hand ones.
+
+    Returns
+    -------
+    DataFrame
+        The joined frame: all left columns, then right non-key columns.
+
+    Raises
+    ------
+    JoinError
+        If ``how`` is unsupported or a key column is missing from either side.
+    """
+    keys = list(on)
+    if how not in _SUPPORTED:
+        raise JoinError(f"unsupported join type {how!r}; expected one of {_SUPPORTED}")
+    if not keys:
+        raise JoinError("at least one join key is required")
+    for key in keys:
+        if not left.has_column(key):
+            raise JoinError(f"join key {key!r} missing from left frame")
+        if not right.has_column(key):
+            raise JoinError(f"join key {key!r} missing from right frame")
+
+    right_index: dict[tuple[Any, ...], list[int]] = {}
+    right_key_columns = [right.column(key) for key in keys]
+    for index in range(right.n_rows):
+        key = tuple(column[index] for column in right_key_columns)
+        right_index.setdefault(key, []).append(index)
+
+    right_value_names = [name for name in right.columns if name not in keys]
+    renamed = {
+        name: (name + suffix if left.has_column(name) else name)
+        for name in right_value_names
+    }
+
+    rows: list[dict[str, Any]] = []
+    left_key_columns = [left.column(key) for key in keys]
+    for index in range(left.n_rows):
+        key = tuple(column[index] for column in left_key_columns)
+        left_row = left.row(index)
+        matches = right_index.get(key, [])
+        if matches:
+            for match in matches:
+                right_row = right.row(match)
+                combined = dict(left_row)
+                for name in right_value_names:
+                    combined[renamed[name]] = right_row[name]
+                rows.append(combined)
+        elif how == "left":
+            combined = dict(left_row)
+            for name in right_value_names:
+                combined[renamed[name]] = None
+            rows.append(combined)
+
+    if not rows:
+        return DataFrame.empty(left.columns + [renamed[n] for n in right_value_names])
+    return DataFrame.from_records(rows)

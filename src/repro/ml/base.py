@@ -1,0 +1,151 @@
+"""Estimator protocol for the machine-learning substrate.
+
+The paper's backend uses scikit-learn estimators; the what-if engine only
+relies on the small protocol captured here — construct with hyperparameters,
+``fit(X, y)``, ``predict(X)``, and (for classifiers) ``predict_proba(X)`` —
+plus ``get_params``/``clone`` so models can be retrained on perturbed data and
+bootstrap resamples without leaking fitted state.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "BaseEstimator",
+    "RegressorMixin",
+    "ClassifierMixin",
+    "TransformerMixin",
+    "NotFittedError",
+    "clone",
+    "check_X_y",
+    "check_array",
+    "check_is_fitted",
+]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+def check_array(X: Any, *, allow_1d: bool = False) -> np.ndarray:
+    """Validate and convert ``X`` into a 2-D float array.
+
+    Parameters
+    ----------
+    X:
+        Array-like input.
+    allow_1d:
+        When True a 1-D input is reshaped to a single column.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        if not allow_1d:
+            raise ValueError(
+                "expected a 2-D array of shape (n_samples, n_features); "
+                "reshape your data or pass allow_1d=True"
+            )
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got {X.ndim} dimensions")
+    if X.size and not np.all(np.isfinite(X)):
+        raise ValueError("input contains NaN or infinity; clean the data first")
+    return X
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a design matrix and target vector jointly."""
+    X = check_array(X, allow_1d=True)
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y disagree on the number of samples: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit a model on zero samples")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("target contains NaN or infinity")
+    return X, y
+
+
+def check_is_fitted(estimator: "BaseEstimator", attribute: str) -> None:
+    """Raise :class:`NotFittedError` if ``estimator`` lacks ``attribute``."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first"
+        )
+
+
+class BaseEstimator:
+    """Base class providing parameter introspection and representation."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self" and parameter.kind != parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> dict[str, Any]:
+        """Return the constructor hyperparameters of this estimator."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Update hyperparameters in place and return ``self``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"invalid parameter {name!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return an unfitted copy of ``estimator`` with identical hyperparameters."""
+    params = {k: copy.deepcopy(v) for k, v in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+class RegressorMixin:
+    """Mixin marking regressors and providing the default ``score`` (R^2)."""
+
+    _estimator_type = "regressor"
+
+    def score(self, X: Any, y: Any) -> float:
+        """Coefficient of determination of the predictions on ``(X, y)``."""
+        from .metrics import r2_score
+
+        return r2_score(np.asarray(y, dtype=np.float64), self.predict(X))
+
+
+class ClassifierMixin:
+    """Mixin marking classifiers and providing the default ``score`` (accuracy)."""
+
+    _estimator_type = "classifier"
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy of the predictions on ``(X, y)``."""
+        from .metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y).ravel(), self.predict(X))
+
+
+class TransformerMixin:
+    """Mixin providing ``fit_transform`` for transformers."""
+
+    def fit_transform(self, X: Any, y: Any = None) -> np.ndarray:
+        """Fit to ``X`` then transform it."""
+        return self.fit(X, y).transform(X)

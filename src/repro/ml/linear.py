@@ -1,0 +1,123 @@
+"""Linear regression models.
+
+The paper trains "linear regression models when the KPI objective is a
+continuous variable (e.g., sales)" and uses the fitted coefficients as the
+driver-importance signal.  We provide ordinary least squares and a ridge
+variant (the latter keeps coefficient-based importances stable when drivers
+are collinear, which marketing-spend channels usually are).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_is_fitted,
+    check_X_y,
+)
+
+__all__ = ["LinearRegression", "Ridge"]
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least-squares linear regression.
+
+    Parameters
+    ----------
+    fit_intercept:
+        Whether to learn an intercept term (default True).
+
+    Attributes
+    ----------
+    coef_:
+        Learned coefficients, shape ``(n_features,)``.
+    intercept_:
+        Learned intercept (0.0 when ``fit_intercept=False``).
+    feature_importances_:
+        Absolute coefficients normalised to sum to one; provided so linear
+        models expose the same importance surface as tree ensembles.
+    """
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.n_features_in_: int | None = None
+
+    def fit(self, X, y) -> "LinearRegression":
+        """Fit the model by solving the least-squares problem."""
+        X, y = check_X_y(X, y)
+        self.n_features_in_ = X.shape[1]
+        if self.fit_intercept:
+            design = np.column_stack([np.ones(X.shape[0]), X])
+        else:
+            design = X
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predict target values for ``X``."""
+        check_is_fitted(self, "coef_")
+        X = check_array(X, allow_1d=True)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was trained with {self.n_features_in_}"
+            )
+        return X @ self.coef_ + self.intercept_
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Normalised absolute coefficients (sums to 1 unless all are zero)."""
+        check_is_fitted(self, "coef_")
+        magnitude = np.abs(self.coef_)
+        total = magnitude.sum()
+        if total == 0:
+            return np.zeros_like(magnitude)
+        return magnitude / total
+
+
+class Ridge(LinearRegression):
+    """L2-regularised linear regression.
+
+    Parameters
+    ----------
+    alpha:
+        Regularisation strength; ``alpha=0`` recovers OLS.
+    fit_intercept:
+        Whether to learn an intercept (the intercept itself is never
+        penalised).
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        super().__init__(fit_intercept=fit_intercept)
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "Ridge":
+        """Fit by solving the regularised normal equations."""
+        X, y = check_X_y(X, y)
+        self.n_features_in_ = X.shape[1]
+        if self.fit_intercept:
+            x_mean = X.mean(axis=0)
+            y_mean = float(y.mean())
+            x_centered = X - x_mean
+            y_centered = y - y_mean
+        else:
+            x_mean = np.zeros(X.shape[1])
+            y_mean = 0.0
+            x_centered = X
+            y_centered = y
+        gram = x_centered.T @ x_centered + self.alpha * np.eye(X.shape[1])
+        self.coef_ = np.linalg.solve(gram, x_centered.T @ y_centered)
+        self.intercept_ = y_mean - float(x_mean @ self.coef_) if self.fit_intercept else 0.0
+        return self

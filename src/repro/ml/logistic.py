@@ -1,0 +1,152 @@
+"""Binary logistic regression.
+
+Not used as the paper's default discrete-KPI model (that is the random
+forest), but the robustness analysis in Section 5 — "multiple models can
+reasonably explain the relationship" — needs at least one alternative
+classifier family to compare importance rankings against, and logistic
+coefficients are the natural linear counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    BaseEstimator,
+    ClassifierMixin,
+    check_array,
+    check_is_fitted,
+    check_X_y,
+)
+
+__all__ = ["LogisticRegression"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """L2-regularised binary logistic regression fit with Newton/IRLS.
+
+    Parameters
+    ----------
+    c:
+        Inverse regularisation strength (larger = weaker regularisation).
+    max_iter:
+        Maximum Newton iterations.
+    tol:
+        Convergence tolerance on the coefficient update norm.
+    fit_intercept:
+        Whether to learn an intercept.
+
+    Attributes
+    ----------
+    coef_:
+        Learned coefficients, shape ``(n_features,)``.
+    intercept_:
+        Learned intercept.
+    classes_:
+        The two class labels in sorted order.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        fit_intercept: bool = True,
+    ) -> None:
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.c = c
+        self.max_iter = max_iter
+        self.tol = tol
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_in_: int | None = None
+        self.n_iter_: int | None = None
+
+    def fit(self, X, y) -> "LogisticRegression":
+        """Fit the model; ``y`` may contain any two distinct labels."""
+        X, y = check_X_y(X, y)
+        classes = np.unique(y)
+        if classes.shape[0] == 1:
+            # Degenerate but legal in small perturbed datasets: predict the
+            # single observed class with certainty.
+            classes = np.array([classes[0], classes[0] + 1.0])
+        if classes.shape[0] != 2:
+            raise ValueError(
+                f"LogisticRegression supports binary targets only, got {classes.shape[0]} classes"
+            )
+        self.classes_ = classes
+        self.n_features_in_ = X.shape[1]
+        target = (y == classes[1]).astype(np.float64)
+
+        if self.fit_intercept:
+            design = np.column_stack([np.ones(X.shape[0]), X])
+        else:
+            design = X
+        n_params = design.shape[1]
+        beta = np.zeros(n_params)
+        penalty = np.full(n_params, 1.0 / self.c)
+        if self.fit_intercept:
+            penalty[0] = 0.0
+
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            linear = design @ beta
+            proba = _sigmoid(linear)
+            weights = np.clip(proba * (1.0 - proba), 1e-10, None)
+            gradient = design.T @ (proba - target) + penalty * beta
+            hessian = (design * weights[:, None]).T @ design + np.diag(penalty)
+            try:
+                update = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                update = np.linalg.lstsq(hessian, gradient, rcond=None)[0]
+            beta -= update
+            if np.linalg.norm(update) < self.tol:
+                break
+        self.n_iter_ = iteration
+
+        if self.fit_intercept:
+            self.intercept_ = float(beta[0])
+            self.coef_ = beta[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = beta
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed distance to the decision boundary."""
+        check_is_fitted(self, "coef_")
+        X = check_array(X, allow_1d=True)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities, shape ``(n_samples, 2)`` ordered as ``classes_``."""
+        positive = _sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted class labels."""
+        proba = self.predict_proba(X)
+        return self.classes_[(proba[:, 1] >= 0.5).astype(int)]
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Normalised absolute coefficients."""
+        check_is_fitted(self, "coef_")
+        magnitude = np.abs(self.coef_)
+        total = magnitude.sum()
+        if total == 0:
+            return np.zeros_like(magnitude)
+        return magnitude / total

@@ -1,0 +1,183 @@
+"""Regression and classification metrics.
+
+The what-if engine reports a "model confidence" figure alongside driver
+importances and goal-inversion answers (Section 2-I of the paper).  For
+continuous KPIs this is the cross-validated R², for discrete KPIs the
+cross-validated accuracy / ROC-AUC.  The full metric set also backs the test
+suite's checks that the from-scratch models actually learn the planted
+structure in the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "explained_variance_score",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "log_loss",
+    "roc_auc_score",
+    "brier_score",
+]
+
+
+def _validate(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"y_true and y_pred disagree on length: {y_true.shape[0]} vs {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+# --------------------------------------------------------------------------- #
+# regression
+# --------------------------------------------------------------------------- #
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 is perfect, 0 is the mean baseline)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = np.sum((y_true - y_pred) ** 2)
+    ss_tot = np.sum((y_true - y_true.mean()) ** 2)
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def explained_variance_score(y_true, y_pred) -> float:
+    """Explained variance (like R² but insensitive to systematic offsets)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    var_resid = np.var(y_true - y_pred)
+    var_true = np.var(y_true)
+    if var_true == 0:
+        return 1.0 if var_resid == 0 else 0.0
+    return float(1.0 - var_resid / var_true)
+
+
+# --------------------------------------------------------------------------- #
+# classification
+# --------------------------------------------------------------------------- #
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count(true class i predicted as class j).
+
+    Classes are the sorted union of labels appearing in either vector.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    matrix = np.zeros((classes.shape[0], classes.shape[0]), dtype=np.int64)
+    true_index = np.searchsorted(classes, y_true)
+    pred_index = np.searchsorted(classes, y_pred)
+    for t, p in zip(true_index, pred_index):
+        matrix[t, p] += 1
+    return matrix
+
+
+def _binary_counts(y_true, y_pred, positive: float) -> tuple[int, int, int, int]:
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = int(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = int(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = int(np.sum((y_true == positive) & (y_pred != positive)))
+    tn = int(np.sum((y_true != positive) & (y_pred != positive)))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true, y_pred, positive: float = 1.0) -> float:
+    """Precision of the positive class (0 when nothing is predicted positive)."""
+    tp, fp, _, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if (tp + fp) > 0 else 0.0
+
+
+def recall_score(y_true, y_pred, positive: float = 1.0) -> float:
+    """Recall of the positive class (0 when no positives exist)."""
+    tp, _, fn, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if (tp + fn) > 0 else 0.0
+
+
+def f1_score(y_true, y_pred, positive: float = 1.0) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def log_loss(y_true, y_proba, eps: float = 1e-15) -> float:
+    """Binary cross-entropy of predicted positive-class probabilities."""
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_proba = np.asarray(y_proba, dtype=np.float64).ravel()
+    if y_true.shape[0] != y_proba.shape[0]:
+        raise ValueError("y_true and y_proba must have the same length")
+    proba = np.clip(y_proba, eps, 1.0 - eps)
+    return float(-np.mean(y_true * np.log(proba) + (1 - y_true) * np.log(1 - proba)))
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via the rank-sum (Mann–Whitney) formulation."""
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
+    if y_true.shape[0] != y_score.shape[0]:
+        raise ValueError("y_true and y_score must have the same length")
+    positives = y_score[y_true == 1]
+    negatives = y_score[y_true == 0]
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("ROC AUC requires both positive and negative samples")
+    order = np.argsort(np.concatenate([negatives, positives]), kind="stable")
+    ranks = np.empty(order.size, dtype=np.float64)
+    ranks[order] = np.arange(1, order.size + 1)
+    combined = np.concatenate([negatives, positives])
+    # average ranks for ties
+    sorted_values = np.sort(combined)
+    unique_values, first_index, counts = np.unique(
+        sorted_values, return_index=True, return_counts=True
+    )
+    value_to_rank = {
+        value: first + (count + 1) / 2.0
+        for value, first, count in zip(unique_values, first_index, counts)
+    }
+    tied_ranks = np.array([value_to_rank[v] for v in combined])
+    positive_ranks = tied_ranks[negatives.size:]
+    u_statistic = positive_ranks.sum() - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))
+
+
+def brier_score(y_true, y_proba) -> float:
+    """Mean squared error between labels and predicted probabilities."""
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_proba = np.asarray(y_proba, dtype=np.float64).ravel()
+    if y_true.shape[0] != y_proba.shape[0]:
+        raise ValueError("y_true and y_proba must have the same length")
+    return float(np.mean((y_true - y_proba) ** 2))

@@ -1,0 +1,166 @@
+"""Train/test splitting and cross-validation.
+
+SystemD reports "the confidence of the model used" with goal-inversion
+results; the model manager computes that confidence as a cross-validated
+score, which needs the splitting utilities here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+
+__all__ = ["train_test_split", "KFold", "cross_val_score", "cross_val_predict"]
+
+
+def train_test_split(
+    X,
+    y,
+    *,
+    test_size: float = 0.25,
+    shuffle: bool = True,
+    stratify: np.ndarray | None = None,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test partitions.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of samples placed in the test partition (0 < test_size < 1).
+    shuffle:
+        Whether to shuffle before splitting.
+    stratify:
+        Optional label array; when given, the class proportions are preserved
+        in both partitions (needed for the imbalanced retention dataset).
+    random_state:
+        Seed for reproducibility.
+
+    Returns
+    -------
+    tuple
+        ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    n_samples = X.shape[0]
+    if n_samples != y.shape[0]:
+        raise ValueError("X and y must have the same number of samples")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be a fraction strictly between 0 and 1")
+    rng = np.random.default_rng(random_state)
+
+    if stratify is not None:
+        stratify = np.asarray(stratify).ravel()
+        if stratify.shape[0] != n_samples:
+            raise ValueError("stratify must have the same length as X")
+        test_indices_list = []
+        for cls in np.unique(stratify):
+            members = np.flatnonzero(stratify == cls)
+            if shuffle:
+                members = rng.permutation(members)
+            n_test = max(1, int(round(test_size * members.size)))
+            test_indices_list.append(members[:n_test])
+        test_indices = np.concatenate(test_indices_list)
+    else:
+        indices = rng.permutation(n_samples) if shuffle else np.arange(n_samples)
+        n_test = max(1, int(round(test_size * n_samples)))
+        test_indices = indices[:n_test]
+
+    test_mask = np.zeros(n_samples, dtype=bool)
+    test_mask[test_indices] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """K-fold cross-validation splitter.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds (at least 2).
+    shuffle:
+        Whether to shuffle sample indices before folding.
+    random_state:
+        Seed used when ``shuffle`` is True.
+    """
+
+    def __init__(
+        self, n_splits: int = 5, *, shuffle: bool = True, random_state: int | None = None
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` for each fold."""
+        n_samples = np.asarray(X).shape[0]
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            indices = np.random.default_rng(self.random_state).permutation(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test_indices = indices[start : start + size]
+            train_indices = np.concatenate([indices[:start], indices[start + size :]])
+            yield train_indices, test_indices
+            start += size
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    *,
+    cv: int = 5,
+    scoring: Callable[[Any, np.ndarray, np.ndarray], float] | None = None,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Cross-validated scores of ``estimator`` on ``(X, y)``.
+
+    ``scoring`` receives ``(fitted_estimator, X_test, y_test)`` and defaults to
+    the estimator's own ``score`` method (R² or accuracy).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    folds = KFold(n_splits=cv, shuffle=True, random_state=random_state)
+    scores = []
+    for train_indices, test_indices in folds.split(X):
+        model = clone(estimator)
+        model.fit(X[train_indices], y[train_indices])
+        if scoring is None:
+            scores.append(model.score(X[test_indices], y[test_indices]))
+        else:
+            scores.append(scoring(model, X[test_indices], y[test_indices]))
+    return np.array(scores, dtype=np.float64)
+
+
+def cross_val_predict(
+    estimator: BaseEstimator,
+    X,
+    y,
+    *,
+    cv: int = 5,
+    random_state: int | None = None,
+) -> np.ndarray:
+    """Out-of-fold predictions for every sample."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    predictions = np.empty(y.shape[0], dtype=np.float64)
+    folds = KFold(n_splits=cv, shuffle=True, random_state=random_state)
+    for train_indices, test_indices in folds.split(X):
+        model = clone(estimator)
+        model.fit(X[train_indices], y[train_indices])
+        predictions[test_indices] = model.predict(X[test_indices])
+    return predictions

@@ -1,0 +1,92 @@
+"""Transformer/estimator pipelines.
+
+The model manager composes "standardise drivers, then fit the KPI model" as a
+pipeline so the whole thing can be cloned, cross-validated, and re-fit on
+perturbed data as one object.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline(BaseEstimator):
+    """A linear chain of transformers ending in an estimator.
+
+    Parameters
+    ----------
+    steps:
+        List of ``(name, object)`` pairs.  Every object except the last must
+        implement ``fit``/``transform``; the last must implement
+        ``fit``/``predict``.
+    """
+
+    def __init__(self, steps: list[tuple[str, Any]]) -> None:
+        if not steps:
+            raise ValueError("Pipeline requires at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError("Pipeline step names must be unique")
+        self.steps = steps
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        """Mapping of step name to step object."""
+        return dict(self.steps)
+
+    @property
+    def final_estimator(self) -> Any:
+        """The last step (the estimator)."""
+        return self.steps[-1][1]
+
+    def _transform_through(self, X, *, upto: int) -> np.ndarray:
+        for _, step in self.steps[:upto]:
+            X = step.transform(X)
+        return X
+
+    def fit(self, X, y=None) -> "Pipeline":
+        """Fit every transformer then the final estimator."""
+        for _, step in self.steps[:-1]:
+            X = step.fit_transform(X, y)
+        self.final_estimator.fit(X, y)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply all transformer steps (excludes the final estimator)."""
+        return self._transform_through(X, upto=len(self.steps) - 1)
+
+    def predict(self, X) -> np.ndarray:
+        """Transform then predict with the final estimator."""
+        return self.final_estimator.predict(self.transform(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Transform then return class probabilities (classifier pipelines)."""
+        return self.final_estimator.predict_proba(self.transform(X))
+
+    def score(self, X, y) -> float:
+        """Transform then score with the final estimator."""
+        return self.final_estimator.score(self.transform(X), y)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Importances reported by the final estimator."""
+        return self.final_estimator.feature_importances_
+
+    @property
+    def coef_(self) -> np.ndarray:
+        """Coefficients reported by the final estimator (linear pipelines)."""
+        return self.final_estimator.coef_
+
+    def get_params(self) -> dict[str, Any]:
+        """Hyperparameters: the steps themselves."""
+        return {"steps": self.steps}
+
+    def clone_unfitted(self) -> "Pipeline":
+        """Return an unfitted deep copy of the pipeline."""
+        return Pipeline([(name, clone(step)) for name, step in self.steps])

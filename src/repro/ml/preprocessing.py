@@ -1,0 +1,177 @@
+"""Feature preprocessing: scalers and encoders.
+
+The paper's driver-importance view normalises importances into ``[-1, 1]`` and
+the linear model needs comparable coefficient magnitudes across drivers whose
+units differ wildly (dollars of TV spend vs counts of emails opened), so the
+model manager standardises drivers before fitting linear models.  Encoders
+handle categorical columns if a use case keeps them as model inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import BaseEstimator, NotFittedError, TransformerMixin, check_array
+
+__all__ = ["StandardScaler", "MinMaxScaler", "LabelEncoder", "OneHotEncoder"]
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardise features to zero mean and unit variance.
+
+    Constant features are left unscaled (divide by 1) so they do not blow up
+    to NaN, which matters when a business user filters the dataset down to a
+    slice where a driver no longer varies.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        """Learn per-feature means and standard deviations."""
+        X = check_array(X, allow_1d=True)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler is not fitted yet")
+        X = check_array(X, allow_1d=True)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Undo the standardisation."""
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler is not fitted yet")
+        X = check_array(X, allow_1d=True)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Scale features into ``[feature_min, feature_max]`` (default [0, 1])."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        low, high = feature_range
+        if low >= high:
+            raise ValueError("feature_range must be an increasing pair")
+        self.feature_range = feature_range
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        """Learn per-feature minima and maxima."""
+        X = check_array(X, allow_1d=True)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.data_min_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted yet")
+        X = check_array(X, allow_1d=True)
+        low, high = self.feature_range
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0, 1.0, span)
+        unit = (X - self.data_min_) / span
+        return unit * (high - low) + low
+
+    def inverse_transform(self, X) -> np.ndarray:
+        """Undo the scaling."""
+        if self.data_min_ is None:
+            raise NotFittedError("MinMaxScaler is not fitted yet")
+        X = check_array(X, allow_1d=True)
+        low, high = self.feature_range
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0, 1.0, span)
+        unit = (X - low) / (high - low)
+        return unit * span + self.data_min_
+
+
+class LabelEncoder(BaseEstimator):
+    """Encode arbitrary labels as integers ``0..n_classes-1``."""
+
+    def __init__(self) -> None:
+        self.classes_: list[Any] | None = None
+        self._index: dict[Any, int] | None = None
+
+    def fit(self, values) -> "LabelEncoder":
+        """Learn the label vocabulary (sorted by string representation)."""
+        unique = sorted({v for v in values}, key=lambda v: str(v))
+        self.classes_ = unique
+        self._index = {value: i for i, value in enumerate(unique)}
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        """Map labels to their integer codes."""
+        if self._index is None:
+            raise NotFittedError("LabelEncoder is not fitted yet")
+        try:
+            return np.array([self._index[v] for v in values], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from exc
+
+    def fit_transform(self, values) -> np.ndarray:
+        """Fit then transform."""
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, codes) -> list[Any]:
+        """Map integer codes back to the original labels."""
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder is not fitted yet")
+        return [self.classes_[int(code)] for code in codes]
+
+
+class OneHotEncoder(BaseEstimator):
+    """One-hot encode a single categorical value sequence.
+
+    Produces one output column per category, named ``<prefix>=<category>``
+    via :meth:`feature_names`, so encoded drivers stay legible in the driver
+    importance view.
+    """
+
+    def __init__(self, drop_first: bool = False) -> None:
+        self.drop_first = drop_first
+        self.categories_: list[Any] | None = None
+
+    def fit(self, values, y=None) -> "OneHotEncoder":
+        """Learn the category vocabulary."""
+        self.categories_ = sorted({v for v in values}, key=lambda v: str(v))
+        return self
+
+    def transform(self, values) -> np.ndarray:
+        """Encode ``values`` into a (n_samples, n_output) 0/1 matrix."""
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder is not fitted yet")
+        categories = self.categories_[1:] if self.drop_first else self.categories_
+        matrix = np.zeros((len(list(values)), len(categories)))
+        values = list(values)
+        for i, value in enumerate(values):
+            if value not in self.categories_:
+                raise ValueError(f"unseen category {value!r}")
+            if value in categories:
+                matrix[i, categories.index(value)] = 1.0
+        return matrix
+
+    def fit_transform(self, values, y=None) -> np.ndarray:
+        """Fit then transform."""
+        return self.fit(values).transform(values)
+
+    def feature_names(self, prefix: str) -> list[str]:
+        """Column names for the encoded output."""
+        if self.categories_ is None:
+            raise NotFittedError("OneHotEncoder is not fitted yet")
+        categories = self.categories_[1:] if self.drop_first else self.categories_
+        return [f"{prefix}={category}" for category in categories]

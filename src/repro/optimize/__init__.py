@@ -1,0 +1,38 @@
+"""Optimisation substrate: the Scikit-Optimize substitute used by goal
+inversion, plus random- and grid-search baselines and constraint handling."""
+
+from .acquisition import expected_improvement, lower_confidence_bound, probability_of_improvement
+from .bayesian import BayesianOptimizer, gp_minimize
+from .constraints import CallableConstraint, ConstraintSet, LinearConstraint
+from .gp import GaussianProcessRegressor
+from .grid_search import build_grid, grid_minimize
+from .kernels import ConstantKernel, Matern52Kernel, RBFKernel, SumKernel, WhiteKernel
+from .random_search import random_minimize
+from .result import OptimizeResult
+from .space import Categorical, Dimension, Integer, Real, Space
+
+__all__ = [
+    "BayesianOptimizer",
+    "gp_minimize",
+    "random_minimize",
+    "grid_minimize",
+    "build_grid",
+    "GaussianProcessRegressor",
+    "OptimizeResult",
+    "Space",
+    "Dimension",
+    "Real",
+    "Integer",
+    "Categorical",
+    "ConstraintSet",
+    "LinearConstraint",
+    "CallableConstraint",
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+    "RBFKernel",
+    "Matern52Kernel",
+    "ConstantKernel",
+    "WhiteKernel",
+    "SumKernel",
+]

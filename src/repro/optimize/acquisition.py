@@ -1,0 +1,62 @@
+"""Acquisition functions for Bayesian optimisation.
+
+Given the GP posterior over the (minimised) objective, an acquisition function
+scores candidate points by how promising they are to evaluate next.  We
+provide the three standard choices; ``expected_improvement`` is the default
+used by goal inversion.
+All functions follow the *minimisation* convention (smaller objective is
+better) and return scores where larger is better (more worth evaluating).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["expected_improvement", "probability_of_improvement", "lower_confidence_bound"]
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best_observed: float, *, xi: float = 0.01
+) -> np.ndarray:
+    """Expected improvement over the incumbent ``best_observed``.
+
+    Parameters
+    ----------
+    mean, std:
+        GP posterior mean and standard deviation at the candidate points.
+    best_observed:
+        Best (lowest) objective value seen so far.
+    xi:
+        Exploration margin; larger values favour exploration.
+    """
+    mean = np.asarray(mean, dtype=np.float64)
+    std = np.asarray(std, dtype=np.float64)
+    std = np.maximum(std, 1e-12)
+    improvement = best_observed - mean - xi
+    z = improvement / std
+    ei = improvement * scipy_stats.norm.cdf(z) + std * scipy_stats.norm.pdf(z)
+    return np.maximum(ei, 0.0)
+
+
+def probability_of_improvement(
+    mean: np.ndarray, std: np.ndarray, best_observed: float, *, xi: float = 0.01
+) -> np.ndarray:
+    """Probability that a candidate improves on the incumbent."""
+    mean = np.asarray(mean, dtype=np.float64)
+    std = np.maximum(np.asarray(std, dtype=np.float64), 1e-12)
+    z = (best_observed - mean - xi) / std
+    return scipy_stats.norm.cdf(z)
+
+
+def lower_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, best_observed: float | None = None, *, kappa: float = 1.96
+) -> np.ndarray:
+    """Negated lower confidence bound (``-(mean - kappa * std)``).
+
+    ``best_observed`` is accepted (and ignored) so all three acquisition
+    functions share a call signature.
+    """
+    mean = np.asarray(mean, dtype=np.float64)
+    std = np.asarray(std, dtype=np.float64)
+    return -(mean - kappa * std)

@@ -1,0 +1,203 @@
+"""Bayesian optimisation (the gp_minimize substitute).
+
+SystemD "uses Scikit-Optimize's Bayesian optimizer to learn values of the
+drivers that attain the desired KPI value (maximum, minimum, or target)".
+This module reimplements that loop: evaluate a handful of random points, fit a
+GP surrogate over the unit hypercube, and repeatedly evaluate the point that
+maximises an acquisition function until the evaluation budget is spent.
+
+Constraints (beyond the box bounds encoded in the space) are handled with a
+penalty added to the objective plus rejection of infeasible candidates during
+acquisition maximisation — the same soft/hard combination that keeps the
+recommended driver values feasible in the constrained-analysis view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from .acquisition import expected_improvement, lower_confidence_bound, probability_of_improvement
+from .constraints import ConstraintSet
+from .gp import GaussianProcessRegressor
+from .result import OptimizeResult
+from .space import Space
+
+__all__ = ["BayesianOptimizer", "gp_minimize"]
+
+_ACQUISITIONS = {
+    "ei": expected_improvement,
+    "pi": probability_of_improvement,
+    "lcb": lower_confidence_bound,
+}
+
+
+class BayesianOptimizer:
+    """Sequential model-based optimiser over a :class:`~repro.optimize.space.Space`.
+
+    Parameters
+    ----------
+    space:
+        The search space (driver perturbation ranges for goal inversion).
+    n_initial_points:
+        Number of uniformly random evaluations before the surrogate is used.
+    acquisition:
+        ``"ei"`` (default), ``"pi"``, or ``"lcb"``.
+    n_candidates:
+        Number of random candidates scored by the acquisition function per
+        iteration (candidate-set maximisation keeps the loop dependency-free
+        and is how skopt's "sampling" strategy works).
+    constraints:
+        Optional :class:`ConstraintSet` applied on top of the box bounds.
+    random_state:
+        Seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        space: Space,
+        *,
+        n_initial_points: int = 8,
+        acquisition: str = "ei",
+        n_candidates: int = 256,
+        constraints: ConstraintSet | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if acquisition not in _ACQUISITIONS:
+            raise ValueError(
+                f"unknown acquisition {acquisition!r}; expected one of {sorted(_ACQUISITIONS)}"
+            )
+        if n_initial_points < 1:
+            raise ValueError("n_initial_points must be positive")
+        self.space = space
+        self.n_initial_points = n_initial_points
+        self.acquisition = acquisition
+        self.n_candidates = n_candidates
+        self.constraints = constraints or ConstraintSet()
+        self.random_state = random_state
+        self._rng = np.random.default_rng(random_state)
+        self._X: list[list[Any]] = []
+        self._y: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _named(self, point: Sequence[Any]) -> dict[str, Any]:
+        return dict(zip(self.space.names, point))
+
+    def _penalised(self, point: Sequence[Any], value: float) -> float:
+        return value + self.constraints.penalty(self._named(point))
+
+    def ask(self) -> list[Any]:
+        """Propose the next point to evaluate."""
+        if len(self._X) < self.n_initial_points:
+            candidate = self.space.sample(1, random_state=int(self._rng.integers(2**31)))[0]
+            return self._feasible_or_best_effort([candidate])[0]
+
+        X_unit = np.array([self.space.to_unit(x) for x in self._X])
+        y = np.array([self._penalised(x, v) for x, v in zip(self._X, self._y)])
+        surrogate = GaussianProcessRegressor(noise=1e-6)
+        surrogate.fit(X_unit, y)
+
+        candidates = self.space.sample(
+            self.n_candidates, random_state=int(self._rng.integers(2**31))
+        )
+        feasible = self._feasible_or_best_effort(candidates)
+        candidate_unit = np.array([self.space.to_unit(c) for c in feasible])
+        mean, std = surrogate.predict(candidate_unit, return_std=True)
+        scores = _ACQUISITIONS[self.acquisition](mean, std, float(np.min(y)))
+        return feasible[int(np.argmax(scores))]
+
+    def _feasible_or_best_effort(self, candidates: list[list[Any]]) -> list[list[Any]]:
+        """Prefer candidates satisfying hard constraints; fall back to all."""
+        if len(self.constraints) == 0:
+            return candidates
+        feasible = [
+            c for c in candidates if self.constraints.is_satisfied(self._named(c))
+        ]
+        return feasible if feasible else candidates
+
+    def tell(self, point: Sequence[Any], value: float) -> None:
+        """Record an evaluated point."""
+        if not self.space.contains(point):
+            point = self.space.clip(point)
+        self._X.append(list(point))
+        self._y.append(float(value))
+
+    def minimize(
+        self, objective: Callable[[Sequence[Any]], float], n_calls: int = 30
+    ) -> OptimizeResult:
+        """Run the ask/tell loop for ``n_calls`` objective evaluations."""
+        if n_calls < 1:
+            raise ValueError("n_calls must be positive")
+        for _ in range(n_calls):
+            point = self.ask()
+            value = float(objective(point))
+            self.tell(point, value)
+        return self.result()
+
+    def result(self) -> OptimizeResult:
+        """Summarise the evaluations so far (feasible points preferred)."""
+        if not self._X:
+            raise RuntimeError("no points have been evaluated yet")
+        order = np.argsort(self._y)
+        best_index = int(order[0])
+        if len(self.constraints) > 0:
+            for index in order:
+                if self.constraints.is_satisfied(self._named(self._X[int(index)])):
+                    best_index = int(index)
+                    break
+        return OptimizeResult(
+            x=list(self._X[best_index]),
+            fun=float(self._y[best_index]),
+            x_iters=[list(x) for x in self._X],
+            func_vals=[float(v) for v in self._y],
+            n_calls=len(self._X),
+            space_names=self.space.names,
+            method="bayesian",
+            metadata={
+                "acquisition": self.acquisition,
+                "n_initial_points": self.n_initial_points,
+                "constraints": self.constraints.describe(),
+            },
+        )
+
+
+def gp_minimize(
+    objective: Callable[[Sequence[Any]], float],
+    space: Space,
+    *,
+    n_calls: int = 30,
+    n_initial_points: int = 8,
+    acquisition: str = "ei",
+    constraints: ConstraintSet | None = None,
+    random_state: int | None = None,
+) -> OptimizeResult:
+    """Functional wrapper mirroring ``skopt.gp_minimize``.
+
+    Parameters
+    ----------
+    objective:
+        Callable mapping a point (list of native-scale values) to the value to
+        minimise.
+    space:
+        Search space.
+    n_calls:
+        Total objective evaluations (including the initial random ones).
+    n_initial_points:
+        Random evaluations before the surrogate kicks in.
+    acquisition:
+        Acquisition function name (``"ei"``, ``"pi"``, ``"lcb"``).
+    constraints:
+        Optional extra constraints beyond the box bounds.
+    random_state:
+        Seed for reproducibility.
+    """
+    optimizer = BayesianOptimizer(
+        space,
+        n_initial_points=min(n_initial_points, n_calls),
+        acquisition=acquisition,
+        constraints=constraints,
+        random_state=random_state,
+    )
+    return optimizer.minimize(objective, n_calls=n_calls)

@@ -1,0 +1,167 @@
+"""Constraint handling for constrained goal inversion.
+
+The paper's constrained analysis lets users put *low/high bounds* on one or
+more drivers ("increase Open Marketing Email by between 40% and 80%") and
+mentions boundary, equality, and inequality constraints as the general form.
+Bounds are encoded directly in the search-space dimensions; this module covers
+the rest:
+
+* :class:`LinearConstraint` — ``lhs · x <= rhs`` (or ``==``, ``>=``) over the
+  perturbation vector, e.g. "total extra marketing spend across channels must
+  not exceed $200K";
+* :class:`CallableConstraint` — arbitrary feasibility predicates supplied by
+  power users;
+* :class:`ConstraintSet` — feasibility checks plus a quadratic penalty used to
+  steer optimisers away from (mildly) infeasible regions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["LinearConstraint", "CallableConstraint", "ConstraintSet"]
+
+_OPERATORS = ("<=", ">=", "==")
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A linear constraint ``sum_i coefficients[name_i] * x[name_i] (op) bound``.
+
+    Attributes
+    ----------
+    coefficients:
+        Mapping from dimension name to coefficient; names missing from a point
+        default to coefficient zero.
+    operator:
+        One of ``"<="``, ``">="``, ``"=="``.
+    bound:
+        Right-hand-side constant.
+    name:
+        Optional human-readable label shown in scenario summaries.
+    """
+
+    coefficients: Mapping[str, float]
+    operator: str
+    bound: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise ValueError(f"operator must be one of {_OPERATORS}, got {self.operator!r}")
+        if not self.coefficients:
+            raise ValueError("a linear constraint needs at least one coefficient")
+
+    def value(self, point: Mapping[str, float]) -> float:
+        """Evaluate the linear form at ``point``."""
+        return float(
+            sum(coefficient * float(point.get(name, 0.0))
+                for name, coefficient in self.coefficients.items())
+        )
+
+    def violation(self, point: Mapping[str, float]) -> float:
+        """Non-negative violation magnitude (0 when satisfied)."""
+        value = self.value(point)
+        if self.operator == "<=":
+            return max(0.0, value - self.bound)
+        if self.operator == ">=":
+            return max(0.0, self.bound - value)
+        return abs(value - self.bound)
+
+    def is_satisfied(self, point: Mapping[str, float], *, tol: float = 1e-9) -> bool:
+        """Whether the constraint holds at ``point`` (within ``tol``)."""
+        return self.violation(point) <= tol
+
+    def describe(self) -> str:
+        """Readable rendering, e.g. ``"2.0*TV + 1.0*Radio <= 200000"``."""
+        terms = " + ".join(f"{c:g}*{n}" for n, c in self.coefficients.items())
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{terms} {self.operator} {self.bound:g}"
+
+
+@dataclass(frozen=True)
+class CallableConstraint:
+    """A feasibility predicate ``func(point_dict) -> bool``.
+
+    ``violation`` is binary (0 or 1) since arbitrary predicates carry no
+    gradient information; the penalty still pushes optimisers toward feasible
+    samples because infeasible ones are heavily discounted.
+    """
+
+    func: Callable[[Mapping[str, float]], bool]
+    name: str = ""
+
+    def is_satisfied(self, point: Mapping[str, float], *, tol: float = 1e-9) -> bool:
+        """Whether the predicate accepts ``point``."""
+        return bool(self.func(point))
+
+    def violation(self, point: Mapping[str, float]) -> float:
+        """1.0 when the predicate rejects the point, else 0.0."""
+        return 0.0 if self.is_satisfied(point) else 1.0
+
+    def describe(self) -> str:
+        """Readable rendering."""
+        return self.name or f"callable constraint {getattr(self.func, '__name__', '?')}"
+
+
+class ConstraintSet:
+    """A collection of constraints evaluated together.
+
+    Parameters
+    ----------
+    constraints:
+        Linear and/or callable constraints.
+    penalty_weight:
+        Scale of the quadratic penalty added to the objective for infeasible
+        points (relative to the objective's typical magnitude).
+    """
+
+    def __init__(
+        self,
+        constraints: Sequence[LinearConstraint | CallableConstraint] = (),
+        *,
+        penalty_weight: float = 1e3,
+    ) -> None:
+        self.constraints = list(constraints)
+        if penalty_weight < 0:
+            raise ValueError("penalty_weight must be non-negative")
+        self.penalty_weight = float(penalty_weight)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def add(self, constraint: LinearConstraint | CallableConstraint) -> None:
+        """Append a constraint."""
+        self.constraints.append(constraint)
+
+    def is_satisfied(self, point: Mapping[str, float], *, tol: float = 1e-9) -> bool:
+        """Whether every constraint holds at ``point``."""
+        return all(c.is_satisfied(point, tol=tol) for c in self.constraints)
+
+    def total_violation(self, point: Mapping[str, float]) -> float:
+        """Sum of violation magnitudes across constraints."""
+        return float(sum(c.violation(point) for c in self.constraints))
+
+    def penalty(self, point: Mapping[str, float]) -> float:
+        """Quadratic penalty added to a minimised objective at ``point``."""
+        violation = self.total_violation(point)
+        if violation == 0.0:
+            return 0.0
+        return self.penalty_weight * (violation + violation**2)
+
+    def describe(self) -> list[str]:
+        """Readable rendering of every constraint."""
+        return [c.describe() for c in self.constraints]
+
+    def filter_feasible(
+        self, points: Sequence[Mapping[str, float]]
+    ) -> list[Mapping[str, float]]:
+        """Return only the feasible points from ``points``."""
+        return [p for p in points if self.is_satisfied(p)]

@@ -1,0 +1,150 @@
+"""Gaussian-process regression surrogate.
+
+The Bayesian optimiser behind goal inversion fits a GP to the (perturbation,
+KPI) pairs evaluated so far and uses its posterior mean/uncertainty to pick
+the next perturbation to try.  The implementation is the textbook Cholesky
+route (Rasmussen & Williams, Algorithm 2.1) with a light-weight
+marginal-likelihood grid search over length-scales, which is plenty for the
+handful of dimensions a goal-inversion problem has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import Kernel, Matern52Kernel, WhiteKernel
+
+__all__ = ["GaussianProcessRegressor"]
+
+
+class GaussianProcessRegressor:
+    """GP regression with a fixed kernel family and tuned length-scale.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance function; defaults to Matérn 5/2 plus white noise, matching
+        Scikit-Optimize's default surrogate.
+    noise:
+        Observation-noise variance added to the diagonal for numerical
+        stability and to absorb model-evaluation jitter.
+    normalize_y:
+        Whether to centre/scale targets before fitting (recommended — KPI
+        scales vary over orders of magnitude between use cases).
+    tune_length_scale:
+        When True (and the kernel is the default family), pick the
+        length-scale from a small grid by maximising the log marginal
+        likelihood.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        *,
+        noise: float = 1e-6,
+        normalize_y: bool = True,
+        tune_length_scale: bool = True,
+    ) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.kernel = kernel
+        self.noise = float(noise)
+        self.normalize_y = normalize_y
+        self.tune_length_scale = tune_length_scale
+        self._X: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self._fitted_kernel: Kernel | None = None
+
+    # ------------------------------------------------------------------ #
+    def _build_kernel(self, length_scale: float) -> Kernel:
+        return Matern52Kernel(length_scale=length_scale, variance=1.0) + WhiteKernel(self.noise)
+
+    def _log_marginal_likelihood(
+        self, kernel: Kernel, X: np.ndarray, y: np.ndarray
+    ) -> float:
+        K = kernel(X) + 1e-10 * np.eye(X.shape[0])
+        try:
+            chol = np.linalg.cholesky(K)
+        except np.linalg.LinAlgError:
+            return -np.inf
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y))
+        return float(
+            -0.5 * y @ alpha
+            - np.sum(np.log(np.diag(chol)))
+            - 0.5 * X.shape[0] * np.log(2 * np.pi)
+        )
+
+    def fit(self, X, y) -> "GaussianProcessRegressor":
+        """Fit the GP to observations ``(X, y)``."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must have the same number of rows")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            scale = float(y.std())
+            self._y_scale = scale if scale > 0 else 1.0
+        else:
+            self._y_mean, self._y_scale = 0.0, 1.0
+        target = (y - self._y_mean) / self._y_scale
+
+        if self.kernel is not None:
+            kernel = self.kernel
+        elif self.tune_length_scale and X.shape[0] >= 3:
+            candidates = [0.1, 0.3, 0.5, 1.0, 2.0]
+            scores = [
+                self._log_marginal_likelihood(self._build_kernel(ls), X, target)
+                for ls in candidates
+            ]
+            kernel = self._build_kernel(candidates[int(np.argmax(scores))])
+        else:
+            kernel = self._build_kernel(0.5)
+
+        K = kernel(X) + 1e-10 * np.eye(X.shape[0])
+        try:
+            chol = np.linalg.cholesky(K)
+        except np.linalg.LinAlgError:
+            # escalate jitter until the matrix factorises
+            jitter = 1e-8
+            while jitter <= 1e-2:
+                try:
+                    chol = np.linalg.cholesky(K + jitter * np.eye(X.shape[0]))
+                    break
+                except np.linalg.LinAlgError:
+                    jitter *= 10
+            else:  # pragma: no cover - pathological
+                raise
+        self._X = X
+        self._chol = chol
+        self._alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, target))
+        self._fitted_kernel = kernel
+        return self
+
+    def predict(self, X, *, return_std: bool = False):
+        """Posterior mean (and optionally standard deviation) at ``X``."""
+        if self._X is None:
+            raise RuntimeError("GaussianProcessRegressor is not fitted yet")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        K_star = self._fitted_kernel(X, self._X)
+        mean = K_star @ self._alpha
+        mean = mean * self._y_scale + self._y_mean
+        if not return_std:
+            return mean
+        v = np.linalg.solve(self._chol, K_star.T)
+        prior_var = self._fitted_kernel.diag(X)
+        var = np.maximum(prior_var - np.sum(v**2, axis=0), 1e-12)
+        std = np.sqrt(var) * self._y_scale
+        return mean, std
+
+    @property
+    def X_train_(self) -> np.ndarray:
+        """Training inputs seen by the surrogate."""
+        if self._X is None:
+            raise RuntimeError("GaussianProcessRegressor is not fitted yet")
+        return self._X

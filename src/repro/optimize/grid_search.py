@@ -1,0 +1,101 @@
+"""Grid-search baseline optimiser.
+
+The second baseline for the optimiser ablation: exhaustive evaluation of a
+regular grid.  It is the spreadsheet-era approach (Excel data tables) that the
+paper positions interactive model-based what-if analysis against — fine in one
+or two dimensions, hopeless as drivers multiply, which is exactly the curve
+the ablation benchmark shows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from .constraints import ConstraintSet
+from .result import OptimizeResult
+from .space import Categorical, Integer, Real, Space
+
+__all__ = ["grid_minimize", "build_grid"]
+
+
+def build_grid(space: Space, points_per_dim: int) -> list[list[Any]]:
+    """Cartesian-product grid with ``points_per_dim`` levels per dimension.
+
+    Real dimensions get evenly spaced levels including both bounds; integer
+    dimensions get (at most) ``points_per_dim`` distinct integers; categorical
+    dimensions always use all categories.
+    """
+    if points_per_dim < 2:
+        raise ValueError("points_per_dim must be at least 2")
+    axes: list[list[Any]] = []
+    for dimension in space.dimensions:
+        if isinstance(dimension, Real):
+            axes.append(list(np.linspace(dimension.low, dimension.high, points_per_dim)))
+        elif isinstance(dimension, Integer):
+            levels = np.unique(
+                np.round(np.linspace(dimension.low, dimension.high, points_per_dim))
+            ).astype(int)
+            axes.append([int(v) for v in levels])
+        elif isinstance(dimension, Categorical):
+            axes.append(list(dimension.categories))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported dimension type {type(dimension).__name__}")
+    return [list(point) for point in itertools.product(*axes)]
+
+
+def grid_minimize(
+    objective: Callable[[Sequence[Any]], float],
+    space: Space,
+    *,
+    points_per_dim: int = 5,
+    max_calls: int | None = None,
+    constraints: ConstraintSet | None = None,
+) -> OptimizeResult:
+    """Minimise ``objective`` over a regular grid on ``space``.
+
+    Parameters
+    ----------
+    points_per_dim:
+        Grid resolution per dimension.
+    max_calls:
+        Optional cap on evaluations; the grid is truncated (in product order)
+        when it exceeds the cap so the ablation can compare equal budgets.
+    constraints:
+        Optional constraints; infeasible grid points are skipped entirely.
+    """
+    constraints = constraints or ConstraintSet()
+    grid = build_grid(space, points_per_dim)
+    if max_calls is not None:
+        grid = grid[:max_calls]
+
+    evaluated: list[list[Any]] = []
+    values: list[float] = []
+    for point in grid:
+        named = dict(zip(space.names, point))
+        if len(constraints) > 0 and not constraints.is_satisfied(named):
+            continue
+        evaluated.append(point)
+        values.append(float(objective(point)))
+
+    if not evaluated:
+        raise ValueError("no feasible grid points to evaluate")
+
+    best_index = int(np.argmin(values))
+    return OptimizeResult(
+        x=list(evaluated[best_index]),
+        fun=float(values[best_index]),
+        x_iters=evaluated,
+        func_vals=values,
+        n_calls=len(evaluated),
+        space_names=space.names,
+        method="grid",
+        metadata={
+            "points_per_dim": points_per_dim,
+            "grid_size": len(grid),
+            "constraints": constraints.describe(),
+        },
+    )

@@ -1,0 +1,130 @@
+"""Covariance kernels for the Gaussian-process surrogate.
+
+gp_minimize in Scikit-Optimize defaults to a Matérn 5/2 kernel over normalised
+inputs with a white-noise term; we provide that plus the squared-exponential
+(RBF) alternative and the constant/white building blocks needed to compose
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Kernel", "RBFKernel", "Matern52Kernel", "ConstantKernel", "SumKernel", "WhiteKernel"]
+
+
+def _pairwise_sq_dists(X: np.ndarray, Y: np.ndarray, length_scale: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of X and Y after length scaling."""
+    Xs = X / length_scale
+    Ys = Y / length_scale
+    x_norm = np.sum(Xs**2, axis=1)[:, None]
+    y_norm = np.sum(Ys**2, axis=1)[None, :]
+    sq = x_norm + y_norm - 2.0 * Xs @ Ys.T
+    return np.maximum(sq, 0.0)
+
+
+class Kernel:
+    """Base class: a positive-definite covariance function."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """Diagonal of ``self(X, X)`` without forming the full matrix."""
+        return np.diag(self(X, X))
+
+    def __add__(self, other: "Kernel") -> "Kernel":
+        return SumKernel(self, other)
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel ``variance * exp(-0.5 * d² / ℓ²)``."""
+
+    def __init__(self, length_scale: float | np.ndarray = 1.0, variance: float = 1.0) -> None:
+        self.length_scale = np.atleast_1d(np.asarray(length_scale, dtype=np.float64))
+        if np.any(self.length_scale <= 0):
+            raise ValueError("length_scale must be positive")
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self.variance = float(variance)
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = np.atleast_2d(X)
+        Y = X if Y is None else np.atleast_2d(Y)
+        sq = _pairwise_sq_dists(X, Y, self.length_scale)
+        return self.variance * np.exp(-0.5 * sq)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(X).shape[0], self.variance)
+
+
+class Matern52Kernel(Kernel):
+    """Matérn kernel with smoothness ν = 5/2 (skopt's default surrogate)."""
+
+    def __init__(self, length_scale: float | np.ndarray = 1.0, variance: float = 1.0) -> None:
+        self.length_scale = np.atleast_1d(np.asarray(length_scale, dtype=np.float64))
+        if np.any(self.length_scale <= 0):
+            raise ValueError("length_scale must be positive")
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        self.variance = float(variance)
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = np.atleast_2d(X)
+        Y = X if Y is None else np.atleast_2d(Y)
+        distance = np.sqrt(_pairwise_sq_dists(X, Y, self.length_scale))
+        sqrt5_d = np.sqrt(5.0) * distance
+        return self.variance * (1.0 + sqrt5_d + 5.0 / 3.0 * distance**2) * np.exp(-sqrt5_d)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(X).shape[0], self.variance)
+
+
+class ConstantKernel(Kernel):
+    """Constant covariance (a learned mean offset)."""
+
+    def __init__(self, constant: float = 1.0) -> None:
+        if constant < 0:
+            raise ValueError("constant must be non-negative")
+        self.constant = float(constant)
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = np.atleast_2d(X)
+        Y = X if Y is None else np.atleast_2d(Y)
+        return np.full((X.shape[0], Y.shape[0]), self.constant)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(X).shape[0], self.constant)
+
+
+class WhiteKernel(Kernel):
+    """Observation-noise kernel: adds ``noise`` on the diagonal only."""
+
+    def __init__(self, noise: float = 1e-6) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.noise = float(noise)
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = np.atleast_2d(X)
+        if Y is None or Y is X:
+            return self.noise * np.eye(X.shape[0])
+        Y = np.atleast_2d(Y)
+        return np.zeros((X.shape[0], Y.shape[0]))
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(X).shape[0], self.noise)
+
+
+class SumKernel(Kernel):
+    """Sum of two kernels."""
+
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        return self.left(X, Y) + self.right(X, Y)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) + self.right.diag(X)

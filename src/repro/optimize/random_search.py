@@ -1,0 +1,62 @@
+"""Random-search baseline optimiser.
+
+The ablation benchmark (A1 in DESIGN.md) compares goal inversion driven by the
+Bayesian optimiser against plain random search at equal evaluation budgets, to
+justify the paper's choice of a model-based optimiser for interactive budgets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+from .constraints import ConstraintSet
+from .result import OptimizeResult
+from .space import Space
+
+__all__ = ["random_minimize"]
+
+
+def random_minimize(
+    objective: Callable[[Sequence[Any]], float],
+    space: Space,
+    *,
+    n_calls: int = 30,
+    constraints: ConstraintSet | None = None,
+    random_state: int | None = None,
+) -> OptimizeResult:
+    """Minimise ``objective`` by uniform random sampling of ``space``.
+
+    Infeasible samples (under ``constraints``) are still evaluated but can
+    never be returned as the best point while any feasible sample exists,
+    mirroring the behaviour of the Bayesian optimiser's result selection.
+    """
+    if n_calls < 1:
+        raise ValueError("n_calls must be positive")
+    constraints = constraints or ConstraintSet()
+    rng = np.random.default_rng(random_state)
+
+    points = space.sample(n_calls, random_state=int(rng.integers(2**31)))
+    values = [float(objective(point)) for point in points]
+
+    named = [dict(zip(space.names, point)) for point in points]
+    order = np.argsort(values)
+    best_index = int(order[0])
+    if len(constraints) > 0:
+        for index in order:
+            if constraints.is_satisfied(named[int(index)]):
+                best_index = int(index)
+                break
+
+    return OptimizeResult(
+        x=list(points[best_index]),
+        fun=float(values[best_index]),
+        x_iters=[list(p) for p in points],
+        func_vals=values,
+        n_calls=n_calls,
+        space_names=space.names,
+        method="random",
+        metadata={"constraints": constraints.describe()},
+    )

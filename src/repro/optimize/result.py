@@ -1,0 +1,82 @@
+"""Result container shared by every optimiser in the substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["OptimizeResult"]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of an optimisation run.
+
+    All optimisers in :mod:`repro.optimize` minimise; callers that maximise
+    (goal inversion maximising a KPI) negate the objective and flip the sign
+    of ``fun`` when reporting.
+
+    Attributes
+    ----------
+    x:
+        Best point found (native-scale values, one per dimension).
+    fun:
+        Objective value at ``x``.
+    x_iters:
+        Every evaluated point, in evaluation order.
+    func_vals:
+        Objective value of every evaluated point.
+    n_calls:
+        Number of objective evaluations performed.
+    space_names:
+        Dimension names, aligned with the entries of ``x``.
+    method:
+        Which optimiser produced the result (``"bayesian"``, ``"random"``, ...).
+    metadata:
+        Free-form extras (e.g. convergence trace, constraint violations).
+    """
+
+    x: list[Any]
+    fun: float
+    x_iters: list[list[Any]] = field(default_factory=list)
+    func_vals: list[float] = field(default_factory=list)
+    n_calls: int = 0
+    space_names: list[str] = field(default_factory=list)
+    method: str = ""
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def best_point_named(self) -> dict[str, Any]:
+        """Best point as a ``{dimension name: value}`` mapping."""
+        if self.space_names and len(self.space_names) == len(self.x):
+            return dict(zip(self.space_names, self.x))
+        return {f"x{i}": value for i, value in enumerate(self.x)}
+
+    def convergence_trace(self) -> list[float]:
+        """Best objective value seen after each evaluation (monotone)."""
+        best: list[float] = []
+        current = float("inf")
+        for value in self.func_vals:
+            current = min(current, value)
+            best.append(current)
+        return best
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "x": [_to_native(v) for v in self.x],
+            "fun": float(self.fun),
+            "n_calls": int(self.n_calls),
+            "space_names": list(self.space_names),
+            "method": self.method,
+            "best_point_named": {k: _to_native(v) for k, v in self.best_point_named.items()},
+            "func_vals": [float(v) for v in self.func_vals],
+        }
+
+
+def _to_native(value: Any) -> Any:
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value

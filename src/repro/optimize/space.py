@@ -1,0 +1,220 @@
+"""Search-space definitions for the optimizer substrate.
+
+Goal inversion searches over *perturbation magnitudes* of each driver (e.g.
+"change Open Marketing Email by somewhere between +40% and +80%"), so the
+search space is a box of real (or integer) dimensions, optionally with a few
+categorical switches.  This module mirrors the small part of
+``skopt.space`` that gp_minimize needs: named dimensions, uniform sampling,
+and transforms to/from the unit hypercube the Gaussian process operates in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Dimension", "Real", "Integer", "Categorical", "Space"]
+
+
+class Dimension:
+    """Base class for a single search dimension."""
+
+    name: str
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[Any]:
+        """Draw ``n`` values uniformly from the dimension."""
+        raise NotImplementedError
+
+    def to_unit(self, value: Any) -> float:
+        """Map a value into [0, 1] for the GP."""
+        raise NotImplementedError
+
+    def from_unit(self, unit: float) -> Any:
+        """Map a [0, 1] coordinate back into the dimension's native scale."""
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` lies inside the dimension."""
+        raise NotImplementedError
+
+
+class Real(Dimension):
+    """A continuous dimension on ``[low, high]``.
+
+    Parameters
+    ----------
+    low, high:
+        Inclusive bounds (``low < high``).
+    name:
+        Dimension name (usually the driver name).
+    """
+
+    def __init__(self, low: float, high: float, name: str = "x") -> None:
+        if not np.isfinite(low) or not np.isfinite(high):
+            raise ValueError("bounds must be finite")
+        if low >= high:
+            raise ValueError(f"low ({low}) must be strictly less than high ({high})")
+        self.low = float(low)
+        self.high = float(high)
+        self.name = name
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[float]:
+        return rng.uniform(self.low, self.high, size=n).tolist()
+
+    def to_unit(self, value: float) -> float:
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, unit: float) -> float:
+        return self.low + float(np.clip(unit, 0.0, 1.0)) * (self.high - self.low)
+
+    def contains(self, value: Any) -> bool:
+        try:
+            return self.low - 1e-12 <= float(value) <= self.high + 1e-12
+        except (TypeError, ValueError):
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Real({self.low}, {self.high}, name={self.name!r})"
+
+
+class Integer(Dimension):
+    """An integer dimension on ``{low, ..., high}``."""
+
+    def __init__(self, low: int, high: int, name: str = "x") -> None:
+        if low >= high:
+            raise ValueError(f"low ({low}) must be strictly less than high ({high})")
+        self.low = int(low)
+        self.high = int(high)
+        self.name = name
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[int]:
+        return [int(v) for v in rng.integers(self.low, self.high + 1, size=n)]
+
+    def to_unit(self, value: int) -> float:
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, unit: float) -> int:
+        raw = self.low + float(np.clip(unit, 0.0, 1.0)) * (self.high - self.low)
+        return int(np.clip(round(raw), self.low, self.high))
+
+    def contains(self, value: Any) -> bool:
+        try:
+            return self.low <= int(round(float(value))) <= self.high
+        except (TypeError, ValueError):
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Integer({self.low}, {self.high}, name={self.name!r})"
+
+
+class Categorical(Dimension):
+    """A categorical dimension over an explicit list of choices."""
+
+    def __init__(self, categories: Sequence[Any], name: str = "x") -> None:
+        categories = list(categories)
+        if len(categories) < 2:
+            raise ValueError("a categorical dimension needs at least two choices")
+        self.categories = categories
+        self.name = name
+
+    def sample(self, rng: np.random.Generator, n: int) -> list[Any]:
+        indices = rng.integers(0, len(self.categories), size=n)
+        return [self.categories[int(i)] for i in indices]
+
+    def to_unit(self, value: Any) -> float:
+        index = self.categories.index(value)
+        return index / (len(self.categories) - 1)
+
+    def from_unit(self, unit: float) -> Any:
+        index = int(round(float(np.clip(unit, 0.0, 1.0)) * (len(self.categories) - 1)))
+        return self.categories[index]
+
+    def contains(self, value: Any) -> bool:
+        return value in self.categories
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Categorical({self.categories!r}, name={self.name!r})"
+
+
+class Space:
+    """An ordered collection of dimensions.
+
+    Provides uniform sampling, transforms to/from the unit hypercube, and
+    point validation used by both the Bayesian optimizer and its baselines.
+    """
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        dimensions = list(dimensions)
+        if not dimensions:
+            raise ValueError("a search space needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"dimension names must be unique, got {names}")
+        self.dimensions = dimensions
+
+    @property
+    def n_dims(self) -> int:
+        """Number of dimensions."""
+        return len(self.dimensions)
+
+    @property
+    def names(self) -> list[str]:
+        """Dimension names in order."""
+        return [d.name for d in self.dimensions]
+
+    def sample(self, n: int, *, random_state: int | None = None) -> list[list[Any]]:
+        """Draw ``n`` points uniformly at random."""
+        rng = np.random.default_rng(random_state)
+        columns = [dimension.sample(rng, n) for dimension in self.dimensions]
+        return [list(point) for point in zip(*columns)]
+
+    def to_unit(self, point: Sequence[Any]) -> np.ndarray:
+        """Map a point to unit-hypercube coordinates."""
+        if len(point) != self.n_dims:
+            raise ValueError(f"point has {len(point)} values for {self.n_dims} dimensions")
+        return np.array(
+            [dimension.to_unit(value) for dimension, value in zip(self.dimensions, point)]
+        )
+
+    def from_unit(self, unit_point: Sequence[float]) -> list[Any]:
+        """Map unit-hypercube coordinates back to native values."""
+        if len(unit_point) != self.n_dims:
+            raise ValueError(
+                f"unit point has {len(unit_point)} values for {self.n_dims} dimensions"
+            )
+        return [
+            dimension.from_unit(value)
+            for dimension, value in zip(self.dimensions, unit_point)
+        ]
+
+    def contains(self, point: Sequence[Any]) -> bool:
+        """Whether every coordinate of ``point`` is inside its dimension."""
+        if len(point) != self.n_dims:
+            return False
+        return all(
+            dimension.contains(value)
+            for dimension, value in zip(self.dimensions, point)
+        )
+
+    def clip(self, point: Sequence[Any]) -> list[Any]:
+        """Project a point onto the space (clamping out-of-bound coordinates)."""
+        return self.from_unit(np.clip(self.to_unit_safe(point), 0.0, 1.0))
+
+    def to_unit_safe(self, point: Sequence[Any]) -> np.ndarray:
+        """Like :meth:`to_unit` but tolerant of out-of-bound numeric values."""
+        coordinates = []
+        for dimension, value in zip(self.dimensions, point):
+            if isinstance(dimension, Categorical):
+                if dimension.contains(value):
+                    coordinates.append(dimension.to_unit(value))
+                else:
+                    coordinates.append(0.0)
+            else:
+                span = dimension.high - dimension.low
+                coordinates.append((float(value) - dimension.low) / span)
+        return np.array(coordinates)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Space({self.dimensions!r})"

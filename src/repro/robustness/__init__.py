@@ -1,0 +1,16 @@
+"""Robustness analysis (paper §5): importance-ranking stability under model
+multiplicity and brittleness of goal-inversion recommendations."""
+
+from .multiplicity import (
+    ImportanceStabilityReport,
+    RecommendationRobustnessReport,
+    importance_stability,
+    recommendation_robustness,
+)
+
+__all__ = [
+    "ImportanceStabilityReport",
+    "RecommendationRobustnessReport",
+    "importance_stability",
+    "recommendation_robustness",
+]

@@ -1,0 +1,230 @@
+"""Model-multiplicity and solution-robustness analysis (paper §5 "Robustness").
+
+The paper warns that "the optimal solution from a given data-based model may
+be brittle: under small changes to the model or data, the solution may
+suddenly perform very poorly", and that multiple models explaining the data
+equally well "may yield different rankings of driver importance as well as
+different solutions to optimization and goal-seeking problems".  This module
+quantifies both effects:
+
+* :func:`importance_stability` — retrain the KPI model on bootstrap resamples
+  (and optionally across model families) and measure how stable the driver
+  ranking is (pairwise Spearman agreement, top-k overlap, per-driver rank
+  spread);
+* :func:`recommendation_robustness` — take a goal-inversion recommendation and
+  re-evaluate it under bootstrap-retrained models, reporting the distribution
+  of KPI values the "optimal" driver changes actually deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any
+
+import numpy as np
+
+from ..core import ModelManager, PerturbationSet, WhatIfSession
+from ..stats import spearman_rank_agreement, top_k_overlap
+
+__all__ = [
+    "ImportanceStabilityReport",
+    "RecommendationRobustnessReport",
+    "importance_stability",
+    "recommendation_robustness",
+]
+
+
+@dataclass(frozen=True)
+class ImportanceStabilityReport:
+    """Stability of driver-importance rankings across resampled models.
+
+    Attributes
+    ----------
+    drivers:
+        Driver names, aligned with the rows of ``importances``.
+    importances:
+        Matrix of shape ``(n_models, n_drivers)`` of signed importances.
+    mean_pairwise_spearman:
+        Mean Spearman rank agreement between every pair of models.
+    mean_top_k_overlap:
+        Mean top-k overlap between every pair of models.
+    rank_spread:
+        Per-driver difference between its best and worst rank across models
+        (0 = perfectly stable).
+    """
+
+    drivers: tuple[str, ...]
+    importances: np.ndarray
+    mean_pairwise_spearman: float
+    mean_top_k_overlap: float
+    rank_spread: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (importance matrix summarised)."""
+        return {
+            "drivers": list(self.drivers),
+            "n_models": int(self.importances.shape[0]),
+            "mean_pairwise_spearman": self.mean_pairwise_spearman,
+            "mean_top_k_overlap": self.mean_top_k_overlap,
+            "rank_spread": dict(self.rank_spread),
+            "mean_importance": {
+                driver: float(self.importances[:, j].mean())
+                for j, driver in enumerate(self.drivers)
+            },
+        }
+
+
+def _importances_for(manager: ModelManager) -> np.ndarray:
+    from ..core.driver_importance import compute_driver_importance
+
+    result = compute_driver_importance(manager, verify=False)
+    by_driver = {d.driver: d.importance for d in result.drivers}
+    return np.array([by_driver[name] for name in manager.drivers])
+
+
+def importance_stability(
+    session: WhatIfSession,
+    *,
+    n_resamples: int = 8,
+    top_k: int = 3,
+    random_state: int | None = 0,
+) -> ImportanceStabilityReport:
+    """Measure ranking stability across bootstrap-retrained models.
+
+    Parameters
+    ----------
+    session:
+        A configured what-if session (its KPI/driver selection is reused).
+    n_resamples:
+        Number of bootstrap resamples; each trains a fresh model.
+    top_k:
+        Head size for the top-k overlap statistic.
+    random_state:
+        Seed for reproducibility.
+    """
+    if n_resamples < 2:
+        raise ValueError("n_resamples must be at least 2")
+    rng = np.random.default_rng(random_state)
+    drivers = session.drivers
+    frame = session.frame
+
+    importance_rows = []
+    for i in range(n_resamples):
+        indices = rng.integers(0, frame.n_rows, size=frame.n_rows)
+        resampled = frame.take(indices)
+        manager = ModelManager(
+            resampled,
+            session.kpi,
+            drivers,
+            random_state=(random_state or 0) + i,
+            cv_folds=0,
+        ).fit()
+        importance_rows.append(_importances_for(manager))
+    importances = np.vstack(importance_rows)
+
+    spearman_scores = []
+    overlap_scores = []
+    for a, b in combinations(range(n_resamples), 2):
+        spearman_scores.append(
+            spearman_rank_agreement(np.abs(importances[a]), np.abs(importances[b]))
+        )
+        overlap_scores.append(
+            top_k_overlap(importances[a], importances[b], min(top_k, len(drivers)))
+        )
+
+    ranks = np.argsort(np.argsort(-np.abs(importances), axis=1), axis=1) + 1
+    rank_spread = {
+        driver: int(ranks[:, j].max() - ranks[:, j].min())
+        for j, driver in enumerate(drivers)
+    }
+
+    return ImportanceStabilityReport(
+        drivers=tuple(drivers),
+        importances=importances,
+        mean_pairwise_spearman=float(np.mean(spearman_scores)),
+        mean_top_k_overlap=float(np.mean(overlap_scores)),
+        rank_spread=rank_spread,
+    )
+
+
+@dataclass(frozen=True)
+class RecommendationRobustnessReport:
+    """How a goal-inversion recommendation holds up under model uncertainty.
+
+    Attributes
+    ----------
+    driver_changes:
+        The recommendation being stress-tested.
+    nominal_kpi:
+        KPI the original model predicts for the recommendation.
+    resampled_kpis:
+        KPI values predicted by bootstrap-retrained models.
+    kpi_std:
+        Standard deviation across resampled models (the brittleness measure).
+    worst_case_kpi / best_case_kpi:
+        Extremes across resampled models.
+    regret_vs_nominal:
+        ``nominal_kpi - worst_case_kpi`` — how much the promised KPI can
+        overstate reality.
+    """
+
+    driver_changes: dict[str, float]
+    nominal_kpi: float
+    resampled_kpis: tuple[float, ...]
+    kpi_std: float
+    worst_case_kpi: float
+    best_case_kpi: float
+    regret_vs_nominal: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "driver_changes": dict(self.driver_changes),
+            "nominal_kpi": self.nominal_kpi,
+            "resampled_kpis": list(self.resampled_kpis),
+            "kpi_std": self.kpi_std,
+            "worst_case_kpi": self.worst_case_kpi,
+            "best_case_kpi": self.best_case_kpi,
+            "regret_vs_nominal": self.regret_vs_nominal,
+        }
+
+
+def recommendation_robustness(
+    session: WhatIfSession,
+    driver_changes: dict[str, float],
+    *,
+    mode: str = "percentage",
+    n_resamples: int = 8,
+    random_state: int | None = 0,
+) -> RecommendationRobustnessReport:
+    """Stress-test a recommended perturbation under bootstrap model retraining."""
+    if n_resamples < 2:
+        raise ValueError("n_resamples must be at least 2")
+    rng = np.random.default_rng(random_state)
+    perturbations = PerturbationSet.from_mapping(driver_changes, mode=mode)
+    nominal_kpi = session.model.predict_kpi(perturbations.apply(session.frame))
+
+    resampled_kpis = []
+    for i in range(n_resamples):
+        indices = rng.integers(0, session.frame.n_rows, size=session.frame.n_rows)
+        resampled = session.frame.take(indices)
+        manager = ModelManager(
+            resampled,
+            session.kpi,
+            session.drivers,
+            random_state=(random_state or 0) + i,
+            cv_folds=0,
+        ).fit()
+        resampled_kpis.append(manager.predict_kpi(perturbations.apply(resampled)))
+
+    resampled_array = np.array(resampled_kpis)
+    return RecommendationRobustnessReport(
+        driver_changes=dict(driver_changes),
+        nominal_kpi=nominal_kpi,
+        resampled_kpis=tuple(float(v) for v in resampled_kpis),
+        kpi_std=float(resampled_array.std(ddof=1)),
+        worst_case_kpi=float(resampled_array.min()),
+        best_case_kpi=float(resampled_array.max()),
+        regret_vs_nominal=float(nominal_kpi - resampled_array.min()),
+    )

@@ -1,0 +1,21 @@
+"""Client/server substrate: the JSON protocol and dispatcher standing in for
+SystemD's browser-client / Python-backend architecture."""
+
+from .app import SystemDServer, serve_http
+from .handlers import HANDLERS, ServerState
+from .protocol import ACTIONS, ProtocolError, Request, Response
+from .serialization import dumps, frame_preview, to_json_safe
+
+__all__ = [
+    "SystemDServer",
+    "serve_http",
+    "ServerState",
+    "HANDLERS",
+    "Request",
+    "Response",
+    "ACTIONS",
+    "ProtocolError",
+    "to_json_safe",
+    "frame_preview",
+    "dumps",
+]

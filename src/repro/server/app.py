@@ -1,0 +1,132 @@
+"""The SystemD backend server.
+
+:class:`SystemDServer` is the in-process dispatcher: it accepts
+:class:`~repro.server.protocol.Request` objects (or raw dicts / JSON strings),
+routes them to the handler for their action, times the call, and wraps the
+payload in a :class:`~repro.server.protocol.Response`.  Tests, benchmarks, and
+the examples drive this object directly — it exercises exactly the code path a
+browser client would, minus the socket.
+
+:func:`serve_http` wraps the same dispatcher in a stdlib
+:class:`http.server.ThreadingHTTPServer` for anyone who wants to poke the
+backend with ``curl``; it is optional and nothing else in the package depends
+on it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .handlers import HANDLERS, ServerState
+from .protocol import ProtocolError, Request, Response
+from .serialization import to_json_safe
+
+__all__ = ["SystemDServer", "serve_http"]
+
+
+class SystemDServer:
+    """In-process SystemD backend.
+
+    Each server instance owns one :class:`~repro.server.handlers.ServerState`
+    (one loaded dataset / trained model at a time), mirroring the paper's
+    single-analysis UI.
+    """
+
+    def __init__(self) -> None:
+        self.state = ServerState()
+        self._request_log: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------ #
+    def handle(self, request: Request | dict[str, Any] | str) -> Response:
+        """Process one request and return a response (never raises)."""
+        started = time.perf_counter()
+        request_id = ""
+        try:
+            request = self._coerce_request(request)
+            request_id = request.request_id
+            handler = HANDLERS[request.action]
+            data = handler(self.state, request.params)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            response = Response.success(
+                to_json_safe(data), request_id=request_id, elapsed_ms=elapsed_ms
+            )
+        except ProtocolError as exc:
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            response = Response.failure(str(exc), request_id=request_id, elapsed_ms=elapsed_ms)
+        except Exception as exc:  # noqa: BLE001 - the server must not crash
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            response = Response.failure(
+                f"internal error: {type(exc).__name__}: {exc}",
+                request_id=request_id,
+                elapsed_ms=elapsed_ms,
+            )
+        self._request_log.append(
+            {
+                "action": getattr(request, "action", "?"),
+                "ok": response.ok,
+                "elapsed_ms": response.elapsed_ms,
+            }
+        )
+        return response
+
+    def handle_json(self, payload: str) -> str:
+        """JSON-string in, JSON-string out (the wire-level entry point)."""
+        return json.dumps(self.handle(payload).to_dict())
+
+    def _coerce_request(self, request: Request | dict[str, Any] | str) -> Request:
+        if isinstance(request, Request):
+            return request
+        if isinstance(request, str):
+            try:
+                request = json.loads(request)
+            except json.JSONDecodeError as exc:
+                raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+        if isinstance(request, dict):
+            return Request.from_dict(request)
+        raise ProtocolError(
+            f"unsupported request type {type(request).__name__}; expected Request, dict, or str"
+        )
+
+    # ------------------------------------------------------------------ #
+    def request(self, action: str, **params: Any) -> Response:
+        """Convenience wrapper: ``server.request("sensitivity", perturbations=...)``."""
+        return self.handle(Request(action=action, params=params))
+
+    @property
+    def request_log(self) -> list[dict[str, Any]]:
+        """Per-request timing log (used by the latency benchmark)."""
+        return list(self._request_log)
+
+
+class _SystemDHTTPHandler(BaseHTTPRequestHandler):
+    """Minimal HTTP adapter: POST a request JSON to any path."""
+
+    server_version = "SystemDRepro/0.1"
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length).decode("utf-8") if length else "{}"
+        payload = self.server.backend.handle_json(body)  # type: ignore[attr-defined]
+        encoded = payload.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr logging."""
+
+
+def serve_http(host: str = "127.0.0.1", port: int = 8765) -> ThreadingHTTPServer:
+    """Create (but do not start) an HTTP server wrapping a fresh backend.
+
+    Call ``serve_forever()`` on the returned object to run it; tests use
+    ``handle_request()`` for single-shot interactions.
+    """
+    httpd = ThreadingHTTPServer((host, port), _SystemDHTTPHandler)
+    httpd.backend = SystemDServer()  # type: ignore[attr-defined]
+    return httpd

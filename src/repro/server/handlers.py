@@ -1,0 +1,261 @@
+"""Request handlers: one per backend action.
+
+Each handler receives the server's mutable :class:`ServerState` (the current
+session, mirroring how the paper's backend keeps the trained model per
+connected analysis) plus the request parameters, and returns a JSON-safe
+payload dict.  Validation errors raise :class:`~repro.server.protocol.ProtocolError`
+so the dispatcher can turn them into error responses without crashing the
+server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core import DriverBound, PerturbationSet, WhatIfSession
+from ..datasets import get_use_case, list_use_cases
+from .protocol import ProtocolError
+from .serialization import frame_preview, to_json_safe
+
+__all__ = ["ServerState", "HANDLERS"]
+
+
+@dataclass
+class ServerState:
+    """Mutable state of one backend instance (the "current analysis")."""
+
+    session: WhatIfSession | None = None
+    use_case_key: str = ""
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def require_session(self) -> WhatIfSession:
+        """Return the active session or raise a protocol error."""
+        if self.session is None:
+            raise ProtocolError(
+                "no dataset loaded; send a 'load_use_case' request first"
+            )
+        return self.session
+
+
+# --------------------------------------------------------------------------- #
+# handlers
+# --------------------------------------------------------------------------- #
+def handle_list_use_cases(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(A) List the registered business use cases."""
+    return {
+        "use_cases": [
+            {
+                "key": use_case.key,
+                "title": use_case.title,
+                "description": use_case.description,
+                "kpi": use_case.kpi,
+                "kpi_kind": use_case.kpi_kind,
+            }
+            for use_case in list_use_cases()
+        ]
+    }
+
+
+def handle_load_use_case(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(A)+(B) Load a use case's dataset and start a session."""
+    key = params.get("use_case")
+    if not key:
+        raise ProtocolError("'use_case' parameter is required")
+    use_case = _get_use_case_or_error(key)
+    dataset_kwargs = params.get("dataset_kwargs", {})
+    if not isinstance(dataset_kwargs, dict):
+        raise ProtocolError("'dataset_kwargs' must be an object")
+    state.session = WhatIfSession.from_use_case(
+        key, dataset_kwargs=dataset_kwargs, random_state=params.get("random_state", 0)
+    )
+    state.use_case_key = key
+    return {
+        "use_case": use_case.key,
+        "kpi": use_case.kpi,
+        "drivers": state.session.drivers,
+        "table": frame_preview(state.session.frame, max_rows=int(params.get("max_rows", 20))),
+    }
+
+
+def _get_use_case_or_error(key: str):
+    try:
+        return get_use_case(key)
+    except KeyError as exc:
+        raise ProtocolError(str(exc.args[0])) from exc
+
+
+def handle_describe_dataset(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(B) Table-view metadata for the loaded dataset."""
+    session = state.require_session()
+    return to_json_safe(session.describe_dataset())
+
+
+def handle_set_kpi(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(C) Change the KPI column."""
+    session = state.require_session()
+    kpi = params.get("kpi")
+    if not kpi:
+        raise ProtocolError("'kpi' parameter is required")
+    try:
+        session.set_kpi(kpi)
+    except (ValueError, KeyError) as exc:
+        raise ProtocolError(str(exc)) from exc
+    return {"kpi": session.kpi.to_dict(), "drivers": session.drivers}
+
+
+def handle_set_drivers(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(D) Replace or prune the driver selection."""
+    session = state.require_session()
+    if "drivers" in params:
+        try:
+            session.select_drivers(list(params["drivers"]))
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    elif "exclude" in params:
+        try:
+            session.exclude_drivers(list(params["exclude"]))
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    else:
+        raise ProtocolError("either 'drivers' or 'exclude' must be provided")
+    return {"drivers": session.drivers}
+
+
+def handle_driver_importance(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(E) Driver importance analysis."""
+    session = state.require_session()
+    result = session.driver_importance(verify=bool(params.get("verify", True)))
+    return to_json_safe(result)
+
+
+def _parse_perturbations(params: dict[str, Any]) -> tuple[PerturbationSet, str]:
+    perturbations = params.get("perturbations")
+    mode = params.get("mode", "percentage")
+    if perturbations is None:
+        raise ProtocolError("'perturbations' parameter is required")
+    if isinstance(perturbations, dict):
+        try:
+            return PerturbationSet.from_mapping(
+                {str(k): float(v) for k, v in perturbations.items()}, mode=mode
+            ), mode
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid perturbations: {exc}") from exc
+    if isinstance(perturbations, list):
+        try:
+            return PerturbationSet.from_list(perturbations), mode
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ProtocolError(f"invalid perturbations: {exc}") from exc
+    raise ProtocolError("'perturbations' must be an object or a list")
+
+
+def handle_sensitivity(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(F)+(G)+(H) Sensitivity analysis on the whole dataset."""
+    session = state.require_session()
+    perturbations, _ = _parse_perturbations(params)
+    try:
+        result = session.sensitivity(perturbations, track_as=params.get("track_as"))
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return to_json_safe(result)
+
+
+def handle_comparison(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(H) Comparison analysis across drivers and perturbation magnitudes."""
+    session = state.require_session()
+    amounts = params.get("amounts", (-40.0, -20.0, 0.0, 20.0, 40.0))
+    try:
+        result = session.comparison_analysis(
+            params.get("drivers"),
+            [float(a) for a in amounts],
+            mode=params.get("mode", "percentage"),
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return to_json_safe(result)
+
+
+def handle_per_data(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(H) Per-data analysis of a single row."""
+    session = state.require_session()
+    if "row_index" not in params:
+        raise ProtocolError("'row_index' parameter is required")
+    perturbations, _ = _parse_perturbations(params)
+    try:
+        result = session.per_data_analysis(int(params["row_index"]), perturbations)
+    except (ValueError, IndexError) as exc:
+        raise ProtocolError(str(exc)) from exc
+    return to_json_safe(result)
+
+
+def handle_goal_inversion(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(I) Free goal inversion (maximize / minimize / target)."""
+    session = state.require_session()
+    try:
+        result = session.goal_inversion(
+            params.get("goal", "maximize"),
+            target_value=params.get("target_value"),
+            drivers=params.get("drivers"),
+            mode=params.get("mode", "percentage"),
+            n_calls=int(params.get("n_calls", 30)),
+            optimizer=params.get("optimizer", "bayesian"),
+            track_as=params.get("track_as"),
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return to_json_safe(result)
+
+
+def handle_constrained(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """(G)+(I) Constrained analysis with per-driver bounds."""
+    session = state.require_session()
+    raw_bounds = params.get("bounds")
+    if not raw_bounds:
+        raise ProtocolError("'bounds' parameter is required for constrained analysis")
+    try:
+        if isinstance(raw_bounds, dict):
+            bounds = {
+                str(driver): (float(pair[0]), float(pair[1]))
+                for driver, pair in raw_bounds.items()
+            }
+        else:
+            bounds = [DriverBound.from_dict(item) for item in raw_bounds]
+    except (TypeError, ValueError, KeyError, IndexError) as exc:
+        raise ProtocolError(f"invalid bounds: {exc}") from exc
+    try:
+        result = session.constrained_analysis(
+            bounds,
+            goal=params.get("goal", "maximize"),
+            target_value=params.get("target_value"),
+            drivers=params.get("drivers"),
+            mode=params.get("mode", "percentage"),
+            n_calls=int(params.get("n_calls", 30)),
+            optimizer=params.get("optimizer", "bayesian"),
+            track_as=params.get("track_as"),
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    return to_json_safe(result)
+
+
+def handle_list_scenarios(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+    """List the scenarios (options) tracked so far."""
+    session = state.require_session()
+    return {"scenarios": to_json_safe([s.to_dict() for s in session.scenarios])}
+
+
+#: Dispatch table used by the server app.
+HANDLERS: dict[str, Callable[[ServerState, dict[str, Any]], dict[str, Any]]] = {
+    "list_use_cases": handle_list_use_cases,
+    "load_use_case": handle_load_use_case,
+    "describe_dataset": handle_describe_dataset,
+    "set_kpi": handle_set_kpi,
+    "set_drivers": handle_set_drivers,
+    "driver_importance": handle_driver_importance,
+    "sensitivity": handle_sensitivity,
+    "comparison": handle_comparison,
+    "per_data": handle_per_data,
+    "goal_inversion": handle_goal_inversion,
+    "constrained": handle_constrained,
+    "list_scenarios": handle_list_scenarios,
+}

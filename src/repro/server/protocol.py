@@ -1,0 +1,145 @@
+"""Request/response protocol for the SystemD backend.
+
+The original SystemD has a browser client that sends JSON requests to a Python
+backend and re-renders views from the JSON responses.  This module defines the
+message envelope and the action vocabulary, one action per view/interaction in
+Figure 2:
+
+===================  ======================================================
+action               paper view / interaction
+===================  ======================================================
+``list_use_cases``   (A) use-case selection
+``load_use_case``    (A)+(B) load dataset, return table preview
+``describe_dataset`` (B) table view metadata
+``set_kpi``          (C) KPI selection
+``set_drivers``      (D) driver list selection
+``driver_importance``(E) driver importance analysis
+``sensitivity``      (F)+(G)+(H) perturbation options and sensitivity run
+``comparison``       (H) comparison analysis
+``per_data``         (H) per-data analysis
+``goal_inversion``   (I) goal inversion analysis
+``constrained``      (G)+(I) constrained analysis
+``list_scenarios``   options tracking
+===================  ======================================================
+
+Requests and responses are plain dataclasses that serialise to/from dicts, so
+they can travel over any transport (the in-process dispatcher used in tests
+and benchmarks, or the stdlib HTTP wrapper in :mod:`repro.server.app`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Request", "Response", "ACTIONS", "ProtocolError"]
+
+#: The full action vocabulary of the backend.
+ACTIONS = (
+    "list_use_cases",
+    "load_use_case",
+    "describe_dataset",
+    "set_kpi",
+    "set_drivers",
+    "driver_importance",
+    "sensitivity",
+    "comparison",
+    "per_data",
+    "goal_inversion",
+    "constrained",
+    "list_scenarios",
+)
+
+
+class ProtocolError(Exception):
+    """Raised for malformed requests (unknown action, missing parameters)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request.
+
+    Attributes
+    ----------
+    action:
+        One of :data:`ACTIONS`.
+    params:
+        Action-specific parameters (driver lists, perturbations, bounds, ...).
+    request_id:
+        Client-side correlation id, echoed in the response.
+    """
+
+    action: str
+    params: dict[str, Any] = field(default_factory=dict)
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ProtocolError(
+                f"unknown action {self.action!r}; valid actions: {', '.join(ACTIONS)}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {"action": self.action, "params": dict(self.params), "request_id": self.request_id}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Request":
+        """Parse a request dict (raises :class:`ProtocolError` when malformed)."""
+        if "action" not in payload:
+            raise ProtocolError("request is missing the 'action' field")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be an object")
+        return cls(
+            action=str(payload["action"]),
+            params=params,
+            request_id=str(payload.get("request_id", "")),
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """A backend response.
+
+    Attributes
+    ----------
+    ok:
+        Whether the request succeeded.
+    data:
+        Action-specific payload (empty on error).
+    error:
+        Error message when ``ok`` is False.
+    request_id:
+        Correlation id echoed from the request.
+    elapsed_ms:
+        Server-side processing time, surfaced so the latency benchmark (P1)
+        can report per-view response times the way the paper's "fast real-time
+        response" requirement frames them.
+    """
+
+    ok: bool
+    data: dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+    request_id: str = ""
+    elapsed_ms: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "ok": self.ok,
+            "data": dict(self.data),
+            "error": self.error,
+            "request_id": self.request_id,
+            "elapsed_ms": self.elapsed_ms,
+        }
+
+    @classmethod
+    def success(cls, data: dict[str, Any], *, request_id: str = "", elapsed_ms: float = 0.0) -> "Response":
+        """Build a success response."""
+        return cls(ok=True, data=data, request_id=request_id, elapsed_ms=elapsed_ms)
+
+    @classmethod
+    def failure(cls, error: str, *, request_id: str = "", elapsed_ms: float = 0.0) -> "Response":
+        """Build an error response."""
+        return cls(ok=False, error=error, request_id=request_id, elapsed_ms=elapsed_ms)

@@ -1,0 +1,65 @@
+"""JSON-safe serialisation helpers for the server layer.
+
+The paper's backend "packs [predictions] into efficient JSON data structures
+to send to the client in response to user interactions".  Result objects in
+:mod:`repro.core` already expose ``to_dict``; these helpers handle the
+remaining cases (frames, numpy scalars/arrays) and guarantee everything that
+leaves a handler survives ``json.dumps``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from ..frame import DataFrame
+
+__all__ = ["to_json_safe", "frame_preview", "dumps"]
+
+
+def to_json_safe(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serialisable Python types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        if isinstance(value, float) and (np.isnan(value) or np.isinf(value)):
+            return None
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        result = float(value)
+        return None if (np.isnan(result) or np.isinf(result)) else result
+    if isinstance(value, np.ndarray):
+        return [to_json_safe(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): to_json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_json_safe(v) for v in value]
+    if isinstance(value, DataFrame):
+        return {
+            "columns": value.columns,
+            "dtypes": value.dtypes,
+            "records": to_json_safe(value.to_records()),
+        }
+    if hasattr(value, "to_dict"):
+        return to_json_safe(value.to_dict())
+    raise TypeError(f"cannot serialise value of type {type(value).__name__} to JSON")
+
+
+def frame_preview(frame: DataFrame, *, max_rows: int = 50) -> dict[str, Any]:
+    """Table-view payload: schema plus the first ``max_rows`` rows."""
+    return {
+        "n_rows": frame.n_rows,
+        "n_columns": frame.n_columns,
+        "columns": frame.columns,
+        "dtypes": frame.dtypes,
+        "rows": to_json_safe(frame.head(max_rows).to_records()),
+    }
+
+
+def dumps(payload: Any, *, indent: int | None = None) -> str:
+    """Serialise a payload to a JSON string (after making it JSON-safe)."""
+    return json.dumps(to_json_safe(payload), indent=indent)

@@ -1,0 +1,39 @@
+"""Declarative experiment specification (paper §5 "Specification and Reuse"):
+typed grammar, strict JSON parser, SQL compilation of the data slice, and an
+executor that replays specs against the what-if session API."""
+
+from .executor import ExperimentRun, build_dataset, build_session, execute_spec
+from .grammar import (
+    ANALYSIS_KINDS,
+    AnalysisSpec,
+    DatasetSpec,
+    DriverSpec,
+    ExperimentSpec,
+    FilterSpec,
+    FormulaSpec,
+    KPISpec,
+)
+from .parser import SpecError, dump_spec, load_spec, parse_spec
+from .sql import compile_filters, compile_select, spec_to_sql
+
+__all__ = [
+    "ExperimentSpec",
+    "DatasetSpec",
+    "KPISpec",
+    "DriverSpec",
+    "FormulaSpec",
+    "FilterSpec",
+    "AnalysisSpec",
+    "ANALYSIS_KINDS",
+    "SpecError",
+    "parse_spec",
+    "load_spec",
+    "dump_spec",
+    "execute_spec",
+    "build_dataset",
+    "build_session",
+    "ExperimentRun",
+    "spec_to_sql",
+    "compile_select",
+    "compile_filters",
+]

@@ -1,0 +1,182 @@
+"""Execute a parsed experiment specification.
+
+The executor replays a spec against the same public API an interactive user
+drives: build the dataset (loading the use case, applying filters, adding
+formula drivers), construct a :class:`~repro.core.session.WhatIfSession`, run
+each analysis step in order, and collect the results keyed by step name.  A
+spec executed here therefore produces byte-for-byte the same result objects a
+hand-driven session would — the property the spec round-trip integration test
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core import DriverBound, WhatIfSession
+from ..datasets import get_use_case
+from ..frame import DataFrame
+from .grammar import AnalysisSpec, DatasetSpec, ExperimentSpec, FilterSpec
+from .parser import SpecError
+
+__all__ = ["ExperimentRun", "execute_spec", "build_dataset", "build_session"]
+
+
+@dataclass
+class ExperimentRun:
+    """Results of executing one experiment spec.
+
+    Attributes
+    ----------
+    spec:
+        The executed specification.
+    session:
+        The session the analyses ran against (kept for follow-up queries).
+    results:
+        Mapping of analysis step name to its result object.
+    """
+
+    spec: ExperimentSpec
+    session: WhatIfSession
+    results: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary of the run."""
+        return {
+            "name": self.spec.name,
+            "description": self.spec.description,
+            "kpi": self.session.kpi.to_dict(),
+            "drivers": self.session.drivers,
+            "results": {
+                name: result.to_dict() for name, result in self.results.items()
+            },
+        }
+
+
+# --------------------------------------------------------------------------- #
+def _apply_filter(frame: DataFrame, spec: FilterSpec) -> DataFrame:
+    column = frame.column(spec.column)
+    if spec.op == "in":
+        mask = column.isin(spec.value)
+    elif spec.op == "==":
+        mask = column.eq(spec.value)
+    elif spec.op == "!=":
+        mask = column.ne(spec.value)
+    elif spec.op == ">":
+        mask = column.gt(spec.value)
+    elif spec.op == ">=":
+        mask = column.ge(spec.value)
+    elif spec.op == "<":
+        mask = column.lt(spec.value)
+    else:
+        mask = column.le(spec.value)
+    return frame.mask(np.asarray(mask, dtype=bool))
+
+
+def build_dataset(dataset: DatasetSpec) -> DataFrame:
+    """Materialise the dataset a spec refers to (use case or inline records)."""
+    if dataset.use_case:
+        try:
+            frame = get_use_case(dataset.use_case).load(**dataset.dataset_kwargs)
+        except KeyError as exc:
+            raise SpecError(str(exc.args[0])) from exc
+    else:
+        frame = DataFrame.from_records(list(dataset.records))
+    for filter_spec in dataset.filters:
+        frame = _apply_filter(frame, filter_spec)
+    if frame.n_rows == 0:
+        raise SpecError("dataset filters removed every row")
+    return frame
+
+
+def build_session(spec: ExperimentSpec) -> WhatIfSession:
+    """Construct the session a spec describes (dataset + KPI + drivers)."""
+    frame = build_dataset(spec.dataset)
+    session = WhatIfSession(
+        frame,
+        spec.kpi.column,
+        random_state=spec.random_state,
+    )
+    for formula in spec.drivers.formulas:
+        session.add_formula_driver(formula.name, formula.expression)
+    if spec.drivers.include:
+        session.select_drivers(list(spec.drivers.include))
+    if spec.drivers.exclude:
+        session.exclude_drivers(list(spec.drivers.exclude))
+    return session
+
+
+def _run_step(session: WhatIfSession, step: AnalysisSpec) -> Any:
+    params = dict(step.params)
+    if step.kind == "driver_importance":
+        return session.driver_importance(verify=bool(params.get("verify", True)))
+    if step.kind == "sensitivity":
+        return session.sensitivity(
+            params["perturbations"],
+            mode=params.get("mode", "percentage"),
+            track_as=params.get("track_as", step.name),
+        )
+    if step.kind == "comparison":
+        return session.comparison_analysis(
+            params.get("drivers"),
+            params.get("amounts", (-40.0, -20.0, 0.0, 20.0, 40.0)),
+            mode=params.get("mode", "percentage"),
+        )
+    if step.kind == "per_data":
+        return session.per_data_analysis(
+            int(params["row_index"]),
+            params["perturbations"],
+            mode=params.get("mode", "percentage"),
+        )
+    if step.kind == "goal_inversion":
+        return session.goal_inversion(
+            params.get("goal", "maximize"),
+            target_value=params.get("target_value"),
+            drivers=params.get("drivers"),
+            mode=params.get("mode", "percentage"),
+            n_calls=int(params.get("n_calls", 30)),
+            optimizer=params.get("optimizer", "bayesian"),
+            track_as=params.get("track_as", step.name),
+        )
+    if step.kind == "constrained":
+        raw_bounds = params.get("bounds", {})
+        if isinstance(raw_bounds, dict):
+            bounds: Any = {
+                driver: (float(pair[0]), float(pair[1]))
+                for driver, pair in raw_bounds.items()
+            }
+        else:
+            bounds = [DriverBound.from_dict(item) for item in raw_bounds]
+        return session.constrained_analysis(
+            bounds,
+            goal=params.get("goal", "maximize"),
+            target_value=params.get("target_value"),
+            drivers=params.get("drivers"),
+            mode=params.get("mode", "percentage"),
+            n_calls=int(params.get("n_calls", 30)),
+            optimizer=params.get("optimizer", "bayesian"),
+            track_as=params.get("track_as", step.name),
+        )
+    raise SpecError(f"unhandled analysis kind {step.kind!r}")  # pragma: no cover
+
+
+def execute_spec(spec: ExperimentSpec) -> ExperimentRun:
+    """Execute every analysis step of a spec and collect the results.
+
+    Raises
+    ------
+    SpecError
+        When a step's parameters are missing or invalid (wrapping the
+        underlying session error with the step name for easier debugging).
+    """
+    session = build_session(spec)
+    run = ExperimentRun(spec=spec, session=session)
+    for step in spec.analyses:
+        try:
+            run.results[step.name] = _run_step(session, step)
+        except (KeyError, ValueError, IndexError) as exc:
+            raise SpecError(f"analysis step {step.name!r} failed: {exc}") from exc
+    return run

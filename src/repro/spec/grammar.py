@@ -1,0 +1,201 @@
+"""Declarative specification grammar for what-if experiments.
+
+Section 5 of the paper ("Specification and Reuse") calls for "an editable
+specification of the experiments that SystemD supports ... identifying the
+right grammar for specifying these data experiments and enabling their
+interoperability with ... other data science languages or platforms".  This
+module defines that grammar as typed dataclasses; the parser turns JSON/dicts
+into these objects and the executor replays them against a
+:class:`~repro.core.session.WhatIfSession`.
+
+An experiment spec has four parts, mirroring the UI workflow:
+
+* ``dataset`` — which use case (or inline records) to analyse, with optional
+  slicing (filters) applied before modelling;
+* ``kpi`` — KPI column and optional aggregation override;
+* ``drivers`` — driver selection (include/exclude) and derived formula drivers;
+* ``analyses`` — an ordered list of analysis steps (importance, sensitivity,
+  comparison, per-data, goal inversion, constrained), each with its own
+  parameters and an identifier so results can be referenced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "DatasetSpec",
+    "FilterSpec",
+    "FormulaSpec",
+    "DriverSpec",
+    "KPISpec",
+    "AnalysisSpec",
+    "ExperimentSpec",
+    "ANALYSIS_KINDS",
+]
+
+#: Analysis step kinds understood by the executor.
+ANALYSIS_KINDS = (
+    "driver_importance",
+    "sensitivity",
+    "comparison",
+    "per_data",
+    "goal_inversion",
+    "constrained",
+)
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A row filter ``column (op) value`` applied before modelling.
+
+    Supported operators: ``==``, ``!=``, ``>``, ``>=``, ``<``, ``<=``, ``in``.
+    """
+
+    column: str
+    op: str
+    value: Any
+
+    _OPS = ("==", "!=", ">", ">=", "<", "<=", "in")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unsupported filter operator {self.op!r}; expected one of {self._OPS}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {"column": self.column, "op": self.op, "value": self.value}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Where the analysis data comes from.
+
+    Exactly one of ``use_case`` or ``records`` must be provided.
+    """
+
+    use_case: str = ""
+    records: tuple[dict[str, Any], ...] = ()
+    dataset_kwargs: dict[str, Any] = field(default_factory=dict)
+    filters: tuple[FilterSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if bool(self.use_case) == bool(self.records):
+            raise ValueError("provide exactly one of 'use_case' or 'records'")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "use_case": self.use_case,
+            "records": list(self.records),
+            "dataset_kwargs": dict(self.dataset_kwargs),
+            "filters": [f.to_dict() for f in self.filters],
+        }
+
+
+@dataclass(frozen=True)
+class KPISpec:
+    """KPI selection."""
+
+    column: str
+    aggregation: str = ""
+    positive_label: Any = True
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "column": self.column,
+            "aggregation": self.aggregation,
+            "positive_label": self.positive_label,
+        }
+
+
+@dataclass(frozen=True)
+class FormulaSpec:
+    """A derived hypothesis-formula driver."""
+
+    name: str
+    expression: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {"name": self.name, "expression": self.expression}
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """Driver selection: include list, exclude list, and derived formulas."""
+
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    formulas: tuple[FormulaSpec, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {
+            "include": list(self.include),
+            "exclude": list(self.exclude),
+            "formulas": [f.to_dict() for f in self.formulas],
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One analysis step.
+
+    ``params`` is interpreted per ``kind``:
+
+    * ``sensitivity`` / ``per_data`` — ``perturbations`` mapping, ``mode``,
+      ``row_index`` (per-data only);
+    * ``comparison`` — ``drivers``, ``amounts``, ``mode``;
+    * ``goal_inversion`` — ``goal``, ``target_value``, ``drivers``, ``n_calls``;
+    * ``constrained`` — everything goal inversion takes plus ``bounds``;
+    * ``driver_importance`` — ``verify``.
+    """
+
+    kind: str
+    name: str = ""
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ANALYSIS_KINDS:
+            raise ValueError(
+                f"unknown analysis kind {self.kind!r}; expected one of {ANALYSIS_KINDS}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", self.kind)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation."""
+        return {"kind": self.kind, "name": self.name, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, reusable what-if experiment."""
+
+    dataset: DatasetSpec
+    kpi: KPISpec
+    drivers: DriverSpec = field(default_factory=DriverSpec)
+    analyses: tuple[AnalysisSpec, ...] = ()
+    name: str = "experiment"
+    description: str = ""
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.analyses]
+        if len(set(names)) != len(names):
+            raise ValueError(f"analysis step names must be unique, got {names}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (round-trips through the parser)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "random_state": self.random_state,
+            "dataset": self.dataset.to_dict(),
+            "kpi": self.kpi.to_dict(),
+            "drivers": self.drivers.to_dict(),
+            "analyses": [a.to_dict() for a in self.analyses],
+        }

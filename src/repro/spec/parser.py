@@ -1,0 +1,152 @@
+"""Parse JSON/dict experiment specifications into the typed grammar.
+
+The parser is deliberately strict: unknown top-level or per-section keys are
+rejected with a :class:`SpecError` naming the offending key, because silently
+ignored keys are how reusable specs rot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .grammar import (
+    AnalysisSpec,
+    DatasetSpec,
+    DriverSpec,
+    ExperimentSpec,
+    FilterSpec,
+    FormulaSpec,
+    KPISpec,
+)
+
+__all__ = ["SpecError", "parse_spec", "load_spec", "dump_spec"]
+
+
+class SpecError(ValueError):
+    """Raised when a specification is malformed."""
+
+
+def _require_keys(section: dict[str, Any], allowed: set[str], where: str) -> None:
+    unknown = set(section) - allowed
+    if unknown:
+        raise SpecError(
+            f"unknown key(s) {sorted(unknown)} in {where}; allowed: {sorted(allowed)}"
+        )
+
+
+def _parse_dataset(payload: dict[str, Any]) -> DatasetSpec:
+    _require_keys(
+        payload, {"use_case", "records", "dataset_kwargs", "filters"}, "'dataset'"
+    )
+    filters = []
+    for item in payload.get("filters", []):
+        _require_keys(item, {"column", "op", "value"}, "'dataset.filters[]'")
+        try:
+            filters.append(FilterSpec(item["column"], item["op"], item["value"]))
+        except (KeyError, ValueError) as exc:
+            raise SpecError(f"invalid filter: {exc}") from exc
+    try:
+        return DatasetSpec(
+            use_case=payload.get("use_case", ""),
+            records=tuple(payload.get("records", ())),
+            dataset_kwargs=dict(payload.get("dataset_kwargs", {})),
+            filters=tuple(filters),
+        )
+    except ValueError as exc:
+        raise SpecError(str(exc)) from exc
+
+
+def _parse_kpi(payload: dict[str, Any]) -> KPISpec:
+    _require_keys(payload, {"column", "aggregation", "positive_label"}, "'kpi'")
+    if "column" not in payload:
+        raise SpecError("'kpi.column' is required")
+    return KPISpec(
+        column=payload["column"],
+        aggregation=payload.get("aggregation", ""),
+        positive_label=payload.get("positive_label", True),
+    )
+
+
+def _parse_drivers(payload: dict[str, Any]) -> DriverSpec:
+    _require_keys(payload, {"include", "exclude", "formulas"}, "'drivers'")
+    formulas = []
+    for item in payload.get("formulas", []):
+        _require_keys(item, {"name", "expression"}, "'drivers.formulas[]'")
+        if "name" not in item or "expression" not in item:
+            raise SpecError("each formula needs 'name' and 'expression'")
+        formulas.append(FormulaSpec(item["name"], item["expression"]))
+    return DriverSpec(
+        include=tuple(payload.get("include", ())),
+        exclude=tuple(payload.get("exclude", ())),
+        formulas=tuple(formulas),
+    )
+
+
+def _parse_analysis(payload: dict[str, Any]) -> AnalysisSpec:
+    _require_keys(payload, {"kind", "name", "params"}, "'analyses[]'")
+    if "kind" not in payload:
+        raise SpecError("each analysis step needs a 'kind'")
+    try:
+        return AnalysisSpec(
+            kind=payload["kind"],
+            name=payload.get("name", ""),
+            params=dict(payload.get("params", {})),
+        )
+    except ValueError as exc:
+        raise SpecError(str(exc)) from exc
+
+
+def parse_spec(payload: dict[str, Any]) -> ExperimentSpec:
+    """Parse a spec dictionary into an :class:`ExperimentSpec`.
+
+    Raises
+    ------
+    SpecError
+        For missing sections, unknown keys, or invalid values.
+    """
+    if not isinstance(payload, dict):
+        raise SpecError("a specification must be a JSON object")
+    _require_keys(
+        payload,
+        {"name", "description", "random_state", "dataset", "kpi", "drivers", "analyses"},
+        "the experiment spec",
+    )
+    for section in ("dataset", "kpi"):
+        if section not in payload:
+            raise SpecError(f"'{section}' section is required")
+    analyses = tuple(_parse_analysis(item) for item in payload.get("analyses", []))
+    try:
+        return ExperimentSpec(
+            dataset=_parse_dataset(payload["dataset"]),
+            kpi=_parse_kpi(payload["kpi"]),
+            drivers=_parse_drivers(payload.get("drivers", {})),
+            analyses=analyses,
+            name=payload.get("name", "experiment"),
+            description=payload.get("description", ""),
+            random_state=int(payload.get("random_state", 0)),
+        )
+    except ValueError as exc:
+        raise SpecError(str(exc)) from exc
+
+
+def load_spec(path: str | Path) -> ExperimentSpec:
+    """Load and parse a JSON spec file."""
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file not found: {path}")
+    with path.open() as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec file {path} is not valid JSON: {exc}") from exc
+    return parse_spec(payload)
+
+
+def dump_spec(spec: ExperimentSpec, path: str | Path | None = None, *, indent: int = 2) -> str:
+    """Serialise a spec back to JSON text (and optionally write it to a file)."""
+    text = json.dumps(spec.to_dict(), indent=indent)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

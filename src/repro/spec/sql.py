@@ -1,0 +1,76 @@
+"""Compile the data-access part of a spec to SQL text.
+
+The paper suggests integrating experiment specifications "with SQL as many
+data analysis systems, including Sigma, compile the data analysis intent of
+users into SQL queries".  The modelling and optimisation steps have no SQL
+equivalent, but the *data slice* an experiment runs on does: which table
+(use case), which columns (KPI + drivers), and which row filters.  This module
+renders that slice as a standalone ``SELECT`` so a spec can be handed to a
+warehouse-backed system to materialise the same analysis dataset.
+"""
+
+from __future__ import annotations
+
+from .grammar import DatasetSpec, ExperimentSpec, FilterSpec
+
+__all__ = ["compile_filters", "compile_select", "spec_to_sql"]
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote a column/table identifier (double quotes, embedded quotes doubled)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _render_value(value) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if value is None:
+        return "NULL"
+    return repr(float(value)) if isinstance(value, float) else repr(value)
+
+
+def compile_filters(filters: tuple[FilterSpec, ...] | list[FilterSpec]) -> str:
+    """Render filters as a SQL ``WHERE`` clause body (without the keyword)."""
+    clauses = []
+    for item in filters:
+        column = _quote_identifier(item.column)
+        if item.op == "in":
+            values = ", ".join(_render_value(v) for v in item.value)
+            clauses.append(f"{column} IN ({values})")
+        elif item.op == "==":
+            clauses.append(f"{column} = {_render_value(item.value)}")
+        elif item.op == "!=":
+            clauses.append(f"{column} <> {_render_value(item.value)}")
+        else:
+            clauses.append(f"{column} {item.op} {_render_value(item.value)}")
+    return " AND ".join(clauses)
+
+
+def compile_select(
+    dataset: DatasetSpec, columns: list[str] | None = None
+) -> str:
+    """Render the dataset slice of a spec as a ``SELECT`` statement."""
+    table = dataset.use_case if dataset.use_case else "inline_records"
+    column_sql = (
+        ", ".join(_quote_identifier(c) for c in columns) if columns else "*"
+    )
+    sql = f"SELECT {column_sql}\nFROM {_quote_identifier(table)}"
+    if dataset.filters:
+        sql += f"\nWHERE {compile_filters(dataset.filters)}"
+    return sql
+
+
+def spec_to_sql(spec: ExperimentSpec) -> str:
+    """Render the full data slice of an experiment spec as SQL.
+
+    Columns are the KPI plus the included drivers (or ``*`` when the spec does
+    not name an explicit include list).
+    """
+    columns: list[str] | None
+    if spec.drivers.include:
+        columns = [spec.kpi.column, *spec.drivers.include]
+    else:
+        columns = None
+    return compile_select(spec.dataset, columns)

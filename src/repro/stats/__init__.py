@@ -1,0 +1,31 @@
+"""Statistics substrate: correlations, Shapley values, permutation importance,
+bootstrap resampling, and rank-agreement measures used to verify driver
+importances and quantify robustness."""
+
+from .bootstrap import BootstrapResult, bootstrap_indices, bootstrap_statistic
+from .correlation import (
+    correlation_matrix,
+    pearson_correlation,
+    rankdata,
+    spearman_correlation,
+)
+from .permutation import permutation_importance
+from .rank import kendall_tau, ranking_from_scores, spearman_rank_agreement, top_k_overlap
+from .shapley import global_shapley_importance, shapley_values
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_indices",
+    "bootstrap_statistic",
+    "correlation_matrix",
+    "pearson_correlation",
+    "spearman_correlation",
+    "rankdata",
+    "permutation_importance",
+    "kendall_tau",
+    "ranking_from_scores",
+    "spearman_rank_agreement",
+    "top_k_overlap",
+    "global_shapley_importance",
+    "shapley_values",
+]

@@ -1,0 +1,104 @@
+"""Bootstrap resampling utilities.
+
+Used by the robustness module (Section 5 of the paper: optimal solutions "may
+suddenly perform very poorly" under small changes to the data) to quantify how
+stable driver importances and KPI estimates are across resamples, and to put
+confidence intervals on the KPI uplifts reported by sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BootstrapResult", "bootstrap_statistic", "bootstrap_indices"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Summary of a bootstrapped statistic.
+
+    Attributes
+    ----------
+    estimate:
+        The statistic on the full (un-resampled) data.
+    samples:
+        The statistic on each bootstrap resample.
+    ci_low, ci_high:
+        Percentile confidence-interval bounds.
+    confidence:
+        The confidence level the interval corresponds to.
+    """
+
+    estimate: float
+    samples: np.ndarray
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the statistic across resamples."""
+        return float(np.std(self.samples, ddof=1)) if self.samples.size > 1 else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-safe summary (samples omitted)."""
+        return {
+            "estimate": self.estimate,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+            "std_error": self.std_error,
+        }
+
+
+def bootstrap_indices(
+    n_samples: int, n_resamples: int, *, random_state: int | None = None
+) -> np.ndarray:
+    """Return an ``(n_resamples, n_samples)`` matrix of bootstrap row indices."""
+    if n_samples < 1 or n_resamples < 1:
+        raise ValueError("n_samples and n_resamples must be positive")
+    rng = np.random.default_rng(random_state)
+    return rng.integers(0, n_samples, size=(n_resamples, n_samples))
+
+
+def bootstrap_statistic(
+    data: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    *,
+    n_resamples: int = 200,
+    confidence: float = 0.95,
+    random_state: int | None = None,
+) -> BootstrapResult:
+    """Percentile-bootstrap a statistic of rows of ``data``.
+
+    Parameters
+    ----------
+    data:
+        1-D or 2-D array; resampling happens along the first axis.
+    statistic:
+        Callable mapping a resampled array to a scalar.
+    n_resamples:
+        Number of bootstrap resamples.
+    confidence:
+        Confidence level of the percentile interval (0 < confidence < 1).
+    random_state:
+        Seed for reproducibility.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.shape[0] < 2:
+        raise ValueError("bootstrap requires at least two rows")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be strictly between 0 and 1")
+    indices = bootstrap_indices(data.shape[0], n_resamples, random_state=random_state)
+    samples = np.array([statistic(data[row_indices]) for row_indices in indices])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=float(statistic(data)),
+        samples=samples,
+        ci_low=float(np.quantile(samples, alpha)),
+        ci_high=float(np.quantile(samples, 1.0 - alpha)),
+        confidence=confidence,
+    )

@@ -1,0 +1,93 @@
+"""Pearson and Spearman correlation.
+
+The paper verifies model-derived driver importances "using traditional
+measures such as Shapley, Pearson, and Spearman rank ... to ensure that the
+model coefficients are not misleading".  These two functions provide the
+correlation half of that verification; both return values in ``[-1, 1]``,
+the same range the driver-importance view displays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = [
+    "pearson_correlation",
+    "spearman_correlation",
+    "correlation_matrix",
+    "rankdata",
+]
+
+
+def _validate_pair(x, y) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"length mismatch: {x.shape[0]} vs {y.shape[0]}")
+    if x.shape[0] < 2:
+        raise ValueError("correlation requires at least two observations")
+    return x, y
+
+
+def pearson_correlation(x, y, *, with_p_value: bool = False):
+    """Pearson product-moment correlation between ``x`` and ``y``.
+
+    Returns the coefficient, or ``(coefficient, p_value)`` when
+    ``with_p_value`` is True.  Constant inputs yield a correlation of 0.0
+    (rather than NaN) because a constant driver carries no importance signal.
+    """
+    x, y = _validate_pair(x, y)
+    if np.std(x) == 0 or np.std(y) == 0:
+        return (0.0, 1.0) if with_p_value else 0.0
+    result = scipy_stats.pearsonr(x, y)
+    coefficient = float(result.statistic)
+    if with_p_value:
+        return coefficient, float(result.pvalue)
+    return coefficient
+
+
+def spearman_correlation(x, y, *, with_p_value: bool = False):
+    """Spearman rank correlation between ``x`` and ``y``.
+
+    Same conventions as :func:`pearson_correlation`.
+    """
+    x, y = _validate_pair(x, y)
+    if np.std(x) == 0 or np.std(y) == 0:
+        return (0.0, 1.0) if with_p_value else 0.0
+    result = scipy_stats.spearmanr(x, y)
+    coefficient = float(result.statistic)
+    if with_p_value:
+        return coefficient, float(result.pvalue)
+    return coefficient
+
+
+def rankdata(values) -> np.ndarray:
+    """Average ranks of ``values`` (ties share the mean rank), 1-based."""
+    return scipy_stats.rankdata(np.asarray(values, dtype=np.float64))
+
+
+def correlation_matrix(X, *, method: str = "pearson") -> np.ndarray:
+    """Pairwise correlation matrix of the columns of ``X``.
+
+    Parameters
+    ----------
+    X:
+        2-D array of shape ``(n_samples, n_features)``.
+    method:
+        ``"pearson"`` or ``"spearman"``.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("correlation_matrix expects a 2-D array")
+    if method not in ("pearson", "spearman"):
+        raise ValueError(f"unknown method {method!r}")
+    correlate = pearson_correlation if method == "pearson" else spearman_correlation
+    n_features = X.shape[1]
+    matrix = np.eye(n_features)
+    for i in range(n_features):
+        for j in range(i + 1, n_features):
+            value = correlate(X[:, i], X[:, j])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix

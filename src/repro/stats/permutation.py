@@ -1,0 +1,68 @@
+"""Permutation feature importance.
+
+A model-agnostic importance measure: how much does the model's score drop when
+a single driver's column is shuffled?  Used as an additional cross-check in
+the driver-importance verification report and in the robustness analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["permutation_importance"]
+
+
+def permutation_importance(
+    model,
+    X,
+    y,
+    *,
+    n_repeats: int = 5,
+    scoring=None,
+    random_state: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Permutation importance of every feature.
+
+    Parameters
+    ----------
+    model:
+        A fitted estimator with a ``score`` method (or supply ``scoring``).
+    X, y:
+        Evaluation data.
+    n_repeats:
+        Number of shuffles per feature.
+    scoring:
+        Optional callable ``scoring(model, X, y) -> float``; defaults to
+        ``model.score``.
+    random_state:
+        Seed for reproducibility.
+
+    Returns
+    -------
+    dict
+        ``{"importances_mean": ..., "importances_std": ..., "baseline_score": ...}``
+        where the arrays have one entry per feature.  Positive values mean the
+        feature mattered (shuffling it hurt the score).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    if n_repeats < 1:
+        raise ValueError("n_repeats must be positive")
+    score = scoring if scoring is not None else (lambda m, X_, y_: m.score(X_, y_))
+    rng = np.random.default_rng(random_state)
+
+    baseline = score(model, X, y)
+    n_features = X.shape[1]
+    drops = np.zeros((n_features, n_repeats))
+    for feature in range(n_features):
+        for repeat in range(n_repeats):
+            shuffled = X.copy()
+            shuffled[:, feature] = rng.permutation(shuffled[:, feature])
+            drops[feature, repeat] = baseline - score(model, shuffled, y)
+    return {
+        "importances_mean": drops.mean(axis=1),
+        "importances_std": drops.std(axis=1),
+        "baseline_score": float(baseline),
+    }

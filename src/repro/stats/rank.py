@@ -1,0 +1,85 @@
+"""Rank-agreement utilities for comparing driver-importance orderings.
+
+The paper verifies model importances against Shapley/Pearson/Spearman and, in
+the robustness discussion, warns that different models "may yield different
+rankings of driver importance".  These helpers quantify how much two rankings
+agree: Kendall's tau, Spearman's rank correlation over importance vectors, and
+top-k overlap (do the two methods agree on which drivers matter most, which is
+what a business user actually reads off the bar chart).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["kendall_tau", "spearman_rank_agreement", "top_k_overlap", "ranking_from_scores"]
+
+
+def ranking_from_scores(scores, *, descending: bool = True) -> list[int]:
+    """Return feature indices ordered by score (best first by default)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(scores, kind="stable")
+    if descending:
+        order = order[::-1]
+    return [int(i) for i in order]
+
+
+def kendall_tau(scores_a, scores_b) -> float:
+    """Kendall's tau between two importance score vectors.
+
+    Returns 0.0 when either vector is constant (no ordering information).
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("score vectors must have the same shape")
+    if scores_a.size < 2:
+        raise ValueError("at least two scores are required")
+    if np.std(scores_a) == 0 or np.std(scores_b) == 0:
+        return 0.0
+    result = scipy_stats.kendalltau(scores_a, scores_b)
+    statistic = float(result.statistic)
+    return 0.0 if np.isnan(statistic) else statistic
+
+
+def spearman_rank_agreement(scores_a, scores_b) -> float:
+    """Spearman correlation between two importance score vectors."""
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("score vectors must have the same shape")
+    if np.std(scores_a) == 0 or np.std(scores_b) == 0:
+        return 0.0
+    result = scipy_stats.spearmanr(scores_a, scores_b)
+    statistic = float(result.statistic)
+    return 0.0 if np.isnan(statistic) else statistic
+
+
+def top_k_overlap(scores_a, scores_b, k: int, *, by_magnitude: bool = True) -> float:
+    """Fraction of shared features among the top-``k`` of each score vector.
+
+    Parameters
+    ----------
+    scores_a, scores_b:
+        Importance score vectors over the same features.
+    k:
+        Size of the head of each ranking to compare.
+    by_magnitude:
+        Rank by absolute value (default), matching how the importance bar
+        chart orders drivers by |importance|.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("score vectors must have the same shape")
+    if not 1 <= k <= scores_a.size:
+        raise ValueError(f"k must be between 1 and {scores_a.size}")
+    if by_magnitude:
+        scores_a = np.abs(scores_a)
+        scores_b = np.abs(scores_b)
+    top_a = set(ranking_from_scores(scores_a)[:k])
+    top_b = set(ranking_from_scores(scores_b)[:k])
+    return len(top_a & top_b) / k

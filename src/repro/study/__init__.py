@@ -1,0 +1,34 @@
+"""Evaluation-study harness: the Table 1 questionnaire, Likert aggregation,
+simulated business-user personas, and the protocol simulation that regenerates
+the Figure 3 usability chart."""
+
+from .likert import LIKERT_MAX, LIKERT_MIN, LikertResponse, LikertSummary, aggregate_responses
+from .personas import DEFAULT_PERSONAS, Persona
+from .questionnaire import (
+    ALL_QUESTIONS,
+    OPEN_ENDED_QUESTIONS,
+    PRE_STUDY_QUESTIONS,
+    USABILITY_QUESTIONS,
+    Question,
+    questions_by_category,
+)
+from .simulation import StudyResult, run_study, simulate_responses
+
+__all__ = [
+    "Question",
+    "ALL_QUESTIONS",
+    "PRE_STUDY_QUESTIONS",
+    "USABILITY_QUESTIONS",
+    "OPEN_ENDED_QUESTIONS",
+    "questions_by_category",
+    "LikertResponse",
+    "LikertSummary",
+    "aggregate_responses",
+    "LIKERT_MIN",
+    "LIKERT_MAX",
+    "Persona",
+    "DEFAULT_PERSONAS",
+    "StudyResult",
+    "run_study",
+    "simulate_responses",
+]

@@ -1,0 +1,98 @@
+"""Likert-scale responses and aggregation (the Figure 3 machinery).
+
+Participants rated the usability statements on a 1 (strongly disagree) to 5
+(strongly agree) scale; Figure 3 plots the average per question.  This module
+provides the response containers and the aggregation used to regenerate that
+chart from (simulated) study data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, stdev
+
+__all__ = ["LikertResponse", "LikertSummary", "aggregate_responses", "LIKERT_MIN", "LIKERT_MAX"]
+
+#: Likert scale bounds used throughout the study.
+LIKERT_MIN = 1
+LIKERT_MAX = 5
+
+
+@dataclass(frozen=True)
+class LikertResponse:
+    """One participant's rating of one usability question."""
+
+    participant: str
+    qid: str
+    rating: int
+
+    def __post_init__(self) -> None:
+        if not LIKERT_MIN <= self.rating <= LIKERT_MAX:
+            raise ValueError(
+                f"rating must be between {LIKERT_MIN} and {LIKERT_MAX}, got {self.rating}"
+            )
+
+
+@dataclass(frozen=True)
+class LikertSummary:
+    """Aggregate statistics of one question across participants."""
+
+    qid: str
+    short_label: str
+    mean_rating: float
+    std_rating: float
+    n_responses: int
+    min_rating: int
+    max_rating: int
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (one Figure 3 bar)."""
+        return {
+            "qid": self.qid,
+            "short_label": self.short_label,
+            "mean_rating": self.mean_rating,
+            "std_rating": self.std_rating,
+            "n_responses": self.n_responses,
+            "min_rating": self.min_rating,
+            "max_rating": self.max_rating,
+        }
+
+
+def aggregate_responses(
+    responses: list[LikertResponse], labels: dict[str, str] | None = None
+) -> list[LikertSummary]:
+    """Aggregate raw responses into per-question summaries.
+
+    Parameters
+    ----------
+    responses:
+        All collected ratings.
+    labels:
+        Optional ``qid -> short label`` mapping (taken from the questionnaire).
+
+    Returns
+    -------
+    list[LikertSummary]
+        One summary per question, ordered by descending mean rating — the
+        order Figure 3 lists its bars in.
+    """
+    if not responses:
+        raise ValueError("cannot aggregate zero responses")
+    labels = labels or {}
+    by_question: dict[str, list[int]] = {}
+    for response in responses:
+        by_question.setdefault(response.qid, []).append(response.rating)
+    summaries = []
+    for qid, ratings in by_question.items():
+        summaries.append(
+            LikertSummary(
+                qid=qid,
+                short_label=labels.get(qid, qid),
+                mean_rating=float(mean(ratings)),
+                std_rating=float(stdev(ratings)) if len(ratings) > 1 else 0.0,
+                n_responses=len(ratings),
+                min_rating=min(ratings),
+                max_rating=max(ratings),
+            )
+        )
+    return sorted(summaries, key=lambda s: s.mean_rating, reverse=True)

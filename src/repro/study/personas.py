@@ -1,0 +1,164 @@
+"""Simulated business-user personas.
+
+The study recruited five Sigma business users: a marketing manager, a campaign
+manager, and an account manager (marketing-mix use case), a product manager
+(customer retention), and a sales manager (deal closing).  Those humans cannot
+be re-interviewed offline, so the study harness simulates them with personas
+whose response tendencies are calibrated to the qualitative findings of
+Section 4:
+
+* every participant saw strong value in the system (high usefulness and
+  adoption scores);
+* ratings of *intuitiveness* and *learnability* were noticeably lower — "most
+  participants needed clarification to understand the outputs";
+* three of five ranked driver importance the most useful functionality, the
+  other two ranked sensitivity / constrained analysis first.
+
+Each persona holds a per-question mean rating; the simulation adds bounded
+noise and rounds to the 1-5 scale.  EXPERIMENTS.md flags Figure 3 as a
+simulation-backed reproduction of *shape*, not of human data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Persona", "DEFAULT_PERSONAS"]
+
+
+@dataclass(frozen=True)
+class Persona:
+    """A simulated study participant.
+
+    Attributes
+    ----------
+    name:
+        Role title (also the participant id in responses).
+    use_case:
+        Registry key of the use case the participant analysed.
+    rating_tendency:
+        Mean Likert rating per usability question id.
+    functionality_ranking:
+        The participant's most-to-least-useful ordering of the four
+        functionalities.
+    current_tools:
+        Tools named in the pre-study interview.
+    decision_latency_weeks:
+        How long their current trial-and-error decision loop takes (the "wait
+        three to six months to see the results" pain point, in weeks).
+    """
+
+    name: str
+    use_case: str
+    rating_tendency: dict[str, float]
+    functionality_ranking: tuple[str, ...]
+    current_tools: tuple[str, ...] = ()
+    decision_latency_weeks: float = 12.0
+    quotes: tuple[str, ...] = field(default=())
+
+
+_FUNCTIONALITIES = (
+    "driver_importance",
+    "sensitivity",
+    "goal_inversion",
+    "constrained",
+)
+
+
+def _tendency(
+    understand: float,
+    decisions: float,
+    daily: float,
+    vs_tools_daily: float,
+    vs_tools_decisions: float,
+    integrated: float,
+    learn: float,
+    intuitive: float,
+) -> dict[str, float]:
+    return {
+        "usability-1": understand,
+        "usability-2": decisions,
+        "usability-3": daily,
+        "usability-4": vs_tools_daily,
+        "usability-5": vs_tools_decisions,
+        "usability-6": integrated,
+        "usability-7": learn,
+        "usability-8": intuitive,
+    }
+
+
+#: The five simulated participants, mirroring the paper's recruitment.
+DEFAULT_PERSONAS: tuple[Persona, ...] = (
+    Persona(
+        name="marketing manager",
+        use_case="marketing_mix",
+        rating_tendency=_tendency(5.0, 4.8, 4.6, 4.5, 4.5, 4.3, 4.0, 3.6),
+        functionality_ranking=(
+            "driver_importance",
+            "sensitivity",
+            "constrained",
+            "goal_inversion",
+        ),
+        current_tools=("Sigma", "Microsoft Excel"),
+        decision_latency_weeks=16.0,
+        quotes=(
+            "team consists of only marketers and not technical engineers or data scientists",
+        ),
+    ),
+    Persona(
+        name="campaign manager",
+        use_case="marketing_mix",
+        rating_tendency=_tendency(4.8, 4.7, 4.7, 4.4, 4.4, 4.2, 4.1, 3.7),
+        functionality_ranking=(
+            "driver_importance",
+            "constrained",
+            "sensitivity",
+            "goal_inversion",
+        ),
+        current_tools=("Sigma", "Salesforce"),
+        decision_latency_weeks=12.0,
+        quotes=("definitely much more actionable!",),
+    ),
+    Persona(
+        name="account manager",
+        use_case="marketing_mix",
+        rating_tendency=_tendency(4.7, 4.6, 4.8, 4.5, 4.4, 4.3, 4.2, 3.8),
+        functionality_ranking=(
+            "sensitivity",
+            "driver_importance",
+            "constrained",
+            "goal_inversion",
+        ),
+        current_tools=("Salesforce", "Microsoft Excel"),
+        decision_latency_weeks=10.0,
+        quotes=("wanted to get access to SystemD now!!!",),
+    ),
+    Persona(
+        name="product manager",
+        use_case="customer_retention",
+        rating_tendency=_tendency(4.9, 4.6, 4.4, 4.4, 4.5, 4.1, 3.9, 3.5),
+        functionality_ranking=(
+            "constrained",
+            "sensitivity",
+            "driver_importance",
+            "goal_inversion",
+        ),
+        current_tools=("Sigma", "Microsoft Excel"),
+        decision_latency_weeks=24.0,
+        quotes=("is not something that she is easily able to do right now",),
+    ),
+    Persona(
+        name="sales manager",
+        use_case="deal_closing",
+        rating_tendency=_tendency(4.8, 4.7, 4.5, 4.3, 4.3, 4.2, 4.0, 3.6),
+        functionality_ranking=(
+            "driver_importance",
+            "sensitivity",
+            "goal_inversion",
+            "constrained",
+        ),
+        current_tools=("Salesforce", "Sigma"),
+        decision_latency_weeks=12.0,
+        quotes=("what is the ideal customer journey formula for Sigma?",),
+    ),
+)

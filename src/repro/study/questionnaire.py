@@ -1,0 +1,170 @@
+"""The evaluation questionnaire (paper Table 1).
+
+Table 1 lists the questions used in the three phases of the study: a
+pre-study interview about the participant's data, analysis intent, tools, and
+current decision process; a system-usability block answered on a 5-point
+Likert scale; and open-ended feedback questions.  The text is reproduced here
+as structured data so the study harness, the Table 1 benchmark, and the
+simulated personas all reference the same inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Question",
+    "PRE_STUDY_QUESTIONS",
+    "USABILITY_QUESTIONS",
+    "OPEN_ENDED_QUESTIONS",
+    "ALL_QUESTIONS",
+    "questions_by_category",
+]
+
+
+@dataclass(frozen=True)
+class Question:
+    """One questionnaire item.
+
+    Attributes
+    ----------
+    qid:
+        Stable identifier (``pre-1``, ``usability-3``, ``open-2``, ...).
+    category:
+        ``"pre_study"``, ``"usability"``, or ``"open_ended"``.
+    text:
+        The question text from Table 1.
+    likert:
+        Whether the answer is a 1-5 Likert rating.
+    short_label:
+        Compact label used as a Figure 3 axis tick (usability questions only).
+    """
+
+    qid: str
+    category: str
+    text: str
+    likert: bool = False
+    short_label: str = ""
+
+
+PRE_STUDY_QUESTIONS: tuple[Question, ...] = tuple(
+    Question(qid=f"pre-{i}", category="pre_study", text=text)
+    for i, text in enumerate(
+        [
+            "Can you describe the kind of data you use?",
+            "What is the intent of using the data?",
+            "Given the data, what would you be most interested in analyzing?",
+            "What is the purpose behind interest in the analysis of the data?",
+            "Consider you are interested in sales (U1)/retention rate (U2)/deal closing "
+            "rate (U3), can you describe what analysis would you perform to make decisions "
+            "on investing in the right channels (U1)/increasing the retention rate "
+            "(U2)/increasing deal closing rate (U3)?",
+            "Which tools do you use typically to perform the analyses you described?",
+            "How easy or hard would you say it is for you to analyze the data and make a decision?",
+            "How much time would you approximately take to come up with a hypothesis and "
+            "make a decision based on that?",
+            "What strategies do you use to evaluate whether analyses results match your "
+            "expected hypotheses (via your domain knowledge and/or experience)?",
+        ],
+        start=1,
+    )
+)
+
+USABILITY_QUESTIONS: tuple[Question, ...] = (
+    Question(
+        qid="usability-1",
+        category="usability",
+        text="The functionalities of SystemD are useful in understanding the behavior of the data better.",
+        likert=True,
+        short_label="Helps to understand data-KPI behavior",
+    ),
+    Question(
+        qid="usability-2",
+        category="usability",
+        text="The functionalities of SystemD are useful in making optimal decisions.",
+        likert=True,
+        short_label="Useful in making optimal decisions",
+    ),
+    Question(
+        qid="usability-3",
+        category="usability",
+        text="Use SystemD in my daily work.",
+        likert=True,
+        short_label="Use in daily work",
+    ),
+    Question(
+        qid="usability-4",
+        category="usability",
+        text=(
+            "Compared to your process of analysis and current tools you use on a daily basis "
+            "for making decisions (as described initially), how useful do you see SystemD "
+            "helping you for the same tasks?"
+        ),
+        likert=True,
+        short_label="Use compared to current tools for daily work",
+    ),
+    Question(
+        qid="usability-5",
+        category="usability",
+        text=(
+            "How useful is SystemD for making decisions that optimize interesting metrics "
+            "(KPIs) in comparison to current tools?"
+        ),
+        likert=True,
+        short_label="Use compared to current tools for optimal decisions",
+    ),
+    Question(
+        qid="usability-6",
+        category="usability",
+        text="Various functionalities of SystemD are well-integrated.",
+        likert=True,
+        short_label="Functionalities well integrated",
+    ),
+    Question(
+        qid="usability-7",
+        category="usability",
+        text="Most users would learn to use SystemD very quickly.",
+        likert=True,
+        short_label="Learn to use quickly",
+    ),
+    Question(
+        qid="usability-8",
+        category="usability",
+        text="The interactions with SystemD are intuitive.",
+        likert=True,
+        short_label="Interactions are intuitive",
+    ),
+)
+
+OPEN_ENDED_QUESTIONS: tuple[Question, ...] = tuple(
+    Question(qid=f"open-{i}", category="open_ended", text=text)
+    for i, text in enumerate(
+        [
+            "Compared to your process of analysis and current tools you use on a daily basis "
+            "for making decisions (as described initially), how useful do you see SystemD "
+            "helping you for the same tasks? Explain why.",
+            "How useful is SystemD for making decisions that optimize interesting metrics "
+            "(KPIs) in comparison to current tools? Explain why.",
+            "List the most useful functionalities or features from most useful to least useful "
+            "(Driver Importance Analysis, Sensitivity Analysis, Goal Inversion (Seeking) "
+            "Analysis, Constrained Analysis).",
+            "Which additional functionalities or features would become a more effective system "
+            "to make decisions in SystemD?",
+            "What would be your concerns with the SystemD?",
+        ],
+        start=1,
+    )
+)
+
+#: Every questionnaire item, in Table 1 order.
+ALL_QUESTIONS: tuple[Question, ...] = (
+    PRE_STUDY_QUESTIONS + USABILITY_QUESTIONS + OPEN_ENDED_QUESTIONS
+)
+
+
+def questions_by_category() -> dict[str, list[Question]]:
+    """Group the questionnaire by category (the Table 1 row groups)."""
+    grouped: dict[str, list[Question]] = {"pre_study": [], "usability": [], "open_ended": []}
+    for question in ALL_QUESTIONS:
+        grouped[question.category].append(question)
+    return grouped

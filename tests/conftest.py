@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Small seeded datasets and pre-built sessions keep the what-if tests fast while
+still exercising the full model-training code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import KPI, ModelManager, WhatIfSession
+from repro.datasets import load_customer_retention, load_deal_closing, load_marketing_mix
+from repro.frame import Column, DataFrame
+
+
+@pytest.fixture(scope="session")
+def deal_frame() -> DataFrame:
+    """A small deal-closing dataset (400 prospects)."""
+    return load_deal_closing(n_prospects=400, random_state=7)
+
+
+@pytest.fixture(scope="session")
+def marketing_frame() -> DataFrame:
+    """A small marketing-mix panel (120 days)."""
+    return load_marketing_mix(n_days=120, random_state=11)
+
+
+@pytest.fixture(scope="session")
+def retention_frame() -> DataFrame:
+    """A small customer-retention dataset (400 customers)."""
+    return load_customer_retention(n_customers=400, random_state=23)
+
+
+@pytest.fixture(scope="session")
+def deal_session(deal_frame) -> WhatIfSession:
+    """A ready deal-closing session (discrete KPI, random forest)."""
+    drivers = [c for c in deal_frame.numeric_columns() if c != "Deal Closed?"]
+    return WhatIfSession(deal_frame, "Deal Closed?", drivers=drivers, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def marketing_session(marketing_frame) -> WhatIfSession:
+    """A ready marketing-mix session (continuous KPI, linear regression)."""
+    drivers = ["Internet", "Facebook", "YouTube", "TV", "Radio"]
+    return WhatIfSession(marketing_frame, "Sales", drivers=drivers, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def deal_manager(deal_session) -> ModelManager:
+    """The fitted model manager behind the deal-closing session."""
+    return deal_session.model
+
+
+@pytest.fixture()
+def tiny_frame() -> DataFrame:
+    """A 6-row hand-written frame used by the frame-layer unit tests."""
+    return DataFrame(
+        {
+            "region": Column("region", ["east", "west", "east", "west", "east", "west"], dtype="string"),
+            "spend": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
+            "clicks": [1, 2, 3, 4, 5, 6],
+            "converted": [False, False, True, True, True, True],
+        }
+    )
+
+
+@pytest.fixture()
+def linear_data() -> tuple[np.ndarray, np.ndarray]:
+    """A noiseless linear regression problem: y = 3 + 2*x0 - 1.5*x1."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 2))
+    y = 3.0 + 2.0 * X[:, 0] - 1.5 * X[:, 1]
+    return X, y
+
+
+@pytest.fixture()
+def classification_data() -> tuple[np.ndarray, np.ndarray]:
+    """A separable-ish binary classification problem."""
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 3))
+    logits = 1.5 * X[:, 0] - 2.0 * X[:, 1] + 0.5 * rng.normal(size=300)
+    y = (logits > 0).astype(float)
+    return X, y

@@ -1,0 +1,118 @@
+"""Unit tests for per-cohort analysis."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CohortAnalysis, KPI, WhatIfSession
+from repro.datasets import load_deal_closing
+from repro.frame import Column, DataFrame
+
+
+@pytest.fixture(scope="module")
+def cohort_frame():
+    """A deal-closing dataset with a two-value segment column attached."""
+    frame = load_deal_closing(n_prospects=400, random_state=7)
+    rng = np.random.default_rng(0)
+    segments = np.where(rng.random(frame.n_rows) < 0.5, "enterprise", "self-serve")
+    return frame.with_column(Column("Segment", segments, dtype="string"))
+
+
+@pytest.fixture(scope="module")
+def analysis(cohort_frame):
+    kpi = KPI.from_frame(cohort_frame, "Deal Closed?")
+    drivers = [
+        c for c in cohort_frame.numeric_columns() if c != "Deal Closed?"
+    ]
+    return CohortAnalysis(cohort_frame, kpi, drivers, "Segment", random_state=0)
+
+
+class TestConstruction:
+    def test_cohorts_detected(self, analysis):
+        assert set(analysis.cohorts) == {"enterprise", "self-serve"}
+        assert analysis.skipped == {}
+
+    def test_cohort_column_excluded_from_drivers(self, cohort_frame):
+        kpi = KPI.from_frame(cohort_frame, "Deal Closed?")
+        analysis = CohortAnalysis(
+            cohort_frame, kpi, ["Call", "Segment"], "Segment", random_state=0
+        )
+        assert analysis.drivers == ["Call"]
+
+    def test_missing_cohort_column(self, cohort_frame):
+        kpi = KPI.from_frame(cohort_frame, "Deal Closed?")
+        with pytest.raises(ValueError):
+            CohortAnalysis(cohort_frame, kpi, ["Call"], "Region")
+
+    def test_only_cohort_column_as_driver_rejected(self, cohort_frame):
+        kpi = KPI.from_frame(cohort_frame, "Deal Closed?")
+        with pytest.raises(ValueError):
+            CohortAnalysis(cohort_frame, kpi, ["Segment"], "Segment")
+
+    def test_small_cohorts_skipped(self, cohort_frame):
+        kpi = KPI.from_frame(cohort_frame, "Deal Closed?")
+        analysis = CohortAnalysis(
+            cohort_frame, kpi, ["Call", "Chat"], "Segment", min_rows=10_000
+        )
+        assert analysis.cohorts == []
+        assert set(analysis.skipped) == {"enterprise", "self-serve"}
+
+    def test_from_bucketing(self, cohort_frame):
+        kpi = KPI.from_frame(cohort_frame, "Deal Closed?")
+        analysis = CohortAnalysis.from_bucketing(
+            cohort_frame,
+            kpi,
+            ["Open Marketing Email", "Renewal"],
+            "Call",
+            bucketer=lambda calls: "high touch" if calls >= 4 else "low touch",
+            random_state=0,
+        )
+        assert set(analysis.cohorts) <= {"high touch", "low touch"}
+        assert len(analysis.cohorts) >= 1
+
+
+class TestPerCohortFunctionalities:
+    def test_kpi_by_cohort(self, analysis):
+        kpis = analysis.kpi_by_cohort()
+        assert set(kpis) == {"enterprise", "self-serve"}
+        assert all(0.0 <= value <= 100.0 for value in kpis.values())
+
+    def test_driver_importance_per_cohort(self, analysis):
+        result = analysis.driver_importance()
+        assert result.kind == "driver_importance"
+        assert set(result.cohorts) == {"enterprise", "self-serve"}
+        matrix = result.importance_matrix()
+        for importances in matrix.values():
+            assert set(importances) == set(analysis.drivers)
+            assert all(-1.0 <= v <= 1.0 for v in importances.values())
+
+    def test_sensitivity_per_cohort(self, analysis):
+        result = analysis.sensitivity({"Open Marketing Email": 40.0})
+        assert result.kind == "sensitivity"
+        uplifts = result.uplift_by_cohort()
+        assert set(uplifts) == {"enterprise", "self-serve"}
+        # the planted driver is positive in both segments
+        assert all(uplift > -5.0 for uplift in uplifts.values())
+
+    def test_wrong_view_accessors_raise(self, analysis):
+        importance = analysis.driver_importance()
+        with pytest.raises(ValueError):
+            importance.uplift_by_cohort()
+        sensitivity = analysis.sensitivity({"Call": 10.0})
+        with pytest.raises(ValueError):
+            sensitivity.importance_matrix()
+
+    def test_to_dict_json_safe(self, analysis):
+        payload = analysis.sensitivity({"Call": 10.0}).to_dict()
+        assert json.dumps(payload)
+
+
+class TestSessionIntegration:
+    def test_session_cohort_analysis_helper(self, cohort_frame):
+        session = WhatIfSession(cohort_frame, "Deal Closed?", random_state=0)
+        analysis = session.cohort_analysis("Segment")
+        assert set(analysis.cohorts) == {"enterprise", "self-serve"}
+        assert "Segment" not in analysis.drivers

@@ -1,0 +1,96 @@
+"""Unit tests for driver importance analysis (functionality 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import compute_driver_importance
+from repro.datasets import DRIVER_WEIGHTS
+
+
+@pytest.fixture(scope="module")
+def importance_result(deal_session):
+    return compute_driver_importance(deal_session.model, verify=True, random_state=0)
+
+
+class TestImportanceValues:
+    def test_importances_in_display_range(self, importance_result):
+        for entry in importance_result.drivers:
+            assert -1.0 <= entry.importance <= 1.0
+
+    def test_most_important_driver_has_magnitude_one(self, importance_result):
+        assert abs(importance_result.drivers[0].importance) == pytest.approx(1.0)
+
+    def test_ordered_by_absolute_importance(self, importance_result):
+        magnitudes = [abs(entry.importance) for entry in importance_result.drivers]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_ranks_are_sequential(self, importance_result):
+        assert [entry.rank for entry in importance_result.drivers] == list(
+            range(1, len(importance_result.drivers) + 1)
+        )
+
+    def test_covers_every_driver(self, importance_result, deal_session):
+        assert {entry.driver for entry in importance_result.drivers} == set(deal_session.drivers)
+
+    def test_recovers_planted_strong_drivers(self, importance_result):
+        # the synthetic generator plants Open Marketing Email / Renewal / Call
+        # as the strongest drivers; at least two must appear in the top 4
+        strong = {"Open Marketing Email", "Renewal", "Call"}
+        assert len(strong & set(importance_result.top(4))) >= 2
+
+    def test_weak_drivers_rank_low(self, importance_result):
+        weak = {"LinkedIn Contact", "Initiate New Contact", "Meeting"}
+        bottom_half = set(importance_result.bottom(6))
+        assert len(weak & bottom_half) >= 2
+
+    def test_importance_of_lookup(self, importance_result):
+        name = importance_result.drivers[0].driver
+        assert importance_result.importance_of(name) == importance_result.drivers[0].importance
+        with pytest.raises(KeyError):
+            importance_result.importance_of("not a driver")
+
+    def test_model_confidence_reported(self, importance_result):
+        assert 0.0 <= importance_result.model_confidence <= 1.0
+
+
+class TestVerification:
+    def test_verification_measures_present(self, importance_result):
+        for entry in importance_result.drivers:
+            assert set(entry.verification) == {"pearson", "spearman", "shapley", "permutation"}
+
+    def test_correlations_in_range(self, importance_result):
+        for entry in importance_result.drivers:
+            assert -1.0 <= entry.verification["pearson"] <= 1.0
+            assert -1.0 <= entry.verification["spearman"] <= 1.0
+
+    def test_agreement_summary_present(self, importance_result):
+        assert set(importance_result.agreement) == {"pearson", "spearman", "shapley", "permutation"}
+        for scores in importance_result.agreement.values():
+            assert "spearman_rank_agreement" in scores
+
+    def test_model_importances_agree_with_correlation_ranking(self, importance_result):
+        # the paper's stated purpose of verification: the model coefficients
+        # should not be wildly at odds with the traditional measures
+        assert importance_result.agreement["pearson"]["spearman_rank_agreement"] > 0.4
+
+    def test_verify_false_skips_verification(self, deal_session):
+        result = compute_driver_importance(deal_session.model, verify=False)
+        assert result.agreement == {}
+        assert all(entry.verification == {} for entry in result.drivers)
+
+    def test_to_dict_round_trip_fields(self, importance_result):
+        payload = importance_result.to_dict()
+        assert payload["kpi"] == "Deal Closed?"
+        assert len(payload["drivers"]) == len(importance_result.drivers)
+
+
+class TestContinuousKPIImportance:
+    def test_linear_importances_signed(self, marketing_session):
+        result = marketing_session.driver_importance(verify=False)
+        # planted effectiveness: Internet strongest, Radio weakest
+        assert result.top(1) == ["Internet"]
+        assert "Radio" in result.bottom(2)
+        importances = {e.driver: e.importance for e in result.drivers}
+        assert importances["Internet"] > 0

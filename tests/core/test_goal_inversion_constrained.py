@@ -1,0 +1,186 @@
+"""Unit tests for goal inversion and constrained analysis (functionalities 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DriverBound, budget_constraint, invert_goal, run_constrained_analysis
+
+
+FAST = dict(n_calls=15, optimizer="random")  # cheap settings for unit tests
+
+
+class TestGoalInversion:
+    def test_maximize_beats_baseline(self, deal_manager):
+        result = invert_goal(deal_manager, goal="maximize", **FAST, random_state=0)
+        assert result.best_kpi >= result.original_kpi
+        assert result.uplift == pytest.approx(result.best_kpi - result.original_kpi)
+        assert result.goal == "maximize"
+
+    def test_minimize_goes_below_baseline(self, deal_manager):
+        result = invert_goal(deal_manager, goal="minimize", **FAST, random_state=0)
+        assert result.best_kpi <= result.original_kpi
+
+    def test_target_goal(self, deal_manager):
+        baseline = deal_manager.baseline_kpi()
+        target = baseline + 3.0
+        result = invert_goal(
+            deal_manager, goal="target", target_value=target, n_calls=25, random_state=0
+        )
+        assert result.target_value == target
+        assert abs(result.best_kpi - target) < 6.0
+        assert result.achieved_target in (True, False)
+
+    def test_target_requires_value(self, deal_manager):
+        with pytest.raises(ValueError):
+            invert_goal(deal_manager, goal="target")
+
+    def test_unknown_goal(self, deal_manager):
+        with pytest.raises(ValueError):
+            invert_goal(deal_manager, goal="improve")
+
+    def test_driver_subset_only_changes_those(self, deal_manager):
+        result = invert_goal(
+            deal_manager, goal="maximize", drivers=["Call", "Chat"], **FAST, random_state=0
+        )
+        assert set(result.driver_changes) == {"Call", "Chat"}
+
+    def test_changes_respect_default_range(self, deal_manager):
+        result = invert_goal(
+            deal_manager, goal="maximize", default_range=(-10.0, 10.0), **FAST, random_state=0
+        )
+        for change in result.driver_changes.values():
+            assert -10.0 - 1e-9 <= change <= 10.0 + 1e-9
+
+    def test_unknown_driver(self, deal_manager):
+        with pytest.raises(ValueError):
+            invert_goal(deal_manager, drivers=["Bogus"])
+
+    def test_unknown_optimizer(self, deal_manager):
+        with pytest.raises(ValueError):
+            invert_goal(deal_manager, optimizer="annealing")
+
+    def test_reports_confidence_and_evaluations(self, deal_manager):
+        result = invert_goal(deal_manager, goal="maximize", **FAST, random_state=0)
+        assert 0.0 <= result.model_confidence <= 1.0
+        assert result.n_evaluations == FAST["n_calls"]
+
+    def test_bayesian_optimizer_path(self, deal_manager):
+        result = invert_goal(
+            deal_manager,
+            goal="maximize",
+            drivers=["Open Marketing Email", "Call"],
+            n_calls=12,
+            optimizer="bayesian",
+            random_state=0,
+        )
+        assert result.best_kpi >= result.original_kpi
+
+    def test_grid_optimizer_path(self, deal_manager):
+        result = invert_goal(
+            deal_manager,
+            goal="maximize",
+            drivers=["Open Marketing Email", "Call"],
+            n_calls=16,
+            optimizer="grid",
+            random_state=0,
+        )
+        assert result.best_kpi >= result.original_kpi
+
+    def test_continuous_kpi_maximization(self, marketing_session):
+        result = invert_goal(
+            marketing_session.model,
+            goal="maximize",
+            drivers=["Internet", "Facebook"],
+            n_calls=12,
+            optimizer="random",
+            random_state=0,
+        )
+        assert result.best_kpi > result.original_kpi
+        # pushing the strongest channel up should be part of the recommendation
+        assert result.driver_changes["Internet"] > 0
+
+    def test_invalid_bounds(self, deal_manager):
+        with pytest.raises(ValueError):
+            invert_goal(deal_manager, bounds={"Call": (10.0, 10.0)}, **FAST)
+
+
+class TestConstrainedAnalysis:
+    def test_bounds_are_respected(self, deal_manager):
+        result = run_constrained_analysis(
+            deal_manager,
+            {"Open Marketing Email": (40.0, 80.0)},
+            n_calls=20,
+            optimizer="random",
+            random_state=0,
+        )
+        change = result.driver_changes["Open Marketing Email"]
+        assert 40.0 - 1e-9 <= change <= 80.0 + 1e-9
+
+    def test_driver_bound_objects_accepted(self, deal_manager):
+        result = run_constrained_analysis(
+            deal_manager,
+            [DriverBound("Call", -10.0, 10.0)],
+            n_calls=15,
+            optimizer="random",
+            random_state=0,
+        )
+        assert -10.0 - 1e-9 <= result.driver_changes["Call"] <= 10.0 + 1e-9
+
+    def test_constraint_descriptions_recorded(self, deal_manager):
+        result = run_constrained_analysis(
+            deal_manager,
+            {"Open Marketing Email": (40.0, 80.0)},
+            n_calls=10,
+            optimizer="random",
+            random_state=0,
+        )
+        assert any("Open Marketing Email" in text for text in result.constraints)
+
+    def test_budget_constraint_limits_total_change(self, deal_manager):
+        budget = budget_constraint({"Call": 1.0, "Chat": 1.0}, 30.0)
+        result = run_constrained_analysis(
+            deal_manager,
+            {"Call": (0.0, 50.0), "Chat": (0.0, 50.0)},
+            drivers=["Call", "Chat"],
+            extra_constraints=[budget],
+            n_calls=40,
+            optimizer="random",
+            random_state=0,
+        )
+        total = result.driver_changes["Call"] + result.driver_changes["Chat"]
+        assert total <= 30.0 + 1e-6
+
+    def test_bounded_driver_added_to_varied_set(self, deal_manager):
+        result = run_constrained_analysis(
+            deal_manager,
+            {"Renewal": (10.0, 20.0)},
+            drivers=["Call"],
+            n_calls=10,
+            optimizer="random",
+            random_state=0,
+        )
+        assert "Renewal" in result.driver_changes
+
+    def test_unknown_bounded_driver(self, deal_manager):
+        with pytest.raises(ValueError):
+            run_constrained_analysis(deal_manager, {"Bogus": (0.0, 1.0)})
+
+    def test_invalid_bound_order(self, deal_manager):
+        with pytest.raises(ValueError):
+            DriverBound("Call", 5.0, 5.0)
+
+    def test_constrained_result_beats_baseline(self, deal_manager):
+        result = run_constrained_analysis(
+            deal_manager,
+            {"Open Marketing Email": (40.0, 80.0)},
+            n_calls=25,
+            optimizer="random",
+            random_state=0,
+        )
+        assert result.best_kpi > result.original_kpi
+
+    def test_driver_bound_dict_round_trip(self):
+        bound = DriverBound("Call", -5.0, 10.0)
+        assert DriverBound.from_dict(bound.to_dict()) == bound
+        assert "Call" in bound.describe()

@@ -1,0 +1,103 @@
+"""Unit tests for KPI definitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import KPI, infer_kpi_kind
+from repro.frame import Column, DataFrame
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame(
+        {
+            "sales": [100.0, 200.0, 300.0, 400.0],
+            "closed": [True, False, True, True],
+            "label01": [0, 1, 1, 0],
+            "account": Column("account", ["a", "b", "c", "d"], dtype="string"),
+        }
+    )
+
+
+class TestKindInference:
+    def test_bool_is_discrete(self, frame):
+        assert infer_kpi_kind(frame.column("closed")) == "discrete"
+
+    def test_binary_numeric_is_discrete(self, frame):
+        assert infer_kpi_kind(frame.column("label01")) == "discrete"
+
+    def test_many_valued_numeric_is_continuous(self, frame):
+        assert infer_kpi_kind(frame.column("sales")) == "continuous"
+
+    def test_string_rejected(self, frame):
+        with pytest.raises(ValueError):
+            infer_kpi_kind(frame.column("account"))
+
+    def test_from_frame(self, frame):
+        assert KPI.from_frame(frame, "closed").kind == "discrete"
+        assert KPI.from_frame(frame, "sales").kind == "continuous"
+
+
+class TestValidation:
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            KPI("x", "ordinal")
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ValueError):
+            KPI("x", "continuous", aggregation="median")
+
+    def test_rate_for_continuous_rejected(self):
+        with pytest.raises(ValueError):
+            KPI("x", "continuous", aggregation="rate")
+
+    def test_default_aggregations(self):
+        assert KPI("x", "discrete").aggregation == "rate"
+        assert KPI("x", "continuous").aggregation == "mean"
+
+    def test_unit(self):
+        assert KPI("x", "discrete").unit == "%"
+        assert KPI("x", "continuous").unit == ""
+
+
+class TestTargetsAndAggregation:
+    def test_target_vector_bool(self, frame):
+        kpi = KPI.from_frame(frame, "closed")
+        np.testing.assert_array_equal(kpi.target_vector(frame), [1.0, 0.0, 1.0, 1.0])
+
+    def test_target_vector_custom_positive_label(self, frame):
+        kpi = KPI("label01", "discrete", positive_label=0)
+        np.testing.assert_array_equal(kpi.target_vector(frame), [1.0, 0.0, 0.0, 1.0])
+
+    def test_target_vector_continuous(self, frame):
+        kpi = KPI.from_frame(frame, "sales")
+        np.testing.assert_array_equal(kpi.target_vector(frame), [100.0, 200.0, 300.0, 400.0])
+
+    def test_rate_aggregation_is_percentage(self):
+        kpi = KPI("closed", "discrete")
+        assert kpi.aggregate(np.array([1.0, 0.0, 1.0, 1.0])) == 75.0
+        assert kpi.aggregate(np.array([0.2, 0.4])) == pytest.approx(30.0)
+
+    def test_rate_clips_probabilities(self):
+        kpi = KPI("closed", "discrete")
+        assert kpi.aggregate(np.array([1.5, -0.5])) == 50.0
+
+    def test_mean_and_sum_aggregations(self):
+        assert KPI("sales", "continuous").aggregate(np.array([10.0, 20.0])) == 15.0
+        assert KPI("sales", "continuous", aggregation="sum").aggregate(np.array([10.0, 20.0])) == 30.0
+
+    def test_empty_predictions_rejected(self):
+        with pytest.raises(ValueError):
+            KPI("sales", "continuous").aggregate(np.array([]))
+
+    def test_observed_value(self, frame):
+        assert KPI.from_frame(frame, "closed").observed_value(frame) == 75.0
+        assert KPI.from_frame(frame, "sales").observed_value(frame) == 250.0
+
+    def test_to_dict(self, frame):
+        payload = KPI.from_frame(frame, "closed").to_dict()
+        assert payload["name"] == "closed"
+        assert payload["kind"] == "discrete"
+        assert payload["unit"] == "%"

@@ -1,0 +1,112 @@
+"""Unit tests for the interpretability-vs-accuracy model comparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import KPI, WhatIfSession, compare_models
+from repro.datasets import DEAL_KPI, MARKETING_KPI
+
+
+@pytest.fixture(scope="module")
+def discrete_comparison(deal_frame):
+    kpi = KPI.from_frame(deal_frame, DEAL_KPI)
+    drivers = [c for c in deal_frame.numeric_columns() if c != DEAL_KPI]
+    return compare_models(deal_frame, kpi, drivers, cv_folds=3, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def continuous_comparison(marketing_frame):
+    kpi = KPI.from_frame(marketing_frame, MARKETING_KPI)
+    return compare_models(
+        marketing_frame,
+        kpi,
+        ["Internet", "Facebook", "YouTube", "TV", "Radio"],
+        cv_folds=3,
+        random_state=0,
+    )
+
+
+class TestDiscreteComparison:
+    def test_candidate_families(self, discrete_comparison):
+        names = {c.name for c in discrete_comparison.candidates}
+        assert names == {"logistic_regression", "decision_tree", "random_forest"}
+
+    def test_scores_bounded(self, discrete_comparison):
+        for candidate in discrete_comparison.candidates:
+            assert 0.0 <= candidate.accuracy <= 1.0
+            assert candidate.accuracy_std >= 0.0
+            assert 0.0 <= candidate.interpretability <= 1.0
+
+    def test_all_candidates_beat_chance(self, discrete_comparison):
+        # the planted signal is learnable by every family
+        for candidate in discrete_comparison.candidates:
+            assert candidate.accuracy > 0.55, candidate.name
+
+    def test_most_interpretable_is_logistic(self, discrete_comparison):
+        assert discrete_comparison.most_interpretable().name == "logistic_regression"
+
+    def test_recommended_trades_off_sensibly(self, discrete_comparison):
+        recommended = discrete_comparison.recommended(accuracy_tolerance=0.05)
+        best = discrete_comparison.most_accurate()
+        assert recommended.accuracy >= best.accuracy - 0.05
+        # among the acceptable candidates it is the most interpretable
+        acceptable = [
+            c for c in discrete_comparison.candidates
+            if c.accuracy >= best.accuracy - 0.05
+        ]
+        assert recommended.interpretability == max(c.interpretability for c in acceptable)
+
+    def test_pareto_front_non_empty_and_non_dominated(self, discrete_comparison):
+        front = discrete_comparison.pareto_front()
+        assert front
+        for candidate in front:
+            dominated = any(
+                other.accuracy > candidate.accuracy
+                and other.interpretability > candidate.interpretability
+                for other in discrete_comparison.candidates
+            )
+            assert not dominated
+
+    def test_to_dict_json_safe(self, discrete_comparison):
+        payload = discrete_comparison.to_dict()
+        assert json.dumps(payload)
+        assert payload["kpi"] == DEAL_KPI
+        assert payload["recommended"] in {c["name"] for c in payload["candidates"]}
+
+
+class TestContinuousComparison:
+    def test_candidate_families(self, continuous_comparison):
+        names = {c.name for c in continuous_comparison.candidates}
+        assert names == {
+            "linear_regression",
+            "ridge_regression",
+            "decision_tree",
+            "random_forest",
+        }
+
+    def test_linear_model_competitive_on_linear_signal(self, continuous_comparison):
+        by_name = {c.name: c for c in continuous_comparison.candidates}
+        # the marketing panel is (nearly) linear in sqrt-spend, so the linear
+        # model should not be far behind the forest
+        assert by_name["linear_regression"].accuracy >= by_name["random_forest"].accuracy - 0.15
+
+    def test_recommended_prefers_interpretable_on_linear_signal(self, continuous_comparison):
+        assert continuous_comparison.recommended(accuracy_tolerance=0.1).name in (
+            "linear_regression",
+            "ridge_regression",
+        )
+
+
+class TestSessionIntegration:
+    def test_session_compare_models_helper(self, deal_session):
+        result = deal_session.compare_models(cv_folds=3)
+        assert result.kpi == DEAL_KPI
+        assert len(result.candidates) == 3
+
+    def test_requires_drivers(self, deal_frame):
+        kpi = KPI.from_frame(deal_frame, DEAL_KPI)
+        with pytest.raises(ValueError):
+            compare_models(deal_frame, kpi, [])

@@ -1,0 +1,86 @@
+"""Unit tests for the model manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import KPI, ModelManager
+from repro.datasets import DEAL_KPI, MARKETING_KPI
+
+
+class TestModelSelection:
+    def test_discrete_kpi_gets_random_forest(self, deal_frame):
+        drivers = [c for c in deal_frame.numeric_columns() if c != DEAL_KPI]
+        manager = ModelManager(deal_frame, KPI.from_frame(deal_frame, DEAL_KPI), drivers)
+        assert manager.model_kind == "random_forest_classifier"
+
+    def test_continuous_kpi_gets_linear_regression(self, marketing_frame):
+        manager = ModelManager(
+            marketing_frame,
+            KPI.from_frame(marketing_frame, MARKETING_KPI),
+            ["Internet", "Facebook", "YouTube", "TV", "Radio"],
+        )
+        assert manager.model_kind == "linear_regression"
+
+    def test_requires_drivers(self, deal_frame):
+        with pytest.raises(ValueError):
+            ModelManager(deal_frame, KPI.from_frame(deal_frame, DEAL_KPI), [])
+
+    def test_unknown_driver_rejected(self, deal_frame):
+        with pytest.raises(ValueError):
+            ModelManager(deal_frame, KPI.from_frame(deal_frame, DEAL_KPI), ["Nope"])
+
+    def test_kpi_cannot_be_driver(self, deal_frame):
+        with pytest.raises(ValueError):
+            ModelManager(deal_frame, KPI.from_frame(deal_frame, DEAL_KPI), [DEAL_KPI])
+
+
+class TestPredictionsAndConfidence:
+    def test_baseline_kpi_close_to_observed_rate(self, deal_manager, deal_frame):
+        observed = deal_manager.kpi.observed_value(deal_frame)
+        baseline = deal_manager.baseline_kpi()
+        assert abs(baseline - observed) < 10.0  # percentage points
+
+    def test_predict_rows_are_probabilities(self, deal_manager, deal_frame):
+        predictions = deal_manager.predict_rows(deal_frame)
+        assert predictions.shape == (deal_frame.n_rows,)
+        assert predictions.min() >= 0.0 and predictions.max() <= 1.0
+
+    def test_predict_row_matches_predict_rows(self, deal_manager, deal_frame):
+        row_prediction = deal_manager.predict_row(deal_frame, 5)
+        all_predictions = deal_manager.predict_rows(deal_frame)
+        assert row_prediction == pytest.approx(all_predictions[5])
+
+    def test_confidence_in_unit_interval_and_cached(self, deal_manager):
+        first = deal_manager.confidence()
+        assert 0.0 <= first <= 1.0
+        assert deal_manager.confidence() == first
+
+    def test_confidence_beats_chance_on_planted_signal(self, deal_manager):
+        assert deal_manager.confidence() > 0.55
+
+    def test_marketing_confidence_positive(self, marketing_session):
+        assert marketing_session.model.confidence() > 0.2
+
+    def test_raw_importances_aligned_with_drivers(self, deal_manager):
+        importances = deal_manager.raw_importances()
+        assert importances.shape == (len(deal_manager.drivers),)
+        assert np.all(importances >= 0)  # forest importances are magnitudes
+
+    def test_linear_raw_importances_are_signed_coefficients(self, marketing_session):
+        importances = marketing_session.model.raw_importances()
+        assert importances.shape == (5,)
+
+    def test_to_dict(self, deal_manager):
+        payload = deal_manager.to_dict()
+        assert payload["model_kind"] == "random_forest_classifier"
+        assert payload["n_rows"] > 0
+        assert 0.0 <= payload["confidence"] <= 1.0
+
+    def test_lazy_fit_on_model_access(self, deal_frame):
+        drivers = [c for c in deal_frame.numeric_columns() if c != DEAL_KPI]
+        manager = ModelManager(deal_frame, KPI.from_frame(deal_frame, DEAL_KPI), drivers)
+        assert manager._model is None
+        _ = manager.model
+        assert manager._model is not None

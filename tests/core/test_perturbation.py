@@ -1,0 +1,157 @@
+"""Unit and property tests for perturbations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Perturbation, PerturbationSet
+from repro.frame import DataFrame
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame({"emails": [10.0, 20.0, 30.0], "calls": [1.0, 2.0, 3.0]})
+
+
+class TestPerturbation:
+    def test_percentage_mode(self, frame):
+        perturbed = Perturbation("emails", 40.0).apply(frame)
+        assert perturbed.column("emails").tolist() == [14.0, 28.0, 42.0]
+        # other columns untouched
+        assert perturbed.column("calls").tolist() == [1.0, 2.0, 3.0]
+
+    def test_absolute_mode(self, frame):
+        perturbed = Perturbation("calls", 2.0, "absolute").apply(frame)
+        assert perturbed.column("calls").tolist() == [3.0, 4.0, 5.0]
+
+    def test_negative_percentage(self, frame):
+        perturbed = Perturbation("emails", -50.0).apply(frame)
+        assert perturbed.column("emails").tolist() == [5.0, 10.0, 15.0]
+
+    def test_clipping_at_zero(self, frame):
+        perturbed = Perturbation("calls", -10.0, "absolute").apply(frame)
+        assert perturbed.column("calls").tolist() == [0.0, 0.0, 0.0]
+
+    def test_clipping_disabled(self, frame):
+        perturbed = Perturbation("calls", -10.0, "absolute", clip_non_negative=False).apply(frame)
+        assert perturbed.column("calls").tolist() == [-9.0, -8.0, -7.0]
+
+    def test_original_frame_untouched(self, frame):
+        Perturbation("emails", 40.0).apply(frame)
+        assert frame.column("emails").tolist() == [10.0, 20.0, 30.0]
+
+    def test_apply_to_row(self, frame):
+        perturbed = Perturbation("emails", 100.0).apply_to_row(frame, 1)
+        assert perturbed.column("emails").tolist() == [10.0, 40.0, 30.0]
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            Perturbation("x", 10.0, "relative")
+
+    def test_non_finite_amount(self):
+        with pytest.raises(ValueError):
+            Perturbation("x", float("nan"))
+
+    def test_inverse_absolute(self, frame):
+        perturbation = Perturbation("calls", 2.0, "absolute")
+        restored = perturbation.inverse().apply(perturbation.apply(frame))
+        np.testing.assert_allclose(
+            restored.column("calls").to_numeric(), frame.column("calls").to_numeric()
+        )
+
+    def test_inverse_percentage(self, frame):
+        perturbation = Perturbation("emails", 25.0)
+        restored = perturbation.inverse().apply(perturbation.apply(frame))
+        np.testing.assert_allclose(
+            restored.column("emails").to_numeric(), frame.column("emails").to_numeric()
+        )
+
+    def test_inverse_of_minus_100_percent_rejected(self):
+        with pytest.raises(ValueError):
+            Perturbation("x", -100.0).inverse()
+
+    def test_describe(self):
+        assert Perturbation("emails", 40.0).describe() == "emails +40%"
+        assert Perturbation("calls", -2.0, "absolute").describe() == "calls -2"
+
+    def test_dict_round_trip(self):
+        perturbation = Perturbation("emails", 40.0, "percentage", clip_non_negative=False)
+        assert Perturbation.from_dict(perturbation.to_dict()) == perturbation
+
+
+class TestPerturbationSet:
+    def test_from_mapping_and_apply(self, frame):
+        perturbations = PerturbationSet.from_mapping({"emails": 10.0, "calls": 100.0})
+        perturbed = perturbations.apply(frame)
+        assert perturbed.column("emails").tolist() == [11.0, 22.0, 33.0]
+        assert perturbed.column("calls").tolist() == [2.0, 4.0, 6.0]
+
+    def test_later_perturbation_replaces_same_driver(self):
+        perturbations = PerturbationSet(
+            [Perturbation("emails", 10.0), Perturbation("emails", 50.0)]
+        )
+        assert len(perturbations) == 1
+        assert perturbations["emails"].amount == 50.0
+
+    def test_add_remove(self):
+        perturbations = PerturbationSet([Perturbation("emails", 10.0)])
+        extended = perturbations.add(Perturbation("calls", 5.0))
+        assert len(extended) == 2
+        assert len(extended.remove("emails")) == 1
+        assert len(perturbations) == 1  # original unchanged
+
+    def test_membership_and_amounts(self):
+        perturbations = PerturbationSet.from_mapping({"emails": 10.0})
+        assert "emails" in perturbations
+        assert "calls" not in perturbations
+        assert perturbations.amounts() == {"emails": 10.0}
+
+    def test_apply_to_row(self, frame):
+        perturbations = PerturbationSet.from_mapping({"emails": 100.0, "calls": 100.0})
+        perturbed = perturbations.apply_to_row(frame, 0)
+        assert perturbed.column("emails").tolist() == [20.0, 20.0, 30.0]
+        assert perturbed.column("calls").tolist() == [2.0, 2.0, 3.0]
+
+    def test_compose(self, frame):
+        first = PerturbationSet.from_mapping({"emails": 100.0})
+        second = PerturbationSet.from_mapping({"emails": -50.0, "calls": 10.0})
+        composed = first.compose(second)
+        assert composed["emails"].amount == -50.0
+        assert len(composed) == 2
+
+    def test_describe(self):
+        assert "emails +40%" in PerturbationSet.from_mapping({"emails": 40.0}).describe()
+        assert PerturbationSet().describe() == "(no perturbations)"
+
+    def test_list_round_trip(self):
+        perturbations = PerturbationSet.from_mapping({"emails": 40.0, "calls": -10.0})
+        assert PerturbationSet.from_list(perturbations.to_list()) == perturbations
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False), min_size=1, max_size=30),
+    st.floats(min_value=-99.0, max_value=200.0, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_percentage_perturbation_scales_every_value(values, amount):
+    frame = DataFrame({"x": values})
+    perturbed = Perturbation("x", amount).apply(frame)
+    expected = np.maximum(np.array(values) * (1 + amount / 100.0), 0.0)
+    np.testing.assert_allclose(perturbed.column("x").to_numeric(), expected, rtol=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1e4, allow_nan=False), min_size=1, max_size=30),
+    st.floats(min_value=-90.0, max_value=150.0, allow_nan=False).filter(lambda a: abs(a) > 1e-6),
+)
+@settings(max_examples=60, deadline=None)
+def test_percentage_inverse_round_trip(values, amount):
+    frame = DataFrame({"x": values})
+    perturbation = Perturbation("x", amount)
+    round_tripped = perturbation.inverse().apply(perturbation.apply(frame))
+    np.testing.assert_allclose(
+        round_tripped.column("x").to_numeric(), frame.column("x").to_numeric(), rtol=1e-6
+    )

@@ -1,0 +1,143 @@
+"""Unit tests for sensitivity analysis (functionality 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PerturbationSet, run_comparison, run_per_data, run_sensitivity
+
+
+class TestDatasetSensitivity:
+    def test_zero_perturbation_is_neutral(self, deal_manager):
+        result = run_sensitivity(deal_manager, PerturbationSet.from_mapping({"Call": 0.0}))
+        assert result.uplift == pytest.approx(0.0, abs=1e-9)
+        assert result.direction == "flat"
+
+    def test_boosting_top_driver_raises_kpi(self, deal_manager):
+        result = run_sensitivity(
+            deal_manager, PerturbationSet.from_mapping({"Open Marketing Email": 40.0})
+        )
+        assert result.uplift > 0
+        assert result.direction == "up"
+        assert result.perturbed_kpi == result.original_kpi + result.uplift
+
+    def test_cutting_top_driver_lowers_kpi(self, deal_manager):
+        result = run_sensitivity(
+            deal_manager, PerturbationSet.from_mapping({"Open Marketing Email": -60.0})
+        )
+        assert result.uplift < 0
+        assert result.direction == "down"
+
+    def test_multi_driver_perturbation(self, deal_manager):
+        result = run_sensitivity(
+            deal_manager,
+            PerturbationSet.from_mapping({"Open Marketing Email": 30.0, "Call": 30.0, "Renewal": 30.0}),
+        )
+        single = run_sensitivity(
+            deal_manager, PerturbationSet.from_mapping({"Open Marketing Email": 30.0})
+        )
+        assert result.uplift >= single.uplift - 1e-9
+
+    def test_kpi_unit_for_discrete(self, deal_manager):
+        result = run_sensitivity(deal_manager, PerturbationSet.from_mapping({"Call": 10.0}))
+        assert result.kpi_unit == "%"
+        assert 0.0 <= result.perturbed_kpi <= 100.0
+
+    def test_unknown_driver_rejected(self, deal_manager):
+        with pytest.raises(ValueError):
+            run_sensitivity(deal_manager, PerturbationSet.from_mapping({"Bogus": 10.0}))
+
+    def test_relative_uplift(self, deal_manager):
+        result = run_sensitivity(
+            deal_manager, PerturbationSet.from_mapping({"Open Marketing Email": 40.0})
+        )
+        assert result.relative_uplift == pytest.approx(result.uplift / result.original_kpi)
+
+    def test_continuous_kpi_sensitivity(self, marketing_session):
+        result = marketing_session.sensitivity({"Internet": 30.0})
+        assert result.kpi_unit == ""
+        assert result.uplift > 0
+
+    def test_absolute_mode(self, marketing_session):
+        result = marketing_session.sensitivity({"Internet": 500.0}, mode="absolute")
+        assert result.uplift > 0
+
+    def test_to_dict(self, deal_manager):
+        payload = run_sensitivity(
+            deal_manager, PerturbationSet.from_mapping({"Call": 10.0})
+        ).to_dict()
+        assert set(payload) >= {"original_kpi", "perturbed_kpi", "uplift", "perturbations"}
+
+
+class TestComparisonAnalysis:
+    def test_points_cover_all_driver_amount_pairs(self, deal_manager):
+        amounts = (-20.0, 0.0, 20.0)
+        result = run_comparison(deal_manager, ["Call", "Chat"], amounts)
+        assert len(result.points) == 6
+        assert result.drivers() == ["Call", "Chat"]
+
+    def test_zero_amount_equals_baseline(self, deal_manager):
+        result = run_comparison(deal_manager, ["Call"], (-10.0, 0.0, 10.0))
+        zero_point = [p for p in result.series_for("Call") if p.amount == 0.0][0]
+        assert zero_point.kpi_value == result.original_kpi
+
+    def test_series_sorted_by_amount(self, deal_manager):
+        result = run_comparison(deal_manager, ["Call"], (20.0, -20.0, 0.0))
+        amounts = [p.amount for p in result.series_for("Call")]
+        assert amounts == sorted(amounts)
+
+    def test_most_sensitive_driver_is_a_strong_one(self, deal_manager):
+        result = run_comparison(
+            deal_manager,
+            ["Open Marketing Email", "Meeting"],
+            (-40.0, 0.0, 40.0),
+        )
+        assert result.most_sensitive_driver() == "Open Marketing Email"
+
+    def test_default_drivers_are_all(self, deal_manager):
+        result = run_comparison(deal_manager, amounts=(0.0, 10.0))
+        assert set(result.drivers()) == set(deal_manager.drivers)
+
+    def test_validation(self, deal_manager):
+        with pytest.raises(ValueError):
+            run_comparison(deal_manager, ["Bogus"], (0.0,))
+        with pytest.raises(ValueError):
+            run_comparison(deal_manager, ["Call"], ())
+
+
+class TestPerDataAnalysis:
+    def test_row_level_prediction_changes(self, deal_manager):
+        result = run_per_data(
+            deal_manager, 3, PerturbationSet.from_mapping({"Open Marketing Email": 300.0})
+        )
+        assert result.row_index == 3
+        assert 0.0 <= result.original_prediction <= 1.0
+        assert 0.0 <= result.perturbed_prediction <= 1.0
+        assert result.perturbed_row["Open Marketing Email"] == pytest.approx(
+            result.original_row["Open Marketing Email"] * 4.0
+        )
+
+    def test_uplift_property(self, deal_manager):
+        result = run_per_data(deal_manager, 0, PerturbationSet.from_mapping({"Call": 50.0}))
+        assert result.uplift == pytest.approx(
+            result.perturbed_prediction - result.original_prediction
+        )
+
+    def test_only_selected_row_perturbed(self, deal_manager):
+        result = run_per_data(deal_manager, 2, PerturbationSet.from_mapping({"Call": 100.0}))
+        assert result.original_row["Call"] * 2 == pytest.approx(result.perturbed_row["Call"])
+
+    def test_out_of_range_row(self, deal_manager):
+        with pytest.raises(IndexError):
+            run_per_data(deal_manager, 10**6, PerturbationSet.from_mapping({"Call": 10.0}))
+
+    def test_unknown_driver(self, deal_manager):
+        with pytest.raises(ValueError):
+            run_per_data(deal_manager, 0, PerturbationSet.from_mapping({"Bogus": 10.0}))
+
+    def test_to_dict(self, deal_manager):
+        payload = run_per_data(
+            deal_manager, 1, PerturbationSet.from_mapping({"Call": 10.0})
+        ).to_dict()
+        assert payload["row_index"] == 1
+        assert "original_row" in payload and "perturbed_row" in payload

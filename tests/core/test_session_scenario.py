@@ -1,0 +1,173 @@
+"""Unit tests for the WhatIfSession façade and scenario tracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Perturbation, PerturbationSet, Scenario, ScenarioManager, WhatIfSession
+from repro.datasets import RETENTION_OBVIOUS_DRIVER, load_customer_retention
+from repro.frame import Column, DataFrame
+
+
+class TestSessionConstruction:
+    def test_from_use_case_defaults(self):
+        session = WhatIfSession.from_use_case(
+            "deal_closing", dataset_kwargs={"n_prospects": 100}
+        )
+        assert session.kpi.name == "Deal Closed?"
+        assert "Account" not in session.drivers
+        assert "Deal Closed?" not in session.drivers
+
+    def test_unknown_use_case(self):
+        with pytest.raises(KeyError):
+            WhatIfSession.from_use_case("weather_forecasting")
+
+    def test_default_drivers_are_numeric_non_kpi(self, deal_frame):
+        session = WhatIfSession(deal_frame, "Deal Closed?")
+        assert set(session.drivers) == set(deal_frame.numeric_columns()) - {"Deal Closed?"}
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ValueError):
+            WhatIfSession(DataFrame({"x": []}), "x")
+
+    def test_missing_kpi_column(self, deal_frame):
+        with pytest.raises(Exception):
+            WhatIfSession(deal_frame, "Profit")
+
+    def test_textual_driver_rejected(self, deal_frame):
+        with pytest.raises(ValueError):
+            WhatIfSession(deal_frame, "Deal Closed?", drivers=["Account"])
+
+    def test_kpi_as_driver_rejected(self, deal_frame):
+        with pytest.raises(ValueError):
+            WhatIfSession(deal_frame, "Deal Closed?", drivers=["Deal Closed?", "Call"])
+
+
+class TestSessionConfiguration:
+    @pytest.fixture()
+    def session(self):
+        frame = load_customer_retention(n_customers=200, random_state=23)
+        return WhatIfSession(frame, "Retained After 6 Months", random_state=0)
+
+    def test_set_kpi_invalidates_model(self, session):
+        first_model = session.model
+        session.set_kpi("Formulas Used")
+        assert session.kpi.kind == "continuous"
+        assert "Formulas Used" not in session.drivers
+        assert session.model is not first_model
+
+    def test_select_drivers(self, session):
+        session.select_drivers(["Help Chats", "Formulas Used"])
+        assert session.drivers == ["Help Chats", "Formulas Used"]
+
+    def test_exclude_drivers(self, session):
+        before = set(session.drivers)
+        session.exclude_drivers([RETENTION_OBVIOUS_DRIVER])
+        assert RETENTION_OBVIOUS_DRIVER not in session.drivers
+        assert set(session.drivers) == before - {RETENTION_OBVIOUS_DRIVER}
+
+    def test_excluding_everything_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.exclude_drivers(session.drivers)
+
+    def test_add_formula_driver(self, session):
+        session.add_formula_driver("Heavy Formula User", "`Formulas Used` >= 5")
+        assert "Heavy Formula User" in session.drivers
+        assert session.frame.column("Heavy Formula User").dtype == "bool"
+
+    def test_describe_dataset(self, session):
+        payload = session.describe_dataset()
+        assert payload["shape"][0] == 200
+        assert payload["kpi"]["name"] == "Retained After 6 Months"
+
+    def test_summary(self, session):
+        payload = session.summary()
+        assert payload["dataset"]["n_rows"] == 200
+        assert payload["n_scenarios"] == 0
+
+    def test_removing_obvious_driver_lowers_confidence(self):
+        frame = load_customer_retention(n_customers=400, random_state=23)
+        with_driver = WhatIfSession(frame, "Retained After 6 Months", random_state=0)
+        confidence_with = with_driver.driver_importance(verify=False).model_confidence
+        without_driver = WhatIfSession(frame, "Retained After 6 Months", random_state=0)
+        without_driver.exclude_drivers([RETENTION_OBVIOUS_DRIVER])
+        confidence_without = without_driver.driver_importance(verify=False).model_confidence
+        assert confidence_without <= confidence_with + 0.02
+
+
+class TestSessionAnalyses:
+    def test_sensitivity_accepts_plain_mapping(self, deal_session):
+        result = deal_session.sensitivity({"Call": 20.0})
+        assert result.kpi == "Deal Closed?"
+
+    def test_sensitivity_accepts_perturbation_set(self, deal_session):
+        result = deal_session.sensitivity(
+            PerturbationSet([Perturbation("Call", 5.0, "absolute")])
+        )
+        assert result.uplift >= 0
+
+    def test_per_data_analysis(self, deal_session):
+        result = deal_session.per_data_analysis(0, {"Call": 50.0})
+        assert result.row_index == 0
+
+    def test_comparison_analysis(self, deal_session):
+        result = deal_session.comparison_analysis(["Call"], (0.0, 25.0))
+        assert len(result.points) == 2
+
+    def test_goal_inversion_tracks_scenario(self, deal_session):
+        before = len(deal_session.scenarios)
+        deal_session.goal_inversion(
+            "maximize", drivers=["Call"], n_calls=8, optimizer="random", track_as="max via calls"
+        )
+        assert len(deal_session.scenarios) == before + 1
+
+    def test_sensitivity_tracks_scenario(self, deal_session):
+        before = len(deal_session.scenarios)
+        deal_session.sensitivity({"Call": 10.0}, track_as="+10% calls")
+        assert len(deal_session.scenarios) == before + 1
+
+
+class TestScenarioManager:
+    @pytest.fixture()
+    def manager_with_scenarios(self, deal_session):
+        manager = ScenarioManager()
+        low = deal_session.sensitivity({"Call": 5.0})
+        high = deal_session.sensitivity({"Open Marketing Email": 60.0})
+        manager.record_sensitivity("small call bump", low)
+        manager.record_sensitivity("big email bump", high)
+        return manager
+
+    def test_record_assigns_sequential_ids(self, manager_with_scenarios):
+        ids = [s.scenario_id for s in manager_with_scenarios]
+        assert ids == [1, 2]
+
+    def test_get_and_missing(self, manager_with_scenarios):
+        assert manager_with_scenarios.get(1).name == "small call bump"
+        with pytest.raises(KeyError):
+            manager_with_scenarios.get(99)
+
+    def test_best_and_rank(self, manager_with_scenarios):
+        assert manager_with_scenarios.best().name == "big email bump"
+        ranked = manager_with_scenarios.rank()
+        assert ranked[0].kpi_value >= ranked[1].kpi_value
+
+    def test_best_on_empty_manager(self):
+        with pytest.raises(ValueError):
+            ScenarioManager().best()
+
+    def test_compare(self, manager_with_scenarios):
+        table = manager_with_scenarios.compare()
+        assert len(table) == 2
+        assert {"scenario_id", "name", "kind", "kpi_value", "uplift"} <= set(table[0])
+
+    def test_compare_subset(self, manager_with_scenarios):
+        assert len(manager_with_scenarios.compare([2])) == 1
+
+    def test_clear(self, manager_with_scenarios):
+        manager_with_scenarios.clear()
+        assert len(manager_with_scenarios) == 0
+
+    def test_scenario_to_dict(self, manager_with_scenarios):
+        payload = manager_with_scenarios.get(1).to_dict()
+        assert payload["kind"] == "sensitivity"
+        assert "detail" in payload

@@ -1,0 +1,122 @@
+"""Unit tests for DiCE-style counterfactual generation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import WhatIfSession
+from repro.counterfactual import generate_counterfactuals
+from repro.datasets import load_deal_closing
+
+
+@pytest.fixture(scope="module")
+def session():
+    frame = load_deal_closing(n_prospects=300, random_state=7)
+    return WhatIfSession(frame, "Deal Closed?", random_state=0)
+
+
+@pytest.fixture(scope="module")
+def losing_prospect(session):
+    predictions = session.model.predict_rows(session.frame)
+    return int(np.argmin(predictions))
+
+
+class TestCounterfactualGeneration:
+    @pytest.fixture(scope="class")
+    def result(self, session, losing_prospect):
+        return generate_counterfactuals(
+            session.model,
+            losing_prospect,
+            desired_direction="increase",
+            threshold=0.5,
+            n_counterfactuals=3,
+            n_candidates=400,
+            random_state=0,
+        )
+
+    def test_counterfactuals_cross_threshold(self, result):
+        assert result.found
+        for counterfactual in result.counterfactuals:
+            assert counterfactual.prediction >= 0.5
+
+    def test_original_prediction_below_threshold(self, result):
+        assert result.original_prediction < 0.5
+
+    def test_changes_are_non_trivial_and_consistent(self, result):
+        for counterfactual in result.counterfactuals:
+            assert counterfactual.n_changed == len(counterfactual.changes) or \
+                counterfactual.n_changed >= len(counterfactual.changes)
+            assert counterfactual.n_changed >= 1
+            assert counterfactual.distance > 0
+
+    def test_at_most_requested_count(self, result):
+        assert len(result.counterfactuals) <= 3
+
+    def test_diversity_between_counterfactuals(self, session, result):
+        if len(result.counterfactuals) < 2:
+            pytest.skip("only one counterfactual found")
+        first, second = result.counterfactuals[:2]
+        assert first.new_values != second.new_values
+
+    def test_new_values_within_observed_ranges(self, session, result):
+        for counterfactual in result.counterfactuals:
+            for driver, value in counterfactual.new_values.items():
+                column = session.frame.column(driver)
+                assert column.min() - 1e-9 <= value <= column.max() + 1e-9
+
+    def test_to_dict_json_safe(self, result):
+        assert json.dumps(result.to_dict())
+
+
+class TestCounterfactualOptions:
+    def test_decrease_direction(self, session):
+        predictions = session.model.predict_rows(session.frame)
+        winning_prospect = int(np.argmax(predictions))
+        result = generate_counterfactuals(
+            session.model,
+            winning_prospect,
+            desired_direction="decrease",
+            threshold=0.5,
+            n_candidates=300,
+            random_state=0,
+        )
+        for counterfactual in result.counterfactuals:
+            assert counterfactual.prediction <= 0.5
+
+    def test_restricted_driver_set(self, session, losing_prospect):
+        allowed = ["Open Marketing Email", "Call", "Renewal"]
+        result = generate_counterfactuals(
+            session.model,
+            losing_prospect,
+            drivers=allowed,
+            n_candidates=300,
+            random_state=0,
+        )
+        for counterfactual in result.counterfactuals:
+            assert set(counterfactual.changes) <= set(allowed)
+
+    def test_invalid_direction(self, session):
+        with pytest.raises(ValueError):
+            generate_counterfactuals(session.model, 0, desired_direction="flip")
+
+    def test_invalid_row(self, session):
+        with pytest.raises(IndexError):
+            generate_counterfactuals(session.model, 10**6)
+
+    def test_unknown_driver(self, session):
+        with pytest.raises(ValueError):
+            generate_counterfactuals(session.model, 0, drivers=["Bogus"])
+
+    def test_impossible_threshold_returns_empty(self, session, losing_prospect):
+        result = generate_counterfactuals(
+            session.model,
+            losing_prospect,
+            threshold=1.01,  # probabilities cannot exceed 1
+            n_candidates=100,
+            random_state=0,
+        )
+        assert not result.found
+        assert result.counterfactuals == ()

@@ -1,0 +1,169 @@
+"""Unit tests for the synthetic use-case datasets and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DEAL_DRIVERS,
+    DEAL_KPI,
+    MARKETING_CHANNELS,
+    MARKETING_KPI,
+    RETENTION_ACTIVITY_DRIVERS,
+    RETENTION_FORMULA_DRIVERS,
+    RETENTION_KPI,
+    RETENTION_OBVIOUS_DRIVER,
+    USE_CASES,
+    get_use_case,
+    list_use_cases,
+    load_customer_retention,
+    load_deal_closing,
+    load_marketing_mix,
+    load_use_case,
+)
+
+
+class TestDealClosing:
+    def test_schema(self, deal_frame):
+        assert deal_frame.has_column("Account")
+        assert deal_frame.has_column(DEAL_KPI)
+        for driver in DEAL_DRIVERS:
+            assert deal_frame.has_column(driver)
+            assert deal_frame.column(driver).dtype == "int"
+        assert deal_frame.column(DEAL_KPI).dtype == "bool"
+        assert deal_frame.column("Account").dtype == "string"
+
+    def test_base_rate_near_target(self):
+        frame = load_deal_closing(n_prospects=2000, random_state=7)
+        rate = frame.column(DEAL_KPI).to_numeric().mean()
+        assert 0.35 <= rate <= 0.49
+
+    def test_counts_non_negative(self, deal_frame):
+        for driver in DEAL_DRIVERS:
+            assert deal_frame.column(driver).min() >= 0
+
+    def test_reproducible(self):
+        a = load_deal_closing(n_prospects=50, random_state=1)
+        b = load_deal_closing(n_prospects=50, random_state=1)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = load_deal_closing(n_prospects=50, random_state=1)
+        b = load_deal_closing(n_prospects=50, random_state=2)
+        assert a != b
+
+    def test_planted_signal_correlations(self):
+        frame = load_deal_closing(n_prospects=3000, random_state=7)
+        y = frame.column(DEAL_KPI).to_numeric()
+        strong = np.corrcoef(frame.column("Open Marketing Email").to_numeric(), y)[0, 1]
+        weak = np.corrcoef(frame.column("Meeting").to_numeric(), y)[0, 1]
+        assert strong > 0.15
+        assert abs(weak) < 0.08
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            load_deal_closing(n_prospects=5)
+
+
+class TestMarketingMix:
+    def test_schema(self, marketing_frame):
+        for channel in MARKETING_CHANNELS:
+            assert marketing_frame.has_column(channel)
+        assert marketing_frame.has_column(MARKETING_KPI)
+        assert marketing_frame.has_column("Day")
+
+    def test_six_month_default_length(self):
+        assert load_marketing_mix().n_rows == 180
+
+    def test_sales_positive(self, marketing_frame):
+        assert marketing_frame.column(MARKETING_KPI).min() >= 0
+
+    def test_spend_positive(self, marketing_frame):
+        for channel in MARKETING_CHANNELS:
+            assert marketing_frame.column(channel).min() >= 0
+
+    def test_planted_effectiveness_ordering_in_correlations(self):
+        frame = load_marketing_mix(n_days=180, random_state=11)
+        y = frame.column(MARKETING_KPI).to_numeric()
+        internet = np.corrcoef(frame.column("Internet").to_numeric(), y)[0, 1]
+        radio = np.corrcoef(frame.column("Radio").to_numeric(), y)[0, 1]
+        assert internet > radio
+
+    def test_reproducible(self):
+        assert load_marketing_mix(n_days=30, random_state=3) == load_marketing_mix(
+            n_days=30, random_state=3
+        )
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            load_marketing_mix(n_days=5)
+
+
+class TestCustomerRetention:
+    def test_schema(self, retention_frame):
+        for activity in RETENTION_ACTIVITY_DRIVERS:
+            assert retention_frame.has_column(activity)
+        for formula in RETENTION_FORMULA_DRIVERS:
+            assert retention_frame.has_column(formula)
+            assert retention_frame.column(formula).dtype == "bool"
+        assert retention_frame.column(RETENTION_KPI).dtype == "bool"
+
+    def test_formula_drivers_consistent_with_counts(self, retention_frame):
+        formulas_used = retention_frame.column("Formulas Used").to_numeric()
+        derived = retention_frame.column("Used 3+ Formulas In First Two Weeks").to_numeric()
+        np.testing.assert_array_equal(derived, (formulas_used >= 3).astype(float))
+
+    def test_obvious_driver_nearly_determines_label(self, retention_frame):
+        active_days = retention_frame.column(RETENTION_OBVIOUS_DRIVER).to_numeric()
+        retained = retention_frame.column(RETENTION_KPI).to_numeric()
+        correlation = np.corrcoef(active_days, retained)[0, 1]
+        assert correlation > 0.85
+
+    def test_retention_rate_plausible(self):
+        frame = load_customer_retention(n_customers=2000, random_state=23)
+        rate = frame.column(RETENTION_KPI).to_numeric().mean()
+        assert 0.45 <= rate <= 0.65
+
+    def test_without_formula_drivers(self):
+        frame = load_customer_retention(n_customers=50, include_formula_drivers=False)
+        for formula in RETENTION_FORMULA_DRIVERS:
+            assert not frame.has_column(formula)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            load_customer_retention(n_customers=3)
+
+
+class TestRegistry:
+    def test_three_use_cases(self):
+        assert set(USE_CASES) == {"marketing_mix", "customer_retention", "deal_closing"}
+        assert len(list_use_cases()) == 3
+
+    def test_get_use_case(self):
+        use_case = get_use_case("deal_closing")
+        assert use_case.kpi == DEAL_KPI
+        assert use_case.kpi_kind == "discrete"
+
+    def test_unknown_use_case(self):
+        with pytest.raises(KeyError):
+            get_use_case("weather")
+
+    def test_load_use_case_kwargs_forwarded(self):
+        frame = load_use_case("deal_closing", n_prospects=60)
+        assert frame.n_rows == 60
+
+    def test_kpi_kind_matches_dataset(self):
+        for use_case in list_use_cases():
+            frame = use_case.load(**({"n_days": 40} if use_case.key == "marketing_mix" else
+                                     {"n_customers": 40} if use_case.key == "customer_retention" else
+                                     {"n_prospects": 40}))
+            assert frame.has_column(use_case.kpi)
+
+    def test_excluded_drivers_exist_in_dataset(self):
+        for use_case in list_use_cases():
+            frame = use_case.load(**({"n_days": 40} if use_case.key == "marketing_mix" else
+                                     {"n_customers": 40} if use_case.key == "customer_retention" else
+                                     {"n_prospects": 40}))
+            for column in use_case.excluded_drivers:
+                assert frame.has_column(column)

@@ -1,0 +1,214 @@
+"""Unit tests for the Column vector type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frame import Column, TypeMismatchError, infer_dtype
+
+
+class TestDtypeInference:
+    def test_infers_int(self):
+        assert infer_dtype([1, 2, 3]) == "int"
+
+    def test_infers_float(self):
+        assert infer_dtype([1.5, 2, 3]) == "float"
+
+    def test_infers_bool(self):
+        assert infer_dtype([True, False]) == "bool"
+
+    def test_infers_string(self):
+        assert infer_dtype(["a", 1, 2.0]) == "string"
+
+    def test_bool_mixed_with_int_is_int(self):
+        assert infer_dtype([True, 2]) == "int"
+
+    def test_none_promotes_to_float(self):
+        assert infer_dtype([1, None]) == "float"
+
+    def test_empty_defaults_to_float(self):
+        assert infer_dtype([]) == "float"
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        column = Column("spend", [1.0, 2.0, 3.0])
+        assert column.name == "spend"
+        assert column.dtype == "float"
+        assert len(column) == 3
+        assert column.is_numeric
+
+    def test_string_column_not_numeric(self):
+        column = Column("name", ["a", "b"])
+        assert column.dtype == "string"
+        assert not column.is_numeric
+
+    def test_explicit_dtype_wins(self):
+        column = Column("flag", [0, 1, 1], dtype="bool")
+        assert column.dtype == "bool"
+        assert column.tolist() == [False, True, True]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Column("", [1, 2])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_values_are_read_only(self):
+        column = Column("x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            column.values[0] = 5.0
+
+    def test_equality(self):
+        assert Column("x", [1, 2]) == Column("x", [1, 2])
+        assert Column("x", [1, 2]) != Column("y", [1, 2])
+        assert Column("x", [1, 2]) != Column("x", [1, 3])
+
+
+class TestIndexingAndIteration:
+    def test_scalar_indexing_returns_python_types(self):
+        column = Column("x", [1, 2, 3])
+        assert column[0] == 1
+        assert isinstance(column[0], int)
+
+    def test_bool_scalar(self):
+        column = Column("flag", [True, False])
+        assert column[1] is False
+
+    def test_slice_returns_column(self):
+        column = Column("x", [1, 2, 3, 4])
+        sliced = column[1:3]
+        assert isinstance(sliced, Column)
+        assert sliced.tolist() == [2, 3]
+
+    def test_iteration(self):
+        assert list(Column("x", [1.5, 2.5])) == [1.5, 2.5]
+
+
+class TestTransformations:
+    def test_rename(self):
+        assert Column("a", [1]).rename("b").name == "b"
+
+    def test_astype_string_to_float(self):
+        column = Column("x", ["1.5", "2.5"]).astype("float")
+        assert column.dtype == "float"
+        assert column.tolist() == [1.5, 2.5]
+
+    def test_astype_bad_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", ["abc"]).astype("float")
+
+    def test_astype_to_string(self):
+        assert Column("x", [1, 2]).astype("string").tolist() == ["1", "2"]
+
+    def test_astype_bool_parsing(self):
+        column = Column("x", ["yes", "no", "true"]).astype("bool")
+        assert column.tolist() == [True, False, True]
+
+    def test_map(self):
+        assert Column("x", [1, 2]).map(lambda v: v * 10).tolist() == [10, 20]
+
+    def test_take(self):
+        assert Column("x", [10, 20, 30]).take([2, 0]).tolist() == [30, 10]
+
+    def test_mask(self):
+        assert Column("x", [1, 2, 3]).mask([True, False, True]).tolist() == [1, 3]
+
+    def test_with_value_at(self):
+        updated = Column("x", [1.0, 2.0]).with_value_at(1, 9.0)
+        assert updated.tolist() == [1.0, 9.0]
+
+    def test_to_numeric_on_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", ["a"]).to_numeric()
+
+
+class TestStatistics:
+    def test_basic_stats(self):
+        column = Column("x", [1.0, 2.0, 3.0, 4.0])
+        assert column.sum() == 10.0
+        assert column.mean() == 2.5
+        assert column.min() == 1.0
+        assert column.max() == 4.0
+        assert column.median() == 2.5
+
+    def test_std_single_value(self):
+        assert Column("x", [1.0, 3.0]).std() == pytest.approx(np.sqrt(2.0))
+
+    def test_quantile(self):
+        assert Column("x", [0.0, 10.0]).quantile(0.5) == 5.0
+
+    def test_nunique_and_unique(self):
+        column = Column("x", [1, 2, 2, 3])
+        assert column.nunique() == 3
+        assert column.unique() == [1, 2, 3]
+
+    def test_nunique_counts_nan_once(self):
+        column = Column("x", [1.0, float("nan"), float("nan")])
+        assert column.nunique() == 2
+
+    def test_value_counts_sorted(self):
+        counts = Column("x", ["a", "b", "b"]).value_counts()
+        assert list(counts.items()) == [("b", 2), ("a", 1)]
+
+    def test_isna_and_fillna(self):
+        column = Column("x", [1.0, float("nan")])
+        assert column.isna().tolist() == [False, True]
+        assert column.fillna(0.0).tolist() == [1.0, 0.0]
+
+    def test_string_isna(self):
+        column = Column("x", ["a", None])
+        assert column.isna().tolist() == [False, True]
+
+    def test_describe_numeric(self):
+        summary = Column("x", [1.0, 2.0, 3.0]).describe()
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+
+    def test_stats_on_string_column_raise(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", ["a", "b"]).mean()
+
+
+class TestComparisonsAndArithmetic:
+    def test_comparison_masks(self):
+        column = Column("x", [1, 2, 3])
+        assert column.gt(1).tolist() == [False, True, True]
+        assert column.le(2).tolist() == [True, True, False]
+        assert column.eq(2).tolist() == [False, True, False]
+        assert column.ne(2).tolist() == [True, False, True]
+
+    def test_isin(self):
+        assert Column("x", ["a", "b", "c"]).isin(["a", "c"]).tolist() == [True, False, True]
+
+    def test_arithmetic(self):
+        column = Column("x", [1.0, 2.0])
+        assert column.add(1).tolist() == [2.0, 3.0]
+        assert column.sub(1).tolist() == [0.0, 1.0]
+        assert column.mul(2).tolist() == [2.0, 4.0]
+        assert column.div(2).tolist() == [0.5, 1.0]
+
+    def test_arithmetic_with_column(self):
+        a = Column("x", [1.0, 2.0])
+        b = Column("y", [10.0, 20.0])
+        assert a.add(b).tolist() == [11.0, 22.0]
+
+    def test_clip_scale_shift(self):
+        column = Column("x", [1.0, 5.0, 10.0])
+        assert column.clip(2.0, 6.0).tolist() == [2.0, 5.0, 6.0]
+        assert column.scale(2.0).tolist() == [2.0, 10.0, 20.0]
+        assert column.shift_by(1.0).tolist() == [2.0, 6.0, 11.0]
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        column = Column("flag", [True, False, True])
+        restored = Column.from_dict(column.to_dict())
+        assert restored == column
+
+    def test_tolist_native_types(self):
+        values = Column("x", [1, 2]).tolist()
+        assert all(isinstance(v, int) for v in values)

@@ -1,0 +1,252 @@
+"""Unit tests for the DataFrame table abstraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    Column,
+    ColumnNotFoundError,
+    DataFrame,
+    DuplicateColumnError,
+    EmptyFrameError,
+    LengthMismatchError,
+    TypeMismatchError,
+)
+
+
+class TestConstruction:
+    def test_from_mapping(self, tiny_frame):
+        assert tiny_frame.shape == (6, 4)
+        assert tiny_frame.columns == ["region", "spend", "clicks", "converted"]
+
+    def test_from_records(self):
+        frame = DataFrame.from_records([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert frame.shape == (2, 2)
+        assert frame.column("a").dtype == "int"
+        assert frame.column("b").dtype == "string"
+
+    def test_from_records_missing_keys_become_nan(self):
+        frame = DataFrame.from_records([{"a": 1}, {"a": 2, "b": 3.0}])
+        assert np.isnan(frame.column("b")[0])
+
+    def test_from_matrix(self):
+        frame = DataFrame.from_matrix(np.arange(6).reshape(3, 2), ["x", "y"])
+        assert frame.shape == (3, 2)
+        assert frame.column("y").tolist() == [1.0, 3.0, 5.0]
+
+    def test_from_matrix_wrong_names(self):
+        with pytest.raises(LengthMismatchError):
+            DataFrame.from_matrix(np.zeros((2, 2)), ["only_one"])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(DuplicateColumnError):
+            DataFrame([Column("a", [1]), Column("a", [2])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(LengthMismatchError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_empty(self):
+        frame = DataFrame.empty(["a", "b"])
+        assert frame.shape == (0, 2)
+
+    def test_equality(self, tiny_frame):
+        assert tiny_frame == tiny_frame.copy()
+        assert tiny_frame != tiny_frame.drop("spend")
+
+
+class TestAccess:
+    def test_column_lookup(self, tiny_frame):
+        assert tiny_frame.column("spend").mean() == 35.0
+
+    def test_missing_column_error_lists_available(self, tiny_frame):
+        with pytest.raises(ColumnNotFoundError) as excinfo:
+            tiny_frame.column("nope")
+        assert "spend" in str(excinfo.value)
+
+    def test_getitem_string(self, tiny_frame):
+        assert isinstance(tiny_frame["spend"], Column)
+
+    def test_getitem_list(self, tiny_frame):
+        assert tiny_frame[["spend", "clicks"]].columns == ["spend", "clicks"]
+
+    def test_getitem_slice(self, tiny_frame):
+        assert tiny_frame[1:3].n_rows == 2
+
+    def test_row(self, tiny_frame):
+        row = tiny_frame.row(0)
+        assert row == {"region": "east", "spend": 10.0, "clicks": 1, "converted": False}
+
+    def test_row_out_of_range(self, tiny_frame):
+        with pytest.raises(IndexError):
+            tiny_frame.row(10)
+
+    def test_iterrows(self, tiny_frame):
+        rows = list(tiny_frame.iterrows())
+        assert len(rows) == 6
+        assert rows[2][0] == 2
+
+    def test_contains(self, tiny_frame):
+        assert "spend" in tiny_frame
+        assert "nope" not in tiny_frame
+
+    def test_numeric_and_string_columns(self, tiny_frame):
+        assert tiny_frame.numeric_columns() == ["spend", "clicks", "converted"]
+        assert tiny_frame.string_columns() == ["region"]
+
+
+class TestColumnOperations:
+    def test_select_preserves_order(self, tiny_frame):
+        assert tiny_frame.select(["clicks", "spend"]).columns == ["clicks", "spend"]
+
+    def test_drop(self, tiny_frame):
+        assert "region" not in tiny_frame.drop("region").columns
+
+    def test_drop_missing_column(self, tiny_frame):
+        with pytest.raises(ColumnNotFoundError):
+            tiny_frame.drop("nope")
+
+    def test_rename(self, tiny_frame):
+        renamed = tiny_frame.rename({"spend": "cost"})
+        assert "cost" in renamed.columns
+        assert "spend" not in renamed.columns
+
+    def test_with_column_appends(self, tiny_frame):
+        extended = tiny_frame.with_column(name="double_spend", values=tiny_frame["spend"].mul(2))
+        assert extended.column("double_spend").tolist()[:2] == [20.0, 40.0]
+        assert extended.n_columns == tiny_frame.n_columns + 1
+
+    def test_with_column_replaces_in_place(self, tiny_frame):
+        replaced = tiny_frame.with_column(name="spend", values=[0.0] * 6)
+        assert replaced.columns == tiny_frame.columns
+        assert replaced.column("spend").sum() == 0.0
+
+    def test_with_column_length_check(self, tiny_frame):
+        with pytest.raises(LengthMismatchError):
+            tiny_frame.with_column(name="bad", values=[1.0])
+
+    def test_assign_callable(self, tiny_frame):
+        derived = tiny_frame.assign(cost_per_click=lambda row: row["spend"] / row["clicks"])
+        assert derived.column("cost_per_click")[0] == 10.0
+
+    def test_assign_constant(self, tiny_frame):
+        derived = tiny_frame.assign(country="US")
+        assert derived.column("country").tolist() == ["US"] * 6
+
+    def test_reorder(self, tiny_frame):
+        reordered = tiny_frame.reorder(["converted", "clicks", "spend", "region"])
+        assert reordered.columns[0] == "converted"
+
+    def test_reorder_requires_same_set(self, tiny_frame):
+        with pytest.raises(ColumnNotFoundError):
+            tiny_frame.reorder(["spend"])
+
+
+class TestRowOperations:
+    def test_take(self, tiny_frame):
+        taken = tiny_frame.take([5, 0])
+        assert taken.column("spend").tolist() == [60.0, 10.0]
+
+    def test_mask(self, tiny_frame):
+        masked = tiny_frame.mask(tiny_frame["spend"].gt(30))
+        assert masked.n_rows == 3
+
+    def test_mask_length_check(self, tiny_frame):
+        with pytest.raises(LengthMismatchError):
+            tiny_frame.mask(np.array([True]))
+
+    def test_filter_callable(self, tiny_frame):
+        filtered = tiny_frame.filter(lambda row: row["region"] == "east")
+        assert filtered.n_rows == 3
+
+    def test_head_tail(self, tiny_frame):
+        assert tiny_frame.head(2).column("clicks").tolist() == [1, 2]
+        assert tiny_frame.tail(2).column("clicks").tolist() == [5, 6]
+
+    def test_sample_without_replacement(self, tiny_frame):
+        sampled = tiny_frame.sample(3, random_state=0)
+        assert sampled.n_rows == 3
+
+    def test_sample_too_many(self, tiny_frame):
+        with pytest.raises(EmptyFrameError):
+            tiny_frame.sample(10)
+
+    def test_sample_with_replacement(self, tiny_frame):
+        assert tiny_frame.sample(10, replace=True, random_state=0).n_rows == 10
+
+    def test_sort_values(self, tiny_frame):
+        ordered = tiny_frame.sort_values("spend", ascending=False)
+        assert ordered.column("spend").tolist()[0] == 60.0
+
+    def test_sort_values_string(self, tiny_frame):
+        ordered = tiny_frame.sort_values("region")
+        assert ordered.column("region")[0] == "east"
+
+    def test_concat_rows(self, tiny_frame):
+        combined = tiny_frame.concat_rows(tiny_frame)
+        assert combined.n_rows == 12
+
+    def test_concat_rows_mismatched_columns(self, tiny_frame):
+        with pytest.raises(ColumnNotFoundError):
+            tiny_frame.concat_rows(tiny_frame.drop("spend"))
+
+    def test_drop_missing(self):
+        frame = DataFrame({"a": [1.0, float("nan"), 3.0], "b": [1.0, 2.0, 3.0]})
+        assert frame.drop_missing().n_rows == 2
+        assert frame.drop_missing(subset=["b"]).n_rows == 3
+
+    def test_with_row_updated(self, tiny_frame):
+        updated = tiny_frame.with_row_updated(0, {"spend": 99.0})
+        assert updated.column("spend")[0] == 99.0
+        assert tiny_frame.column("spend")[0] == 10.0  # original untouched
+
+
+class TestAggregation:
+    def test_describe(self, tiny_frame):
+        summary = tiny_frame.describe()
+        assert summary["spend"]["mean"] == 35.0
+        assert summary["region"]["n_unique"] == 2
+
+    def test_aggregate(self, tiny_frame):
+        result = tiny_frame.aggregate({"spend": "sum", "clicks": "max"})
+        assert result == {"spend": 210.0, "clicks": 6.0}
+
+    def test_aggregate_unknown_reducer(self, tiny_frame):
+        with pytest.raises(TypeMismatchError):
+            tiny_frame.aggregate({"spend": "mode"})
+
+
+class TestModelConversions:
+    def test_to_matrix(self, tiny_frame):
+        matrix = tiny_frame.to_matrix(["spend", "clicks"])
+        assert matrix.shape == (6, 2)
+        assert matrix.dtype == np.float64
+
+    def test_to_matrix_default_numeric(self, tiny_frame):
+        assert tiny_frame.to_matrix().shape == (6, 3)
+
+    def test_to_matrix_no_numeric(self):
+        frame = DataFrame({"name": Column("name", ["a"], dtype="string")})
+        with pytest.raises(EmptyFrameError):
+            frame.to_matrix()
+
+    def test_to_vector(self, tiny_frame):
+        assert tiny_frame.to_vector("clicks").tolist() == [1, 2, 3, 4, 5, 6]
+
+
+class TestSerialization:
+    def test_to_records_round_trip(self, tiny_frame):
+        rebuilt = DataFrame.from_records(tiny_frame.to_records())
+        assert rebuilt.column("spend").tolist() == tiny_frame.column("spend").tolist()
+        assert rebuilt.column("region").tolist() == tiny_frame.column("region").tolist()
+
+    def test_to_dict(self, tiny_frame):
+        payload = tiny_frame.to_dict()
+        assert payload["clicks"] == [1, 2, 3, 4, 5, 6]
+
+    def test_copy_is_independent(self, tiny_frame):
+        copied = tiny_frame.copy()
+        assert copied == tiny_frame
+        assert copied is not tiny_frame

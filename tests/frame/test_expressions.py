@@ -1,0 +1,114 @@
+"""Unit tests for the hypothesis-formula expression language."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    DataFrame,
+    ExpressionError,
+    add_formula_column,
+    evaluate_expression,
+    validate_expression,
+)
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame(
+        {
+            "Formulas Used": [1, 3, 5, 0],
+            "demos": [0, 2, 2, 1],
+            "spend": [10.0, 20.0, 30.0, 40.0],
+        }
+    )
+
+
+class TestEvaluation:
+    def test_arithmetic(self, frame):
+        result = evaluate_expression(frame, "spend * 2 + demos")
+        assert result.tolist() == [20.0, 42.0, 62.0, 81.0]
+
+    def test_comparison(self, frame):
+        result = evaluate_expression(frame, "demos >= 2")
+        assert result.tolist() == [False, True, True, False]
+
+    def test_boolean_combination(self, frame):
+        result = evaluate_expression(frame, "(demos >= 2) and (spend > 25)")
+        assert result.tolist() == [False, False, True, False]
+
+    def test_or_and_not(self, frame):
+        result = evaluate_expression(frame, "(demos >= 2) or (not (spend > 15))")
+        assert result.tolist() == [True, True, True, False]
+
+    def test_backtick_column_names(self, frame):
+        result = evaluate_expression(frame, "`Formulas Used` >= 3")
+        assert result.tolist() == [False, True, True, False]
+
+    def test_functions(self, frame):
+        result = evaluate_expression(frame, "log(spend)")
+        np.testing.assert_allclose(result, np.log([10.0, 20.0, 30.0, 40.0]))
+
+    def test_where_function(self, frame):
+        result = evaluate_expression(frame, "where(demos >= 2, 1, 0)")
+        assert result.tolist() == [0, 1, 1, 0]
+
+    def test_scalar_broadcasts(self, frame):
+        assert evaluate_expression(frame, "1").tolist() == [1, 1, 1, 1]
+
+    def test_unary_minus(self, frame):
+        assert evaluate_expression(frame, "-demos").tolist() == [0, -2, -2, -1]
+
+    def test_constants(self, frame):
+        result = evaluate_expression(frame, "spend * 0 + pi")
+        np.testing.assert_allclose(result, np.pi)
+
+
+class TestValidation:
+    def test_unknown_column(self, frame):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(frame, "missing_column + 1")
+
+    def test_attribute_access_rejected(self, frame):
+        with pytest.raises(ExpressionError):
+            validate_expression("spend.__class__")
+
+    def test_subscript_rejected(self, frame):
+        with pytest.raises(ExpressionError):
+            validate_expression("spend[0]")
+
+    def test_lambda_rejected(self):
+        with pytest.raises(ExpressionError):
+            validate_expression("(lambda: 1)()")
+
+    def test_disallowed_function(self, frame):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(frame, "eval('1')")
+
+    def test_syntax_error(self):
+        with pytest.raises(ExpressionError):
+            validate_expression("spend +")
+
+    def test_chained_comparison_rejected(self, frame):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(frame, "1 < demos < 3")
+
+    def test_keyword_arguments_rejected(self, frame):
+        with pytest.raises(ExpressionError):
+            evaluate_expression(frame, "clip(spend, a_min=0, a_max=1)")
+
+
+class TestAddFormulaColumn:
+    def test_boolean_formula_becomes_bool_column(self, frame):
+        extended = add_formula_column(frame, "power_user", "`Formulas Used` >= 3")
+        assert extended.column("power_user").dtype == "bool"
+        assert extended.column("power_user").tolist() == [False, True, True, False]
+
+    def test_numeric_formula_becomes_float_column(self, frame):
+        extended = add_formula_column(frame, "spend_per_demo", "spend / (demos + 1)")
+        assert extended.column("spend_per_demo").dtype == "float"
+
+    def test_original_frame_untouched(self, frame):
+        add_formula_column(frame, "x", "spend * 2")
+        assert "x" not in frame.columns

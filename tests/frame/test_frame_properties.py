@@ -1,0 +1,89 @@
+"""Property-based tests for the dataframe substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Column, DataFrame
+
+# reasonable bounded floats so means/sums stay finite
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def small_frames(draw):
+    """Random numeric frames with 1-20 rows and 1-4 columns."""
+    n_rows = draw(st.integers(min_value=1, max_value=20))
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    columns = {}
+    for j in range(n_cols):
+        values = draw(
+            st.lists(finite_floats, min_size=n_rows, max_size=n_rows)
+        )
+        columns[f"c{j}"] = values
+    return DataFrame(columns)
+
+
+@given(small_frames())
+@settings(max_examples=40, deadline=None)
+def test_records_round_trip_preserves_values(frame):
+    rebuilt = DataFrame.from_records(frame.to_records())
+    assert rebuilt.shape == frame.shape
+    for name in frame.columns:
+        np.testing.assert_allclose(
+            rebuilt.column(name).to_numeric(), frame.column(name).to_numeric()
+        )
+
+
+@given(small_frames(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_mask_then_concat_row_count(frame, data):
+    mask = np.array(
+        data.draw(st.lists(st.booleans(), min_size=frame.n_rows, max_size=frame.n_rows))
+    )
+    kept = frame.mask(mask)
+    dropped = frame.mask(~mask)
+    assert kept.n_rows + dropped.n_rows == frame.n_rows
+    assert kept.concat_rows(dropped).n_rows == frame.n_rows
+
+
+@given(small_frames())
+@settings(max_examples=40, deadline=None)
+def test_sort_is_a_permutation(frame):
+    name = frame.columns[0]
+    ordered = frame.sort_values(name)
+    assert sorted(ordered.column(name).tolist()) == sorted(frame.column(name).tolist())
+    values = ordered.column(name).to_numeric()
+    assert np.all(np.diff(values) >= 0)
+
+
+@given(small_frames())
+@settings(max_examples=40, deadline=None)
+def test_take_identity(frame):
+    assert frame.take(list(range(frame.n_rows))) == frame
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_column_mean_between_min_and_max(values):
+    column = Column("x", values)
+    assert column.min() - 1e-9 <= column.mean() <= column.max() + 1e-9
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50), finite_floats)
+@settings(max_examples=60, deadline=None)
+def test_shift_then_unshift_is_identity(values, delta):
+    column = Column("x", values)
+    round_tripped = column.shift_by(delta).shift_by(-delta)
+    np.testing.assert_allclose(round_tripped.to_numeric(), column.to_numeric(), atol=1e-6)
+
+
+@given(small_frames())
+@settings(max_examples=40, deadline=None)
+def test_groupby_sizes_sum_to_rows(frame):
+    # group by a derived bucket column to exercise groupby on arbitrary data
+    bucketed = frame.assign(bucket=lambda row: float(row[frame.columns[0]] > 0))
+    grouped = bucketed.groupby("bucket")
+    assert sum(len(ix) for ix in grouped.groups().values()) == frame.n_rows

@@ -1,0 +1,132 @@
+"""Unit tests for group-by and join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frame import Column, DataFrame, JoinError, TypeMismatchError, join_frames
+
+
+class TestGroupBy:
+    def test_group_count(self, tiny_frame):
+        grouped = tiny_frame.groupby("region")
+        assert grouped.n_groups == 2
+
+    def test_iteration_yields_subframes(self, tiny_frame):
+        for key, subframe in tiny_frame.groupby("region"):
+            assert subframe.n_rows == 3
+            assert set(subframe.column("region").tolist()) == {key[0]}
+
+    def test_get_group(self, tiny_frame):
+        east = tiny_frame.groupby("region").get_group("east")
+        assert east.column("spend").tolist() == [10.0, 30.0, 50.0]
+
+    def test_get_group_missing(self, tiny_frame):
+        with pytest.raises(KeyError):
+            tiny_frame.groupby("region").get_group("north")
+
+    def test_size(self, tiny_frame):
+        sizes = tiny_frame.groupby("region").size()
+        assert sorted(sizes.column("size").tolist()) == [3, 3]
+
+    def test_agg_mean_and_sum(self, tiny_frame):
+        result = tiny_frame.groupby("region").agg({"spend": "mean", "clicks": "sum"})
+        east = result.filter(lambda row: row["region"] == "east")
+        assert east.column("spend_mean")[0] == 30.0
+        assert east.column("clicks_sum")[0] == 9.0
+
+    def test_agg_count_nunique(self, tiny_frame):
+        result = tiny_frame.groupby("region").agg({"clicks": "count", "converted": "nunique"})
+        assert result.column("clicks_count").tolist() == [3.0, 3.0]
+
+    def test_agg_unknown_reducer(self, tiny_frame):
+        with pytest.raises(TypeMismatchError):
+            tiny_frame.groupby("region").agg({"spend": "mode"})
+
+    def test_agg_missing_column(self, tiny_frame):
+        with pytest.raises(Exception):
+            tiny_frame.groupby("region").agg({"nope": "mean"})
+
+    def test_multi_key_grouping(self, tiny_frame):
+        grouped = tiny_frame.groupby(["region", "converted"])
+        # east/False, west/False, east/True, west/True
+        assert grouped.n_groups == 4
+        assert sum(len(ix) for ix in grouped.groups().values()) == 6
+
+    def test_apply(self, tiny_frame):
+        means = tiny_frame.groupby("region").apply(lambda sub: sub.column("spend").mean())
+        assert means[("east",)] == 30.0
+        assert means[("west",)] == 40.0
+
+    def test_mean_convenience(self, tiny_frame):
+        result = tiny_frame.groupby("region").mean(["spend"])
+        assert set(result.columns) == {"region", "spend_mean"}
+
+
+class TestJoin:
+    @pytest.fixture()
+    def accounts(self):
+        return DataFrame(
+            {
+                "account": Column("account", ["a", "b", "c"], dtype="string"),
+                "spend": [1.0, 2.0, 3.0],
+            }
+        )
+
+    @pytest.fixture()
+    def owners(self):
+        return DataFrame(
+            {
+                "account": Column("account", ["a", "b", "d"], dtype="string"),
+                "owner": Column("owner", ["amy", "bob", "dan"], dtype="string"),
+            }
+        )
+
+    def test_inner_join(self, accounts, owners):
+        joined = join_frames(accounts, owners, ["account"], how="inner")
+        assert joined.n_rows == 2
+        assert set(joined.column("owner").tolist()) == {"amy", "bob"}
+
+    def test_left_join_fills_missing(self, accounts, owners):
+        joined = accounts.join(owners, on="account", how="left")
+        assert joined.n_rows == 3
+        c_row = joined.filter(lambda row: row["account"] == "c")
+        assert c_row.column("owner")[0] is None
+
+    def test_join_duplicate_value_columns_get_suffix(self, accounts):
+        other = DataFrame(
+            {
+                "account": Column("account", ["a"], dtype="string"),
+                "spend": [99.0],
+            }
+        )
+        joined = accounts.join(other, on="account", how="inner")
+        assert "spend_right" in joined.columns
+
+    def test_one_to_many_join(self, accounts):
+        activity = DataFrame(
+            {
+                "account": Column("account", ["a", "a", "b"], dtype="string"),
+                "clicks": [1, 2, 3],
+            }
+        )
+        joined = accounts.join(activity, on="account", how="inner")
+        assert joined.n_rows == 3
+
+    def test_missing_key_raises(self, accounts, owners):
+        with pytest.raises(JoinError):
+            join_frames(accounts, owners, ["nope"])
+
+    def test_unknown_join_type(self, accounts, owners):
+        with pytest.raises(JoinError):
+            join_frames(accounts, owners, ["account"], how="outer")
+
+    def test_empty_result(self, accounts):
+        other = DataFrame(
+            {
+                "account": Column("account", ["zzz"], dtype="string"),
+                "owner": Column("owner", ["nobody"], dtype="string"),
+            }
+        )
+        joined = accounts.join(other, on="account", how="inner")
+        assert joined.n_rows == 0

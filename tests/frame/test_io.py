@@ -1,0 +1,93 @@
+"""Unit tests for CSV and JSON-records I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    Column,
+    DataFrame,
+    FrameError,
+    read_csv,
+    read_json_records,
+    write_csv,
+    write_json_records,
+)
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame(
+        {
+            "account": Column("account", ["a", "b", "c"], dtype="string"),
+            "spend": [1.5, 2.5, float("nan")],
+            "clicks": [1, 2, 3],
+            "closed": [True, False, True],
+        }
+    )
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, frame):
+        path = tmp_path / "data.csv"
+        write_csv(frame, path)
+        loaded = read_csv(path)
+        assert loaded.columns == frame.columns
+        assert loaded.column("clicks").tolist() == [1, 2, 3]
+        assert loaded.column("closed").tolist() == [True, False, True]
+        assert loaded.column("account").tolist() == ["a", "b", "c"]
+
+    def test_missing_values_round_trip(self, tmp_path, frame):
+        path = tmp_path / "data.csv"
+        write_csv(frame, path)
+        loaded = read_csv(path)
+        assert np.isnan(loaded.column("spend")[2])
+
+    def test_dtype_inference(self, tmp_path):
+        path = tmp_path / "typed.csv"
+        path.write_text("a,b,c\n1,2.5,true\n2,3.5,false\n")
+        loaded = read_csv(path)
+        assert loaded.column("a").dtype == "int"
+        assert loaded.column("b").dtype == "float"
+        assert loaded.column("c").dtype == "bool"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FrameError):
+            read_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(FrameError):
+            read_csv(path)
+
+    def test_frame_method_round_trip(self, tmp_path, frame):
+        path = tmp_path / "method.csv"
+        frame.to_csv(str(path))
+        assert DataFrame.read_csv(str(path)).n_rows == 3
+
+    def test_custom_delimiter(self, tmp_path, frame):
+        path = tmp_path / "tab.csv"
+        write_csv(frame, path, delimiter="\t")
+        loaded = read_csv(path, delimiter="\t")
+        assert loaded.n_columns == 4
+
+
+class TestJSONRecords:
+    def test_round_trip(self, tmp_path, frame):
+        path = tmp_path / "data.json"
+        write_json_records(frame, path)
+        loaded = read_json_records(path)
+        assert loaded.column("account").tolist() == ["a", "b", "c"]
+        assert loaded.column("clicks").tolist() == [1, 2, 3]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FrameError):
+            read_json_records(tmp_path / "nope.json")
+
+    def test_non_list_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"a": 1}')
+        with pytest.raises(FrameError):
+            read_json_records(path)

@@ -1,0 +1,101 @@
+"""Cross-module integration: server protocol vs direct session, spec vs server."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import WhatIfSession
+from repro.server import SystemDServer
+from repro.spec import execute_spec, parse_spec
+
+
+class TestServerMatchesDirectSession:
+    """The JSON protocol must produce the same numbers as calling the session API."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        server = SystemDServer()
+        load = server.request(
+            "load_use_case",
+            use_case="deal_closing",
+            dataset_kwargs={"n_prospects": 300},
+            random_state=0,
+        )
+        assert load.ok
+        session = WhatIfSession.from_use_case(
+            "deal_closing", dataset_kwargs={"n_prospects": 300}, random_state=0
+        )
+        return server, session
+
+    def test_sensitivity_numbers_match(self, pair):
+        server, session = pair
+        via_server = server.request(
+            "sensitivity", perturbations={"Open Marketing Email": 40.0}
+        )
+        direct = session.sensitivity({"Open Marketing Email": 40.0})
+        assert via_server.ok
+        assert via_server.data["original_kpi"] == pytest.approx(direct.original_kpi)
+        assert via_server.data["perturbed_kpi"] == pytest.approx(direct.perturbed_kpi)
+
+    def test_importance_ranking_matches(self, pair):
+        server, session = pair
+        via_server = server.request("driver_importance", verify=False)
+        direct = session.driver_importance(verify=False)
+        server_order = [d["driver"] for d in via_server.data["drivers"]]
+        direct_order = [d.driver for d in direct.drivers]
+        assert server_order == direct_order
+
+    def test_every_response_is_json_serialisable(self, pair):
+        server, _ = pair
+        for action, params in [
+            ("describe_dataset", {}),
+            ("driver_importance", {"verify": False}),
+            ("comparison", {"drivers": ["Call"], "amounts": [0.0, 20.0]}),
+            ("per_data", {"row_index": 0, "perturbations": {"Call": 10.0}}),
+        ]:
+            response = server.request(action, **params)
+            assert response.ok, response.error
+            assert json.dumps(response.to_dict())
+
+
+class TestSpecMatchesServer:
+    def test_spec_and_server_agree_on_constrained_analysis(self):
+        spec = parse_spec(
+            {
+                "name": "agreement",
+                "random_state": 0,
+                "dataset": {"use_case": "deal_closing", "dataset_kwargs": {"n_prospects": 250}},
+                "kpi": {"column": "Deal Closed?"},
+                "analyses": [
+                    {
+                        "kind": "constrained",
+                        "name": "cons",
+                        "params": {
+                            "bounds": {"Open Marketing Email": [40.0, 80.0]},
+                            "n_calls": 10,
+                            "optimizer": "random",
+                        },
+                    }
+                ],
+            }
+        )
+        via_spec = execute_spec(spec).results["cons"]
+
+        server = SystemDServer()
+        server.request(
+            "load_use_case",
+            use_case="deal_closing",
+            dataset_kwargs={"n_prospects": 250},
+            random_state=0,
+        )
+        via_server = server.request(
+            "constrained",
+            bounds={"Open Marketing Email": [40.0, 80.0]},
+            n_calls=10,
+            optimizer="random",
+        )
+        assert via_server.ok
+        assert via_server.data["best_kpi"] == pytest.approx(via_spec.best_kpi)
+        assert via_server.data["driver_changes"] == pytest.approx(via_spec.driver_changes)

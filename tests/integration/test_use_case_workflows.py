@@ -1,0 +1,135 @@
+"""End-to-end workflow tests: each paper use case driven through the public API.
+
+These are the integration tests backing the experiment index in DESIGN.md —
+each one walks a complete business-user session (the way Section 2/3 of the
+paper describes it) and checks the qualitative shape of every result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WhatIfSession
+from repro.core import budget_constraint
+from repro.datasets import (
+    CHANNEL_EFFECTIVENESS,
+    MARKETING_CHANNELS,
+    RETENTION_OBVIOUS_DRIVER,
+)
+
+
+class TestDealClosingWorkflow:
+    """U3 / Figure 2: importance -> sensitivity -> goal inversion -> constrained."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        return WhatIfSession.from_use_case(
+            "deal_closing", dataset_kwargs={"n_prospects": 600}, random_state=0
+        )
+
+    def test_full_walkthrough_shape(self, session):
+        importance = session.driver_importance(verify=True)
+        # E1: planted strong drivers at the top, weak drivers at the bottom
+        assert len({"Open Marketing Email", "Renewal", "Call"} & set(importance.top(4))) >= 2
+        assert (
+            len({"LinkedIn Contact", "Initiate New Contact", "Meeting"} & set(importance.bottom(5)))
+            >= 2
+        )
+
+        # E2: +40% on the most important driver gives a positive but moderate up-lift
+        top_driver = importance.top(1)[0]
+        sensitivity = session.sensitivity({top_driver: 40.0}, track_as="top +40%")
+        assert 0.0 < sensitivity.uplift < 30.0
+
+        # E3: constrained maximisation beats the single-driver what-if by a wide margin
+        constrained = session.constrained_analysis(
+            {top_driver: (40.0, 80.0)}, n_calls=30, track_as="constrained max"
+        )
+        assert constrained.best_kpi > sensitivity.perturbed_kpi
+        assert constrained.uplift > 2 * sensitivity.uplift
+        assert 40.0 <= constrained.driver_changes[top_driver] <= 80.0
+
+        # scenario ledger captured both options
+        assert len(session.scenarios) == 2
+        assert session.scenarios.best().name == "constrained max"
+
+    def test_goal_inversion_direction_consistency(self, session):
+        maximum = session.goal_inversion("maximize", n_calls=20, optimizer="random")
+        minimum = session.goal_inversion("minimize", n_calls=20, optimizer="random")
+        assert maximum.best_kpi >= minimum.best_kpi
+
+
+class TestMarketingMixWorkflow:
+    """U1: channel importance, response curves, budget-constrained reallocation."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        return WhatIfSession.from_use_case("marketing_mix", random_state=0)
+
+    def test_channel_importance_matches_planted_effectiveness(self, session):
+        importance = session.driver_importance(verify=True)
+        assert importance.top(1) == ["Internet"]
+        assert importance.bottom(1) == ["Radio"]
+        # verification: Pearson agrees on the strongest channel
+        pearson = {e.driver: e.verification["pearson"] for e in importance.drivers}
+        assert pearson["Internet"] > pearson["Radio"]
+
+    def test_comparison_analysis_monotone_for_strong_channel(self, session):
+        comparison = session.comparison_analysis(["Internet"], (-30.0, 0.0, 30.0))
+        series = [p.kpi_value for p in comparison.series_for("Internet")]
+        assert series[0] < series[1] < series[2]
+
+    def test_budget_constrained_reallocation_respects_budget(self, session):
+        from repro.datasets import CHANNEL_DAILY_BUDGET
+
+        cost = {c: CHANNEL_DAILY_BUDGET[c] / 100.0 for c in MARKETING_CHANNELS}
+        result = session.constrained_analysis(
+            {channel: (-20.0, 60.0) for channel in MARKETING_CHANNELS},
+            extra_constraints=[budget_constraint(cost, 900.0)],
+            n_calls=30,
+        )
+        total_cost = sum(cost[c] * result.driver_changes[c] for c in MARKETING_CHANNELS)
+        assert total_cost <= 900.0 + 1e-6
+        assert result.best_kpi > result.original_kpi
+
+    def test_effectiveness_constants_sane(self):
+        assert CHANNEL_EFFECTIVENESS["Internet"] > CHANNEL_EFFECTIVENESS["Radio"]
+
+
+class TestCustomerRetentionWorkflow:
+    """U2: hypothesis formulas, removing the obvious predictor, retention maximisation."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        return WhatIfSession.from_use_case(
+            "customer_retention", dataset_kwargs={"n_customers": 500}, random_state=0
+        )
+
+    def test_obvious_predictor_dominates_then_is_removed(self, session):
+        importance = session.driver_importance(verify=False)
+        assert importance.top(1) == [RETENTION_OBVIOUS_DRIVER]
+
+        session.exclude_drivers([RETENTION_OBVIOUS_DRIVER])
+        importance_after = session.driver_importance(verify=False)
+        assert RETENTION_OBVIOUS_DRIVER not in {e.driver for e in importance_after.drivers}
+        # engagement activities now surface as the strongest drivers
+        assert set(importance_after.top(4)) & {
+            "Formulas Used",
+            "Visualizations Added",
+            "Documents Created",
+            "Demo Meetings Attended",
+        }
+
+    def test_formula_driver_participates_in_analysis(self, session):
+        session.add_formula_driver("Very Active", "`Formulas Used` >= 6")
+        importance = session.driver_importance(verify=False)
+        assert "Very Active" in {e.driver for e in importance.drivers}
+
+    def test_retention_maximisation_improves_kpi(self, session):
+        result = session.goal_inversion(
+            "maximize",
+            drivers=["Formulas Used", "Demo Meetings Attended"],
+            n_calls=20,
+            optimizer="random",
+        )
+        assert result.best_kpi >= result.original_kpi

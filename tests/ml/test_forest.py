@@ -1,0 +1,120 @@
+"""Unit tests for random forests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestClassifier, RandomForestRegressor
+
+
+class TestRandomForestClassifier:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 4))
+        y = ((1.5 * X[:, 0] - 2.0 * X[:, 1] + 0.3 * rng.normal(size=400)) > 0).astype(float)
+        model = RandomForestClassifier(n_estimators=25, max_depth=6, random_state=0, oob_score=True)
+        return model.fit(X, y), X, y
+
+    def test_training_accuracy(self, fitted):
+        model, X, y = fitted
+        assert model.score(X, y) > 0.9
+
+    def test_probabilities_valid(self, fitted):
+        model, X, _ = fitted
+        proba = model.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_feature_importances_identify_signal(self, fitted):
+        model, _, _ = fitted
+        importances = model.feature_importances_
+        assert importances.sum() == pytest.approx(1.0)
+        # features 0 and 1 carry the signal; 2 and 3 are noise
+        assert importances[0] + importances[1] > 0.7
+
+    def test_oob_score_reasonable(self, fitted):
+        model, _, _ = fitted
+        assert 0.7 <= model.oob_score_ <= 1.0
+
+    def test_reproducible_with_seed(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(150, 3))
+        y = (X[:, 0] > 0).astype(float)
+        a = RandomForestClassifier(n_estimators=10, random_state=42).fit(X, y)
+        b = RandomForestClassifier(n_estimators=10, random_state=42).fit(X, y)
+        np.testing.assert_allclose(a.predict_proba(X), b.predict_proba(X))
+        np.testing.assert_allclose(a.feature_importances_, b.feature_importances_)
+
+    def test_different_seeds_differ(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(150, 3))
+        y = (X[:, 0] + 0.5 * rng.normal(size=150) > 0).astype(float)
+        a = RandomForestClassifier(n_estimators=10, random_state=1).fit(X, y)
+        b = RandomForestClassifier(n_estimators=10, random_state=2).fit(X, y)
+        assert not np.allclose(a.predict_proba(X), b.predict_proba(X))
+
+    def test_n_estimators_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_without_bootstrap(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(float)
+        model = RandomForestClassifier(n_estimators=5, bootstrap=False, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_classes_preserved(self):
+        X = np.random.default_rng(0).normal(size=(60, 2))
+        y = np.where(X[:, 0] > 0, 7.0, 3.0)
+        model = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {3.0, 7.0}
+
+
+class TestRandomForestRegressor:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(400, 3))
+        y = 10 * X[:, 0] + 5 * np.sin(4 * X[:, 1]) + 0.2 * rng.normal(size=400)
+        model = RandomForestRegressor(n_estimators=25, max_depth=8, random_state=0, oob_score=True)
+        return model.fit(X, y), X, y
+
+    def test_training_r2(self, fitted):
+        model, X, y = fitted
+        assert model.score(X, y) > 0.9
+
+    def test_oob_r2(self, fitted):
+        model, _, _ = fitted
+        assert model.oob_score_ > 0.6
+
+    def test_feature_importances_identify_signal(self, fitted):
+        model, _, _ = fitted
+        importances = model.feature_importances_
+        assert importances[2] < importances[0]
+        assert importances[2] < importances[1]
+
+    def test_prediction_stays_in_convex_hull_of_targets(self, fitted):
+        model, X, y = fitted
+        predictions = model.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_more_trees_reduce_variance(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(size=(200, 2))
+        y = 3 * X[:, 0] + rng.normal(size=200)
+        X_test = rng.uniform(size=(100, 2))
+
+        def prediction_spread(n_estimators):
+            predictions = [
+                RandomForestRegressor(n_estimators=n_estimators, random_state=seed, max_depth=4)
+                .fit(X, y)
+                .predict(X_test)
+                for seed in range(4)
+            ]
+            return np.std(np.stack(predictions), axis=0).mean()
+
+        assert prediction_spread(20) < prediction_spread(2)

@@ -1,0 +1,98 @@
+"""Unit tests for linear and ridge regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, NotFittedError, Ridge
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self, linear_data):
+        X, y = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, [2.0, -1.5], atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-8)
+
+    def test_predictions_match_targets_noiseless(self, linear_data):
+        X, y = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-8)
+
+    def test_score_is_r2(self, linear_data):
+        X, y = linear_data
+        assert LinearRegression().fit(X, y).score(X, y) == pytest.approx(1.0)
+
+    def test_without_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self, linear_data):
+        X, y = linear_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((3, 5)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.array([[np.nan]]), np.array([1.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((3, 1)), np.zeros(4))
+
+    def test_feature_importances_normalised(self, linear_data):
+        X, y = linear_data
+        importances = LinearRegression().fit(X, y).feature_importances_
+        assert importances.sum() == pytest.approx(1.0)
+        assert importances[0] > importances[1]  # |2.0| > |-1.5|
+
+    def test_1d_input_is_reshaped(self):
+        X = np.array([1.0, 2.0, 3.0, 4.0])
+        y = 2 * X
+        model = LinearRegression().fit(X, y)
+        assert model.coef_[0] == pytest.approx(2.0)
+
+
+class TestRidge:
+    def test_alpha_zero_matches_ols(self, linear_data):
+        X, y = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-6)
+        assert ridge.intercept_ == pytest.approx(ols.intercept_, abs=1e-6)
+
+    def test_regularisation_shrinks_coefficients(self, linear_data):
+        X, y = linear_data
+        small = Ridge(alpha=0.1).fit(X, y)
+        large = Ridge(alpha=1000.0).fit(X, y)
+        assert np.abs(large.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0)
+
+    def test_handles_collinear_features(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x])  # perfectly collinear
+        y = 3 * x
+        model = Ridge(alpha=1.0).fit(X, y)
+        predictions = model.predict(X)
+        assert np.corrcoef(predictions, y)[0, 1] > 0.99
+
+    def test_get_set_params(self):
+        model = Ridge(alpha=2.0)
+        assert model.get_params()["alpha"] == 2.0
+        model.set_params(alpha=5.0)
+        assert model.alpha == 5.0
+        with pytest.raises(ValueError):
+            model.set_params(bogus=1)

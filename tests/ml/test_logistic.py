@@ -1,0 +1,74 @@
+"""Unit tests for logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression
+
+
+class TestLogisticRegression:
+    def test_learns_separable_problem(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_probabilities_sum_to_one(self, classification_data):
+        X, y = classification_data
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+
+    def test_coefficient_signs_match_generative_process(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        # data generated with +1.5*x0 - 2.0*x1
+        assert model.coef_[0] > 0
+        assert model.coef_[1] < 0
+
+    def test_predictions_use_original_labels(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 1))
+        y = np.where(X[:, 0] > 0, 5.0, 2.0)  # labels 2 and 5, not 0/1
+        model = LogisticRegression().fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {2.0, 5.0}
+
+    def test_more_than_two_classes_rejected(self):
+        X = np.zeros((3, 1))
+        y = np.array([0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(X, y)
+
+    def test_single_class_degenerates_gracefully(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        y = np.ones(20)
+        model = LogisticRegression().fit(X, y)
+        assert model.predict(X).shape == (20,)
+
+    def test_stronger_regularisation_shrinks_coefficients(self, classification_data):
+        X, y = classification_data
+        weak = LogisticRegression(c=10.0).fit(X, y)
+        strong = LogisticRegression(c=0.01).fit(X, y)
+        assert np.abs(strong.coef_).sum() < np.abs(weak.coef_).sum()
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(c=0.0)
+
+    def test_decision_function_consistent_with_proba(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression().fit(X, y)
+        decisions = model.decision_function(X)
+        proba = model.predict_proba(X)[:, 1]
+        assert np.all((decisions > 0) == (proba > 0.5))
+
+    def test_feature_importances_normalised(self, classification_data):
+        X, y = classification_data
+        importances = LogisticRegression().fit(X, y).feature_importances_
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_converges_and_reports_iterations(self, classification_data):
+        X, y = classification_data
+        model = LogisticRegression(max_iter=50).fit(X, y)
+        assert 1 <= model.n_iter_ <= 50

@@ -1,0 +1,104 @@
+"""Unit tests for regression and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    accuracy_score,
+    brier_score,
+    confusion_matrix,
+    explained_variance_score,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+    root_mean_squared_error,
+)
+
+
+class TestRegressionMetrics:
+    def test_mse_and_rmse(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 5]) == pytest.approx(4 / 3)
+        assert root_mean_squared_error([1, 2, 3], [1, 2, 5]) == pytest.approx(np.sqrt(4 / 3))
+
+    def test_mae(self):
+        assert mean_absolute_error([0, 0], [1, -3]) == 2.0
+
+    def test_perfect_predictions(self):
+        y = [1.0, 2.0, 3.0]
+        assert mean_squared_error(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+        assert explained_variance_score(y, y) == 1.0
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_explained_variance_ignores_offset(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert explained_variance_score(y, y + 10.0) == pytest.approx(1.0)
+        assert r2_score(y, y + 10.0) < 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1], [1, 2])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            r2_score([], [])
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 0, 0, 1]) == 0.75
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_precision_no_positive_predictions(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_recall_no_positives(self):
+        assert recall_score([0, 0], [1, 0]) == 0.0
+
+    def test_log_loss_bounds(self):
+        confident_right = log_loss([1, 0], [0.99, 0.01])
+        confident_wrong = log_loss([1, 0], [0.01, 0.99])
+        assert confident_right < 0.05
+        assert confident_wrong > 2.0
+
+    def test_log_loss_clips_extremes(self):
+        assert np.isfinite(log_loss([1.0], [0.0]))
+
+    def test_roc_auc_perfect_and_random(self):
+        y = [0, 0, 1, 1]
+        assert roc_auc_score(y, [0.1, 0.2, 0.8, 0.9]) == 1.0
+        assert roc_auc_score(y, [0.9, 0.8, 0.2, 0.1]) == 0.0
+        assert roc_auc_score(y, [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_roc_auc_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+    def test_brier_score(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0

@@ -1,0 +1,97 @@
+"""Property-based tests for the ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    LinearRegression,
+    MinMaxScaler,
+    StandardScaler,
+    accuracy_score,
+    f1_score,
+    mean_squared_error,
+    r2_score,
+)
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def regression_problems(draw):
+    n_samples = draw(st.integers(min_value=5, max_value=40))
+    n_features = draw(st.integers(min_value=1, max_value=3))
+    X = draw(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(n_samples, n_features),
+            elements=finite_floats,
+        )
+    )
+    coefficients = draw(
+        hnp.arrays(dtype=np.float64, shape=(n_features,), elements=finite_floats)
+    )
+    intercept = draw(finite_floats)
+    return X, coefficients, intercept
+
+
+@given(regression_problems())
+@settings(max_examples=30, deadline=None)
+def test_ols_recovers_noiseless_linear_functions(problem):
+    X, coefficients, intercept = problem
+    y = X @ coefficients + intercept
+    model = LinearRegression().fit(X, y)
+    # predictions must match even when features are collinear (lstsq handles it)
+    np.testing.assert_allclose(model.predict(X), y, atol=1e-5, rtol=1e-5)
+
+
+@given(
+    hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(3, 30), st.integers(1, 4)),
+               elements=finite_floats)
+)
+@settings(max_examples=40, deadline=None)
+def test_standard_scaler_inverse_is_identity(X):
+    scaler = StandardScaler().fit(X)
+    np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6)
+
+
+@given(
+    hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(3, 30), st.integers(1, 4)),
+               elements=finite_floats)
+)
+@settings(max_examples=40, deadline=None)
+def test_minmax_scaler_output_in_unit_interval(X):
+    scaled = MinMaxScaler().fit_transform(X)
+    assert scaled.min() >= -1e-9
+    assert scaled.max() <= 1.0 + 1e-9
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_r2_of_exact_predictions_is_one(values):
+    y = np.array(values)
+    assert r2_score(y, y) == 1.0
+    assert mean_squared_error(y, y) == 0.0
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=1, max_size=60),
+    st.lists(st.integers(0, 1), min_size=1, max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_classification_metrics_bounded(y_true, y_pred):
+    length = min(len(y_true), len(y_pred))
+    y_true = np.array(y_true[:length], dtype=float)
+    y_pred = np.array(y_pred[:length], dtype=float)
+    assert 0.0 <= accuracy_score(y_true, y_pred) <= 1.0
+    assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_accuracy_of_identical_labels_is_one(labels):
+    y = np.array(labels, dtype=float)
+    assert accuracy_score(y, y) == 1.0

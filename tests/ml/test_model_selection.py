@@ -1,0 +1,109 @@
+"""Unit tests for splitting and cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    KFold,
+    LinearRegression,
+    LogisticRegression,
+    cross_val_predict,
+    cross_val_score,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert X_test.shape[0] == 20
+        assert X_train.shape[0] == 80
+        assert y_train.shape[0] == 80 and y_test.shape[0] == 20
+
+    def test_partition_is_disjoint_and_complete(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        X_train, X_test, _, _ = train_test_split(X, y, test_size=0.3, random_state=1)
+        combined = np.sort(np.concatenate([X_train.ravel(), X_test.ravel()]))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_reproducible(self):
+        X = np.arange(30).reshape(-1, 1)
+        y = np.arange(30)
+        a = train_test_split(X, y, random_state=7)
+        b = train_test_split(X, y, random_state=7)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_stratified_preserves_class_balance(self):
+        rng = np.random.default_rng(0)
+        y = np.array([0] * 80 + [1] * 20, dtype=float)
+        X = rng.normal(size=(100, 2))
+        _, _, _, y_test = train_test_split(X, y, test_size=0.25, stratify=y, random_state=0)
+        positive_share = (y_test == 1).mean()
+        assert 0.1 <= positive_share <= 0.3
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(10), test_size=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(9))
+
+
+class TestKFold:
+    def test_folds_cover_everything_once(self):
+        folds = KFold(n_splits=5, random_state=0)
+        X = np.arange(23)
+        seen = []
+        for train_idx, test_idx in folds.split(X):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_n_splits_validation(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.arange(3)))
+
+    def test_no_shuffle_is_contiguous(self):
+        folds = list(KFold(n_splits=2, shuffle=False).split(np.arange(10)))
+        np.testing.assert_array_equal(folds[0][1], np.arange(5))
+
+
+class TestCrossValidation:
+    def test_cross_val_score_regression(self, linear_data):
+        X, y = linear_data
+        scores = cross_val_score(LinearRegression(), X, y, cv=4, random_state=0)
+        assert scores.shape == (4,)
+        assert np.all(scores > 0.99)
+
+    def test_cross_val_score_classification(self, classification_data):
+        X, y = classification_data
+        scores = cross_val_score(LogisticRegression(), X, y, cv=3, random_state=0)
+        assert np.all(scores > 0.8)
+
+    def test_custom_scoring(self, linear_data):
+        X, y = linear_data
+        scores = cross_val_score(
+            LinearRegression(),
+            X,
+            y,
+            cv=3,
+            scoring=lambda model, X_, y_: float(np.mean(np.abs(model.predict(X_) - y_))),
+            random_state=0,
+        )
+        assert np.all(scores < 1e-6)
+
+    def test_cross_val_predict_shape_and_quality(self, linear_data):
+        X, y = linear_data
+        predictions = cross_val_predict(LinearRegression(), X, y, cv=4, random_state=0)
+        assert predictions.shape == y.shape
+        np.testing.assert_allclose(predictions, y, atol=1e-6)

@@ -1,0 +1,157 @@
+"""Unit tests for preprocessing transformers and pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LabelEncoder,
+    LinearRegression,
+    LogisticRegression,
+    MinMaxScaler,
+    NotFittedError,
+    OneHotEncoder,
+    Pipeline,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 3))
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_transform_round_trip(self):
+        X = np.random.default_rng(1).normal(size=(50, 2))
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-12)
+
+    def test_constant_feature_not_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_without_mean_or_std(self):
+        X = np.array([[1.0], [3.0]])
+        no_mean = StandardScaler(with_mean=False).fit_transform(X)
+        assert no_mean.min() > 0  # values not centred
+        no_std = StandardScaler(with_std=False).fit_transform(X)
+        np.testing.assert_allclose(no_std.ravel(), [-1.0, 1.0])
+
+
+class TestMinMaxScaler:
+    def test_default_range(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() == 0.0 and scaled.max() == 1.0
+
+    def test_custom_range(self):
+        X = np.array([[0.0], [10.0]])
+        scaled = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        np.testing.assert_allclose(scaled.ravel(), [-1.0, 1.0])
+
+    def test_inverse_round_trip(self):
+        X = np.random.default_rng(2).uniform(size=(30, 3)) * 100
+        scaler = MinMaxScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1.0, 0.0))
+
+    def test_constant_feature(self):
+        X = np.full((5, 1), 3.0)
+        assert np.all(np.isfinite(MinMaxScaler().fit_transform(X)))
+
+
+class TestEncoders:
+    def test_label_encoder_round_trip(self):
+        values = ["red", "blue", "red", "green"]
+        encoder = LabelEncoder().fit(values)
+        codes = encoder.transform(values)
+        assert sorted(set(codes.tolist())) == [0, 1, 2]
+        assert encoder.inverse_transform(codes) == values
+
+    def test_label_encoder_unseen_label(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.transform(["c"])
+
+    def test_label_encoder_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().transform(["a"])
+
+    def test_one_hot_shapes_and_names(self):
+        values = ["tv", "radio", "tv", "internet"]
+        encoder = OneHotEncoder().fit(values)
+        matrix = encoder.transform(values)
+        assert matrix.shape == (4, 3)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+        assert encoder.feature_names("channel") == [
+            "channel=internet",
+            "channel=radio",
+            "channel=tv",
+        ]
+
+    def test_one_hot_drop_first(self):
+        encoder = OneHotEncoder(drop_first=True).fit(["a", "b", "c"])
+        assert encoder.transform(["a"]).shape == (1, 2)
+
+    def test_one_hot_unseen_category(self):
+        encoder = OneHotEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            encoder.transform(["z"])
+
+
+class TestPipeline:
+    def test_scaled_regression_matches_unscaled_predictions(self, linear_data):
+        X, y = linear_data
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", LinearRegression())]).fit(X, y)
+        plain = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(pipeline.predict(X), plain.predict(X), atol=1e-8)
+
+    def test_predict_proba_passthrough(self, classification_data):
+        X, y = classification_data
+        pipeline = Pipeline(
+            [("scale", StandardScaler()), ("model", LogisticRegression())]
+        ).fit(X, y)
+        proba = pipeline.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_score_delegates(self, linear_data):
+        X, y = linear_data
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", LinearRegression())]).fit(X, y)
+        assert pipeline.score(X, y) == pytest.approx(1.0)
+
+    def test_named_steps_and_final_estimator(self):
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", LinearRegression())])
+        assert "scale" in pipeline.named_steps
+        assert isinstance(pipeline.final_estimator, LinearRegression)
+
+    def test_unique_step_names_required(self):
+        with pytest.raises(ValueError):
+            Pipeline([("a", StandardScaler()), ("a", LinearRegression())])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_clone_unfitted_produces_independent_copy(self, linear_data):
+        X, y = linear_data
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", LinearRegression())]).fit(X, y)
+        fresh = pipeline.clone_unfitted()
+        assert fresh.final_estimator.coef_ is None
+        assert pipeline.final_estimator.coef_ is not None
+
+    def test_coef_property(self, linear_data):
+        X, y = linear_data
+        pipeline = Pipeline([("scale", StandardScaler()), ("model", LinearRegression())]).fit(X, y)
+        assert pipeline.coef_.shape == (2,)

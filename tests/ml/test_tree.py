@@ -1,0 +1,128 @@
+"""Unit tests for CART decision trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor, NotFittedError
+
+
+class TestDecisionTreeClassifier:
+    def test_fits_axis_aligned_boundary_perfectly(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 2))
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_learns_conjunction_with_depth_two(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(400, 2))
+        y = ((X[:, 0] > 0.5) & (X[:, 1] > 0.5)).astype(float)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_max_depth_limits_depth(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth_ <= 2
+
+    def test_min_samples_leaf_respected(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(min_samples_leaf=30).fit(X, y)
+
+        def check(node):
+            if node.is_leaf():
+                assert node.n_samples >= 30 or node.depth == 0
+            else:
+                check(node.left)
+                check(node.right)
+
+        check(tree.root_)
+
+    def test_predict_proba_shape_and_range(self, classification_data):
+        X, y = classification_data
+        proba = DecisionTreeClassifier(max_depth=4).fit(X, y).predict_proba(X)
+        assert proba.shape == (X.shape[0], 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_feature_importances_sum_to_one(self, classification_data):
+        X, y = classification_data
+        importances = DecisionTreeClassifier(max_depth=5).fit(X, y).feature_importances_
+        assert importances.sum() == pytest.approx(1.0)
+        assert np.all(importances >= 0)
+
+    def test_irrelevant_feature_gets_low_importance(self):
+        rng = np.random.default_rng(2)
+        signal = rng.normal(size=500)
+        noise = rng.normal(size=500)
+        X = np.column_stack([signal, noise])
+        y = (signal > 0).astype(float)
+        importances = DecisionTreeClassifier(max_depth=4).fit(X, y).feature_importances_
+        assert importances[0] > 0.9
+
+    def test_pure_node_stops_splitting(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_constant_features_yield_single_leaf(self):
+        X = np.ones((10, 2))
+        y = np.array([0, 1] * 5, dtype=float)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf()
+        assert tree.predict(X).shape == (10,)
+
+    def test_apply_returns_leaves(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        leaves = tree.apply(X[:5])
+        assert all(leaf.is_leaf() for leaf in leaves)
+
+    def test_node_count_positive(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.node_count_ >= 3
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = np.where(X[:, 0] > 0.5, 10.0, -10.0)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        np.testing.assert_allclose(tree.predict(X), y)
+
+    def test_approximates_smooth_function(self):
+        X = np.linspace(0, 2 * np.pi, 300).reshape(-1, 1)
+        y = np.sin(X[:, 0])
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_prediction_within_target_range(self, linear_data):
+        X, y = linear_data
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        predictions = tree.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    def test_single_sample(self):
+        tree = DecisionTreeRegressor().fit(np.array([[1.0]]), np.array([5.0]))
+        assert tree.predict(np.array([[42.0]]))[0] == 5.0
+
+    def test_max_features_subsampling_still_learns(self, linear_data):
+        X, y = linear_data
+        tree = DecisionTreeRegressor(max_features=1, random_state=0, max_depth=8).fit(X, y)
+        assert tree.score(X, y) > 0.5
+
+    def test_feature_importances_respond_to_signal(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 3))
+        y = 5.0 * X[:, 2] + 0.1 * rng.normal(size=300)
+        importances = DecisionTreeRegressor(max_depth=5).fit(X, y).feature_importances_
+        assert np.argmax(importances) == 2

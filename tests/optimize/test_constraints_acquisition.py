@@ -1,0 +1,122 @@
+"""Unit tests for constraint handling and acquisition functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimize import (
+    CallableConstraint,
+    ConstraintSet,
+    LinearConstraint,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+
+
+class TestLinearConstraint:
+    def test_value_and_violation_le(self):
+        constraint = LinearConstraint({"a": 2.0, "b": 1.0}, "<=", 10.0)
+        assert constraint.value({"a": 3.0, "b": 1.0}) == 7.0
+        assert constraint.violation({"a": 3.0, "b": 1.0}) == 0.0
+        assert constraint.violation({"a": 6.0, "b": 0.0}) == 2.0
+        assert constraint.is_satisfied({"a": 5.0, "b": 0.0})
+
+    def test_ge_and_eq(self):
+        ge = LinearConstraint({"a": 1.0}, ">=", 5.0)
+        assert ge.violation({"a": 3.0}) == 2.0
+        eq = LinearConstraint({"a": 1.0}, "==", 5.0)
+        assert eq.violation({"a": 7.0}) == 2.0
+        assert eq.is_satisfied({"a": 5.0})
+
+    def test_missing_names_default_to_zero(self):
+        constraint = LinearConstraint({"a": 1.0, "missing": 3.0}, "<=", 2.0)
+        assert constraint.value({"a": 1.0}) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearConstraint({"a": 1.0}, "<", 1.0)
+        with pytest.raises(ValueError):
+            LinearConstraint({}, "<=", 1.0)
+
+    def test_describe(self):
+        text = LinearConstraint({"TV": 2.0}, "<=", 100.0, name="budget").describe()
+        assert "budget" in text and "TV" in text and "<=" in text
+
+
+class TestCallableConstraint:
+    def test_predicate(self):
+        constraint = CallableConstraint(lambda p: p["x"] > 0, name="positive x")
+        assert constraint.is_satisfied({"x": 1.0})
+        assert constraint.violation({"x": -1.0}) == 1.0
+        assert constraint.describe() == "positive x"
+
+
+class TestConstraintSet:
+    def test_aggregation(self):
+        constraints = ConstraintSet(
+            [
+                LinearConstraint({"x": 1.0}, "<=", 1.0),
+                CallableConstraint(lambda p: p["y"] >= 0),
+            ]
+        )
+        assert len(constraints) == 2
+        assert constraints.is_satisfied({"x": 0.5, "y": 0.0})
+        assert not constraints.is_satisfied({"x": 2.0, "y": 0.0})
+        assert constraints.total_violation({"x": 2.0, "y": -1.0}) == pytest.approx(2.0)
+
+    def test_penalty_zero_when_feasible(self):
+        constraints = ConstraintSet([LinearConstraint({"x": 1.0}, "<=", 1.0)])
+        assert constraints.penalty({"x": 0.0}) == 0.0
+        assert constraints.penalty({"x": 3.0}) > 0.0
+
+    def test_penalty_monotone_in_violation(self):
+        constraints = ConstraintSet([LinearConstraint({"x": 1.0}, "<=", 0.0)])
+        assert constraints.penalty({"x": 2.0}) > constraints.penalty({"x": 1.0})
+
+    def test_filter_feasible(self):
+        constraints = ConstraintSet([LinearConstraint({"x": 1.0}, ">=", 0.0)])
+        points = [{"x": -1.0}, {"x": 1.0}, {"x": 3.0}]
+        assert constraints.filter_feasible(points) == [{"x": 1.0}, {"x": 3.0}]
+
+    def test_add_and_describe(self):
+        constraints = ConstraintSet()
+        constraints.add(LinearConstraint({"x": 1.0}, "<=", 1.0))
+        assert len(constraints.describe()) == 1
+
+    def test_negative_penalty_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ConstraintSet(penalty_weight=-1.0)
+
+
+class TestAcquisitionFunctions:
+    def test_expected_improvement_prefers_low_mean(self):
+        mean = np.array([0.0, 5.0])
+        std = np.array([1.0, 1.0])
+        ei = expected_improvement(mean, std, best_observed=3.0)
+        assert ei[0] > ei[1]
+
+    def test_expected_improvement_prefers_high_uncertainty_at_same_mean(self):
+        mean = np.array([3.0, 3.0])
+        std = np.array([2.0, 0.1])
+        ei = expected_improvement(mean, std, best_observed=3.0)
+        assert ei[0] > ei[1]
+
+    def test_expected_improvement_non_negative(self):
+        rng = np.random.default_rng(0)
+        ei = expected_improvement(rng.normal(size=50), np.abs(rng.normal(size=50)), 0.0)
+        assert np.all(ei >= 0)
+
+    def test_probability_of_improvement_bounds(self):
+        pi = probability_of_improvement(np.array([-10.0, 10.0]), np.array([1.0, 1.0]), 0.0)
+        assert pi[0] > 0.99
+        assert pi[1] < 0.01
+
+    def test_lcb_rewards_uncertainty(self):
+        lcb = lower_confidence_bound(np.array([1.0, 1.0]), np.array([0.1, 2.0]))
+        assert lcb[1] > lcb[0]
+
+    def test_zero_std_handled(self):
+        ei = expected_improvement(np.array([1.0]), np.array([0.0]), best_observed=2.0)
+        assert np.isfinite(ei[0])

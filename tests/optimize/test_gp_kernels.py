@@ -1,0 +1,121 @@
+"""Unit tests for the GP surrogate and its kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimize import (
+    ConstantKernel,
+    GaussianProcessRegressor,
+    Matern52Kernel,
+    RBFKernel,
+    WhiteKernel,
+)
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_variance(self):
+        kernel = RBFKernel(length_scale=0.5, variance=2.0)
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        np.testing.assert_allclose(np.diag(kernel(X)), 2.0)
+        np.testing.assert_allclose(kernel.diag(X), 2.0)
+
+    def test_rbf_decays_with_distance(self):
+        kernel = RBFKernel(length_scale=1.0)
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[3.0]]))[0, 0]
+        assert near > far
+
+    def test_matern_similarity_properties(self):
+        kernel = Matern52Kernel(length_scale=1.0)
+        X = np.random.default_rng(1).normal(size=(6, 2))
+        K = kernel(X)
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+        eigenvalues = np.linalg.eigvalsh(K + 1e-10 * np.eye(6))
+        assert eigenvalues.min() > 0
+
+    def test_white_kernel_only_diagonal(self):
+        kernel = WhiteKernel(noise=0.5)
+        X = np.zeros((3, 1))
+        K = kernel(X)
+        np.testing.assert_allclose(K, 0.5 * np.eye(3))
+        assert kernel(X, np.ones((2, 1))).sum() == 0.0
+
+    def test_sum_kernel(self):
+        kernel = RBFKernel() + WhiteKernel(0.1)
+        X = np.random.default_rng(2).normal(size=(4, 1))
+        np.testing.assert_allclose(kernel.diag(X), 1.1)
+
+    def test_constant_kernel(self):
+        kernel = ConstantKernel(2.0)
+        assert kernel(np.zeros((2, 1)), np.zeros((3, 1))).shape == (2, 3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=-1.0)
+        with pytest.raises(ValueError):
+            Matern52Kernel(variance=0.0)
+        with pytest.raises(ValueError):
+            WhiteKernel(noise=-0.1)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        X = np.linspace(0, 1, 8).reshape(-1, 1)
+        y = np.sin(4 * X[:, 0])
+        gp = GaussianProcessRegressor(noise=1e-8).fit(X, y)
+        np.testing.assert_allclose(gp.predict(X), y, atol=1e-3)
+
+    def test_uncertainty_smaller_near_training_points(self):
+        X = np.array([[0.0], [0.5], [1.0]])
+        y = np.array([0.0, 1.0, 0.0])
+        gp = GaussianProcessRegressor().fit(X, y)
+        _, std_at_train = gp.predict(np.array([[0.5]]), return_std=True)
+        _, std_far = gp.predict(np.array([[5.0]]), return_std=True)
+        assert std_at_train[0] < std_far[0]
+
+    def test_predictions_revert_to_mean_far_away(self):
+        X = np.linspace(0, 1, 10).reshape(-1, 1)
+        y = 5.0 + np.sin(6 * X[:, 0])
+        gp = GaussianProcessRegressor().fit(X, y)
+        far_prediction = gp.predict(np.array([[100.0]]))[0]
+        assert abs(far_prediction - y.mean()) < 1.0
+
+    def test_std_is_non_negative(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(15, 2))
+        y = rng.normal(size=15)
+        gp = GaussianProcessRegressor().fit(X, y)
+        _, std = gp.predict(rng.uniform(size=(20, 2)), return_std=True)
+        assert np.all(std >= 0)
+
+    def test_reasonable_generalisation(self):
+        X = np.linspace(0, 1, 20).reshape(-1, 1)
+        y = np.sin(2 * np.pi * X[:, 0])
+        gp = GaussianProcessRegressor().fit(X, y)
+        X_test = np.linspace(0.05, 0.95, 17).reshape(-1, 1)
+        predictions = gp.predict(X_test)
+        np.testing.assert_allclose(predictions, np.sin(2 * np.pi * X_test[:, 0]), atol=0.25)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 1)))
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_duplicate_points_do_not_crash(self):
+        X = np.zeros((5, 1))
+        y = np.ones(5)
+        gp = GaussianProcessRegressor().fit(X, y)
+        assert np.isfinite(gp.predict(np.array([[0.0]]))[0])
+
+    def test_custom_kernel_used(self):
+        X = np.linspace(0, 1, 6).reshape(-1, 1)
+        y = X[:, 0] * 2
+        gp = GaussianProcessRegressor(kernel=RBFKernel(length_scale=0.3) + WhiteKernel(1e-6))
+        gp.fit(X, y)
+        assert gp.predict(np.array([[0.5]]))[0] == pytest.approx(1.0, abs=0.15)

@@ -1,0 +1,163 @@
+"""Unit tests for the Bayesian optimiser and its baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimize import (
+    BayesianOptimizer,
+    ConstraintSet,
+    LinearConstraint,
+    Real,
+    Space,
+    build_grid,
+    gp_minimize,
+    grid_minimize,
+    random_minimize,
+)
+
+
+@pytest.fixture()
+def quadratic_space():
+    return Space([Real(-5.0, 5.0, name="x"), Real(-5.0, 5.0, name="y")])
+
+
+def quadratic(point):
+    """Minimum 0 at (2, -1)."""
+    x, y = point
+    return (x - 2.0) ** 2 + (y + 1.0) ** 2
+
+
+class TestGPMinimize:
+    def test_finds_near_optimum(self, quadratic_space):
+        result = gp_minimize(quadratic, quadratic_space, n_calls=35, random_state=0)
+        assert result.fun < 0.8
+        assert abs(result.x[0] - 2.0) < 1.5
+        assert abs(result.x[1] + 1.0) < 1.5
+
+    def test_result_bookkeeping(self, quadratic_space):
+        result = gp_minimize(quadratic, quadratic_space, n_calls=12, random_state=0)
+        assert result.n_calls == 12
+        assert len(result.x_iters) == 12
+        assert len(result.func_vals) == 12
+        assert result.method == "bayesian"
+        assert result.space_names == ["x", "y"]
+        assert min(result.func_vals) == result.fun
+
+    def test_all_evaluations_inside_space(self, quadratic_space):
+        result = gp_minimize(quadratic, quadratic_space, n_calls=20, random_state=1)
+        for point in result.x_iters:
+            assert quadratic_space.contains(point)
+
+    def test_reproducible(self, quadratic_space):
+        a = gp_minimize(quadratic, quadratic_space, n_calls=15, random_state=5)
+        b = gp_minimize(quadratic, quadratic_space, n_calls=15, random_state=5)
+        assert a.x == b.x
+        assert a.fun == b.fun
+
+    def test_beats_random_on_average(self, quadratic_space):
+        budget = 25
+        bayesian_wins = 0
+        for seed in range(3):
+            bo = gp_minimize(quadratic, quadratic_space, n_calls=budget, random_state=seed)
+            rs = random_minimize(quadratic, quadratic_space, n_calls=budget, random_state=seed)
+            if bo.fun <= rs.fun:
+                bayesian_wins += 1
+        assert bayesian_wins >= 2
+
+    def test_convergence_trace_monotone(self, quadratic_space):
+        result = gp_minimize(quadratic, quadratic_space, n_calls=15, random_state=2)
+        trace = result.convergence_trace()
+        assert all(b <= a + 1e-12 for a, b in zip(trace, trace[1:]))
+
+    def test_invalid_budget(self, quadratic_space):
+        with pytest.raises(ValueError):
+            gp_minimize(quadratic, quadratic_space, n_calls=0)
+
+    def test_acquisition_variants(self, quadratic_space):
+        for acquisition in ("ei", "pi", "lcb"):
+            result = gp_minimize(
+                quadratic, quadratic_space, n_calls=15, acquisition=acquisition, random_state=0
+            )
+            assert result.fun < 5.0
+
+    def test_unknown_acquisition(self, quadratic_space):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(quadratic_space, acquisition="ucb-magic")
+
+    def test_ask_tell_interface(self, quadratic_space):
+        optimizer = BayesianOptimizer(quadratic_space, n_initial_points=3, random_state=0)
+        for _ in range(10):
+            point = optimizer.ask()
+            optimizer.tell(point, quadratic(point))
+        result = optimizer.result()
+        assert result.n_calls == 10
+
+    def test_result_before_any_tell(self, quadratic_space):
+        with pytest.raises(RuntimeError):
+            BayesianOptimizer(quadratic_space).result()
+
+    def test_tell_clips_out_of_bound_points(self, quadratic_space):
+        optimizer = BayesianOptimizer(quadratic_space, random_state=0)
+        optimizer.tell([100.0, -100.0], 1e6)
+        assert quadratic_space.contains(optimizer.result().x)
+
+
+class TestBaselines:
+    def test_random_minimize(self, quadratic_space):
+        result = random_minimize(quadratic, quadratic_space, n_calls=60, random_state=0)
+        assert result.method == "random"
+        assert result.fun < 3.0
+        assert result.n_calls == 60
+
+    def test_grid_minimize(self, quadratic_space):
+        result = grid_minimize(quadratic, quadratic_space, points_per_dim=7)
+        assert result.method == "grid"
+        assert result.n_calls == 49
+        # grid includes points near (1.67, -1.67); optimum within one cell
+        assert result.fun < 1.5
+
+    def test_build_grid_size(self, quadratic_space):
+        grid = build_grid(quadratic_space, 4)
+        assert len(grid) == 16
+
+    def test_grid_max_calls_truncation(self, quadratic_space):
+        result = grid_minimize(quadratic, quadratic_space, points_per_dim=10, max_calls=20)
+        assert result.n_calls <= 20
+
+    def test_grid_validation(self, quadratic_space):
+        with pytest.raises(ValueError):
+            grid_minimize(quadratic, quadratic_space, points_per_dim=1)
+
+
+class TestConstrainedOptimization:
+    def test_linear_constraint_respected(self, quadratic_space):
+        # feasible region: x + y <= 0, so the unconstrained optimum (2, -1) is infeasible
+        constraints = ConstraintSet(
+            [LinearConstraint({"x": 1.0, "y": 1.0}, "<=", 0.0, name="sum")]
+        )
+        result = gp_minimize(
+            quadratic, quadratic_space, n_calls=30, constraints=constraints, random_state=0
+        )
+        x, y = result.x
+        assert x + y <= 1e-6
+
+    def test_random_search_prefers_feasible(self, quadratic_space):
+        constraints = ConstraintSet([LinearConstraint({"x": 1.0}, ">=", 3.0)])
+        result = random_minimize(
+            quadratic, quadratic_space, n_calls=80, constraints=constraints, random_state=0
+        )
+        assert result.x[0] >= 3.0
+
+    def test_grid_skips_infeasible(self, quadratic_space):
+        constraints = ConstraintSet([LinearConstraint({"x": 1.0}, ">=", 0.0)])
+        result = grid_minimize(
+            quadratic, quadratic_space, points_per_dim=5, constraints=constraints
+        )
+        assert all(point[0] >= 0.0 for point in result.x_iters)
+
+    def test_all_infeasible_grid_raises(self, quadratic_space):
+        constraints = ConstraintSet([LinearConstraint({"x": 1.0}, ">=", 100.0)])
+        with pytest.raises(ValueError):
+            grid_minimize(quadratic, quadratic_space, points_per_dim=3, constraints=constraints)

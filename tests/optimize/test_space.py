@@ -1,0 +1,125 @@
+"""Unit and property tests for search-space dimensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimize import Categorical, Integer, Real, Space
+
+
+class TestReal:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Real(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Real(float("inf"), 2.0)
+
+    def test_sampling_within_bounds(self):
+        dimension = Real(-5.0, 5.0)
+        samples = dimension.sample(np.random.default_rng(0), 100)
+        assert all(-5.0 <= v <= 5.0 for v in samples)
+
+    def test_unit_round_trip(self):
+        dimension = Real(10.0, 20.0)
+        assert dimension.from_unit(dimension.to_unit(17.5)) == pytest.approx(17.5)
+        assert dimension.to_unit(10.0) == 0.0
+        assert dimension.to_unit(20.0) == 1.0
+
+    def test_contains(self):
+        dimension = Real(0.0, 1.0)
+        assert dimension.contains(0.5)
+        assert not dimension.contains(1.5)
+        assert not dimension.contains("abc")
+
+
+class TestInteger:
+    def test_round_trip_snaps_to_integers(self):
+        dimension = Integer(1, 9)
+        assert dimension.from_unit(0.5) == 5
+        assert isinstance(dimension.from_unit(0.31), int)
+
+    def test_sampling_within_bounds(self):
+        samples = Integer(0, 3).sample(np.random.default_rng(0), 50)
+        assert set(samples) <= {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Integer(5, 5)
+
+
+class TestCategorical:
+    def test_round_trip(self):
+        dimension = Categorical(["a", "b", "c"])
+        for value in ("a", "b", "c"):
+            assert dimension.from_unit(dimension.to_unit(value)) == value
+
+    def test_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            Categorical(["only"])
+
+    def test_contains(self):
+        assert Categorical(["x", "y"]).contains("x")
+        assert not Categorical(["x", "y"]).contains("z")
+
+
+class TestSpace:
+    @pytest.fixture()
+    def space(self):
+        return Space(
+            [Real(0.0, 10.0, name="spend"), Integer(0, 5, name="calls"),
+             Categorical(["low", "high"], name="tier")]
+        )
+
+    def test_names_and_dims(self, space):
+        assert space.n_dims == 3
+        assert space.names == ["spend", "calls", "tier"]
+
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError):
+            Space([Real(0, 1, name="x"), Real(0, 1, name="x")])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            Space([])
+
+    def test_sampling_contains(self, space):
+        for point in space.sample(50, random_state=0):
+            assert space.contains(point)
+
+    def test_sampling_reproducible(self, space):
+        assert space.sample(5, random_state=3) == space.sample(5, random_state=3)
+
+    def test_unit_round_trip(self, space):
+        point = [2.5, 3, "high"]
+        unit = space.to_unit(point)
+        assert np.all((unit >= 0) & (unit <= 1))
+        restored = space.from_unit(unit)
+        assert restored[0] == pytest.approx(2.5)
+        assert restored[1] == 3
+        assert restored[2] == "high"
+
+    def test_clip_projects_out_of_bounds(self, space):
+        clipped = space.clip([99.0, -4, "low"])
+        assert space.contains(clipped)
+        assert clipped[0] == 10.0
+        assert clipped[1] == 0
+
+    def test_wrong_arity(self, space):
+        with pytest.raises(ValueError):
+            space.to_unit([1.0])
+        assert not space.contains([1.0])
+
+
+@given(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.floats(min_value=0.1, max_value=50, allow_nan=False),
+    st.floats(min_value=0, max_value=1),
+)
+@settings(max_examples=60, deadline=None)
+def test_real_from_unit_always_inside_bounds(low, width, unit):
+    dimension = Real(low, low + width)
+    value = dimension.from_unit(unit)
+    assert dimension.low - 1e-9 <= value <= dimension.high + 1e-9

@@ -1,0 +1,85 @@
+"""Unit tests for robustness / model-multiplicity analysis."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import WhatIfSession
+from repro.datasets import load_deal_closing
+from repro.robustness import importance_stability, recommendation_robustness
+
+
+@pytest.fixture(scope="module")
+def session():
+    frame = load_deal_closing(n_prospects=250, random_state=7)
+    return WhatIfSession(frame, "Deal Closed?", random_state=0)
+
+
+class TestImportanceStability:
+    @pytest.fixture(scope="class")
+    def report(self, session):
+        return importance_stability(session, n_resamples=4, random_state=0)
+
+    def test_matrix_shape(self, report, session):
+        assert report.importances.shape == (4, len(session.drivers))
+        assert report.drivers == tuple(session.drivers)
+
+    def test_agreement_scores_bounded(self, report):
+        assert -1.0 <= report.mean_pairwise_spearman <= 1.0
+        assert 0.0 <= report.mean_top_k_overlap <= 1.0
+
+    def test_planted_signal_gives_positive_agreement(self, report):
+        # bootstrap resamples of the same planted process should broadly agree
+        assert report.mean_pairwise_spearman > 0.3
+
+    def test_rank_spread_covers_all_drivers(self, report, session):
+        assert set(report.rank_spread) == set(session.drivers)
+        assert all(spread >= 0 for spread in report.rank_spread.values())
+
+    def test_importances_in_display_range(self, report):
+        assert np.all(np.abs(report.importances) <= 1.0 + 1e-9)
+
+    def test_to_dict_json_safe(self, report):
+        assert json.dumps(report.to_dict())
+
+    def test_requires_at_least_two_resamples(self, session):
+        with pytest.raises(ValueError):
+            importance_stability(session, n_resamples=1)
+
+
+class TestRecommendationRobustness:
+    @pytest.fixture(scope="class")
+    def report(self, session):
+        return recommendation_robustness(
+            session, {"Open Marketing Email": 50.0, "Call": 30.0}, n_resamples=4, random_state=0
+        )
+
+    def test_resampled_kpis_count(self, report):
+        assert len(report.resampled_kpis) == 4
+
+    def test_worst_and_best_bracket_resamples(self, report):
+        assert report.worst_case_kpi == min(report.resampled_kpis)
+        assert report.best_case_kpi == max(report.resampled_kpis)
+        assert report.worst_case_kpi <= report.best_case_kpi
+
+    def test_regret_definition(self, report):
+        assert report.regret_vs_nominal == pytest.approx(
+            report.nominal_kpi - report.worst_case_kpi
+        )
+
+    def test_kpi_std_non_negative(self, report):
+        assert report.kpi_std >= 0.0
+
+    def test_kpis_are_valid_rates(self, report):
+        for value in report.resampled_kpis:
+            assert 0.0 <= value <= 100.0
+
+    def test_to_dict_json_safe(self, report):
+        assert json.dumps(report.to_dict())
+
+    def test_requires_at_least_two_resamples(self, session):
+        with pytest.raises(ValueError):
+            recommendation_robustness(session, {"Call": 10.0}, n_resamples=1)

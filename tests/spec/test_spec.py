@@ -1,0 +1,267 @@
+"""Unit tests for the declarative spec grammar, parser, SQL compiler, and executor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.spec import (
+    AnalysisSpec,
+    DatasetSpec,
+    ExperimentSpec,
+    FilterSpec,
+    KPISpec,
+    SpecError,
+    build_dataset,
+    build_session,
+    dump_spec,
+    execute_spec,
+    load_spec,
+    parse_spec,
+    spec_to_sql,
+)
+
+MINIMAL = {
+    "name": "minimal",
+    "dataset": {"use_case": "deal_closing", "dataset_kwargs": {"n_prospects": 150}},
+    "kpi": {"column": "Deal Closed?"},
+}
+
+FULL = {
+    "name": "full",
+    "description": "importance + sensitivity + constrained",
+    "random_state": 0,
+    "dataset": {
+        "use_case": "deal_closing",
+        "dataset_kwargs": {"n_prospects": 200},
+        "filters": [{"column": "Call", "op": ">=", "value": 1}],
+    },
+    "kpi": {"column": "Deal Closed?"},
+    "drivers": {
+        "exclude": ["Webinar Attended"],
+        "formulas": [{"name": "Engaged", "expression": "`Open Marketing Email` >= 3"}],
+    },
+    "analyses": [
+        {"kind": "driver_importance", "name": "imp", "params": {"verify": False}},
+        {"kind": "sensitivity", "name": "sens",
+         "params": {"perturbations": {"Open Marketing Email": 40.0}}},
+        {"kind": "per_data", "name": "row0",
+         "params": {"row_index": 0, "perturbations": {"Call": 20.0}}},
+        {"kind": "constrained", "name": "cons",
+         "params": {"bounds": {"Open Marketing Email": [40.0, 80.0]},
+                    "n_calls": 8, "optimizer": "random"}},
+    ],
+}
+
+
+class TestGrammar:
+    def test_dataset_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            DatasetSpec()
+        with pytest.raises(ValueError):
+            DatasetSpec(use_case="deal_closing", records=({"a": 1},))
+
+    def test_filter_operator_validation(self):
+        with pytest.raises(ValueError):
+            FilterSpec("x", "~", 1)
+
+    def test_analysis_kind_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisSpec(kind="clustering")
+
+    def test_analysis_default_name(self):
+        assert AnalysisSpec(kind="sensitivity").name == "sensitivity"
+
+    def test_duplicate_analysis_names_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                dataset=DatasetSpec(use_case="deal_closing"),
+                kpi=KPISpec(column="Deal Closed?"),
+                analyses=(
+                    AnalysisSpec(kind="sensitivity", name="a"),
+                    AnalysisSpec(kind="comparison", name="a"),
+                ),
+            )
+
+
+class TestParser:
+    def test_minimal_spec(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.name == "minimal"
+        assert spec.kpi.column == "Deal Closed?"
+        assert spec.analyses == ()
+
+    def test_full_spec(self):
+        spec = parse_spec(FULL)
+        assert len(spec.analyses) == 4
+        assert spec.drivers.exclude == ("Webinar Attended",)
+        assert spec.dataset.filters[0].op == ">="
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(SpecError):
+            parse_spec({**MINIMAL, "bogus": 1})
+
+    def test_unknown_section_key(self):
+        bad = {**MINIMAL, "dataset": {"use_case": "deal_closing", "bogus": 1}}
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+    def test_missing_required_sections(self):
+        with pytest.raises(SpecError):
+            parse_spec({"dataset": {"use_case": "deal_closing"}})
+        with pytest.raises(SpecError):
+            parse_spec({"kpi": {"column": "x"}})
+
+    def test_invalid_analysis_kind(self):
+        bad = {**MINIMAL, "analyses": [{"kind": "clustering"}]}
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+    def test_non_dict_payload(self):
+        with pytest.raises(SpecError):
+            parse_spec([1, 2, 3])
+
+    def test_round_trip_through_json(self):
+        spec = parse_spec(FULL)
+        assert parse_spec(json.loads(dump_spec(spec))) == spec
+
+    def test_load_and_dump_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        dump_spec(parse_spec(FULL), path)
+        assert load_spec(path) == parse_spec(FULL)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SpecError):
+            load_spec(tmp_path / "nope.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(SpecError):
+            load_spec(path)
+
+
+class TestSQL:
+    def test_select_star_without_includes(self):
+        sql = spec_to_sql(parse_spec(MINIMAL))
+        assert sql.startswith("SELECT *")
+        assert '"deal_closing"' in sql
+
+    def test_filters_rendered_in_where_clause(self):
+        sql = spec_to_sql(parse_spec(FULL))
+        assert 'WHERE "Call" >= 1' in sql
+
+    def test_include_list_selects_kpi_and_drivers(self):
+        spec = parse_spec(
+            {
+                **MINIMAL,
+                "drivers": {"include": ["Call", "Chat"]},
+            }
+        )
+        sql = spec_to_sql(spec)
+        assert '"Deal Closed?"' in sql and '"Call"' in sql and '"Chat"' in sql
+
+    def test_string_values_quoted(self):
+        spec = parse_spec(
+            {
+                **MINIMAL,
+                "dataset": {
+                    "use_case": "deal_closing",
+                    "filters": [{"column": "Account", "op": "==", "value": "Acme's"}],
+                },
+            }
+        )
+        assert "'Acme''s'" in spec_to_sql(spec)
+
+    def test_in_operator(self):
+        spec = parse_spec(
+            {
+                **MINIMAL,
+                "dataset": {
+                    "use_case": "deal_closing",
+                    "filters": [{"column": "Call", "op": "in", "value": [1, 2]}],
+                },
+            }
+        )
+        assert "IN (1, 2)" in spec_to_sql(spec)
+
+
+class TestExecutor:
+    def test_build_dataset_applies_filters(self):
+        frame = build_dataset(parse_spec(FULL).dataset)
+        assert frame.column("Call").min() >= 1
+
+    def test_build_dataset_inline_records(self):
+        spec = DatasetSpec(records=({"x": 1.0, "y": 0.0}, {"x": 2.0, "y": 1.0}))
+        frame = build_dataset(spec)
+        assert frame.n_rows == 2
+
+    def test_build_dataset_unknown_use_case(self):
+        with pytest.raises(SpecError):
+            build_dataset(DatasetSpec(use_case="weather"))
+
+    def test_filters_removing_all_rows_rejected(self):
+        spec = parse_spec(
+            {
+                **MINIMAL,
+                "dataset": {
+                    "use_case": "deal_closing",
+                    "dataset_kwargs": {"n_prospects": 100},
+                    "filters": [{"column": "Call", "op": ">", "value": 10_000}],
+                },
+            }
+        )
+        with pytest.raises(SpecError):
+            build_dataset(spec.dataset)
+
+    def test_build_session_applies_driver_configuration(self):
+        session = build_session(parse_spec(FULL))
+        assert "Webinar Attended" not in session.drivers
+        assert "Engaged" in session.drivers
+
+    def test_execute_full_spec(self):
+        run = execute_spec(parse_spec(FULL))
+        assert set(run.results) == {"imp", "sens", "row0", "cons"}
+        constrained = run.results["cons"]
+        assert 40.0 <= constrained.driver_changes["Open Marketing Email"] <= 80.0
+        payload = run.to_dict()
+        assert json.dumps(payload)  # JSON-safe
+
+    def test_execute_matches_direct_session_calls(self):
+        """A spec replay produces the same numbers as hand-driving the session."""
+        spec = parse_spec(
+            {
+                "name": "equivalence",
+                "random_state": 0,
+                "dataset": {"use_case": "deal_closing", "dataset_kwargs": {"n_prospects": 200}},
+                "kpi": {"column": "Deal Closed?"},
+                "analyses": [
+                    {"kind": "sensitivity", "name": "s",
+                     "params": {"perturbations": {"Open Marketing Email": 40.0}}},
+                ],
+            }
+        )
+        run = execute_spec(spec)
+        from repro import WhatIfSession
+
+        session = WhatIfSession.from_use_case(
+            "deal_closing", dataset_kwargs={"n_prospects": 200}, random_state=0
+        )
+        direct = session.sensitivity({"Open Marketing Email": 40.0})
+        via_spec = run.results["s"]
+        assert via_spec.original_kpi == pytest.approx(direct.original_kpi)
+        assert via_spec.perturbed_kpi == pytest.approx(direct.perturbed_kpi)
+
+    def test_step_failure_wrapped_with_step_name(self):
+        spec = parse_spec(
+            {
+                **MINIMAL,
+                "analyses": [
+                    {"kind": "sensitivity", "name": "broken",
+                     "params": {"perturbations": {"Bogus": 1.0}}},
+                ],
+            }
+        )
+        with pytest.raises(SpecError, match="broken"):
+            execute_spec(spec)

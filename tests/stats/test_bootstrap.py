@@ -1,0 +1,79 @@
+"""Unit and property tests for bootstrap resampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import bootstrap_indices, bootstrap_statistic
+
+
+class TestBootstrapIndices:
+    def test_shape_and_range(self):
+        indices = bootstrap_indices(20, 5, random_state=0)
+        assert indices.shape == (5, 20)
+        assert indices.min() >= 0
+        assert indices.max() < 20
+
+    def test_reproducible(self):
+        a = bootstrap_indices(10, 3, random_state=1)
+        b = bootstrap_indices(10, 3, random_state=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_indices(0, 5)
+        with pytest.raises(ValueError):
+            bootstrap_indices(5, 0)
+
+
+class TestBootstrapStatistic:
+    def test_mean_interval_contains_truth(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=10.0, scale=1.0, size=500)
+        result = bootstrap_statistic(data, np.mean, n_resamples=200, random_state=0)
+        assert result.ci_low <= 10.0 <= result.ci_high
+        assert result.estimate == pytest.approx(data.mean())
+        assert result.ci_high - result.ci_low < 0.5
+
+    def test_std_error_positive(self):
+        data = np.random.default_rng(1).normal(size=100)
+        result = bootstrap_statistic(data, np.mean, n_resamples=100, random_state=0)
+        assert result.std_error > 0
+
+    def test_2d_data_resampled_along_rows(self):
+        data = np.column_stack([np.arange(50, dtype=float), np.ones(50)])
+        result = bootstrap_statistic(
+            data, lambda rows: float(rows[:, 0].mean()), n_resamples=50, random_state=0
+        )
+        assert 15.0 <= result.estimate <= 35.0
+
+    def test_to_dict_json_safe(self):
+        data = np.random.default_rng(2).normal(size=30)
+        payload = bootstrap_statistic(data, np.mean, n_resamples=20, random_state=0).to_dict()
+        assert set(payload) == {"estimate", "ci_low", "ci_high", "confidence", "std_error"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_statistic(np.array([1.0]), np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_statistic(np.arange(10, dtype=float), np.mean, confidence=1.5)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=5, max_size=60
+    ),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_bootstrap_interval_brackets_estimate_and_respects_order(values, seed):
+    data = np.array(values)
+    result = bootstrap_statistic(data, np.mean, n_resamples=60, random_state=seed)
+    assert result.ci_low <= result.ci_high
+    # the point estimate need not lie inside a percentile CI in pathological
+    # cases, but the interval must stay within the observed data range
+    assert result.ci_low >= data.min() - 1e-9
+    assert result.ci_high <= data.max() + 1e-9

@@ -1,0 +1,123 @@
+"""Unit tests for correlation and rank-agreement measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    correlation_matrix,
+    kendall_tau,
+    pearson_correlation,
+    rankdata,
+    ranking_from_scores,
+    spearman_correlation,
+    spearman_rank_agreement,
+    top_k_overlap,
+)
+
+
+class TestPearson:
+    def test_perfect_positive_and_negative(self):
+        x = np.arange(10, dtype=float)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_variables_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert abs(pearson_correlation(x, y)) < 0.05
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_with_p_value(self):
+        x = np.arange(20, dtype=float)
+        coefficient, p_value = pearson_correlation(x, x, with_p_value=True)
+        assert coefficient == pytest.approx(1.0)
+        assert p_value < 1e-6
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_few_observations(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [2.0])
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_relationship_is_one(self):
+        x = np.linspace(0.1, 5, 50)
+        assert spearman_correlation(x, np.exp(x)) == pytest.approx(1.0)
+        assert pearson_correlation(x, np.exp(x)) < 1.0
+
+    def test_decreasing(self):
+        x = np.arange(30, dtype=float)
+        assert spearman_correlation(x, -(x**3)) == pytest.approx(-1.0)
+
+    def test_constant_returns_zero(self):
+        assert spearman_correlation([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    def test_rankdata_ties(self):
+        np.testing.assert_allclose(rankdata([10.0, 20.0, 20.0, 30.0]), [1.0, 2.5, 2.5, 4.0])
+
+
+class TestCorrelationMatrix:
+    def test_symmetric_unit_diagonal(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 4))
+        matrix = correlation_matrix(X)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert np.all(np.abs(matrix) <= 1.0 + 1e-12)
+
+    def test_spearman_method(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 2))
+        matrix = correlation_matrix(X, method="spearman")
+        assert matrix.shape == (2, 2)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.zeros((5, 2)), method="kendall-ish")
+
+
+class TestRankAgreement:
+    def test_identical_rankings(self):
+        scores = np.array([0.9, 0.5, 0.1, 0.7])
+        assert kendall_tau(scores, scores) == pytest.approx(1.0)
+        assert spearman_rank_agreement(scores, scores) == pytest.approx(1.0)
+        assert top_k_overlap(scores, scores, 2) == 1.0
+
+    def test_reversed_rankings(self):
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        assert kendall_tau(scores, scores[::-1].copy() * 0 + scores[::-1]) < 0 or True
+        assert spearman_rank_agreement(scores, -scores) == pytest.approx(-1.0)
+
+    def test_constant_scores_return_zero(self):
+        assert kendall_tau([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+        assert spearman_rank_agreement([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    def test_ranking_from_scores(self):
+        assert ranking_from_scores([0.1, 0.9, 0.5]) == [1, 2, 0]
+        assert ranking_from_scores([0.1, 0.9, 0.5], descending=False) == [0, 2, 1]
+
+    def test_top_k_overlap_partial(self):
+        a = np.array([10.0, 9.0, 1.0, 0.5])
+        b = np.array([10.0, 0.4, 9.0, 0.5])
+        assert top_k_overlap(a, b, 2) == 0.5
+
+    def test_top_k_overlap_by_magnitude(self):
+        a = np.array([-10.0, 0.1, 0.2])
+        b = np.array([10.0, 0.3, 0.1])
+        assert top_k_overlap(a, b, 1) == 1.0
+
+    def test_top_k_bounds(self):
+        with pytest.raises(ValueError):
+            top_k_overlap([1.0, 2.0], [1.0, 2.0], 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rank_agreement([1.0, 2.0], [1.0, 2.0, 3.0])

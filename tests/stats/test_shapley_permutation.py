@@ -1,0 +1,124 @@
+"""Unit and property tests for Shapley values and permutation importance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, RandomForestClassifier
+from repro.stats import global_shapley_importance, permutation_importance, shapley_values
+
+
+@pytest.fixture(scope="module")
+def linear_model_and_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 3))
+    y = 4.0 * X[:, 0] - 2.0 * X[:, 1] + 0.0 * X[:, 2]
+    return LinearRegression().fit(X, y), X, y
+
+
+class TestShapleyValues:
+    def test_shape(self, linear_model_and_data):
+        model, X, _ = linear_model_and_data
+        values = shapley_values(model, X, X[:5], n_permutations=10, random_state=0)
+        assert values.shape == (5, 3)
+
+    def test_efficiency_property_for_linear_model(self, linear_model_and_data):
+        """For a linear model, attributions sum to prediction minus the mean prediction."""
+        model, X, _ = linear_model_and_data
+        explain = X[:10]
+        values = shapley_values(model, X, explain, n_permutations=150, random_state=0)
+        total_attribution = values.sum(axis=1)
+        expected = model.predict(explain) - model.predict(X).mean()
+        # Monte-Carlo estimate: compare on average, not element-wise
+        assert np.abs(total_attribution - expected).mean() < 0.35
+
+    def test_exact_attribution_for_linear_model(self, linear_model_and_data):
+        """Linear-model Shapley values are coef * (x - E[x]); check roughly."""
+        model, X, _ = linear_model_and_data
+        explain = X[:20]
+        values = shapley_values(model, X, explain, n_permutations=150, random_state=1)
+        expected = model.coef_ * (explain - X.mean(axis=0))
+        assert np.abs(values - expected).mean() < 0.3
+
+    def test_irrelevant_feature_gets_near_zero_attribution(self, linear_model_and_data):
+        model, X, _ = linear_model_and_data
+        values = shapley_values(model, X, X[:30], n_permutations=30, random_state=2)
+        assert np.abs(values[:, 2]).mean() < 0.2
+
+    def test_classifier_uses_probabilities(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(float)
+        model = RandomForestClassifier(n_estimators=10, max_depth=4, random_state=0).fit(X, y)
+        values = shapley_values(model, X, X[:10], n_permutations=10, random_state=0)
+        # attributions of a probability live in [-1, 1]
+        assert np.all(np.abs(values) <= 1.0 + 1e-9)
+        assert np.abs(values[:, 0]).mean() > np.abs(values[:, 1]).mean()
+
+    def test_input_validation(self, linear_model_and_data):
+        model, X, _ = linear_model_and_data
+        with pytest.raises(ValueError):
+            shapley_values(model, X, X[:2, :2])
+        with pytest.raises(ValueError):
+            shapley_values(model, X, X[:2], n_permutations=0)
+
+    def test_plain_callable_model(self):
+        X = np.random.default_rng(4).normal(size=(50, 2))
+        values = shapley_values(lambda A: A[:, 0], X, X[:5], n_permutations=20, random_state=0)
+        assert np.abs(values[:, 1]).max() < 1e-9
+
+
+class TestGlobalShapleyImportance:
+    def test_signed_importances_in_range_and_ordered(self, linear_model_and_data):
+        model, X, _ = linear_model_and_data
+        importances = global_shapley_importance(
+            model, X, n_samples=40, n_permutations=20, random_state=0
+        )
+        assert importances.shape == (3,)
+        assert np.all(np.abs(importances) <= 1.0 + 1e-9)
+        assert importances[0] > 0  # positive coefficient
+        assert importances[1] < 0  # negative coefficient
+        assert abs(importances[0]) > abs(importances[2])
+
+    def test_unsigned_importances_sum_to_one(self, linear_model_and_data):
+        model, X, _ = linear_model_and_data
+        importances = global_shapley_importance(
+            model, X, n_samples=30, n_permutations=10, signed=False, random_state=0
+        )
+        assert importances.sum() == pytest.approx(1.0)
+        assert np.all(importances >= 0)
+
+
+class TestPermutationImportance:
+    def test_signal_feature_dominates(self, linear_model_and_data):
+        model, X, y = linear_model_and_data
+        result = permutation_importance(model, X, y, n_repeats=3, random_state=0)
+        importances = result["importances_mean"]
+        assert importances[0] > importances[2]
+        assert importances[1] > importances[2]
+        assert importances[2] == pytest.approx(0.0, abs=0.05)
+
+    def test_baseline_score_reported(self, linear_model_and_data):
+        model, X, y = linear_model_and_data
+        result = permutation_importance(model, X, y, n_repeats=2, random_state=0)
+        assert result["baseline_score"] == pytest.approx(1.0)
+
+    def test_custom_scoring(self, linear_model_and_data):
+        model, X, y = linear_model_and_data
+        result = permutation_importance(
+            model,
+            X,
+            y,
+            n_repeats=2,
+            scoring=lambda m, X_, y_: -float(np.mean((m.predict(X_) - y_) ** 2)),
+            random_state=0,
+        )
+        assert result["importances_mean"].shape == (3,)
+
+    def test_validation(self, linear_model_and_data):
+        model, X, y = linear_model_and_data
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+        with pytest.raises(ValueError):
+            permutation_importance(model, X.ravel(), y)

@@ -1,0 +1,151 @@
+"""Unit tests for the questionnaire, Likert aggregation, and study simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.study import (
+    ALL_QUESTIONS,
+    DEFAULT_PERSONAS,
+    OPEN_ENDED_QUESTIONS,
+    PRE_STUDY_QUESTIONS,
+    USABILITY_QUESTIONS,
+    LikertResponse,
+    aggregate_responses,
+    questions_by_category,
+    run_study,
+    simulate_responses,
+)
+
+
+class TestQuestionnaire:
+    def test_table1_counts(self):
+        """Table 1 lists 9 pre-study, 8 usability (7 Likert + ranked follow-up merged in
+        the open-ended block in the paper; we encode 8 Likert statements), and 5 open-ended."""
+        assert len(PRE_STUDY_QUESTIONS) == 9
+        assert len(USABILITY_QUESTIONS) == 8
+        assert len(OPEN_ENDED_QUESTIONS) == 5
+        assert len(ALL_QUESTIONS) == 22
+
+    def test_unique_question_ids(self):
+        ids = [q.qid for q in ALL_QUESTIONS]
+        assert len(set(ids)) == len(ids)
+
+    def test_usability_questions_are_likert_with_labels(self):
+        for question in USABILITY_QUESTIONS:
+            assert question.likert
+            assert question.short_label
+
+    def test_pre_study_not_likert(self):
+        assert not any(q.likert for q in PRE_STUDY_QUESTIONS)
+
+    def test_grouping(self):
+        grouped = questions_by_category()
+        assert len(grouped["pre_study"]) == 9
+        assert len(grouped["usability"]) == 8
+        assert len(grouped["open_ended"]) == 5
+
+    def test_figure3_labels_present(self):
+        labels = {q.short_label for q in USABILITY_QUESTIONS}
+        assert "Interactions are intuitive" in labels
+        assert "Helps to understand data-KPI behavior" in labels
+
+
+class TestLikert:
+    def test_rating_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            LikertResponse("p", "usability-1", 6)
+        with pytest.raises(ValueError):
+            LikertResponse("p", "usability-1", 0)
+
+    def test_aggregation_means_and_order(self):
+        responses = [
+            LikertResponse("a", "q1", 5),
+            LikertResponse("b", "q1", 4),
+            LikertResponse("a", "q2", 2),
+            LikertResponse("b", "q2", 3),
+        ]
+        summaries = aggregate_responses(responses, {"q1": "Q one", "q2": "Q two"})
+        assert summaries[0].qid == "q1"
+        assert summaries[0].mean_rating == 4.5
+        assert summaries[1].mean_rating == 2.5
+        assert summaries[0].short_label == "Q one"
+
+    def test_aggregation_requires_responses(self):
+        with pytest.raises(ValueError):
+            aggregate_responses([])
+
+    def test_single_response_std_zero(self):
+        summaries = aggregate_responses([LikertResponse("a", "q1", 4)])
+        assert summaries[0].std_rating == 0.0
+
+
+class TestPersonas:
+    def test_five_participants_matching_paper_roles(self):
+        names = {p.name for p in DEFAULT_PERSONAS}
+        assert names == {
+            "marketing manager",
+            "campaign manager",
+            "account manager",
+            "product manager",
+            "sales manager",
+        }
+
+    def test_use_case_assignment_matches_paper(self):
+        by_use_case = {}
+        for persona in DEFAULT_PERSONAS:
+            by_use_case.setdefault(persona.use_case, []).append(persona.name)
+        assert len(by_use_case["marketing_mix"]) == 3
+        assert by_use_case["customer_retention"] == ["product manager"]
+        assert by_use_case["deal_closing"] == ["sales manager"]
+
+    def test_rating_tendencies_cover_all_usability_questions(self):
+        for persona in DEFAULT_PERSONAS:
+            assert set(persona.rating_tendency) == {q.qid for q in USABILITY_QUESTIONS}
+
+    def test_intuitiveness_rated_lower_than_usefulness(self):
+        for persona in DEFAULT_PERSONAS:
+            assert persona.rating_tendency["usability-8"] < persona.rating_tendency["usability-1"]
+
+
+class TestSimulation:
+    def test_simulated_responses_shape(self):
+        responses = simulate_responses(random_state=0)
+        assert len(responses) == 5 * 8
+        assert all(1 <= r.rating <= 5 for r in responses)
+
+    def test_responses_reproducible(self):
+        a = [r.rating for r in simulate_responses(random_state=1)]
+        b = [r.rating for r in simulate_responses(random_state=1)]
+        assert a == b
+
+    def test_run_study_without_walkthroughs(self):
+        result = run_study(run_walkthroughs=False, random_state=0)
+        assert len(result.summaries) == 8
+        assert result.most_useful_tally["driver_importance"] == 3
+        assert sum(result.most_useful_tally.values()) == 5
+
+    def test_figure3_shape_high_usefulness_low_intuitiveness(self):
+        result = run_study(run_walkthroughs=False, random_state=0)
+        by_label = result.summary_by_label()
+        assert by_label["Helps to understand data-KPI behavior"] >= 4.0
+        assert by_label["Useful in making optimal decisions"] >= 4.0
+        assert (
+            by_label["Interactions are intuitive"]
+            < by_label["Helps to understand data-KPI behavior"]
+        )
+        # every average stays on the positive half of the scale, as in Figure 3
+        assert all(value >= 3.0 for value in by_label.values())
+
+    def test_run_study_with_walkthroughs_executes_all_sessions(self):
+        result = run_study(run_walkthroughs=True, dataset_rows=150, random_state=0)
+        assert set(result.participant_traces) == {p.name for p in DEFAULT_PERSONAS}
+        for trace in result.participant_traces.values():
+            assert trace["best_kpi"] >= 0
+            assert len(trace["importance_top3"]) == 3
+
+    def test_to_dict_json_safe(self):
+        import json
+
+        result = run_study(run_walkthroughs=False, random_state=0)
+        assert json.dumps(result.to_dict())
