@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+The benchmark modules import shared helpers with ``from .conftest import
+print_table``, which requires ``benchmarks`` to be a real package so pytest
+collects the tree with a known parent package.
+"""

@@ -1,0 +1,126 @@
+"""P2 (performance): multi-session throughput with a shared model cache.
+
+The ROADMAP's north star is serving heavy concurrent traffic; this benchmark
+drives N id-addressed sessions through one in-process server from N threads
+and reports aggregate throughput, per-request latency, and how many model
+fits the shared :class:`~repro.core.cache.ModelCache` saved.  The "cold"
+column trains one model per distinct configuration; the "warm" column repeats
+the workload against the already-populated cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.server import SystemDServer
+
+from .conftest import print_table
+
+N_PROSPECTS = 400
+SESSION_COUNTS = (1, 4, 8)
+REQUESTS_PER_SESSION = 10
+
+
+def _run_workload(server: SystemDServer, session_ids: list[str]) -> tuple[float, list[float]]:
+    """Fire the sensitivity workload from one thread per session."""
+    latencies: list[float] = []
+    latencies_lock = threading.Lock()
+    failures: list[str] = []
+
+    def worker(session_id: str) -> None:
+        local: list[float] = []
+        for i in range(REQUESTS_PER_SESSION):
+            response = server.request(
+                "sensitivity",
+                session_id=session_id,
+                perturbations={"Open Marketing Email": 10.0 + i},
+            )
+            if not response.ok:
+                failures.append(response.error)
+            local.append(response.elapsed_ms)
+        with latencies_lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=worker, args=(sid,)) for sid in session_ids]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not failures, failures[0]
+    return elapsed, latencies
+
+
+def test_multi_session_throughput():
+    rows = []
+    for n_sessions in SESSION_COUNTS:
+        server = SystemDServer()
+        session_ids = []
+        for _ in range(n_sessions):
+            response = server.request(
+                "create_session",
+                use_case="deal_closing",
+                dataset_kwargs={"n_prospects": N_PROSPECTS},
+            )
+            assert response.ok, response.error
+            session_ids.append(response.data["session_id"])
+
+        cold_elapsed, cold_latencies = _run_workload(server, session_ids)
+        warm_elapsed, warm_latencies = _run_workload(server, session_ids)
+
+        stats = server.stats()
+        cache = stats["model_cache"]
+        # every session analyses the same configuration: exactly one fit total
+        assert cache["misses"] == 1, cache
+        assert cache["hits"] >= n_sessions - 1, cache
+
+        total = n_sessions * REQUESTS_PER_SESSION
+        rows.append(
+            {
+                "sessions": n_sessions,
+                "requests": 2 * total,
+                "models_fit": cache["misses"],
+                "cold_rps": total / cold_elapsed,
+                "warm_rps": total / warm_elapsed,
+                "cold_p50_ms": sorted(cold_latencies)[len(cold_latencies) // 2],
+                "warm_p50_ms": sorted(warm_latencies)[len(warm_latencies) // 2],
+            }
+        )
+
+    print_table("P2: multi-session throughput (shared model cache)", rows)
+    # more sessions must not mean more training work
+    assert all(row["models_fit"] == 1 for row in rows)
+
+
+def test_distinct_configurations_do_not_interfere():
+    """Sessions on different use cases run concurrently without cross-talk."""
+    server = SystemDServer()
+    configs = {
+        "deal": ("deal_closing", {"n_prospects": N_PROSPECTS}),
+        "retention": ("customer_retention", {"n_customers": N_PROSPECTS}),
+    }
+    ids: dict[str, str] = {}
+    for label, (use_case, kwargs) in configs.items():
+        response = server.request(
+            "create_session", use_case=use_case, dataset_kwargs=kwargs
+        )
+        assert response.ok, response.error
+        ids[label] = response.data["session_id"]
+
+    kpis: dict[str, str] = {}
+
+    def worker(label: str) -> None:
+        response = server.request("describe_dataset", session_id=ids[label])
+        assert response.ok, response.error
+        kpis[label] = response.data["kpi"]["name"]
+
+    threads = [threading.Thread(target=worker, args=(label,)) for label in ids]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert kpis["deal"] != kpis["retention"]
+    assert server.stats()["model_cache"]["misses"] <= 2

@@ -85,6 +85,37 @@ def main() -> None:
     # error handling: malformed requests get structured errors, not crashes
     show("error handling", server.handle(Request(action="sensitivity", params={})))
 
+    # ---------------------------------------------------------------- #
+    # multi-session serving: two analysts, one server, one model cache
+    # ---------------------------------------------------------------- #
+    alice = server.request(
+        "create_session", use_case="deal_closing", dataset_kwargs={"n_prospects": 500}
+    ).data["session_id"]
+    bob = server.request(
+        "create_session", use_case="deal_closing", dataset_kwargs={"n_prospects": 500}
+    ).data["session_id"]
+    print(f"\ntwo concurrent sessions: alice={alice} bob={bob}")
+
+    # both analyse the same configuration: the second fit is a cache hit
+    show(
+        f"sensitivity (session {alice})",
+        server.request(
+            "sensitivity", session_id=alice, perturbations={"Open Marketing Email": 40.0}
+        ),
+    )
+    show(
+        f"sensitivity (session {bob}, model reused from cache)",
+        server.request(
+            "sensitivity", session_id=bob, perturbations={"Open Marketing Email": 40.0}
+        ),
+    )
+
+    # bob diverges without disturbing alice's analysis
+    server.request("set_drivers", session_id=bob, exclude=["Webinar Attended"])
+    show("list_sessions", server.request("list_sessions"))
+    show("server_stats (note model_cache hits)", server.request("server_stats"))
+    server.request("close_session", session_id=bob)
+
     print("\nper-request latency log:")
     for entry in server.request_log:
         print(f"  {entry['action']:<18} ok={entry['ok']} {entry['elapsed_ms']:.0f} ms")

@@ -16,6 +16,8 @@ The CLI covers the non-interactive entry points:
     Execute a declarative experiment specification and print its results.
 ``python -m repro serve --port 8765``
     Start the JSON HTTP backend.
+``python -m repro bench-sessions --sessions 4 --requests 16``
+    Throughput check: concurrent sessions sharing one model cache.
 
 Every command accepts ``--json`` to emit machine-readable output instead of
 tables, so the CLI composes with other tooling the way the paper envisions.
@@ -114,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser("serve", help="start the JSON HTTP backend")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
+
+    bench = subparsers.add_parser(
+        "bench-sessions",
+        help="drive concurrent sessions through one in-process server",
+    )
+    bench.add_argument("--use-case", default="deal_closing", help="use case key")
+    bench.add_argument("--rows", type=int, default=400, help="synthetic dataset size")
+    bench.add_argument("--sessions", type=int, default=4, help="number of concurrent sessions")
+    bench.add_argument("--requests", type=int, default=16, help="sensitivity requests per session")
+    bench.add_argument("--seed", type=int, default=0, help="random seed")
+    bench.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     return parser
 
@@ -287,6 +300,76 @@ def _command_serve(args: argparse.Namespace) -> int:  # pragma: no cover - block
     return 0
 
 
+def _command_bench_sessions(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    from .server import SessionRegistry, SystemDServer
+
+    n_sessions = max(1, args.sessions)
+    # size the registry to the fleet so no session is LRU-evicted mid-run
+    server = SystemDServer(registry=SessionRegistry(capacity=max(64, n_sessions)))
+    size_parameter = {
+        "deal_closing": "n_prospects",
+        "customer_retention": "n_customers",
+        "marketing_mix": "n_days",
+    }.get(args.use_case)
+    dataset_kwargs = {size_parameter: args.rows} if size_parameter else {}
+
+    session_ids: list[str] = []
+    for _ in range(n_sessions):
+        response = server.request(
+            "create_session",
+            use_case=args.use_case,
+            dataset_kwargs=dataset_kwargs,
+            random_state=args.seed,
+        )
+        if not response.ok:
+            print(f"error: {response.error}", file=sys.stderr)
+            return 2
+        session_ids.append(response.data["session_id"])
+
+    drivers = server.request("describe_dataset", session_id=session_ids[0]).data["drivers"]
+    driver = drivers[0]
+    failures: list[str] = []
+
+    def worker(session_id: str) -> None:
+        for i in range(max(1, args.requests)):
+            response = server.request(
+                "sensitivity",
+                session_id=session_id,
+                perturbations={driver: 10.0 + i},
+            )
+            if not response.ok:
+                failures.append(response.error)
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=worker, args=(sid,)) for sid in session_ids]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    total_requests = len(session_ids) * max(1, args.requests)
+    stats = server.stats()
+    summary = {
+        "use_case": args.use_case,
+        "sessions": len(session_ids),
+        "requests": total_requests,
+        "failures": len(failures),
+        "elapsed_s": elapsed,
+        "throughput_rps": total_requests / elapsed if elapsed else float("inf"),
+        "models_trained": stats["model_cache"]["misses"],
+        "cache_hits": stats["model_cache"]["hits"],
+    }
+    _emit(summary, args.json, lambda s: _print_table([s]))
+    if failures:
+        print(f"error: {failures[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "list-use-cases": _command_list_use_cases,
     "importance": _command_importance,
@@ -294,6 +377,7 @@ _COMMANDS = {
     "goal": _command_goal,
     "run-spec": _command_run_spec,
     "serve": _command_serve,
+    "bench-sessions": _command_bench_sessions,
 }
 
 

@@ -9,6 +9,7 @@
   :class:`~repro.core.model_manager.ModelManager`.
 """
 
+from .cache import ModelCache, frame_fingerprint, model_fingerprint
 from .cohort import CohortAnalysis, CohortResult
 from .constrained import DriverBound, budget_constraint, run_constrained_analysis
 from .driver_importance import compute_driver_importance
@@ -32,6 +33,9 @@ from .session import WhatIfSession
 
 __all__ = [
     "WhatIfSession",
+    "ModelCache",
+    "frame_fingerprint",
+    "model_fingerprint",
     "CohortAnalysis",
     "CohortResult",
     "ModelCandidate",

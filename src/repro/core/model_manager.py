@@ -77,6 +77,8 @@ class ModelManager:
         self.random_state = random_state
         self._model = None
         self._confidence: float | None = None
+        self._baseline_rows: np.ndarray | None = None
+        self._baseline_kpi: float | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -168,9 +170,22 @@ class ModelManager:
         subframe = frame.take([index])
         return float(self.predict_rows(subframe)[0])
 
+    def baseline_rows(self) -> np.ndarray:
+        """Memoised per-row predictions on the unperturbed dataset.
+
+        Sensitivity analysis re-reads the baseline on every request; the
+        dataset never changes underneath a manager (sessions swap managers
+        when it does), so predicting it once is enough.
+        """
+        if self._baseline_rows is None:
+            self._baseline_rows = self.predict_rows(self.frame)
+        return self._baseline_rows
+
     def baseline_kpi(self) -> float:
         """KPI predicted on the original, unperturbed dataset (the blue bar)."""
-        return self.predict_kpi(self.frame)
+        if self._baseline_kpi is None:
+            self._baseline_kpi = self.kpi.aggregate(self.baseline_rows())
+        return self._baseline_kpi
 
     # ------------------------------------------------------------------ #
     def raw_importances(self) -> np.ndarray:

@@ -136,7 +136,7 @@ def run_per_data(
     if unknown:
         raise ValueError(f"perturbed drivers are not model inputs: {unknown}")
 
-    original_prediction = manager.predict_row(frame, row_index)
+    original_prediction = float(manager.baseline_rows()[row_index])
     perturbed_frame = perturbations.apply_to_row(frame, row_index)
     perturbed_prediction = manager.predict_row(perturbed_frame, row_index)
 

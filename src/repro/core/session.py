@@ -27,6 +27,7 @@ from typing import Any
 
 from ..frame import DataFrame, add_formula_column
 from ..optimize import CallableConstraint, LinearConstraint
+from .cache import ModelCache, model_fingerprint
 from .constrained import DriverBound, run_constrained_analysis
 from .driver_importance import compute_driver_importance
 from .goal_inversion import DEFAULT_PERTURBATION_RANGE, invert_goal
@@ -64,6 +65,12 @@ class WhatIfSession:
     random_state:
         Seed shared by the model, the verification estimates, and the
         optimiser.
+    model_cache:
+        A :class:`~repro.core.cache.ModelCache` to fetch trained models from
+        (and publish them to).  Pass a shared cache so concurrent sessions on
+        the same configuration fit one model between them; by default each
+        session owns a small private cache, which still makes driver/KPI
+        toggles instant.
     """
 
     def __init__(
@@ -74,6 +81,7 @@ class WhatIfSession:
         drivers: Sequence[str] | None = None,
         model_params: dict[str, Any] | None = None,
         random_state: int | None = 0,
+        model_cache: ModelCache | None = None,
     ) -> None:
         if frame.n_rows == 0:
             raise ValueError("cannot start a session on an empty dataset")
@@ -84,6 +92,7 @@ class WhatIfSession:
         self._drivers = self._resolve_drivers(drivers)
         self._model_params = dict(model_params or {})
         self._random_state = random_state
+        self._model_cache = model_cache if model_cache is not None else ModelCache(max_size=8)
         self._manager: ModelManager | None = None
         self.scenarios = ScenarioManager()
 
@@ -161,16 +170,37 @@ class WhatIfSession:
         return list(self._drivers)
 
     @property
+    def model_cache(self) -> ModelCache:
+        """The cache this session fetches trained models from."""
+        return self._model_cache
+
+    @property
     def model(self) -> ModelManager:
-        """The (lazily trained) model manager for the current configuration."""
+        """The (lazily trained) model manager for the current configuration.
+
+        Trained managers are fetched from (and published to) the session's
+        :class:`~repro.core.cache.ModelCache`, so toggling a driver off and
+        back on — or another session analysing the same configuration against
+        a shared cache — reuses the fitted model instead of retraining.
+        """
         if self._manager is None:
-            self._manager = ModelManager(
+            key = model_fingerprint(
                 self._frame,
                 self._kpi,
                 self._drivers,
-                model_params=self._model_params,
-                random_state=self._random_state,
-            ).fit()
+                self._model_params,
+                self._random_state,
+            )
+            self._manager = self._model_cache.get_or_create(
+                key,
+                lambda: ModelManager(
+                    self._frame,
+                    self._kpi,
+                    self._drivers,
+                    model_params=self._model_params,
+                    random_state=self._random_state,
+                ).fit(),
+            )
         return self._manager
 
     def _invalidate_model(self) -> None:

@@ -63,8 +63,6 @@ def infer_dtype(values: Iterable[Any]) -> str:
     values = list(values)
     if not values:
         return "float"
-    if isinstance(values, np.ndarray):  # pragma: no cover - defensive
-        values = values.tolist()
     saw_float = False
     saw_int = False
     saw_bool = False
@@ -73,12 +71,7 @@ def infer_dtype(values: Iterable[Any]) -> str:
             saw_bool = True
         elif isinstance(value, (int, np.integer)):
             saw_int = True
-        elif isinstance(value, (float, np.floating)):
-            if not np.isnan(value):
-                saw_float = True
-            else:
-                saw_float = True
-        elif value is None:
+        elif isinstance(value, (float, np.floating)) or value is None:
             saw_float = True
         else:
             return "string"

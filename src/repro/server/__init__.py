@@ -1,9 +1,11 @@
-"""Client/server substrate: the JSON protocol and dispatcher standing in for
-SystemD's browser-client / Python-backend architecture."""
+"""Client/server substrate: the JSON protocol, the session registry, and the
+dispatcher standing in for SystemD's browser-client / Python-backend
+architecture."""
 
 from .app import SystemDServer, serve_http
-from .handlers import HANDLERS, ServerState
+from .handlers import HANDLERS, SERVER_HANDLERS, ServerState
 from .protocol import ACTIONS, ProtocolError, Request, Response
+from .registry import DEFAULT_SESSION_ID, SessionEntry, SessionRegistry, UnknownSessionError
 from .serialization import dumps, frame_preview, to_json_safe
 
 __all__ = [
@@ -11,6 +13,11 @@ __all__ = [
     "serve_http",
     "ServerState",
     "HANDLERS",
+    "SERVER_HANDLERS",
+    "SessionRegistry",
+    "SessionEntry",
+    "UnknownSessionError",
+    "DEFAULT_SESSION_ID",
     "Request",
     "Response",
     "ACTIONS",

@@ -7,6 +7,14 @@ payload in a :class:`~repro.server.protocol.Response`.  Tests, benchmarks, and
 the examples drive this object directly — it exercises exactly the code path a
 browser client would, minus the socket.
 
+One server hosts many concurrent analyses: requests are routed by
+``session_id`` through a :class:`~repro.server.registry.SessionRegistry`
+(requests without one fall back to a shared default session), every session
+fetches trained models from one shared
+:class:`~repro.core.cache.ModelCache`, and a per-session lock makes
+``handle`` safe under concurrent callers — requests within a session
+serialise, requests across sessions run in parallel.
+
 :func:`serve_http` wraps the same dispatcher in a stdlib
 :class:`http.server.ThreadingHTTPServer` for anyone who wants to poke the
 backend with ``curl``; it is optional and nothing else in the package depends
@@ -16,60 +24,136 @@ on it.
 from __future__ import annotations
 
 import json
+import threading
 import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from .handlers import HANDLERS, ServerState
+from ..core import ModelCache
+from .handlers import HANDLERS, SERVER_HANDLERS, ServerState
 from .protocol import ProtocolError, Request, Response
+from .registry import DEFAULT_SESSION_ID, SessionRegistry, UnknownSessionError
 from .serialization import to_json_safe
 
 __all__ = ["SystemDServer", "serve_http"]
 
+#: Requests remembered by the bounded request log.
+REQUEST_LOG_LIMIT = 1000
+
 
 class SystemDServer:
-    """In-process SystemD backend.
+    """In-process SystemD backend serving many id-addressed sessions.
 
-    Each server instance owns one :class:`~repro.server.handlers.ServerState`
-    (one loaded dataset / trained model at a time), mirroring the paper's
-    single-analysis UI.
+    Parameters
+    ----------
+    registry:
+        Session registry (capacity, TTL); a default one is created if omitted.
+    model_cache:
+        Model cache shared by every session this server creates.
     """
 
-    def __init__(self) -> None:
-        self.state = ServerState()
-        self._request_log: list[dict[str, Any]] = []
+    def __init__(
+        self,
+        *,
+        registry: SessionRegistry | None = None,
+        model_cache: ModelCache | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.model_cache = model_cache if model_cache is not None else ModelCache()
+        self._request_log: deque[dict[str, Any]] = deque(maxlen=REQUEST_LOG_LIMIT)
+        self._log_lock = threading.Lock()
+        self._requests_total = 0
+        self._requests_failed = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> ServerState:
+        """The default session's state (single-analysis backward compat)."""
+        return self._entry_for(DEFAULT_SESSION_ID).state
+
+    def _entry_for(self, session_id: str):
+        """Resolve a session id to its registry entry.
+
+        The default session materialises lazily; any other id must have been
+        registered through ``create_session``.
+        """
+        if session_id == DEFAULT_SESSION_ID:
+            entry = self.registry.get_or_create(session_id)
+            if entry.state.model_cache is None:
+                entry.state.model_cache = self.model_cache
+            return entry
+        try:
+            return self.registry.get(session_id)
+        except UnknownSessionError as exc:
+            raise ProtocolError(
+                f"unknown session {session_id!r}; create one with 'create_session' "
+                "or omit session_id for the default session"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     def handle(self, request: Request | dict[str, Any] | str) -> Response:
-        """Process one request and return a response (never raises)."""
+        """Process one request and return a response (never raises).
+
+        Safe to call from many threads at once: session-scoped actions run
+        under their session's lock, server-scoped actions (session lifecycle,
+        stats) rely on the registry's own synchronisation.
+        """
         started = time.perf_counter()
         request_id = ""
+        session_id = ""
         try:
             request = self._coerce_request(request)
             request_id = request.request_id
-            handler = HANDLERS[request.action]
-            data = handler(self.state, request.params)
+            if request.action in SERVER_HANDLERS:
+                params = dict(request.params)
+                if request.session_id:
+                    params.setdefault("session_id", request.session_id)
+                data = SERVER_HANDLERS[request.action](self, params)
+                session_id = str(data.get("session_id", "")) if request.action == "create_session" else ""
+            else:
+                session_id = str(
+                    request.session_id
+                    or request.params.get("session_id", "")
+                    or DEFAULT_SESSION_ID
+                )
+                entry = self._entry_for(session_id)
+                handler = HANDLERS[request.action]
+                with entry.lock:
+                    entry.request_count += 1
+                    data = handler(entry.state, request.params)
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             response = Response.success(
-                to_json_safe(data), request_id=request_id, elapsed_ms=elapsed_ms
+                to_json_safe(data),
+                request_id=request_id,
+                session_id=session_id,
+                elapsed_ms=elapsed_ms,
             )
         except ProtocolError as exc:
             elapsed_ms = (time.perf_counter() - started) * 1000.0
-            response = Response.failure(str(exc), request_id=request_id, elapsed_ms=elapsed_ms)
+            response = Response.failure(
+                str(exc), request_id=request_id, session_id=session_id, elapsed_ms=elapsed_ms
+            )
         except Exception as exc:  # noqa: BLE001 - the server must not crash
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             response = Response.failure(
                 f"internal error: {type(exc).__name__}: {exc}",
                 request_id=request_id,
+                session_id=session_id,
                 elapsed_ms=elapsed_ms,
             )
-        self._request_log.append(
-            {
-                "action": getattr(request, "action", "?"),
-                "ok": response.ok,
-                "elapsed_ms": response.elapsed_ms,
-            }
-        )
+        with self._log_lock:
+            self._requests_total += 1
+            if not response.ok:
+                self._requests_failed += 1
+            self._request_log.append(
+                {
+                    "action": getattr(request, "action", "?"),
+                    "session_id": session_id,
+                    "ok": response.ok,
+                    "elapsed_ms": response.elapsed_ms,
+                }
+            )
         return response
 
     def handle_json(self, payload: str) -> str:
@@ -91,14 +175,31 @@ class SystemDServer:
         )
 
     # ------------------------------------------------------------------ #
-    def request(self, action: str, **params: Any) -> Response:
+    def request(self, action: str, *, session_id: str = "", **params: Any) -> Response:
         """Convenience wrapper: ``server.request("sensitivity", perturbations=...)``."""
-        return self.handle(Request(action=action, params=params))
+        return self.handle(Request(action=action, params=params, session_id=session_id))
 
     @property
     def request_log(self) -> list[dict[str, Any]]:
-        """Per-request timing log (used by the latency benchmark)."""
-        return list(self._request_log)
+        """Per-request timing log, bounded to the most recent
+        :data:`REQUEST_LOG_LIMIT` entries (used by the latency benchmark)."""
+        with self._log_lock:
+            return list(self._request_log)
+
+    def stats(self) -> dict[str, Any]:
+        """Registry, cache, and request counters (the ``server_stats`` payload)."""
+        with self._log_lock:
+            requests = {
+                "total": self._requests_total,
+                "failed": self._requests_failed,
+                "log_size": len(self._request_log),
+                "log_limit": REQUEST_LOG_LIMIT,
+            }
+        return {
+            "registry": self.registry.stats(),
+            "model_cache": self.model_cache.stats(),
+            "requests": requests,
+        }
 
 
 class _SystemDHTTPHandler(BaseHTTPRequestHandler):
@@ -125,7 +226,9 @@ def serve_http(host: str = "127.0.0.1", port: int = 8765) -> ThreadingHTTPServer
     """Create (but do not start) an HTTP server wrapping a fresh backend.
 
     Call ``serve_forever()`` on the returned object to run it; tests use
-    ``handle_request()`` for single-shot interactions.
+    ``handle_request()`` for single-shot interactions.  The threading server
+    dispatches each request on its own thread, which the session locks make
+    safe.
     """
     httpd = ThreadingHTTPServer((host, port), _SystemDHTTPHandler)
     httpd.backend = SystemDServer()  # type: ignore[attr-defined]

@@ -1,33 +1,41 @@
 """Request handlers: one per backend action.
 
-Each handler receives the server's mutable :class:`ServerState` (the current
-session, mirroring how the paper's backend keeps the trained model per
-connected analysis) plus the request parameters, and returns a JSON-safe
-payload dict.  Validation errors raise :class:`~repro.server.protocol.ProtocolError`
-so the dispatcher can turn them into error responses without crashing the
-server.
+Session-scoped handlers (:data:`HANDLERS`) receive one mutable
+:class:`ServerState` — the analysis the request's ``session_id`` routed to —
+plus the request parameters, and return a JSON-safe payload dict.
+Server-scoped handlers (:data:`SERVER_HANDLERS`) receive the
+:class:`~repro.server.app.SystemDServer` itself and manage the session
+registry and shared model cache.  Validation errors raise
+:class:`~repro.server.protocol.ProtocolError` so the dispatcher can turn them
+into error responses without crashing the server.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-from ..core import DriverBound, PerturbationSet, WhatIfSession
+from ..core import DriverBound, ModelCache, PerturbationSet, WhatIfSession
 from ..datasets import get_use_case, list_use_cases
 from .protocol import ProtocolError
 from .serialization import frame_preview, to_json_safe
 
-__all__ = ["ServerState", "HANDLERS"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .app import SystemDServer
+
+__all__ = ["ServerState", "HANDLERS", "SERVER_HANDLERS"]
 
 
 @dataclass
 class ServerState:
-    """Mutable state of one backend instance (the "current analysis")."""
+    """Mutable state of one registered analysis session."""
 
     session: WhatIfSession | None = None
     use_case_key: str = ""
     options: dict[str, Any] = field(default_factory=dict)
+    #: Shared model cache injected by the server; sessions created outside a
+    #: server keep the default per-session cache.
+    model_cache: ModelCache | None = None
 
     def require_session(self) -> WhatIfSession:
         """Return the active session or raise a protocol error."""
@@ -67,7 +75,10 @@ def handle_load_use_case(state: ServerState, params: dict[str, Any]) -> dict[str
     if not isinstance(dataset_kwargs, dict):
         raise ProtocolError("'dataset_kwargs' must be an object")
     state.session = WhatIfSession.from_use_case(
-        key, dataset_kwargs=dataset_kwargs, random_state=params.get("random_state", 0)
+        key,
+        dataset_kwargs=dataset_kwargs,
+        random_state=params.get("random_state", 0),
+        model_cache=state.model_cache,
     )
     state.use_case_key = key
     return {
@@ -244,6 +255,58 @@ def handle_list_scenarios(state: ServerState, params: dict[str, Any]) -> dict[st
     return {"scenarios": to_json_safe([s.to_dict() for s in session.scenarios])}
 
 
+# --------------------------------------------------------------------------- #
+# server-scoped handlers: session lifecycle and observability
+# --------------------------------------------------------------------------- #
+def handle_create_session(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Register a new analysis session and return its id.
+
+    Optionally forwards ``use_case`` / ``dataset_kwargs`` / ``random_state``
+    to an immediate ``load_use_case`` so one round trip yields a ready
+    session.
+    """
+    requested_id = params.get("session_id")
+    try:
+        entry = server.registry.create(str(requested_id) if requested_id else None)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    entry.state.model_cache = server.model_cache
+    payload: dict[str, Any] = {"session_id": entry.session_id}
+    if params.get("use_case"):
+        try:
+            with entry.lock:
+                payload.update(handle_load_use_case(entry.state, params))
+        except Exception:
+            # don't leave an orphan session behind a failed eager load
+            server.registry.close(entry.session_id)
+            raise
+    return payload
+
+
+def handle_close_session(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Unregister a session (its trained models stay in the shared cache)."""
+    from .registry import UnknownSessionError
+
+    session_id = params.get("session_id")
+    if not session_id:
+        raise ProtocolError("'session_id' parameter is required")
+    try:
+        entry = server.registry.close(str(session_id))
+    except UnknownSessionError as exc:
+        raise ProtocolError(f"unknown session {session_id!r}") from exc
+    return {"closed": entry.to_dict()}
+
+
+def handle_list_sessions(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Summaries of every live session."""
+    return {"sessions": server.registry.list_sessions()}
+
+
+def handle_server_stats(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Registry, model-cache, and request-level counters."""
+    return server.stats()
+
+
 #: Dispatch table used by the server app.
 HANDLERS: dict[str, Callable[[ServerState, dict[str, Any]], dict[str, Any]]] = {
     "list_use_cases": handle_list_use_cases,
@@ -258,4 +321,13 @@ HANDLERS: dict[str, Callable[[ServerState, dict[str, Any]], dict[str, Any]]] = {
     "goal_inversion": handle_goal_inversion,
     "constrained": handle_constrained,
     "list_scenarios": handle_list_scenarios,
+}
+
+#: Server-scoped dispatch table (session lifecycle + observability); these
+#: handlers run outside any per-session lock.
+SERVER_HANDLERS: dict[str, Callable[["SystemDServer", dict[str, Any]], dict[str, Any]]] = {
+    "create_session": handle_create_session,
+    "close_session": handle_close_session,
+    "list_sessions": handle_list_sessions,
+    "server_stats": handle_server_stats,
 }

@@ -22,6 +22,23 @@ action               paper view / interaction
 ``list_scenarios``   options tracking
 ===================  ======================================================
 
+Beyond the paper's single-analysis vocabulary, the backend serves many
+concurrent analyses (see :mod:`repro.server.registry`):
+
+===================  ======================================================
+action               session management
+===================  ======================================================
+``create_session``   register a new analysis session, returns its id
+``close_session``    unregister a session
+``list_sessions``    summaries of every live session
+``server_stats``     registry, model-cache, and request counters
+===================  ======================================================
+
+Every request may carry a ``session_id`` (envelope field or inside
+``params``) routing it to one registered session; requests without one fall
+back to a shared default session, preserving the seed's single-analysis
+behaviour.
+
 Requests and responses are plain dataclasses that serialise to/from dicts, so
 they can travel over any transport (the in-process dispatcher used in tests
 and benchmarks, or the stdlib HTTP wrapper in :mod:`repro.server.app`).
@@ -48,6 +65,10 @@ ACTIONS = (
     "goal_inversion",
     "constrained",
     "list_scenarios",
+    "create_session",
+    "close_session",
+    "list_sessions",
+    "server_stats",
 )
 
 
@@ -67,11 +88,14 @@ class Request:
         Action-specific parameters (driver lists, perturbations, bounds, ...).
     request_id:
         Client-side correlation id, echoed in the response.
+    session_id:
+        Target session id (empty routes to the shared default session).
     """
 
     action: str
     params: dict[str, Any] = field(default_factory=dict)
     request_id: str = ""
+    session_id: str = ""
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -81,7 +105,12 @@ class Request:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation."""
-        return {"action": self.action, "params": dict(self.params), "request_id": self.request_id}
+        return {
+            "action": self.action,
+            "params": dict(self.params),
+            "request_id": self.request_id,
+            "session_id": self.session_id,
+        }
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "Request":
@@ -94,7 +123,8 @@ class Request:
         return cls(
             action=str(payload["action"]),
             params=params,
-            request_id=str(payload.get("request_id", "")),
+            request_id=str(payload.get("request_id") or ""),
+            session_id=str(payload.get("session_id") or ""),
         )
 
 
@@ -112,6 +142,9 @@ class Response:
         Error message when ``ok`` is False.
     request_id:
         Correlation id echoed from the request.
+    session_id:
+        Id of the session that served the request (empty for server-level
+        actions such as ``list_use_cases`` or ``server_stats``).
     elapsed_ms:
         Server-side processing time, surfaced so the latency benchmark (P1)
         can report per-view response times the way the paper's "fast real-time
@@ -122,6 +155,7 @@ class Response:
     data: dict[str, Any] = field(default_factory=dict)
     error: str = ""
     request_id: str = ""
+    session_id: str = ""
     elapsed_ms: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
@@ -131,15 +165,42 @@ class Response:
             "data": dict(self.data),
             "error": self.error,
             "request_id": self.request_id,
+            "session_id": self.session_id,
             "elapsed_ms": self.elapsed_ms,
         }
 
     @classmethod
-    def success(cls, data: dict[str, Any], *, request_id: str = "", elapsed_ms: float = 0.0) -> "Response":
+    def success(
+        cls,
+        data: dict[str, Any],
+        *,
+        request_id: str = "",
+        session_id: str = "",
+        elapsed_ms: float = 0.0,
+    ) -> "Response":
         """Build a success response."""
-        return cls(ok=True, data=data, request_id=request_id, elapsed_ms=elapsed_ms)
+        return cls(
+            ok=True,
+            data=data,
+            request_id=request_id,
+            session_id=session_id,
+            elapsed_ms=elapsed_ms,
+        )
 
     @classmethod
-    def failure(cls, error: str, *, request_id: str = "", elapsed_ms: float = 0.0) -> "Response":
+    def failure(
+        cls,
+        error: str,
+        *,
+        request_id: str = "",
+        session_id: str = "",
+        elapsed_ms: float = 0.0,
+    ) -> "Response":
         """Build an error response."""
-        return cls(ok=False, error=error, request_id=request_id, elapsed_ms=elapsed_ms)
+        return cls(
+            ok=False,
+            error=error,
+            request_id=request_id,
+            session_id=session_id,
+            elapsed_ms=elapsed_ms,
+        )

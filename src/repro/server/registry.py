@@ -1,0 +1,216 @@
+"""Thread-safe session registry: many concurrent, id-addressed analyses.
+
+The seed backend held exactly one :class:`~repro.server.handlers.ServerState`
+("the current analysis"), so a second user's ``load_use_case`` clobbered the
+first.  :class:`SessionRegistry` replaces that with an id-addressed map of
+sessions sharing one :class:`~repro.core.cache.ModelCache`:
+
+* ``create`` / ``get`` / ``list_sessions`` / ``close`` — the lifecycle API the
+  server actions (``create_session`` etc.) delegate to;
+* LRU eviction beyond a capacity cap, and TTL eviction of sessions idle for
+  longer than ``ttl_seconds``, so abandoned browser tabs cannot pin memory;
+* a per-session :class:`threading.Lock` (``entry.lock``) the dispatcher holds
+  while running a handler, serialising requests *within* a session while
+  requests across sessions proceed in parallel.
+
+The reserved id :data:`DEFAULT_SESSION_ID` backs requests that carry no
+``session_id`` — the backward-compatible single-analysis behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .handlers import ServerState
+
+__all__ = ["SessionEntry", "SessionRegistry", "UnknownSessionError", "DEFAULT_SESSION_ID"]
+
+#: Session id used when a request does not specify one.
+DEFAULT_SESSION_ID = "default"
+
+
+class UnknownSessionError(KeyError):
+    """Raised when a session id is not (or no longer) registered."""
+
+
+@dataclass
+class SessionEntry:
+    """One registered session: its state, lock, and bookkeeping timestamps."""
+
+    session_id: str
+    state: ServerState
+    created_at: float
+    last_used_at: float
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    request_count: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary (timestamps as idle/age seconds are the
+        registry's job, since only it knows the clock)."""
+        return {
+            "session_id": self.session_id,
+            "use_case": self.state.use_case_key,
+            "loaded": self.state.session is not None,
+            "request_count": self.request_count,
+        }
+
+
+class SessionRegistry:
+    """Bounded, thread-safe map from session id to :class:`SessionEntry`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of live sessions; creating one more evicts the least
+        recently used session.
+    ttl_seconds:
+        Sessions idle for longer than this are evicted lazily (on any
+        create/get/list/stats call).  ``None`` disables TTL eviction.
+    pinned:
+        Session ids exempt from TTL and LRU eviction (and not counted
+        against ``capacity``).  Defaults to the default session, so seed-style
+        clients that never send a ``session_id`` keep their analysis for the
+        life of the process.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 64,
+        ttl_seconds: float | None = 3600.0,
+        pinned: tuple[str, ...] = (DEFAULT_SESSION_ID,),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self.pinned = frozenset(pinned)
+        self._clock = clock
+        self._entries: OrderedDict[str, SessionEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self._created_total = 0
+        self._closed_total = 0
+        self._evicted_lru = 0
+        self._evicted_ttl = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def create(self, session_id: str | None = None) -> SessionEntry:
+        """Register a new session and return its entry.
+
+        A fresh uuid-based id is generated unless ``session_id`` is given;
+        reusing a live id raises :class:`ValueError`.
+        """
+        with self._lock:
+            self._evict_expired()
+            sid = session_id or f"s-{uuid.uuid4().hex[:12]}"
+            if sid in self._entries:
+                raise ValueError(f"session {sid!r} already exists")
+            now = self._clock()
+            entry = SessionEntry(
+                session_id=sid, state=ServerState(), created_at=now, last_used_at=now
+            )
+            self._entries[sid] = entry
+            self._created_total += 1
+            while self._unpinned_count() > self.capacity:
+                lru_id = next(
+                    eid for eid in self._entries if eid not in self.pinned
+                )
+                del self._entries[lru_id]
+                self._evicted_lru += 1
+            return entry
+
+    def _unpinned_count(self) -> int:
+        return sum(1 for sid in self._entries if sid not in self.pinned)
+
+    def get(self, session_id: str) -> SessionEntry:
+        """Return a live session entry, refreshing its LRU position and
+        last-used timestamp; unknown or expired ids raise
+        :class:`UnknownSessionError`."""
+        with self._lock:
+            self._evict_expired()
+            entry = self._entries.get(session_id)
+            if entry is None:
+                raise UnknownSessionError(session_id)
+            entry.last_used_at = self._clock()
+            self._entries.move_to_end(session_id)
+            return entry
+
+    def get_or_create(self, session_id: str) -> SessionEntry:
+        """Like :meth:`get`, but registers the session if absent (used for
+        the default session, which materialises lazily)."""
+        with self._lock:
+            try:
+                return self.get(session_id)
+            except UnknownSessionError:
+                return self.create(session_id)
+
+    def close(self, session_id: str) -> SessionEntry:
+        """Unregister a session, returning its final entry."""
+        with self._lock:
+            entry = self._entries.pop(session_id, None)
+            if entry is None:
+                raise UnknownSessionError(session_id)
+            self._closed_total += 1
+            return entry
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        """JSON-safe summaries of every live session (most recent last)."""
+        with self._lock:
+            self._evict_expired()
+            now = self._clock()
+            return [
+                {
+                    **entry.to_dict(),
+                    "age_seconds": now - entry.created_at,
+                    "idle_seconds": now - entry.last_used_at,
+                }
+                for entry in self._entries.values()
+            ]
+
+    # ------------------------------------------------------------------ #
+    def _evict_expired(self) -> None:
+        if self.ttl_seconds is None:
+            return
+        now = self._clock()
+        expired = [
+            sid
+            for sid, entry in self._entries.items()
+            if sid not in self.pinned and now - entry.last_used_at > self.ttl_seconds
+        ]
+        for sid in expired:
+            del self._entries[sid]
+            self._evicted_ttl += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, session_id: object) -> bool:
+        with self._lock:
+            return session_id in self._entries
+
+    def stats(self) -> dict[str, Any]:
+        """Registry-level counters for the ``server_stats`` action."""
+        with self._lock:
+            self._evict_expired()
+            return {
+                "live_sessions": len(self._entries),
+                "capacity": self.capacity,
+                "ttl_seconds": self.ttl_seconds,
+                "created_total": self._created_total,
+                "closed_total": self._closed_total,
+                "evicted_lru": self._evicted_lru,
+                "evicted_ttl": self._evicted_ttl,
+            }

@@ -30,6 +30,15 @@ class TestDtypeInference:
     def test_empty_defaults_to_float(self):
         assert infer_dtype([]) == "float"
 
+    def test_nan_is_float(self):
+        assert infer_dtype([1.0, float("nan")]) == "float"
+
+    def test_numpy_arrays_are_supported(self):
+        assert infer_dtype(np.array([1.5, 2.5])) == "float"
+        assert infer_dtype(np.array([1, 2, 3])) == "int"
+        assert infer_dtype(np.array([True, False])) == "bool"
+        assert infer_dtype(np.array(["a", "b"])) == "string"
+
 
 class TestConstruction:
     def test_basic_properties(self):

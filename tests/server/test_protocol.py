@@ -35,6 +35,15 @@ class TestRequest:
         assert request.action == "sensitivity"
         assert request.request_id == "r1"
 
+    def test_from_dict_null_ids_fall_back_to_empty(self):
+        # JSON clients serialise unset fields as null; that must not route
+        # to a session literally named "None"
+        request = Request.from_dict(
+            {"action": "describe_dataset", "request_id": None, "session_id": None}
+        )
+        assert request.request_id == ""
+        assert request.session_id == ""
+
     def test_from_dict_missing_action(self):
         with pytest.raises(ProtocolError):
             Request.from_dict({"params": {}})

@@ -1,0 +1,145 @@
+"""Unit tests for the thread-safe session registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import DEFAULT_SESSION_ID, SessionRegistry, UnknownSessionError
+
+
+class FakeClock:
+    """Injectable monotonic clock the TTL tests can advance by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLifecycle:
+    def test_create_get_close(self):
+        registry = SessionRegistry()
+        entry = registry.create()
+        assert entry.session_id.startswith("s-")
+        assert registry.get(entry.session_id) is entry
+        assert entry.session_id in registry
+        registry.close(entry.session_id)
+        assert entry.session_id not in registry
+        with pytest.raises(UnknownSessionError):
+            registry.get(entry.session_id)
+
+    def test_explicit_ids_and_duplicates(self):
+        registry = SessionRegistry()
+        registry.create("alice")
+        with pytest.raises(ValueError):
+            registry.create("alice")
+
+    def test_get_or_create(self):
+        registry = SessionRegistry()
+        first = registry.get_or_create("default")
+        assert registry.get_or_create("default") is first
+        assert len(registry) == 1
+
+    def test_close_unknown_session(self):
+        with pytest.raises(UnknownSessionError):
+            SessionRegistry().close("nope")
+
+    def test_list_sessions_reports_metadata(self):
+        clock = FakeClock()
+        registry = SessionRegistry(clock=clock)
+        registry.create("a")
+        clock.advance(5.0)
+        sessions = registry.list_sessions()
+        assert len(sessions) == 1
+        assert sessions[0]["session_id"] == "a"
+        assert sessions[0]["age_seconds"] == pytest.approx(5.0)
+        assert sessions[0]["loaded"] is False
+
+
+class TestEviction:
+    def test_capacity_evicts_least_recently_used(self):
+        registry = SessionRegistry(capacity=2, ttl_seconds=None)
+        registry.create("a")
+        registry.create("b")
+        registry.get("a")  # refresh "a": "b" becomes LRU
+        registry.create("c")
+        assert "b" not in registry
+        assert "a" in registry and "c" in registry
+        assert registry.stats()["evicted_lru"] == 1
+
+    def test_ttl_evicts_idle_sessions(self):
+        clock = FakeClock()
+        registry = SessionRegistry(ttl_seconds=10.0, clock=clock)
+        registry.create("stale")
+        clock.advance(5.0)
+        registry.create("fresh")
+        clock.advance(6.0)  # "stale" idle 11s, "fresh" idle 6s
+        with pytest.raises(UnknownSessionError):
+            registry.get("stale")
+        assert "fresh" in registry
+        assert registry.stats()["evicted_ttl"] == 1
+
+    def test_use_keeps_session_alive(self):
+        clock = FakeClock()
+        registry = SessionRegistry(ttl_seconds=10.0, clock=clock)
+        registry.create("busy")
+        for _ in range(5):
+            clock.advance(8.0)
+            registry.get("busy")
+        assert "busy" in registry
+
+    def test_ttl_none_disables_expiry(self):
+        clock = FakeClock()
+        registry = SessionRegistry(ttl_seconds=None, clock=clock)
+        registry.create("a")
+        clock.advance(1e9)
+        assert "a" in registry
+
+    def test_default_session_is_exempt_from_ttl(self):
+        clock = FakeClock()
+        registry = SessionRegistry(ttl_seconds=10.0, clock=clock)
+        registry.create(DEFAULT_SESSION_ID)
+        clock.advance(1e6)
+        assert DEFAULT_SESSION_ID in registry
+
+    def test_default_session_is_exempt_from_lru_and_capacity(self):
+        registry = SessionRegistry(capacity=2, ttl_seconds=None)
+        registry.create(DEFAULT_SESSION_ID)
+        registry.create("a")
+        registry.create("b")
+        registry.create("c")  # evicts "a", never the pinned default
+        assert DEFAULT_SESSION_ID in registry
+        assert "a" not in registry
+        assert "b" in registry and "c" in registry
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionRegistry(capacity=0)
+        with pytest.raises(ValueError):
+            SessionRegistry(ttl_seconds=0)
+
+
+class TestConcurrency:
+    def test_parallel_creates_respect_capacity(self):
+        registry = SessionRegistry(capacity=8, ttl_seconds=None)
+        barrier = threading.Barrier(16)
+
+        def worker():
+            barrier.wait()
+            registry.create()
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = registry.stats()
+        assert len(registry) == 8
+        assert stats["created_total"] == 16
+        assert stats["evicted_lru"] == 8

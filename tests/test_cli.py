@@ -115,6 +115,26 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert "s" in payload["results"]
 
+    def test_bench_sessions_json_output(self, capsys):
+        exit_code = main(
+            [
+                "bench-sessions",
+                "--use-case", "deal_closing",
+                "--rows", "150",
+                "--sessions", "2",
+                "--requests", "2",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sessions"] == 2
+        assert payload["requests"] == 4
+        assert payload["failures"] == 0
+        # both sessions analyse the same configuration: one model fit total
+        assert payload["models_trained"] == 1
+        assert payload["cache_hits"] >= 1
+
     def test_run_spec_missing_file(self, tmp_path, capsys):
         assert main(["run-spec", str(tmp_path / "nope.json")]) == 2
         assert "error" in capsys.readouterr().err
