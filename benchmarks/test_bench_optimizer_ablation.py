@@ -9,7 +9,6 @@ coarse grid, because grid resolution collapses as the number of drivers grows.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .conftest import print_table
 

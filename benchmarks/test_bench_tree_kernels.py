@@ -1,0 +1,144 @@
+"""P2 (performance): flattened tree kernels vs the recursive prediction path.
+
+Every what-if interaction re-scores perturbed matrices with the trained tree
+ensemble, so forest prediction *is* the hot path.  This benchmark times the
+pre-kernel traversal (per-row recursive walks, one ``predict_proba`` per tree)
+against the flattened-array kernels on the paper's deal-closing dataset, and
+verifies on **every** registry dataset that the kernels return bitwise-
+identical predictions — the speedup may not move a single ulp.
+
+Timings are written to ``BENCH_tree_kernels.json`` (path overridable via the
+``BENCH_OUTPUT`` environment variable); the CI ``bench`` job uploads that file
+as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import get_use_case, list_use_cases
+from repro.ml import RandomForestClassifier, RandomForestRegressor
+
+from .conftest import print_table
+
+#: Moderate per-use-case sizes so the equivalence sweep stays fast.
+DATASET_KWARGS = {
+    "marketing_mix": {"n_days": 120},
+    "customer_retention": {"n_customers": 400},
+    "deal_closing": {"n_prospects": 800},
+}
+
+#: The headline timing configuration from the issue: 800-row deal dataset,
+#: 50-tree forest, whole-matrix batch prediction.
+TIMING_USE_CASE = "deal_closing"
+TIMING_ROWS = 800
+TIMING_TREES = 50
+MIN_SPEEDUP = 5.0
+
+
+def _design_matrix(use_case):
+    frame = use_case.load(**DATASET_KWARGS[use_case.key])
+    drivers = [
+        name
+        for name in frame.numeric_columns()
+        if name != use_case.kpi and name not in use_case.excluded_drivers
+    ]
+    X = frame.to_matrix(drivers)
+    y = frame.to_vector(use_case.kpi)
+    return X, y
+
+
+def _fit_forest(use_case, X, y, n_estimators=20):
+    if use_case.kpi_kind == "discrete":
+        forest = RandomForestClassifier(
+            n_estimators=n_estimators, max_depth=8, random_state=0
+        )
+    else:
+        forest = RandomForestRegressor(
+            n_estimators=n_estimators, max_depth=8, random_state=0
+        )
+    return forest.fit(X, y)
+
+
+def _predict_both(forest, X):
+    if isinstance(forest, RandomForestClassifier):
+        return forest.predict_proba(X), forest._predict_proba_recursive(X)
+    return forest.predict(X), forest._predict_recursive(X)
+
+
+def test_kernel_predictions_bitwise_equal_on_every_dataset():
+    """Kernels must agree exactly with the recursive walk on all registry data."""
+    for use_case in list_use_cases():
+        X, y = _design_matrix(use_case)
+        forest = _fit_forest(use_case, X, y)
+        kernel_out, recursive_out = _predict_both(forest, X)
+        assert np.array_equal(kernel_out, recursive_out), (
+            f"kernel and recursive predictions diverge on {use_case.key}"
+        )
+        for tree in forest.estimators_[:3]:
+            assert np.array_equal(
+                tree.kernel_.predict(X),
+                np.atleast_2d(tree._predict_values_recursive(X).T).T,
+            )
+
+
+def test_forest_kernel_speedup_and_artifact(benchmark):
+    use_case = get_use_case(TIMING_USE_CASE)
+    X, y = _design_matrix(use_case)
+    assert X.shape[0] == TIMING_ROWS
+    forest = _fit_forest(use_case, X, y, n_estimators=TIMING_TREES)
+
+    # warm both paths once so timing excludes lazy setup
+    kernel_out, recursive_out = _predict_both(forest, X)
+    assert np.array_equal(kernel_out, recursive_out)
+
+    started = time.perf_counter()
+    forest._predict_proba_recursive(X)
+    recursive_s = time.perf_counter() - started
+
+    def kernel_batch():
+        return forest.predict_proba(X)
+
+    benchmark.pedantic(kernel_batch, rounds=5, iterations=3)
+    kernel_s = float(benchmark.stats["mean"])
+    speedup = recursive_s / kernel_s
+
+    record = {
+        "benchmark": "tree_kernels",
+        "dataset": TIMING_USE_CASE,
+        "n_rows": TIMING_ROWS,
+        "n_trees": TIMING_TREES,
+        "n_features": int(X.shape[1]),
+        "recursive_ms": recursive_s * 1000.0,
+        "kernel_ms": kernel_s * 1000.0,
+        "speedup": speedup,
+        "min_speedup_required": MIN_SPEEDUP,
+        "bitwise_identical": True,
+    }
+    benchmark.extra_info.update(record)
+
+    output_path = os.environ.get("BENCH_OUTPUT", "BENCH_tree_kernels.json")
+    with open(output_path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    print_table(
+        "P2: forest batch prediction, recursive vs kernel",
+        [
+            {
+                "path": "recursive (per row per tree)",
+                "ms": record["recursive_ms"],
+                "speedup": 1.0,
+            },
+            {"path": "flattened kernels", "ms": record["kernel_ms"], "speedup": speedup},
+        ],
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x speedup over the recursive path, got "
+        f"{speedup:.1f}x ({record['recursive_ms']:.1f}ms -> {record['kernel_ms']:.1f}ms)"
+    )

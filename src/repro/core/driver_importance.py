@@ -77,7 +77,7 @@ def compute_driver_importance(
     drivers = manager.drivers
     kpi = manager.kpi
 
-    X = frame.to_matrix(drivers)
+    X = manager.driver_matrix()
     y = kpi.target_vector(frame)
 
     raw = manager.raw_importances()
@@ -101,7 +101,7 @@ def compute_driver_importance(
             [spearman_correlation(X[:, j], y) for j in range(len(drivers))]
         )
         shapley = global_shapley_importance(
-            manager.model if not kpi.is_discrete else manager.model,
+            manager.model,
             X,
             n_samples=shapley_samples,
             n_permutations=shapley_permutations,
@@ -111,7 +111,7 @@ def compute_driver_importance(
         perm = permutation_importance(
             manager.model,
             X,
-            y if not kpi.is_discrete else y,
+            y,
             n_repeats=permutation_repeats,
             scoring=_scoring_for(manager),
             random_state=random_state,

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-import numpy as np
-
 from ..optimize import (
     ConstraintSet,
     Real,
@@ -128,7 +126,9 @@ def invert_goal(
         perturbations = PerturbationSet.from_mapping(
             dict(zip(chosen, (float(v) for v in point))), mode=mode
         )
-        return manager.predict_kpi(perturbations.apply(manager.frame))
+        # the optimiser probes sequentially, so each candidate is a single
+        # matrix-level evaluation against the cached baseline matrix
+        return manager.predict_kpi_matrix(manager.perturbed_matrix(perturbations))
 
     if goal == "maximize":
         objective = lambda point: -kpi_of(point)  # noqa: E731

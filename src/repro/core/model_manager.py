@@ -79,6 +79,7 @@ class ModelManager:
         self._confidence: float | None = None
         self._baseline_rows: np.ndarray | None = None
         self._baseline_kpi: float | None = None
+        self._driver_matrix: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -106,7 +107,7 @@ class ModelManager:
 
     def fit(self) -> "ModelManager":
         """Train the KPI model on the session's dataset."""
-        X = self.frame.to_matrix(self.drivers)
+        X = self.driver_matrix()
         y = self.kpi.target_vector(self.frame)
         self._model = self._build_model()
         self._model.fit(X, y)
@@ -129,7 +130,7 @@ class ModelManager:
         if self._confidence is not None:
             return self._confidence
         if self.cv_folds and self.frame.n_rows >= 2 * self.cv_folds:
-            X = self.frame.to_matrix(self.drivers)
+            X = self.driver_matrix()
             y = self.kpi.target_vector(self.frame)
             estimator = self._build_model()
             if isinstance(estimator, Pipeline):
@@ -139,19 +140,33 @@ class ModelManager:
             )
             self._confidence = float(np.clip(np.mean(scores), 0.0, 1.0))
         else:
-            X = self.frame.to_matrix(self.drivers)
+            X = self.driver_matrix()
             y = self.kpi.target_vector(self.frame)
             self._confidence = float(np.clip(self.model.score(X, y), 0.0, 1.0))
         return self._confidence
 
     # ------------------------------------------------------------------ #
-    def predict_rows(self, frame: DataFrame) -> np.ndarray:
-        """Per-row predictions for the driver columns of ``frame``.
+    def driver_matrix(self) -> np.ndarray:
+        """Memoised ``float64`` design matrix of the session's dataset.
+
+        The what-if hot path perturbs this matrix directly (see
+        :meth:`perturbed_matrix`) instead of copying frames, so it is
+        extracted once per manager.
+        """
+        if self._driver_matrix is None:
+            self._driver_matrix = self.frame.to_matrix(self.drivers)
+        return self._driver_matrix
+
+    def perturbed_matrix(self, perturbations) -> np.ndarray:
+        """The baseline driver matrix with ``perturbations`` applied."""
+        return perturbations.apply_to_matrix(self.driver_matrix(), self.drivers)
+
+    def predict_rows_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Per-row predictions for an already-extracted design matrix.
 
         Discrete KPIs return positive-class probabilities; continuous KPIs
         return predicted values.
         """
-        X = frame.to_matrix(self.drivers)
         model = self.model
         if self.kpi.is_discrete:
             proba = model.predict_proba(X)
@@ -161,14 +176,40 @@ class ModelManager:
             return proba[:, column]
         return model.predict(X)
 
+    def predict_rows(self, frame: DataFrame) -> np.ndarray:
+        """Per-row predictions for the driver columns of ``frame``."""
+        return self.predict_rows_matrix(frame.to_matrix(self.drivers))
+
     def predict_kpi(self, frame: DataFrame) -> float:
         """Aggregate KPI value predicted for ``frame``."""
         return self.kpi.aggregate(self.predict_rows(frame))
 
+    def predict_kpi_matrix(self, X: np.ndarray) -> float:
+        """Aggregate KPI value predicted for a design matrix."""
+        return self.kpi.aggregate(self.predict_rows_matrix(X))
+
+    def predict_kpi_batch(self, matrices: list[np.ndarray]) -> np.ndarray:
+        """Aggregate KPI for many perturbed matrices in one model call.
+
+        Comparison sweeps build every perturbed matrix up front, stack them,
+        and run the tree kernels over the whole stack at once — one batched
+        traversal instead of one model call per (driver, amount) pair.
+        """
+        if not matrices:
+            return np.array([])
+        rows = self.predict_rows_matrix(np.vstack(matrices))
+        kpis = np.empty(len(matrices))
+        start = 0
+        for index, matrix in enumerate(matrices):
+            stop = start + matrix.shape[0]
+            kpis[index] = self.kpi.aggregate(rows[start:stop])
+            start = stop
+        return kpis
+
     def predict_row(self, frame: DataFrame, index: int) -> float:
         """Prediction for a single row of ``frame`` (per-data analysis)."""
-        subframe = frame.take([index])
-        return float(self.predict_rows(subframe)[0])
+        X = frame.take([index]).to_matrix(self.drivers)
+        return float(self.predict_rows_matrix(X)[0])
 
     def baseline_rows(self) -> np.ndarray:
         """Memoised per-row predictions on the unperturbed dataset.
@@ -178,7 +219,7 @@ class ModelManager:
         when it does), so predicting it once is enough.
         """
         if self._baseline_rows is None:
-            self._baseline_rows = self.predict_rows(self.frame)
+            self._baseline_rows = self.predict_rows_matrix(self.driver_matrix())
         return self._baseline_rows
 
     def baseline_kpi(self) -> float:

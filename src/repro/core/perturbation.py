@@ -79,6 +79,16 @@ class Perturbation:
         perturbed = self.apply_to_values(column.to_numeric())
         return frame.with_column(name=self.driver, values=perturbed)
 
+    def apply_to_matrix(self, X: np.ndarray, columns: Sequence[str]) -> np.ndarray:
+        """Return a perturbed copy of design matrix ``X``.
+
+        ``columns`` names the matrix columns in order (the model's driver
+        list).  This is the hot-path twin of :meth:`apply`: the what-if
+        engine perturbs the cached driver matrix directly instead of copying
+        a frame and re-extracting it.
+        """
+        return PerturbationSet([self]).apply_to_matrix(X, columns)
+
     def apply_to_row(self, frame: DataFrame, index: int) -> DataFrame:
         """Return ``frame`` with only row ``index`` of this driver perturbed."""
         current = float(frame.column(self.driver)[index])
@@ -201,6 +211,27 @@ class PerturbationSet:
         for perturbation in self:
             result = perturbation.apply_to_row(result, index)
         return result
+
+    def apply_to_matrix(self, X: np.ndarray, columns: Sequence[str]) -> np.ndarray:
+        """Apply every perturbation to a copy of design matrix ``X``.
+
+        ``columns`` names the matrix columns in order; every perturbed driver
+        must appear in it.  The matrix is copied once and each perturbation
+        rewrites its column in place, so a sweep over perturbation sets never
+        rebuilds frames.
+        """
+        X = np.array(X, dtype=np.float64)
+        names = list(columns)
+        for perturbation in self:
+            try:
+                index = names.index(perturbation.driver)
+            except ValueError:
+                raise ValueError(
+                    f"perturbed driver {perturbation.driver!r} is not a matrix "
+                    f"column; available columns: {names}"
+                ) from None
+            X[:, index] = perturbation.apply_to_values(X[:, index])
+        return X
 
     def compose(self, other: "PerturbationSet") -> "PerturbationSet":
         """Apply ``other`` on top of this set (other wins on shared drivers)."""

@@ -49,8 +49,7 @@ def run_sensitivity(
             f"available drivers: {manager.drivers}"
         )
     original_kpi = manager.baseline_kpi()
-    perturbed_frame = perturbations.apply(manager.frame)
-    perturbed_kpi = manager.predict_kpi(perturbed_frame)
+    perturbed_kpi = manager.predict_kpi_matrix(manager.perturbed_matrix(perturbations))
     return SensitivityResult(
         kpi=manager.kpi.name,
         original_kpi=original_kpi,
@@ -94,17 +93,29 @@ def run_comparison(
         raise ValueError("comparison analysis needs at least one perturbation amount")
 
     original_kpi = manager.baseline_kpi()
-    points: list[ComparisonPoint] = []
+    # build every perturbed matrix up front, then evaluate the whole sweep in
+    # one stacked kernel traversal instead of one model call per point
+    baseline_matrix = manager.driver_matrix()
+    sweep: list[tuple[str, float]] = []
+    matrices: list = []
     for driver in chosen:
         for amount in amounts:
-            if amount == 0:
-                kpi_value = original_kpi
-            else:
-                perturbed = Perturbation(driver, float(amount), mode).apply(manager.frame)
-                kpi_value = manager.predict_kpi(perturbed)
-            points.append(
-                ComparisonPoint(driver=driver, amount=float(amount), kpi_value=kpi_value)
-            )
+            sweep.append((driver, float(amount)))
+            if amount != 0:
+                matrices.append(
+                    Perturbation(driver, float(amount), mode).apply_to_matrix(
+                        baseline_matrix, manager.drivers
+                    )
+                )
+    kpis = iter(manager.predict_kpi_batch(matrices))
+    points = [
+        ComparisonPoint(
+            driver=driver,
+            amount=amount,
+            kpi_value=original_kpi if amount == 0 else float(next(kpis)),
+        )
+        for driver, amount in sweep
+    ]
     return ComparisonResult(
         kpi=manager.kpi.name,
         original_kpi=original_kpi,

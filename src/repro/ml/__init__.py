@@ -19,6 +19,7 @@ from .base import (
     clone,
 )
 from .forest import RandomForestClassifier, RandomForestRegressor
+from .kernel import ForestKernel, TreeKernel
 from .linear import LinearRegression, Ridge
 from .logistic import LogisticRegression
 from .metrics import (
@@ -58,6 +59,8 @@ __all__ = [
     "DecisionTreeRegressor",
     "RandomForestClassifier",
     "RandomForestRegressor",
+    "TreeKernel",
+    "ForestKernel",
     "Pipeline",
     "StandardScaler",
     "MinMaxScaler",

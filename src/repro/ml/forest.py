@@ -20,6 +20,7 @@ from .base import (
     check_is_fitted,
     check_X_y,
 )
+from .kernel import ForestKernel
 from .tree import DecisionTreeClassifier, DecisionTreeRegressor
 
 __all__ = ["RandomForestClassifier", "RandomForestRegressor"]
@@ -53,6 +54,7 @@ class _BaseForest(BaseEstimator):
         self.n_features_in_: int | None = None
         self.feature_importances_: np.ndarray | None = None
         self.oob_score_: float | None = None
+        self._kernel: ForestKernel | None = None
 
     def _make_tree(self, seed: int):
         raise NotImplementedError
@@ -113,9 +115,18 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
         self.n_features_in_ = X.shape[1]
         self.classes_ = np.unique(y)
         bootstrap_indices = self._fit_common(X, y)
+        self._kernel = ForestKernel.from_classifier(self)
         if self.oob_score and self.bootstrap:
             self.oob_score_ = self._compute_oob(X, y, bootstrap_indices)
         return self
+
+    @property
+    def kernel_(self) -> ForestKernel:
+        """The stacked prediction kernel (compiled at fit time)."""
+        check_is_fitted(self, "feature_importances_")
+        if self._kernel is None:
+            self._kernel = ForestKernel.from_classifier(self)
+        return self._kernel
 
     def _compute_oob(
         self, X: np.ndarray, y: np.ndarray, bootstrap_indices: list[np.ndarray]
@@ -128,10 +139,11 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
             mask[indices] = False
             if not mask.any():
                 continue
-            tree_classes = tree.classes_.astype(int)
             proba = tree.predict_proba(X[mask])
             expanded = np.zeros((proba.shape[0], self.classes_.shape[0]))
-            class_positions = np.searchsorted(self.classes_, self.classes_[tree_classes])
+            # a bootstrap sample may miss classes, so map the tree's local
+            # class order into the forest's by label (not by position)
+            class_positions = np.searchsorted(self.classes_, tree.classes_)
             expanded[:, class_positions] = proba
             votes[mask] += expanded
             counts[mask] += 1
@@ -142,12 +154,16 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
         return float(np.mean(predictions == y[seen]))
 
     def predict_proba(self, X) -> np.ndarray:
-        """Averaged class probabilities across trees."""
+        """Averaged class probabilities across trees (kernel-batched)."""
         check_is_fitted(self, "feature_importances_")
         X = check_array(X, allow_1d=True)
+        return self.kernel_.predict_proba(X)
+
+    def _predict_proba_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Pre-kernel prediction path (per-row tree walks); benchmarks only."""
         aggregate = np.zeros((X.shape[0], self.classes_.shape[0]))
         for tree in self.estimators_:
-            proba = tree.predict_proba(X)
+            proba = tree._predict_values_recursive(X)
             positions = np.searchsorted(self.classes_, tree.classes_)
             aggregate[:, positions] += proba
         return aggregate / len(self.estimators_)
@@ -201,9 +217,18 @@ class RandomForestRegressor(_BaseForest, RegressorMixin):
         X, y = check_X_y(X, y)
         self.n_features_in_ = X.shape[1]
         bootstrap_indices = self._fit_common(X, y)
+        self._kernel = ForestKernel.from_regressor(self)
         if self.oob_score and self.bootstrap:
             self.oob_score_ = self._compute_oob(X, y, bootstrap_indices)
         return self
+
+    @property
+    def kernel_(self) -> ForestKernel:
+        """The stacked prediction kernel (compiled at fit time)."""
+        check_is_fitted(self, "feature_importances_")
+        if self._kernel is None:
+            self._kernel = ForestKernel.from_regressor(self)
+        return self._kernel
 
     def _compute_oob(
         self, X: np.ndarray, y: np.ndarray, bootstrap_indices: list[np.ndarray]
@@ -226,10 +251,14 @@ class RandomForestRegressor(_BaseForest, RegressorMixin):
         return r2_score(y[seen], sums[seen] / counts[seen])
 
     def predict(self, X) -> np.ndarray:
-        """Mean prediction across trees."""
+        """Mean prediction across trees (kernel-batched)."""
         check_is_fitted(self, "feature_importances_")
         X = check_array(X, allow_1d=True)
+        return self.kernel_.predict(X)
+
+    def _predict_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Pre-kernel prediction path (per-row tree walks); benchmarks only."""
         predictions = np.zeros(X.shape[0])
         for tree in self.estimators_:
-            predictions += tree.predict(X)
+            predictions += tree._predict_values_recursive(X)
         return predictions / len(self.estimators_)

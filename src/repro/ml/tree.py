@@ -5,17 +5,21 @@ discrete KPIs.  The implementation is a standard greedy CART:
 
 * binary splits on numeric features chosen to maximise impurity decrease
   (Gini for classification, variance for regression);
-* split search vectorised with numpy (sort once per feature, evaluate all
-  candidate thresholds with cumulative statistics);
+* split search vectorised with numpy across *all* candidate features at once
+  (one batched argsort, cumulative Gini / variance over the sorted columns,
+  a single argmax over the gain matrix);
 * impurity-decrease accounting per feature, which is what
   ``feature_importances_`` aggregates — the quantity SystemD's driver
-  importance view shows for discrete KPIs.
+  importance view shows for discrete KPIs;
+* prediction through a flattened :class:`~repro.ml.kernel.TreeKernel` compiled
+  at fit time, so scoring a matrix never walks the node structure row by row
+  in Python (the recursive walk is kept as ``_predict_values_recursive`` for
+  the equivalence benchmarks).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 
@@ -27,6 +31,7 @@ from .base import (
     check_is_fitted,
     check_X_y,
 )
+from .kernel import TreeKernel
 
 __all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor", "TreeNode"]
 
@@ -87,6 +92,7 @@ class _BaseDecisionTree(BaseEstimator):
         self.root_: TreeNode | None = None
         self.n_features_in_: int | None = None
         self.feature_importances_: np.ndarray | None = None
+        self._kernel: TreeKernel | None = None
 
     # ---- subclass hooks ------------------------------------------------ #
     def _impurity(self, y: np.ndarray) -> float:
@@ -127,7 +133,16 @@ class _BaseDecisionTree(BaseEstimator):
             self.feature_importances_ = self._importance_accumulator / total
         else:
             self.feature_importances_ = np.zeros(self.n_features_in_)
+        self._kernel = TreeKernel.from_tree(self.root_)
         return self
+
+    @property
+    def kernel_(self) -> TreeKernel:
+        """The flattened prediction kernel (compiled at fit time)."""
+        check_is_fitted(self, "root_")
+        if self._kernel is None:
+            self._kernel = TreeKernel.from_tree(self.root_)
+        return self._kernel
 
     def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
         node = TreeNode(
@@ -171,44 +186,51 @@ class _BaseDecisionTree(BaseEstimator):
         else:
             features = np.arange(n_features)
         parent_impurity = self._impurity(y)
-        best: _SplitCandidate | None = None
-        for feature in features:
-            candidate = self._best_split_for_feature(
-                X[:, feature], y, parent_impurity, feature
-            )
-            if candidate is None:
-                continue
-            if best is None or candidate.gain > best.gain:
-                best = candidate
-        if best is not None:
-            best.left_mask = X[:, best.feature] <= best.threshold
-        return best
-
-    def _best_split_for_feature(
-        self, column: np.ndarray, y: np.ndarray, parent_impurity: float, feature: int
-    ) -> _SplitCandidate | None:
-        order = np.argsort(column, kind="stable")
-        sorted_values = column[order]
-        sorted_y = y[order]
-        distinct = sorted_values[1:] != sorted_values[:-1]
-        if not distinct.any():
-            return None
-        gains, thresholds = self._split_gains(sorted_values, sorted_y, parent_impurity)
+        # one batched sort + prefix-sum pass over every candidate feature:
+        # column j of the (n_samples - 1, n_candidates) gain matrix holds the
+        # gain of every threshold of features[j]
+        columns = X[:, features]
+        order = np.argsort(columns, axis=0, kind="stable")
+        sorted_values = np.take_along_axis(columns, order, axis=0)
+        gains, thresholds = self._split_gains(sorted_values, y[order], parent_impurity)
         if gains.size == 0:
             return None
-        best_index = int(np.argmax(gains))
-        if not np.isfinite(gains[best_index]):
+        # argmax over the transposed matrix keeps the per-feature-then-
+        # per-threshold tie-breaking of the historical feature loop
+        flat = int(np.argmax(gains.T))
+        feature_pos, split_pos = divmod(flat, gains.shape[0])
+        best_gain = float(gains[split_pos, feature_pos])
+        if not np.isfinite(best_gain):
             return None
+        feature = int(features[feature_pos])
+        threshold = float(thresholds[split_pos, feature_pos])
         return _SplitCandidate(
-            feature=int(feature),
-            threshold=float(thresholds[best_index]),
-            gain=float(gains[best_index]),
+            feature=feature,
+            threshold=threshold,
+            gain=best_gain,
+            left_mask=X[:, feature] <= threshold,
         )
 
     def _split_gains(
         self, sorted_values: np.ndarray, sorted_y: np.ndarray, parent_impurity: float
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-threshold gains for pre-sorted feature columns.
+
+        Both inputs have shape ``(n_samples, n_candidate_features)``; the
+        returned gain and threshold matrices have shape
+        ``(n_samples - 1, n_candidate_features)`` with ``-inf`` marking
+        invalid candidates (duplicate values, leaves below the size floor).
+        """
         raise NotImplementedError
+
+    def _candidate_validity(
+        self, sorted_values: np.ndarray, n_left: np.ndarray, n_right: np.ndarray
+    ) -> np.ndarray:
+        """Mask of admissible thresholds shared by both impurity criteria."""
+        valid = sorted_values[1:] != sorted_values[:-1]
+        valid &= n_left >= self.min_samples_leaf
+        valid &= n_right >= self.min_samples_leaf
+        return valid
 
     # ---- prediction ------------------------------------------------------#
     def _predict_node(self, x: np.ndarray) -> TreeNode:
@@ -220,11 +242,20 @@ class _BaseDecisionTree(BaseEstimator):
                 node = node.right
         return node
 
+    def _predict_values_recursive(self, X: np.ndarray) -> np.ndarray:
+        """Per-row recursive traversal — the pre-kernel prediction path.
+
+        Kept (not routed through :attr:`kernel_`) so the equivalence tests and
+        the tree-kernel benchmark can compare the two traversals.
+        """
+        return np.array([self._predict_node(row).value for row in X])
+
     def apply(self, X) -> list[TreeNode]:
         """Return the leaf node reached by every sample (diagnostics)."""
         check_is_fitted(self, "root_")
         X = check_array(X, allow_1d=True)
-        return [self._predict_node(row) for row in X]
+        kernel = self.kernel_
+        return [kernel.nodes[index] for index in kernel.apply(X)]
 
     @property
     def depth_(self) -> int:
@@ -294,26 +325,25 @@ class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
     def _split_gains(
         self, sorted_values: np.ndarray, sorted_y: np.ndarray, parent_impurity: float
     ) -> tuple[np.ndarray, np.ndarray]:
-        n = sorted_y.size
-        n_classes = self.classes_.shape[0]
-        one_hot = np.zeros((n, n_classes))
-        one_hot[np.arange(n), sorted_y] = 1.0
-        left_counts = np.cumsum(one_hot, axis=0)[:-1]
-        total_counts = left_counts[-1] + one_hot[-1]
-        right_counts = total_counts - left_counts
-        n_left = np.arange(1, n)
+        n, n_candidates = sorted_y.shape
+        n_left = np.arange(1, n)[:, None]
         n_right = n - n_left
-
-        valid = (sorted_values[1:] != sorted_values[:-1])
-        valid &= n_left >= self.min_samples_leaf
-        valid &= n_right >= self.min_samples_leaf
+        valid = self._candidate_validity(sorted_values, n_left, n_right)
         if not valid.any():
             return np.array([]), np.array([])
 
-        left_proportions = left_counts / n_left[:, None]
-        right_proportions = right_counts / n_right[:, None]
-        gini_left = 1.0 - np.sum(left_proportions**2, axis=1)
-        gini_right = 1.0 - np.sum(right_proportions**2, axis=1)
+        n_classes = self.classes_.shape[0]
+        one_hot = np.zeros((n, n_candidates, n_classes))
+        one_hot[
+            np.arange(n)[:, None], np.arange(n_candidates)[None, :], sorted_y
+        ] = 1.0
+        left_counts = np.cumsum(one_hot, axis=0)[:-1]
+        total_counts = left_counts[-1] + one_hot[-1]
+        right_counts = total_counts - left_counts
+        left_proportions = left_counts / n_left[:, :, None]
+        right_proportions = right_counts / n_right[:, :, None]
+        gini_left = 1.0 - np.sum(left_proportions**2, axis=2)
+        gini_right = 1.0 - np.sum(right_proportions**2, axis=2)
         weighted = (n_left * gini_left + n_right * gini_right) / n
         gains = parent_impurity - weighted
         gains[~valid] = -np.inf
@@ -324,7 +354,7 @@ class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
         """Class probabilities, shape ``(n_samples, n_classes)``."""
         check_is_fitted(self, "root_")
         X = check_array(X, allow_1d=True)
-        return np.array([self._predict_node(row).value for row in X])
+        return self.kernel_.predict(X)
 
     def predict(self, X) -> np.ndarray:
         """Predicted class labels."""
@@ -346,20 +376,17 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
     def _split_gains(
         self, sorted_values: np.ndarray, sorted_y: np.ndarray, parent_impurity: float
     ) -> tuple[np.ndarray, np.ndarray]:
-        n = sorted_y.size
-        cumsum = np.cumsum(sorted_y)[:-1]
-        cumsum_sq = np.cumsum(sorted_y**2)[:-1]
-        total = cumsum[-1] + sorted_y[-1]
-        total_sq = cumsum_sq[-1] + sorted_y[-1] ** 2
-        n_left = np.arange(1, n)
+        n = sorted_y.shape[0]
+        n_left = np.arange(1, n)[:, None]
         n_right = n - n_left
-
-        valid = sorted_values[1:] != sorted_values[:-1]
-        valid &= n_left >= self.min_samples_leaf
-        valid &= n_right >= self.min_samples_leaf
+        valid = self._candidate_validity(sorted_values, n_left, n_right)
         if not valid.any():
             return np.array([]), np.array([])
 
+        cumsum = np.cumsum(sorted_y, axis=0)[:-1]
+        cumsum_sq = np.cumsum(sorted_y**2, axis=0)[:-1]
+        total = cumsum[-1] + sorted_y[-1]
+        total_sq = cumsum_sq[-1] + sorted_y[-1] ** 2
         var_left = cumsum_sq / n_left - (cumsum / n_left) ** 2
         right_sum = total - cumsum
         right_sum_sq = total_sq - cumsum_sq
@@ -374,4 +401,4 @@ class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
         """Predicted target values."""
         check_is_fitted(self, "root_")
         X = check_array(X, allow_1d=True)
-        return np.array([self._predict_node(row).value for row in X], dtype=np.float64)
+        return self.kernel_.predict(X)[:, 0]

@@ -19,10 +19,6 @@ from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Any
-
-import numpy as np
-
 __all__ = ["LinearConstraint", "CallableConstraint", "ConstraintSet"]
 
 _OPERATORS = ("<=", ">=", "==")

@@ -10,8 +10,6 @@ what a business user actually reads off the bar chart).
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 import numpy as np
 from scipy import stats as scipy_stats
 

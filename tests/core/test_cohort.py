@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import CohortAnalysis, KPI, WhatIfSession
 from repro.datasets import load_deal_closing
-from repro.frame import Column, DataFrame
+from repro.frame import Column
 
 
 @pytest.fixture(scope="module")

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import compute_driver_importance
-from repro.datasets import DRIVER_WEIGHTS
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.core import KPI, WhatIfSession, compare_models
+from repro.core import KPI, compare_models
 from repro.datasets import DEAL_KPI, MARKETING_KPI
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import Perturbation, PerturbationSet, Scenario, ScenarioManager, WhatIfSession
 from repro.datasets import RETENTION_OBVIOUS_DRIVER, load_customer_retention
-from repro.frame import Column, DataFrame
+from repro.frame import DataFrame
 
 
 class TestSessionConstruction:

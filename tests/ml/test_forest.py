@@ -72,6 +72,24 @@ class TestRandomForestClassifier:
         model = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
         assert set(np.unique(model.predict(X))) <= {3.0, 7.0}
 
+    def test_oob_score_with_class_subset_trees(self):
+        # a rare, non-contiguous class label: many bootstrap samples miss it
+        # entirely, so OOB scoring must align each tree's narrower probability
+        # rows to the forest's classes_ by label rather than by position
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(120, 3))
+        y = np.where(X[:, 0] > 0, 7.0, 3.0)
+        y[:3] = 11.0  # rare third class with labels that are not 0..k-1
+        model = RandomForestClassifier(
+            n_estimators=15, max_depth=4, random_state=0, oob_score=True
+        ).fit(X, y)
+        assert any(
+            tree.classes_.shape[0] < model.classes_.shape[0]
+            for tree in model.estimators_
+        ), "expected at least one tree fitted on a class subset"
+        assert 0.0 <= model.oob_score_ <= 1.0
+        assert model.oob_score_ > 0.7
+
 
 class TestRandomForestRegressor:
     @pytest.fixture(scope="class")

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.server import Request, SystemDServer
+from repro.server import SystemDServer
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import threading
 
-import pytest
 
 from repro.core.model_manager import ModelManager
 from repro.server import DEFAULT_SESSION_ID, SessionRegistry, SystemDServer
