@@ -149,11 +149,16 @@ class CohortAnalysis:
 
     # ------------------------------------------------------------------ #
     def _partition(self) -> None:
-        for key, subframe in self.frame.groupby(self.cohort_column):
+        # Group once and work from the index arrays: cohorts below the size
+        # floor are skipped from their row counts alone, so no sub-frame is
+        # ever materialized for them.
+        grouped = self.frame.groupby(self.cohort_column)
+        for key, row_indices in grouped.indices().items():
             label = str(key[0])
-            if subframe.n_rows < self.min_rows:
-                self._skipped[label] = subframe.n_rows
+            if row_indices.shape[0] < self.min_rows:
+                self._skipped[label] = int(row_indices.shape[0])
                 continue
+            subframe = self.frame.take(row_indices)
             target = subframe.column(self.kpi.name)
             if self.kpi.is_discrete and target.nunique() < 2:
                 # a cohort where the KPI never varies cannot train a classifier

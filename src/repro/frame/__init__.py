@@ -24,6 +24,7 @@ from .expressions import add_formula_column, evaluate_expression, validate_expre
 from .groupby import GroupBy
 from .io import read_csv, read_json_records, write_csv, write_json_records
 from .join import join_frames
+from .kernels import COLUMN_REDUCERS, GroupIndex, group_index, join_indices, segment_reduce
 
 __all__ = [
     "Column",
@@ -42,6 +43,11 @@ __all__ = [
     "validate_expression",
     "infer_dtype",
     "join_frames",
+    "COLUMN_REDUCERS",
+    "GroupIndex",
+    "group_index",
+    "join_indices",
+    "segment_reduce",
     "read_csv",
     "read_json_records",
     "write_csv",

@@ -94,7 +94,27 @@ class DataFrame:
 
         Missing keys in individual rows become ``NaN`` (numeric columns) or
         ``None`` (string columns).  Column order follows first appearance.
+
+        Construction is columnar: each column's values are collected in one
+        pass and handed to numpy whole, whose object→float cast turns ``None``
+        into ``NaN`` in C instead of a second Python comprehension.
+        ``infer_dtype`` treats ``None`` as a float marker, so an int or bool
+        column with missing entries promotes to ``"float"`` exactly as the
+        per-value row path did (kept as :meth:`_from_records_rowwise`).
         """
+        order: dict[str, None] = {}
+        for record in records:
+            for key in record:
+                order.setdefault(key, None)
+        columns = []
+        for name in order:
+            values = [record.get(name) for record in records]
+            columns.append(Column(name, values, dtype=infer_dtype(values)))
+        return cls(columns)
+
+    @classmethod
+    def _from_records_rowwise(cls, records: Sequence[Mapping[str, Any]]) -> "DataFrame":
+        """Reference implementation of :meth:`from_records` (kernel tests)."""
         order: list[str] = []
         for record in records:
             for key in record:
@@ -126,11 +146,25 @@ class DataFrame:
         )
 
     @classmethod
-    def empty(cls, column_names: Sequence[str] | None = None) -> "DataFrame":
-        """An empty frame, optionally with named (zero-length, float) columns."""
+    def empty(
+        cls,
+        column_names: Sequence[str] | None = None,
+        dtypes: Mapping[str, str] | None = None,
+    ) -> "DataFrame":
+        """An empty frame, optionally with named zero-length columns.
+
+        ``dtypes`` maps column names to logical dtypes; unnamed columns
+        default to ``"float"``.
+        """
         if not column_names:
             return cls()
-        return cls({name: Column(name, [], dtype="float") for name in column_names})
+        dtypes = dict(dtypes or {})
+        return cls(
+            {
+                name: Column(name, [], dtype=dtypes.get(name, "float"))
+                for name in column_names
+            }
+        )
 
     # ------------------------------------------------------------------ #
     # shape and access
@@ -354,14 +388,26 @@ class DataFrame:
         return self.take(indices)
 
     def sort_values(self, by: str, *, ascending: bool = True) -> "DataFrame":
-        """Return the frame sorted by column ``by``."""
+        """Return the frame sorted by column ``by``.
+
+        The sort is stable in both directions — rows with equal keys keep
+        their original order — and NaN keys sort last either way.  (Reversing
+        an ascending stable argsort would do neither: it flips ties and moves
+        NaNs to the front, so descending sorts argsort a negated key instead.)
+        """
         column = self.column(by)
         if column.is_numeric:
-            order = np.argsort(column.to_numeric(), kind="stable")
+            keys = column.to_numeric()
+            # negating the keys keeps NaNs NaN, so argsort still places them
+            # last, and stability keeps ties in original row order
+            order = np.argsort(keys if ascending else -keys, kind="stable")
         else:
-            order = np.argsort(np.array([str(v) for v in column]), kind="stable")
-        if not ascending:
-            order = order[::-1]
+            rendered = np.array([str(v) for v in column])
+            if ascending:
+                order = np.argsort(rendered, kind="stable")
+            else:
+                _, codes = np.unique(rendered, return_inverse=True)
+                order = np.argsort(-codes, kind="stable")
         return self.take(order)
 
     def concat_rows(self, other: "DataFrame") -> "DataFrame":
@@ -419,27 +465,21 @@ class DataFrame:
     def aggregate(self, aggregations: Mapping[str, str]) -> dict[str, float]:
         """Aggregate columns with named reducers.
 
-        ``aggregations`` maps column name to one of ``"sum"``, ``"mean"``,
+        ``aggregations`` maps column name to a reducer name from
+        :data:`~repro.frame.kernels.COLUMN_REDUCERS` (``"sum"``, ``"mean"``,
         ``"min"``, ``"max"``, ``"median"``, ``"std"``, ``"count"``,
-        ``"nunique"``.
+        ``"nunique"``) — the same table ``GroupBy.agg`` validates against.
         """
-        reducers: dict[str, Callable[[Column], float]] = {
-            "sum": Column.sum,
-            "mean": Column.mean,
-            "min": Column.min,
-            "max": Column.max,
-            "median": Column.median,
-            "std": Column.std,
-            "count": lambda c: float(len(c)),
-            "nunique": lambda c: float(c.nunique()),
-        }
+        from .kernels import COLUMN_REDUCERS
+
         result: dict[str, float] = {}
         for name, how in aggregations.items():
-            if how not in reducers:
+            if how not in COLUMN_REDUCERS:
                 raise TypeMismatchError(
-                    f"unknown aggregation {how!r}; expected one of {sorted(reducers)}"
+                    f"unknown aggregation {how!r}; expected one of "
+                    f"{sorted(COLUMN_REDUCERS)}"
                 )
-            result[name] = reducers[how](self.column(name))
+            result[name] = COLUMN_REDUCERS[how](self.column(name))
         return result
 
     def groupby(self, by: str | Sequence[str]):

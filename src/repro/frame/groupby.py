@@ -6,6 +6,19 @@ currently perform by hand.  The what-if engine itself only needs whole-table
 model training, but the server layer and the spec executor expose group-by so
 that analyses can be run per cohort, so we implement the standard split-apply-
 combine here.
+
+The grouping itself is columnar (see :mod:`repro.frame.kernels`): key columns
+are factorized to integer codes, combined into one group-id array, and a
+single stable argsort yields every group's row indices.  Aggregations run as
+segment reductions over that permutation — no per-group sub-frame is built
+unless the caller iterates.  The original per-row tuple loop survives as
+``_build_groups_rowwise`` / ``_agg_rowwise`` / ``_size_rowwise``, the
+reference implementations the kernel equivalence tests compare against
+(mirroring how :mod:`repro.ml.kernel` keeps the recursive tree walk around).
+
+One behavioural fix falls out of factorization: float ``NaN`` keys all land
+in a single group, where the tuple-key dict fragmented them into per-row
+singletons because ``NaN != NaN``.
 """
 
 from __future__ import annotations
@@ -18,19 +31,9 @@ import numpy as np
 from .column import Column
 from .dataframe import DataFrame
 from .errors import TypeMismatchError
+from .kernels import COLUMN_REDUCERS, group_index, segment_reduce, trivial_group_index
 
 __all__ = ["GroupBy"]
-
-_REDUCERS = {
-    "sum": np.nansum,
-    "mean": np.nanmean,
-    "min": np.nanmin,
-    "max": np.nanmax,
-    "median": np.nanmedian,
-    "std": lambda v: np.nanstd(v, ddof=1) if len(v) > 1 else 0.0,
-    "count": len,
-    "nunique": lambda v: len(np.unique(v[~np.isnan(v)])) if len(v) else 0,
-}
 
 
 class GroupBy:
@@ -49,15 +52,11 @@ class GroupBy:
         self._keys = list(keys)
         for key in self._keys:
             frame.column(key)  # raises ColumnNotFoundError early
-        self._groups = self._build_groups()
-
-    def _build_groups(self) -> dict[tuple[Any, ...], list[int]]:
-        groups: dict[tuple[Any, ...], list[int]] = {}
-        key_columns = [self._frame.column(key) for key in self._keys]
-        for index in range(self._frame.n_rows):
-            key = tuple(column[index] for column in key_columns)
-            groups.setdefault(key, []).append(index)
-        return groups
+        if self._keys:
+            self._index = group_index([frame.column(key) for key in self._keys])
+        else:  # zero keys: one () group holding every row
+            self._index = trivial_group_index(frame.n_rows)
+        self._group_map: dict[tuple[Any, ...], np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -68,32 +67,64 @@ class GroupBy:
     @property
     def n_groups(self) -> int:
         """Number of distinct key combinations."""
-        return len(self._groups)
+        return self._index.n_groups
+
+    def group_keys(self) -> list[tuple[Any, ...]]:
+        """Group key tuples in first-appearance order."""
+        key_columns = [self._frame.column(key) for key in self._keys]
+        return [
+            tuple(column[int(row)] for column in key_columns)
+            for row in self._index.first_rows
+        ]
+
+    def indices(self) -> dict[tuple[Any, ...], np.ndarray]:
+        """Mapping of group key to its row-index array (first-appearance order).
+
+        The arrays are views into the group permutation — callers that only
+        need sizes or a few cohorts avoid materializing any sub-frame.
+        """
+        if self._group_map is None:
+            self._group_map = {
+                key: self._index.segment(group)
+                for group, key in enumerate(self.group_keys())
+            }
+        return dict(self._group_map)
 
     def __iter__(self) -> Iterator[tuple[tuple[Any, ...], DataFrame]]:
-        for key, indices in self._groups.items():
-            yield key, self._frame.take(indices)
+        for key, row_indices in self.indices().items():
+            yield key, self._frame.take(row_indices)
 
     def groups(self) -> dict[tuple[Any, ...], list[int]]:
-        """Mapping of group key to row indices."""
-        return {key: list(indices) for key, indices in self._groups.items()}
+        """Mapping of group key to row indices (as plain lists)."""
+        return {
+            key: [int(i) for i in row_indices]
+            for key, row_indices in self.indices().items()
+        }
 
     def get_group(self, key: tuple[Any, ...] | Any) -> DataFrame:
         """Return the sub-frame for one group key."""
         if not isinstance(key, tuple):
             key = (key,)
-        if key not in self._groups:
+        groups = self.indices()
+        if key not in groups:
             raise KeyError(f"group {key!r} not found")
-        return self._frame.take(self._groups[key])
+        return self._frame.take(groups[key])
+
+    # ------------------------------------------------------------------ #
+    # columnar aggregation
+    # ------------------------------------------------------------------ #
+    def _key_columns_at_first_rows(self) -> list[Column]:
+        """Key columns restricted to each group's first row (dtype-preserving)."""
+        return [
+            self._frame.column(key).take(self._index.first_rows)
+            for key in self._keys
+        ]
 
     def size(self) -> DataFrame:
         """Group sizes as a frame with the key columns plus ``"size"``."""
-        rows = []
-        for key, indices in self._groups.items():
-            row = dict(zip(self._keys, key))
-            row["size"] = len(indices)
-            rows.append(row)
-        return DataFrame.from_records(rows)
+        columns = self._key_columns_at_first_rows()
+        columns.append(Column("size", self._index.counts, dtype="int"))
+        return DataFrame(columns)
 
     def agg(self, aggregations: Mapping[str, str]) -> DataFrame:
         """Aggregate each group.
@@ -102,33 +133,31 @@ class GroupBy:
         ``mean``, ``min``, ``max``, ``median``, ``std``, ``count``,
         ``nunique``).  The result has one row per group, with the key columns
         followed by columns named ``"<column>_<reducer>"``.
+
+        Reducer names are the keys of
+        :data:`~repro.frame.kernels.COLUMN_REDUCERS` — the same table
+        ``DataFrame.aggregate`` uses — and every aggregation runs as a
+        segment reduction over the grouped permutation.
         """
         for column, how in aggregations.items():
-            if how not in _REDUCERS:
+            if how not in COLUMN_REDUCERS:
                 raise TypeMismatchError(
-                    f"unknown aggregation {how!r}; expected one of {sorted(_REDUCERS)}"
+                    f"unknown aggregation {how!r}; expected one of "
+                    f"{sorted(COLUMN_REDUCERS)}"
                 )
             self._frame.column(column)
-        rows = []
-        for key, indices in self._groups.items():
-            row: dict[str, Any] = dict(zip(self._keys, key))
-            subframe = self._frame.take(indices)
-            for column, how in aggregations.items():
-                values = subframe.column(column)
-                if how == "count":
-                    row[f"{column}_{how}"] = float(len(values))
-                elif how == "nunique":
-                    row[f"{column}_{how}"] = float(values.nunique())
-                else:
-                    row[f"{column}_{how}"] = float(
-                        _REDUCERS[how](values.to_numeric())
-                    )
-            rows.append(row)
-        return DataFrame.from_records(rows)
+        columns = self._key_columns_at_first_rows()
+        for name, how in aggregations.items():
+            reduced = segment_reduce(self._frame.column(name), self._index, how)
+            columns.append(Column(f"{name}_{how}", reduced, dtype="float"))
+        return DataFrame(columns)
 
     def apply(self, func) -> dict[tuple[Any, ...], Any]:
         """Apply ``func`` to every group's sub-frame; return key -> result."""
-        return {key: func(self._frame.take(indices)) for key, indices in self._groups.items()}
+        return {
+            key: func(self._frame.take(row_indices))
+            for key, row_indices in self.indices().items()
+        }
 
     def mean(self, columns: Sequence[str] | None = None) -> DataFrame:
         """Convenience: per-group mean of ``columns`` (default: numeric non-keys)."""
@@ -139,3 +168,49 @@ class GroupBy:
                 if name not in self._keys
             ]
         return self.agg({name: "mean" for name in columns})
+
+    # ------------------------------------------------------------------ #
+    # row-wise reference paths (kept for kernel equivalence tests)
+    # ------------------------------------------------------------------ #
+    def _build_groups_rowwise(self) -> dict[tuple[Any, ...], list[int]]:
+        """The original per-row tuple/dict grouping loop.
+
+        Note the known flaw the columnar path fixes: float ``NaN`` keys
+        fragment into singleton groups because ``NaN != NaN``.
+        """
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        key_columns = [self._frame.column(key) for key in self._keys]
+        for index in range(self._frame.n_rows):
+            key = tuple(column[index] for column in key_columns)
+            groups.setdefault(key, []).append(index)
+        return groups
+
+    def _size_rowwise(self) -> DataFrame:
+        """Reference ``size``: one dict row per group through ``from_records``."""
+        rows = []
+        for key, indices in self._build_groups_rowwise().items():
+            row = dict(zip(self._keys, key))
+            row["size"] = len(indices)
+            rows.append(row)
+        return DataFrame._from_records_rowwise(rows)
+
+    def _agg_rowwise(self, aggregations: Mapping[str, str]) -> DataFrame:
+        """Reference ``agg``: materialize a sub-frame per group and reduce it
+        with the shared :data:`~repro.frame.kernels.COLUMN_REDUCERS` table."""
+        for column, how in aggregations.items():
+            if how not in COLUMN_REDUCERS:
+                raise TypeMismatchError(
+                    f"unknown aggregation {how!r}; expected one of "
+                    f"{sorted(COLUMN_REDUCERS)}"
+                )
+            self._frame.column(column)
+        rows = []
+        for key, indices in self._build_groups_rowwise().items():
+            row: dict[str, Any] = dict(zip(self._keys, key))
+            subframe = self._frame.take(indices)
+            for column, how in aggregations.items():
+                row[f"{column}_{how}"] = float(
+                    COLUMN_REDUCERS[how](subframe.column(column))
+                )
+            rows.append(row)
+        return DataFrame._from_records_rowwise(rows)

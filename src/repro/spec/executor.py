@@ -57,7 +57,7 @@ class ExperimentRun:
 
 
 # --------------------------------------------------------------------------- #
-def _apply_filter(frame: DataFrame, spec: FilterSpec) -> DataFrame:
+def _filter_mask(frame: DataFrame, spec: FilterSpec) -> np.ndarray:
     column = frame.column(spec.column)
     if spec.op == "in":
         mask = column.isin(spec.value)
@@ -73,11 +73,16 @@ def _apply_filter(frame: DataFrame, spec: FilterSpec) -> DataFrame:
         mask = column.lt(spec.value)
     else:
         mask = column.le(spec.value)
-    return frame.mask(np.asarray(mask, dtype=bool))
+    return np.asarray(mask, dtype=bool)
 
 
 def build_dataset(dataset: DatasetSpec) -> DataFrame:
-    """Materialise the dataset a spec refers to (use case or inline records)."""
+    """Materialise the dataset a spec refers to (use case or inline records).
+
+    Inline records go through the columnar ``DataFrame.from_records``
+    constructor, and all filters are combined into one boolean mask so the
+    frame is copied once rather than once per filter clause.
+    """
     if dataset.use_case:
         try:
             frame = get_use_case(dataset.use_case).load(**dataset.dataset_kwargs)
@@ -85,8 +90,11 @@ def build_dataset(dataset: DatasetSpec) -> DataFrame:
             raise SpecError(str(exc.args[0])) from exc
     else:
         frame = DataFrame.from_records(list(dataset.records))
-    for filter_spec in dataset.filters:
-        frame = _apply_filter(frame, filter_spec)
+    if dataset.filters:
+        mask = np.ones(frame.n_rows, dtype=bool)
+        for filter_spec in dataset.filters:
+            mask &= _filter_mask(frame, filter_spec)
+        frame = frame.mask(mask)
     if frame.n_rows == 0:
         raise SpecError("dataset filters removed every row")
     return frame
