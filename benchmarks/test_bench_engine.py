@@ -1,0 +1,112 @@
+"""P2 (performance): the async analysis engine vs the blocking protocol.
+
+The ROADMAP's north star — heavy concurrent traffic — needs the backend to
+keep answering while long sweeps run.  This benchmark drives the workload of
+:func:`repro.engine.bench.run_engine_benchmark`: four distinct comparison
+sweeps on four sessions, submitted to a 4-worker pool, against two serialized
+baselines (sequential synchronous requests, i.e. the seed's blocking
+behaviour, and the same jobs on a 1-worker pool).  It also verifies the two
+correctness properties the engine may never trade for speed:
+
+* every job payload is **bitwise identical** to the synchronous response for
+  the same analysis — the chunked, checkpointed runners may not move a ulp;
+* identical sensitivity submissions made while their session is busy
+  **coalesce** onto one job and execute once.
+
+The headline ``speedup`` combines worker concurrency with the chunked
+runners' cache-locality win (the one-shot sweep stacks every perturbed
+matrix into one huge kernel traversal whose working set falls out of cache),
+so it holds even on one core; ``worker_speedup`` isolates pure concurrency
+and is only asserted where the process can actually run in parallel.
+Timings are written to ``BENCH_engine.json`` (path overridable via the
+``BENCH_ENGINE_OUTPUT`` environment variable); the CI ``bench`` job uploads
+that file as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.engine.bench import available_cpus, run_engine_benchmark
+
+from .conftest import print_table
+
+USE_CASE = "deal_closing"
+ROWS = 1000
+N_JOBS = 4
+WORKERS = 4
+AMOUNTS_PER_JOB = 10
+COALESCE_SUBMISSIONS = 6
+
+#: Floor on the headline speedup (async 4-worker pool vs sequential
+#: synchronous requests).  Thread-level parallelism is bounded by the CPUs
+#: the process may use, so the floor scales with affinity: on >=2 cores the
+#: chunked runners plus real concurrency must clear 2x; on a single core the
+#: chunking win alone still clears 1.5x (measured ~3.5x).
+MIN_SPEEDUP = 2.0 if available_cpus() >= 2 else 1.5
+
+#: Floor on pure worker concurrency (4 workers vs 1 worker, identical jobs).
+#: Only meaningful with >=4 usable cores; below that it degrades to an
+#: overhead guard (4 workers contending for one core must stay within ~20%
+#: of the 1-worker wall clock).
+MIN_WORKER_SPEEDUP = 1.5 if available_cpus() >= 4 else 0.8
+
+
+def test_concurrent_sweeps_speedup_coalescing_and_artifact():
+    summary = run_engine_benchmark(
+        use_case=USE_CASE,
+        rows=ROWS,
+        n_jobs=N_JOBS,
+        workers=WORKERS,
+        amounts_per_job=AMOUNTS_PER_JOB,
+        coalesce_submissions=COALESCE_SUBMISSIONS,
+        seed=0,
+    )
+    summary["min_speedup_enforced"] = MIN_SPEEDUP
+    summary["min_worker_speedup_enforced"] = MIN_WORKER_SPEEDUP
+
+    print_table(
+        "Async engine: 4 concurrent sweeps vs serialized execution",
+        [
+            {
+                "cpus": summary["cpu_count"],
+                "serial_sync_s": round(summary["serial_s"], 3),
+                "serial_1worker_s": round(summary["engine_serial_s"], 3),
+                "parallel_4worker_s": round(summary["parallel_s"], 3),
+                "speedup": round(summary["speedup"], 2),
+                "worker_speedup": round(summary["worker_speedup"], 2),
+            }
+        ],
+    )
+
+    # correctness first: payloads bitwise-equal to the synchronous path
+    assert summary["bitwise_equal"], "job payloads diverged from sync responses"
+
+    # coalescing: N identical submissions -> one job, one execution
+    coalescing = summary["coalescing"]
+    assert coalescing["distinct_jobs"] == 1, coalescing
+    assert coalescing["attached"] == COALESCE_SUBMISSIONS, coalescing
+    assert coalescing["coalesced_flags"] == [False] + [True] * (
+        COALESCE_SUBMISSIONS - 1
+    ), coalescing
+    assert coalescing["result_matches_sync"], coalescing
+    # one execution of the sensitivity analysis serves every submitter: the
+    # engine ran exactly the 4 sweeps, 1 blocker, and 1 coalesced job
+    assert summary["engine"]["executed_total"] == N_JOBS + 2, summary["engine"]
+    assert summary["engine"]["coalesced_total"] == COALESCE_SUBMISSIONS - 1
+
+    # wall-clock: materially faster than serialized execution
+    assert summary["speedup"] >= MIN_SPEEDUP, (
+        f"speedup {summary['speedup']:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"({summary['cpu_count']} usable cpus)"
+    )
+    assert summary["worker_speedup"] >= MIN_WORKER_SPEEDUP, (
+        f"worker speedup {summary['worker_speedup']:.2f}x below the "
+        f"{MIN_WORKER_SPEEDUP}x floor ({summary['cpu_count']} usable cpus)"
+    )
+
+    path = os.environ.get("BENCH_ENGINE_OUTPUT", "BENCH_engine.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    assert os.path.exists(path)

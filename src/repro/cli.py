@@ -18,6 +18,10 @@ The CLI covers the non-interactive entry points:
     Start the JSON HTTP backend.
 ``python -m repro bench-sessions --sessions 4 --requests 16``
     Throughput check: concurrent sessions sharing one model cache.
+``python -m repro jobs --port 8765``
+    Inspect (or cancel) async analysis jobs on a running HTTP backend.
+``python -m repro bench-engine --jobs 4 --workers 4``
+    Async engine check: concurrent sweeps vs serialized execution.
 
 Every command accepts ``--json`` to emit machine-readable output instead of
 tables, so the CLI composes with other tooling the way the paper envisions.
@@ -127,6 +131,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--requests", type=int, default=16, help="sensitivity requests per session")
     bench.add_argument("--seed", type=int, default=0, help="random seed")
     bench.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    jobs = subparsers.add_parser(
+        "jobs", help="inspect async analysis jobs on a running HTTP backend"
+    )
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=8765)
+    jobs.add_argument("--session", default=None, help="only jobs of this session id")
+    jobs.add_argument("--status", metavar="JOB_ID", default=None, help="show one job")
+    jobs.add_argument("--cancel", metavar="JOB_ID", default=None, help="cancel one job")
+    jobs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    bench_engine = subparsers.add_parser(
+        "bench-engine",
+        help="async engine benchmark: concurrent sweeps vs serialized execution",
+    )
+    bench_engine.add_argument("--use-case", default="deal_closing", help="use case key")
+    bench_engine.add_argument("--rows", type=int, default=1000, help="synthetic dataset size")
+    bench_engine.add_argument("--jobs", type=int, default=4, help="concurrent sweep jobs")
+    bench_engine.add_argument("--workers", type=int, default=4, help="engine worker threads")
+    bench_engine.add_argument(
+        "--amounts", type=int, default=10, help="perturbation amounts per sweep"
+    )
+    bench_engine.add_argument("--seed", type=int, default=0, help="random seed")
+    bench_engine.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     return parser
 
@@ -370,6 +398,112 @@ def _command_bench_sessions(args: argparse.Namespace) -> int:
     return 0
 
 
+def _post_backend(host: str, port: int, payload: dict[str, Any]) -> dict[str, Any]:
+    """POST one request envelope to a running HTTP backend, return the
+    response envelope (4xx bodies are structured JSON too)."""
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://{host}:{port}/",
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return json.loads(error.read().decode("utf-8"))
+    except urllib.error.URLError as error:
+        return {"ok": False, "error": f"cannot reach backend at {host}:{port}: {error.reason}"}
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    if args.status and args.cancel:
+        print("error: --status and --cancel are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.status:
+        envelope = _post_backend(
+            args.host, args.port, {"action": "job_status", "params": {"job_id": args.status}}
+        )
+    elif args.cancel:
+        envelope = _post_backend(
+            args.host, args.port, {"action": "cancel_job", "params": {"job_id": args.cancel}}
+        )
+    else:
+        params: dict[str, Any] = {}
+        if args.session:
+            params["session_id"] = args.session
+        envelope = _post_backend(args.host, args.port, {"action": "list_jobs", "params": params})
+    if not envelope.get("ok"):
+        print(f"error: {envelope.get('error', 'request failed')}", file=sys.stderr)
+        return 2
+    data = envelope["data"]
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0
+    jobs = data["jobs"] if "jobs" in data else [data["job"]]
+    _print_table(
+        [
+            {
+                "job_id": job["job_id"],
+                "action": job["action"],
+                "session": job["session_id"],
+                "state": job["state"],
+                "progress": job["progress"],
+                "attached": job["attached"],
+            }
+            for job in jobs
+        ]
+    )
+    if "engine" in data:
+        engine = data["engine"]
+        print(
+            f"engine: {engine['submitted_total']} submitted, "
+            f"{engine['coalesced_total']} coalesced, "
+            f"{engine['executed_total']} executed, "
+            f"queue depth {engine['pool']['queue_depth']}"
+        )
+    return 0
+
+
+def _command_bench_engine(args: argparse.Namespace) -> int:
+    from .engine.bench import run_engine_benchmark
+
+    try:
+        summary = run_engine_benchmark(
+            use_case=args.use_case,
+            rows=args.rows,
+            n_jobs=max(1, args.jobs),
+            workers=max(1, args.workers),
+            amounts_per_job=max(2, args.amounts),
+            seed=args.seed,
+        )
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _emit(
+        summary,
+        args.json,
+        lambda s: _print_table(
+            [
+                {
+                    "jobs": s["n_jobs"],
+                    "workers": s["workers"],
+                    "cpus": s["cpu_count"],
+                    "serial_s": s["serial_s"],
+                    "parallel_s": s["parallel_s"],
+                    "speedup": s["speedup"],
+                    "coalesced": s["coalescing"]["attached"],
+                    "bitwise_equal": s["bitwise_equal"],
+                }
+            ]
+        ),
+    )
+    return 0
+
+
 _COMMANDS = {
     "list-use-cases": _command_list_use_cases,
     "importance": _command_importance,
@@ -378,6 +512,8 @@ _COMMANDS = {
     "run-spec": _command_run_spec,
     "serve": _command_serve,
     "bench-sessions": _command_bench_sessions,
+    "jobs": _command_jobs,
+    "bench-engine": _command_bench_engine,
 }
 
 

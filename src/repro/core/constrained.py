@@ -16,7 +16,7 @@ optimizer's :class:`~repro.optimize.constraints.LinearConstraint`.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Any
 
@@ -94,6 +94,7 @@ def run_constrained_analysis(
     n_calls: int = 40,
     optimizer: str = "bayesian",
     random_state: int | None = 0,
+    checkpoint: Callable[[float], None] | None = None,
 ) -> GoalInversionResult:
     """Goal inversion restricted to user-specified constraints.
 
@@ -106,7 +107,7 @@ def run_constrained_analysis(
         to ``(low, high)``; these drivers' perturbations are confined to the
         given interval while unbounded drivers use ``default_range``.
     goal, target_value, drivers, mode, default_range, n_calls, optimizer,
-    random_state:
+    random_state, checkpoint:
         Forwarded to :func:`~repro.core.goal_inversion.invert_goal`.
     extra_constraints:
         Additional linear or callable constraints over the perturbation
@@ -146,4 +147,5 @@ def run_constrained_analysis(
         n_calls=n_calls,
         optimizer=optimizer,
         random_state=random_state,
+        checkpoint=checkpoint,
     )

@@ -19,6 +19,8 @@ correlation "to ensure that the model coefficients are not misleading".
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from ..stats import (
@@ -33,6 +35,10 @@ from .model_manager import ModelManager
 from .results import DriverImportance, ImportanceResult
 
 __all__ = ["compute_driver_importance"]
+
+
+def _no_checkpoint(fraction: float) -> None:
+    """Default progress sink when no checkpoint is threaded through."""
 
 
 def _normalise_signed(scores: np.ndarray) -> np.ndarray:
@@ -51,6 +57,7 @@ def compute_driver_importance(
     shapley_permutations: int = 10,
     permutation_repeats: int = 3,
     random_state: int | None = 0,
+    checkpoint: Callable[[float], None] | None = None,
 ) -> ImportanceResult:
     """Run driver importance analysis for a trained model manager.
 
@@ -67,23 +74,34 @@ def compute_driver_importance(
         Shuffles per driver for permutation importance.
     random_state:
         Seed for the stochastic verification estimates.
+    checkpoint:
+        Optional progress/cancellation callback called at stage boundaries
+        (and per driver inside the correlation loops).  Checkpoints only
+        interleave with the existing computation, so results are bitwise
+        identical with and without one; cancellation latency is bounded by
+        the longest single stage (the Shapley estimate).
 
     Returns
     -------
     ImportanceResult
         Drivers ordered most-to-least important by absolute importance.
     """
+    tick = checkpoint if checkpoint is not None else _no_checkpoint
     frame = manager.frame
     drivers = manager.drivers
     kpi = manager.kpi
 
     X = manager.driver_matrix()
     y = kpi.target_vector(frame)
+    tick(0.05)
 
     raw = manager.raw_importances()
-    pearson = np.array(
-        [pearson_correlation(X[:, j], y) for j in range(len(drivers))]
-    )
+    tick(0.1)
+    pearson_scores = []
+    for j in range(len(drivers)):
+        pearson_scores.append(pearson_correlation(X[:, j], y))
+        tick(0.1 + 0.1 * (j + 1) / len(drivers))
+    pearson = np.array(pearson_scores)
     if kpi.is_discrete:
         # forest importances are magnitudes; recover the direction of each
         # driver's effect from its correlation with the KPI
@@ -97,9 +115,11 @@ def compute_driver_importance(
     verification_per_driver: list[dict[str, float]] = [{} for _ in drivers]
     agreement: dict[str, dict[str, float]] = {}
     if verify:
-        spearman = np.array(
-            [spearman_correlation(X[:, j], y) for j in range(len(drivers))]
-        )
+        spearman_scores = []
+        for j in range(len(drivers)):
+            spearman_scores.append(spearman_correlation(X[:, j], y))
+            tick(0.2 + 0.1 * (j + 1) / len(drivers))
+        spearman = np.array(spearman_scores)
         shapley = global_shapley_importance(
             manager.model,
             X,
@@ -108,6 +128,7 @@ def compute_driver_importance(
             signed=True,
             random_state=random_state,
         )
+        tick(0.7)
         perm = permutation_importance(
             manager.model,
             X,
@@ -116,6 +137,7 @@ def compute_driver_importance(
             scoring=_scoring_for(manager),
             random_state=random_state,
         )["importances_mean"]
+        tick(0.95)
 
         for j, driver in enumerate(drivers):
             verification_per_driver[j] = {
@@ -150,13 +172,15 @@ def compute_driver_importance(
             )
         )
 
-    return ImportanceResult(
+    result = ImportanceResult(
         kpi=kpi.name,
         model_kind=manager.model_kind,
         drivers=tuple(entries),
         model_confidence=manager.confidence(),
         agreement=agreement,
     )
+    tick(1.0)
+    return result
 
 
 def _scoring_for(manager: ModelManager):

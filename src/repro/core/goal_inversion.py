@@ -16,7 +16,7 @@ user-supplied bounds; see :mod:`repro.core.constrained`.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from ..optimize import (
     ConstraintSet,
@@ -57,6 +57,30 @@ def _build_space(
     return Space(dimensions)
 
 
+def _with_progress(
+    objective: Callable[[Sequence[float]], float],
+    checkpoint: Callable[[float], None],
+    n_calls: int,
+) -> Callable[[Sequence[float]], float]:
+    """Wrap an objective so each evaluation publishes a progress checkpoint.
+
+    The wrapper evaluates first and checkpoints after, so cancellation lands
+    between candidate evaluations and the values the optimiser sees are
+    untouched.
+    """
+    budget = max(1, int(n_calls))
+    evaluated = 0
+
+    def wrapped(point: Sequence[float]) -> float:
+        nonlocal evaluated
+        value = objective(point)
+        evaluated += 1
+        checkpoint(min(1.0, evaluated / budget))
+        return value
+
+    return wrapped
+
+
 def invert_goal(
     manager: ModelManager,
     *,
@@ -70,6 +94,7 @@ def invert_goal(
     n_calls: int = 40,
     optimizer: str = "bayesian",
     random_state: int | None = 0,
+    checkpoint: Callable[[float], None] | None = None,
 ) -> GoalInversionResult:
     """Find driver perturbations that achieve a KPI goal.
 
@@ -101,6 +126,11 @@ def invert_goal(
         exist for the ablation benchmark.
     random_state:
         Seed for reproducibility.
+    checkpoint:
+        Optional progress/cancellation callback, called with the completed
+        fraction after every objective evaluation.  The optimiser probes the
+        identical candidate sequence either way, so results are bitwise equal
+        with and without a checkpoint.
 
     Returns
     -------
@@ -136,6 +166,10 @@ def invert_goal(
         objective = kpi_of
     else:
         objective = lambda point: abs(kpi_of(point) - float(target_value))  # noqa: E731
+
+    if checkpoint is not None:
+        checkpoint(0.0)
+        objective = _with_progress(objective, checkpoint, n_calls)
 
     if optimizer == "bayesian":
         result = gp_minimize(

@@ -12,11 +12,23 @@ perturbed data and compare against the original prediction:
   drivers";
 * :func:`run_per_data` — the *per-data analysis* feature: perturb a single
   data point and observe the change in its own predicted KPI.
+
+Every sweep-shaped runner accepts an optional ``checkpoint`` callable (the
+async engine passes :meth:`repro.engine.job.JobContext.checkpoint`): between
+chunks of work it is called with the completed fraction, which both publishes
+partial progress and gives cooperative cancellation a place to raise.  The
+chunked paths are *bitwise identical* to the plain ones — chunks only regroup
+rows/matrices whose per-row predictions and per-matrix aggregations are
+independent — so an async job returns exactly the payload the synchronous
+action would have.  With ``checkpoint=None`` (the synchronous dispatcher) the
+original single-shot code paths run untouched.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+
+import numpy as np
 
 from .model_manager import ModelManager
 from .perturbation import Perturbation, PerturbationSet
@@ -24,9 +36,65 @@ from .results import ComparisonPoint, ComparisonResult, PerDataResult, Sensitivi
 
 __all__ = ["run_sensitivity", "run_comparison", "run_per_data"]
 
+#: Row-chunk size of the checkpointed sensitivity prediction path.
+SENSITIVITY_CHUNK_ROWS = 2048
+
+#: Perturbed matrices evaluated per chunk of a checkpointed comparison sweep.
+COMPARISON_CHUNK_MATRICES = 4
+
+
+def _predict_kpi_chunked(
+    manager: ModelManager,
+    matrix: np.ndarray,
+    checkpoint: Callable[[float], None],
+    *,
+    chunk_rows: int | None = None,
+) -> float:
+    """Aggregate KPI of ``matrix`` predicted in row chunks.
+
+    Per-row predictions are independent, so concatenating chunk predictions
+    reproduces the whole-matrix prediction bitwise; the KPI aggregation then
+    sees the identical array.
+    """
+    if chunk_rows is None:  # read at call time so tests can shrink the chunks
+        chunk_rows = SENSITIVITY_CHUNK_ROWS
+    n_rows = matrix.shape[0]
+    parts = []
+    for start in range(0, n_rows, chunk_rows):
+        parts.append(manager.predict_rows_matrix(matrix[start : start + chunk_rows]))
+        checkpoint(min(1.0, (start + chunk_rows) / n_rows))
+    rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return manager.kpi.aggregate(rows)
+
+
+def _predict_kpi_batch_chunked(
+    manager: ModelManager,
+    matrices: list[np.ndarray],
+    checkpoint: Callable[[float], None],
+    *,
+    chunk_matrices: int | None = None,
+) -> np.ndarray:
+    """Aggregate KPIs of many perturbed matrices, evaluated in chunks.
+
+    Each matrix is predicted and aggregated independently inside
+    :meth:`~repro.core.model_manager.ModelManager.predict_kpi_batch`, so
+    splitting the batch only changes how the work is grouped, not any value.
+    """
+    if chunk_matrices is None:  # read at call time so tests can shrink the chunks
+        chunk_matrices = COMPARISON_CHUNK_MATRICES
+    kpis = np.empty(len(matrices))
+    for start in range(0, len(matrices), chunk_matrices):
+        chunk = matrices[start : start + chunk_matrices]
+        kpis[start : start + len(chunk)] = manager.predict_kpi_batch(chunk)
+        checkpoint(min(1.0, (start + len(chunk)) / max(1, len(matrices))))
+    return kpis
+
 
 def run_sensitivity(
-    manager: ModelManager, perturbations: PerturbationSet
+    manager: ModelManager,
+    perturbations: PerturbationSet,
+    *,
+    checkpoint: Callable[[float], None] | None = None,
 ) -> SensitivityResult:
     """Dataset-level sensitivity analysis.
 
@@ -36,6 +104,11 @@ def run_sensitivity(
         The session's model manager.
     perturbations:
         The perturbation set to apply to every row.
+    checkpoint:
+        Optional progress/cancellation callback; when given, the perturbed
+        prediction runs in row chunks (bitwise identical to the single-shot
+        path) and ``checkpoint`` is called with the completed fraction after
+        each chunk.
 
     Returns
     -------
@@ -49,7 +122,13 @@ def run_sensitivity(
             f"available drivers: {manager.drivers}"
         )
     original_kpi = manager.baseline_kpi()
-    perturbed_kpi = manager.predict_kpi_matrix(manager.perturbed_matrix(perturbations))
+    if checkpoint is None:
+        perturbed_kpi = manager.predict_kpi_matrix(manager.perturbed_matrix(perturbations))
+    else:
+        checkpoint(0.0)
+        perturbed_kpi = _predict_kpi_chunked(
+            manager, manager.perturbed_matrix(perturbations), checkpoint
+        )
     return SensitivityResult(
         kpi=manager.kpi.name,
         original_kpi=original_kpi,
@@ -66,6 +145,7 @@ def run_comparison(
     amounts: Sequence[float] = (-40.0, -20.0, 0.0, 20.0, 40.0),
     *,
     mode: str = "percentage",
+    checkpoint: Callable[[float], None] | None = None,
 ) -> ComparisonResult:
     """Comparison analysis: sweep each driver individually over ``amounts``.
 
@@ -79,6 +159,10 @@ def run_comparison(
         Perturbation magnitudes applied one at a time to one driver at a time.
     mode:
         Perturbation mode shared by the sweep.
+    checkpoint:
+        Optional progress/cancellation callback; when given, the stacked
+        sweep is evaluated a few matrices at a time (bitwise identical to
+        the one-shot batch) with a checkpoint between chunks.
 
     Returns
     -------
@@ -107,7 +191,11 @@ def run_comparison(
                         baseline_matrix, manager.drivers
                     )
                 )
-    kpis = iter(manager.predict_kpi_batch(matrices))
+    if checkpoint is None:
+        kpis = iter(manager.predict_kpi_batch(matrices))
+    else:
+        checkpoint(0.0)
+        kpis = iter(_predict_kpi_batch_chunked(manager, matrices, checkpoint))
     points = [
         ComparisonPoint(
             driver=driver,

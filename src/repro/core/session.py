@@ -22,7 +22,7 @@ the paper's latency requirement for hands-on experimentation.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from typing import Any
 
 from ..frame import DataFrame, add_formula_column
@@ -184,13 +184,7 @@ class WhatIfSession:
         a shared cache — reuses the fitted model instead of retraining.
         """
         if self._manager is None:
-            key = model_fingerprint(
-                self._frame,
-                self._kpi,
-                self._drivers,
-                self._model_params,
-                self._random_state,
-            )
+            key = self.model_key()
             self._manager = self._model_cache.get_or_create(
                 key,
                 lambda: ModelManager(
@@ -202,6 +196,22 @@ class WhatIfSession:
                 ).fit(),
             )
         return self._manager
+
+    def model_key(self) -> str:
+        """Fingerprint of the current model configuration.
+
+        The same digest :attr:`model` uses to look up the trained estimator
+        in the cache; the async engine keys request coalescing on it so two
+        identical submissions share one execution only while the session's
+        dataset/KPI/driver configuration is unchanged.
+        """
+        return model_fingerprint(
+            self._frame,
+            self._kpi,
+            self._drivers,
+            self._model_params,
+            self._random_state,
+        )
 
     def _invalidate_model(self) -> None:
         self._manager = None
@@ -250,14 +260,24 @@ class WhatIfSession:
     # ------------------------------------------------------------------ #
     # functionality 1: driver importance (view E)
     # ------------------------------------------------------------------ #
-    def driver_importance(self, *, verify: bool = True) -> ImportanceResult:
+    def driver_importance(
+        self,
+        *,
+        verify: bool = True,
+        checkpoint: Callable[[float], None] | None = None,
+    ) -> ImportanceResult:
         """Rank drivers by their importance to the KPI.
 
         With ``verify=True`` (default) the result also carries the Shapley /
         Pearson / Spearman / permutation cross-checks of each importance.
+        ``checkpoint`` threads progress/cancellation through the stages (used
+        by the async engine; results are identical either way).
         """
         return compute_driver_importance(
-            self.model, verify=verify, random_state=self._random_state
+            self.model,
+            verify=verify,
+            random_state=self._random_state,
+            checkpoint=checkpoint,
         )
 
     # ------------------------------------------------------------------ #
@@ -269,15 +289,17 @@ class WhatIfSession:
         *,
         mode: str = "percentage",
         track_as: str | None = None,
+        checkpoint: Callable[[float], None] | None = None,
     ) -> SensitivityResult:
         """Perturb the dataset and compare the predicted KPI against baseline.
 
         ``perturbations`` may be a ready :class:`PerturbationSet` or a simple
         ``{driver: amount}`` mapping interpreted in ``mode``.  Pass
-        ``track_as`` to record the outcome as a named scenario.
+        ``track_as`` to record the outcome as a named scenario; ``checkpoint``
+        threads progress/cancellation through the chunked prediction.
         """
         perturbation_set = self._as_perturbation_set(perturbations, mode)
-        result = run_sensitivity(self.model, perturbation_set)
+        result = run_sensitivity(self.model, perturbation_set, checkpoint=checkpoint)
         if track_as is not None:
             self.scenarios.record_sensitivity(track_as, result)
         return result
@@ -288,9 +310,12 @@ class WhatIfSession:
         amounts: Sequence[float] = (-40.0, -20.0, 0.0, 20.0, 40.0),
         *,
         mode: str = "percentage",
+        checkpoint: Callable[[float], None] | None = None,
     ) -> ComparisonResult:
         """KPI trend for each driver individually across a perturbation range."""
-        return run_comparison(self.model, drivers, amounts, mode=mode)
+        return run_comparison(
+            self.model, drivers, amounts, mode=mode, checkpoint=checkpoint
+        )
 
     def per_data_analysis(
         self,
@@ -324,6 +349,7 @@ class WhatIfSession:
         n_calls: int = 40,
         optimizer: str = "bayesian",
         track_as: str | None = None,
+        checkpoint: Callable[[float], None] | None = None,
     ) -> GoalInversionResult:
         """Find driver changes that maximise/minimise or hit a KPI target."""
         result = invert_goal(
@@ -336,6 +362,7 @@ class WhatIfSession:
             n_calls=n_calls,
             optimizer=optimizer,
             random_state=self._random_state,
+            checkpoint=checkpoint,
         )
         if track_as is not None:
             self.scenarios.record_goal_inversion(track_as, result)
@@ -357,6 +384,7 @@ class WhatIfSession:
         n_calls: int = 40,
         optimizer: str = "bayesian",
         track_as: str | None = None,
+        checkpoint: Callable[[float], None] | None = None,
     ) -> GoalInversionResult:
         """Goal inversion restricted to user-specified driver bounds/constraints."""
         result = run_constrained_analysis(
@@ -371,6 +399,7 @@ class WhatIfSession:
             n_calls=n_calls,
             optimizer=optimizer,
             random_state=self._random_state,
+            checkpoint=checkpoint,
         )
         if track_as is not None:
             self.scenarios.record_goal_inversion(track_as, result)

@@ -1,0 +1,51 @@
+"""Asynchronous job-execution subsystem for long-running analyses.
+
+The interactive protocol must stay responsive while heavy analyses
+(sensitivity sweeps, goal inversion, driver importance) run; this package
+decouples request handling from analysis execution:
+
+* :mod:`~repro.engine.job` — the :class:`Job` lifecycle (``pending → running
+  → done/failed/cancelled``) with priorities, progress fractions, and
+  cooperative cancellation via :class:`JobContext` checkpoints;
+* :mod:`~repro.engine.pool` — a thread-based :class:`WorkerPool` draining a
+  priority queue;
+* :mod:`~repro.engine.store` — a bounded :class:`JobStore` with LRU
+  retention of finished results and the coalescing index that lets identical
+  in-flight submissions share one execution;
+* :mod:`~repro.engine.engine` — :class:`AnalysisEngine`, the facade the
+  server's ``submit`` / ``job_status`` / ``job_result`` / ``cancel_job`` /
+  ``list_jobs`` actions delegate to.
+"""
+
+from .engine import AnalysisEngine
+from .job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobCancelled,
+    JobContext,
+)
+from .pool import WorkerPool
+from .store import JobStore, UnknownJobError
+
+__all__ = [
+    "AnalysisEngine",
+    "Job",
+    "JobContext",
+    "JobCancelled",
+    "JobStore",
+    "UnknownJobError",
+    "WorkerPool",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+]

@@ -1,0 +1,255 @@
+"""The analysis engine: non-blocking execution of long-running analyses.
+
+:class:`AnalysisEngine` ties the job primitives together for one
+:class:`~repro.server.app.SystemDServer`:
+
+* :meth:`~AnalysisEngine.submit` turns any job-able analysis action (the
+  keys of :data:`repro.server.handlers.JOB_HANDLERS`) into a
+  :class:`~repro.engine.job.Job` on the worker pool's priority queue —
+  unless an identical analysis is already in flight for the same session and
+  model fingerprint, in which case the submission *coalesces* onto that job
+  and the analysis runs once for all submitters;
+* workers execute jobs under the target session's lock (the same mutual
+  exclusion the synchronous dispatcher uses), threading a
+  :class:`~repro.engine.job.JobContext` checkpoint through the chunked
+  analysis runners so long sweeps publish partial progress and honour
+  cancellation between chunks;
+* :meth:`~AnalysisEngine.status` / :meth:`~AnalysisEngine.result` /
+  :meth:`~AnalysisEngine.cancel` / :meth:`~AnalysisEngine.list_jobs` back
+  the ``job_status`` / ``job_result`` / ``cancel_job`` / ``list_jobs``
+  protocol actions, and :meth:`~AnalysisEngine.stats` feeds the ``engine``
+  block of ``server_stats``.
+
+The coalesce key hashes the session id, the session's *model fingerprint*
+(dataset content + KPI + drivers + model params + seed — see
+:func:`repro.core.cache.model_fingerprint`), the action, and the canonical
+JSON of the params.  Fingerprinting is best-effort: if the session is mid
+mutation or unloaded, the submission simply gets a unique key and runs
+unshared, which is always correct — coalescing is an optimisation, never a
+correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import uuid
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..server.handlers import JOB_HANDLERS
+from ..server.protocol import ProtocolError
+from ..server.registry import DEFAULT_SESSION_ID
+from ..server.serialization import to_json_safe
+from .job import CANCELLED, DONE, FAILED, Job, JobCancelled, JobContext
+from .pool import WorkerPool
+from .store import JobStore, UnknownJobError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..server.app import SystemDServer
+
+__all__ = ["AnalysisEngine"]
+
+
+class AnalysisEngine:
+    """Job queue + worker pool + job store for one backend server.
+
+    Parameters
+    ----------
+    server:
+        The owning :class:`~repro.server.app.SystemDServer`; jobs resolve
+        their session through its registry and run under that session's lock.
+    workers:
+        Worker threads in the pool (threads start lazily on first submit).
+    max_finished:
+        Finished jobs retained by the store before LRU eviction.
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        server: "SystemDServer",
+        *,
+        workers: int = 4,
+        max_finished: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._server = server
+        self._clock = clock
+        self.store = JobStore(max_finished=max_finished)
+        self.pool = WorkerPool(self._run, workers=workers)
+        self._lock = threading.Lock()
+        # submission/coalescing totals live in the store (which decides them
+        # under its own lock); the engine only counts what the store cannot
+        # know — executions and terminal outcomes
+        self._executed_total = 0
+        self._finished_by_state = {DONE: 0, FAILED: 0, CANCELLED: 0}
+
+    # ------------------------------------------------------------------ #
+    # submission and coalescing
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        action: str,
+        params: dict[str, Any] | None = None,
+        *,
+        session_id: str = "",
+        priority: int = 0,
+    ) -> tuple[Job, bool]:
+        """Queue an analysis job; returns ``(job, coalesced)``.
+
+        ``coalesced`` is True when the submission attached to an identical
+        in-flight job instead of enqueuing a new execution.  Unknown sessions
+        and non-job-able actions raise
+        :class:`~repro.server.protocol.ProtocolError` so the dispatcher turns
+        them into ordinary error responses.
+        """
+        if action not in JOB_HANDLERS:
+            raise ProtocolError(
+                f"action {action!r} cannot run as a job; job-able actions: "
+                f"{', '.join(sorted(JOB_HANDLERS))}"
+            )
+        resolved_session = session_id or DEFAULT_SESSION_ID
+        # fail fast on unknown sessions (also materialises the default one)
+        self._server._entry_for(resolved_session)
+        job_params = dict(params or {})
+        key = self._coalesce_key(resolved_session, action, job_params)
+
+        def factory() -> Job:
+            return Job(
+                job_id=f"j-{uuid.uuid4().hex[:12]}",
+                action=action,
+                params=job_params,
+                session_id=resolved_session,
+                priority=int(priority),
+                coalesce_key=key,
+                submitted_at=self._clock(),
+            )
+
+        job, attached = self.store.coalesce_or_add(key, factory)
+        if not attached:
+            self.pool.submit(job)
+        return job, attached
+
+    def _coalesce_key(self, session_id: str, action: str, params: dict[str, Any]) -> str:
+        """Hash of (session, model fingerprint, action, canonical params).
+
+        Best-effort: any failure (unloaded session, concurrent mutation)
+        yields an empty key, which disables coalescing for this submission.
+        """
+        try:
+            entry = self._server.registry.get(session_id)
+            session = entry.state.session
+            fingerprint = session.model_key() if session is not None else "unloaded"
+            canonical = json.dumps(
+                {
+                    "session": session_id,
+                    "fingerprint": fingerprint,
+                    "action": action,
+                    "params": params,
+                },
+                sort_keys=True,
+                default=repr,
+            )
+        except Exception:  # noqa: BLE001 - coalescing must never block a submit
+            return ""
+        return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # execution (worker callback)
+    # ------------------------------------------------------------------ #
+    def _run(self, job: Job) -> None:
+        if not job.try_start(self._clock()):
+            # cancelled while queued; request_cancel already finalised it
+            return
+        with self._lock:
+            self._executed_total += 1
+        context = JobContext(job)
+        try:
+            entry = self._server._entry_for(job.session_id)
+            handler = JOB_HANDLERS[job.action]
+            with entry.lock:
+                entry.request_count += 1
+                data = handler(entry.state, dict(job.params), context)
+            job.finish_success(to_json_safe(data), self._clock())
+        except JobCancelled:
+            job.finish(CANCELLED, self._clock(), error="cancelled")
+        except ProtocolError as exc:
+            job.finish(FAILED, self._clock(), error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - a job failure must not kill the worker
+            job.finish(
+                FAILED,
+                self._clock(),
+                error=f"internal error: {type(exc).__name__}: {exc}",
+            )
+        self._finalize(job)
+
+    def _finalize(self, job: Job) -> None:
+        self.store.mark_finished(job)
+        with self._lock:
+            self._finished_by_state[job.state] = (
+                self._finished_by_state.get(job.state, 0) + 1
+            )
+
+    # ------------------------------------------------------------------ #
+    # inspection and control
+    # ------------------------------------------------------------------ #
+    def now(self) -> float:
+        """Current engine clock reading (for in-flight duration reporting)."""
+        return self._clock()
+
+    def status(self, job_id: str) -> Job:
+        """The job for ``job_id`` (raises :class:`UnknownJobError`)."""
+        return self.store.get(job_id)
+
+    def result(self, job_id: str, *, wait: bool = True, timeout: float | None = None) -> Job:
+        """The job, optionally blocking until it reaches a terminal state."""
+        job = self.store.get(job_id)
+        if wait:
+            job.wait(timeout)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cooperative cancellation of a pending or running job.
+
+        Pending jobs flip to ``cancelled`` immediately; running jobs stop at
+        their next progress checkpoint.  Cancelling a terminal job is a
+        no-op (its state is returned unchanged).
+        """
+        job = self.store.get(job_id)
+        if job.request_cancel(self._clock()):
+            self._finalize(job)
+        return job
+
+    def list_jobs(
+        self,
+        *,
+        session_id: str | None = None,
+        states: Iterable[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """JSON-safe snapshots of tracked jobs, oldest first."""
+        now = self._clock()
+        return [
+            job.to_dict(now=now)
+            for job in self.store.list_jobs(session_id=session_id, states=states)
+        ]
+
+    def stats(self) -> dict[str, Any]:
+        """Engine counters for the ``server_stats`` action."""
+        store_stats = self.store.stats()
+        with self._lock:
+            counters = {
+                "submitted_total": store_stats["added_total"] + store_stats["coalesced_total"],
+                "coalesced_total": store_stats["coalesced_total"],
+                "executed_total": self._executed_total,
+                "done_total": self._finished_by_state.get(DONE, 0),
+                "failed_total": self._finished_by_state.get(FAILED, 0),
+                "cancelled_total": self._finished_by_state.get(CANCELLED, 0),
+            }
+        return {**counters, "pool": self.pool.stats(), "store": store_stats}
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop the worker pool (pending jobs stay pending)."""
+        self.pool.shutdown(wait=wait)

@@ -1,0 +1,128 @@
+"""Thread-based worker pool draining a priority queue of jobs.
+
+Workers are daemon threads created lazily on the first submission, so the
+many short-lived :class:`~repro.server.app.SystemDServer` instances the tests
+spin up cost nothing unless they actually run jobs.  Each queue item is a
+``(-priority, sequence, job)`` triple: higher-priority jobs are dequeued
+first and ties run in submission order.  Shutdown enqueues one sentinel per
+worker at the most urgent priority, so workers exit promptly without draining
+the backlog (undrained jobs simply stay pending).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Any, Callable
+
+from .job import Job
+
+__all__ = ["WorkerPool"]
+
+#: Sentinel priority that beats every job (jobs use finite ``-priority``).
+_SENTINEL_PRIORITY = float("-inf")
+
+
+class WorkerPool:
+    """Fixed-size pool of worker threads executing jobs by priority.
+
+    Parameters
+    ----------
+    run:
+        Callable invoked with each dequeued job (the engine's runner); it
+        must never raise — job failures are its responsibility to record.
+    workers:
+        Number of worker threads.
+    name:
+        Thread-name prefix, visible in debuggers and fault dumps.
+    """
+
+    def __init__(
+        self,
+        run: Callable[[Job], None],
+        *,
+        workers: int = 4,
+        name: str = "engine-worker",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._run = run
+        self._name = name
+        self._queue: queue.PriorityQueue = queue.PriorityQueue()
+        self._sequence = itertools.count()
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+        self._dequeued_total = 0
+
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Job) -> None:
+        """Enqueue a job (starting the worker threads on first use)."""
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("worker pool is shut down")
+            self._ensure_started_locked()
+        self._queue.put((-float(job.priority), next(self._sequence), job))
+
+    def _ensure_started_locked(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"{self._name}-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker_loop(self) -> None:
+        while True:
+            _, _, job = self._queue.get()
+            try:
+                if job is None:
+                    return
+                with self._lock:
+                    self._dequeued_total += 1
+                self._run(job)
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------ #
+    def queue_depth(self) -> int:
+        """Jobs (and pending sentinels) currently waiting in the queue."""
+        return self._queue.qsize()
+
+    def shutdown(self, *, wait: bool = True, timeout: float | None = 5.0) -> None:
+        """Stop accepting work and wake every worker with a sentinel.
+
+        Sentinels jump the queue, so a shutdown does not wait for the pending
+        backlog; with ``wait`` the calling thread joins the workers (bounded
+        by ``timeout`` each — they are daemon threads, so a stuck analysis
+        cannot hang interpreter exit).
+        """
+        with self._lock:
+            if self._stopping:
+                threads = list(self._threads)
+            else:
+                self._stopping = True
+                threads = list(self._threads)
+                if self._started:
+                    for _ in range(self.workers):
+                        self._queue.put((_SENTINEL_PRIORITY, next(self._sequence), None))
+        if wait:
+            for thread in threads:
+                thread.join(timeout)
+
+    def stats(self) -> dict[str, Any]:
+        """Pool counters for the engine's ``server_stats`` block."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "started": self._started,
+                "stopping": self._stopping,
+                "queue_depth": self._queue.qsize(),
+                "dequeued_total": self._dequeued_total,
+            }

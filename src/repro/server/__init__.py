@@ -3,7 +3,7 @@ dispatcher standing in for SystemD's browser-client / Python-backend
 architecture."""
 
 from .app import SystemDServer, serve_http
-from .handlers import HANDLERS, SERVER_HANDLERS, ServerState
+from .handlers import HANDLERS, JOB_HANDLERS, SERVER_HANDLERS, ServerState
 from .protocol import ACTIONS, ProtocolError, Request, Response
 from .registry import DEFAULT_SESSION_ID, SessionEntry, SessionRegistry, UnknownSessionError
 from .serialization import dumps, frame_preview, to_json_safe
@@ -14,6 +14,7 @@ __all__ = [
     "ServerState",
     "HANDLERS",
     "SERVER_HANDLERS",
+    "JOB_HANDLERS",
     "SessionRegistry",
     "SessionEntry",
     "UnknownSessionError",

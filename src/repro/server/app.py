@@ -15,10 +15,17 @@ fetches trained models from one shared
 ``handle`` safe under concurrent callers — requests within a session
 serialise, requests across sessions run in parallel.
 
+Long-running analyses need not block their caller at all: every server owns
+an :class:`~repro.engine.AnalysisEngine` whose ``submit`` / ``job_status`` /
+``job_result`` / ``cancel_job`` / ``list_jobs`` actions run the same analysis
+handlers on a worker pool, with progress reporting and cooperative
+cancellation.  Synchronous handling of the pre-existing actions is untouched.
+
 :func:`serve_http` wraps the same dispatcher in a stdlib
 :class:`http.server.ThreadingHTTPServer` for anyone who wants to poke the
 backend with ``curl``; it is optional and nothing else in the package depends
-on it.
+on it.  Malformed envelopes (invalid JSON, non-object bodies, unknown
+actions) come back as structured JSON error bodies with 4xx status codes.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+
+import numpy as np
 
 from ..core import ModelCache
 from .handlers import HANDLERS, SERVER_HANDLERS, ServerState
@@ -51,6 +60,12 @@ class SystemDServer:
         Session registry (capacity, TTL); a default one is created if omitted.
     model_cache:
         Model cache shared by every session this server creates.
+    engine_workers:
+        Worker threads of the async analysis engine (threads start lazily on
+        the first ``submit``).
+    job_retention:
+        Finished jobs the engine's store retains (LRU) for ``job_status`` /
+        ``job_result`` polling.
     """
 
     def __init__(
@@ -58,9 +73,18 @@ class SystemDServer:
         *,
         registry: SessionRegistry | None = None,
         model_cache: ModelCache | None = None,
+        engine_workers: int = 4,
+        job_retention: int = 256,
     ) -> None:
+        # imported here, not at module level: repro.engine imports the handler
+        # tables from repro.server, so a module-level import would be circular
+        from ..engine import AnalysisEngine
+
         self.registry = registry if registry is not None else SessionRegistry()
         self.model_cache = model_cache if model_cache is not None else ModelCache()
+        self.engine = AnalysisEngine(
+            self, workers=engine_workers, max_finished=job_retention
+        )
         self._request_log: deque[dict[str, Any]] = deque(maxlen=REQUEST_LOG_LIMIT)
         self._log_lock = threading.Lock()
         self._requests_total = 0
@@ -142,23 +166,58 @@ class SystemDServer:
                 session_id=session_id,
                 elapsed_ms=elapsed_ms,
             )
+        self._record(getattr(request, "action", "?"), session_id, response)
+        return response
+
+    def _record(self, action: str, session_id: str, response: Response) -> None:
+        """Append one request outcome to the bounded log and counters."""
         with self._log_lock:
             self._requests_total += 1
             if not response.ok:
                 self._requests_failed += 1
             self._request_log.append(
                 {
-                    "action": getattr(request, "action", "?"),
+                    "action": action,
                     "session_id": session_id,
                     "ok": response.ok,
                     "elapsed_ms": response.elapsed_ms,
                 }
             )
-        return response
 
     def handle_json(self, payload: str) -> str:
         """JSON-string in, JSON-string out (the wire-level entry point)."""
         return json.dumps(self.handle(payload).to_dict())
+
+    def handle_http(self, body: str) -> tuple[int, Response]:
+        """Dispatch one HTTP request body, returning ``(status, response)``.
+
+        Envelope problems — invalid JSON, a non-object body, a missing or
+        unknown action — are rejected with status 400 and a structured error
+        response (still counted in the request log); well-formed requests
+        dispatch through :meth:`handle` and return 200, with handler-level
+        failures reported inside the envelope as before.
+        """
+        try:
+            payload = json.loads(body) if body.strip() else {}
+        except json.JSONDecodeError as exc:
+            response = Response.failure(f"request is not valid JSON: {exc}")
+            self._record("?", "", response)
+            return 400, response
+        if not isinstance(payload, dict):
+            response = Response.failure(
+                f"request body must be a JSON object, got {type(payload).__name__}"
+            )
+            self._record("?", "", response)
+            return 400, response
+        try:
+            request = Request.from_dict(payload)
+        except ProtocolError as exc:
+            response = Response.failure(
+                str(exc), request_id=str(payload.get("request_id") or "")
+            )
+            self._record(str(payload.get("action", "?")), "", response)
+            return 400, response
+        return 200, self.handle(request)
 
     def _coerce_request(self, request: Request | dict[str, Any] | str) -> Request:
         if isinstance(request, Request):
@@ -175,9 +234,22 @@ class SystemDServer:
         )
 
     # ------------------------------------------------------------------ #
-    def request(self, action: str, *, session_id: str = "", **params: Any) -> Response:
-        """Convenience wrapper: ``server.request("sensitivity", perturbations=...)``."""
-        return self.handle(Request(action=action, params=params, session_id=session_id))
+    def request(
+        self,
+        action: str,
+        params: dict[str, Any] | None = None,
+        *,
+        session_id: str = "",
+        **kwargs: Any,
+    ) -> Response:
+        """Convenience wrapper: ``server.request("sensitivity", perturbations=...)``.
+
+        Parameters whose names collide with this signature (e.g. ``submit``'s
+        nested ``action``) can be passed in the positional ``params`` dict;
+        keyword arguments are merged on top.
+        """
+        merged = {**(params or {}), **kwargs}
+        return self.handle(Request(action=action, params=merged, session_id=session_id))
 
     @property
     def request_log(self) -> list[dict[str, Any]]:
@@ -187,32 +259,84 @@ class SystemDServer:
             return list(self._request_log)
 
     def stats(self) -> dict[str, Any]:
-        """Registry, cache, and request counters (the ``server_stats`` payload)."""
+        """Registry, cache, engine, and request counters (``server_stats``).
+
+        ``requests.latency_ms`` reports p50/p95 percentiles computed from the
+        bounded request log — the paper's "fast real-time response"
+        requirement as a tail-latency number, not just an average.
+        """
         with self._log_lock:
+            elapsed = [entry["elapsed_ms"] for entry in self._request_log]
             requests = {
                 "total": self._requests_total,
                 "failed": self._requests_failed,
                 "log_size": len(self._request_log),
                 "log_limit": REQUEST_LOG_LIMIT,
+                "latency_ms": {
+                    "p50": float(np.percentile(elapsed, 50)) if elapsed else None,
+                    "p95": float(np.percentile(elapsed, 95)) if elapsed else None,
+                },
             }
         return {
             "registry": self.registry.stats(),
             "model_cache": self.model_cache.stats(),
+            "engine": self.engine.stats(),
             "requests": requests,
         }
 
+    def close(self) -> None:
+        """Shut down the engine's worker pool (daemon threads; optional)."""
+        self.engine.shutdown(wait=False)
+
 
 class _SystemDHTTPHandler(BaseHTTPRequestHandler):
-    """Minimal HTTP adapter: POST a request JSON to any path."""
+    """Minimal HTTP adapter: POST a request JSON to any path.
+
+    Every outcome — including malformed envelopes and internal faults — is a
+    JSON response envelope with a meaningful status code: 200 for dispatched
+    requests, 400 for bad envelopes, 405/501 for non-POST methods (the
+    ``send_error`` override keeps even stdlib-generated errors JSON), 500
+    only for unexpected adapter errors — never a bare HTML traceback.
+    """
 
     server_version = "SystemDRepro/0.1"
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        length = int(self.headers.get("Content-Length", 0))
-        body = self.rfile.read(length).decode("utf-8") if length else "{}"
-        payload = self.server.backend.handle_json(body)  # type: ignore[attr-defined]
-        encoded = payload.encode("utf-8")
-        self.send_response(200)
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+            body = self.rfile.read(length).decode("utf-8", errors="replace") if length else ""
+            status, response = self.server.backend.handle_http(body)  # type: ignore[attr-defined]
+            payload = response.to_dict()
+        except Exception as exc:  # noqa: BLE001 - the adapter must not emit tracebacks
+            status = 500
+            payload = Response.failure(
+                f"internal error: {type(exc).__name__}: {exc}"
+            ).to_dict()
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._send_json(
+            405,
+            Response.failure("use POST with a JSON request envelope").to_dict(),
+        )
+
+    do_PUT = do_GET
+    do_DELETE = do_GET
+
+    def send_error(self, code, message=None, explain=None):  # noqa: D102
+        # the stdlib falls back to send_error (an HTML page) for any method
+        # without a do_* handler (PATCH, HEAD, OPTIONS, ...); keep every
+        # outcome a structured JSON envelope instead
+        self._send_json(
+            int(code),
+            Response.failure(
+                str(message) if message else "use POST with a JSON request envelope"
+            ).to_dict(),
+        )
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()

@@ -5,9 +5,16 @@ Session-scoped handlers (:data:`HANDLERS`) receive one mutable
 plus the request parameters, and return a JSON-safe payload dict.
 Server-scoped handlers (:data:`SERVER_HANDLERS`) receive the
 :class:`~repro.server.app.SystemDServer` itself and manage the session
-registry and shared model cache.  Validation errors raise
-:class:`~repro.server.protocol.ProtocolError` so the dispatcher can turn them
-into error responses without crashing the server.
+registry, the shared model cache, and the async analysis engine.  Validation
+errors raise :class:`~repro.server.protocol.ProtocolError` so the dispatcher
+can turn them into error responses without crashing the server.
+
+The heavy analysis handlers accept an optional ``checkpoint`` callable that
+they thread into the chunked analysis runners; the synchronous dispatcher
+never passes one (leaving the original code paths byte-for-byte untouched),
+while the async engine's workers invoke the same handlers through
+:data:`JOB_HANDLERS` with a :class:`~repro.engine.job.JobContext` checkpoint
+so jobs publish partial progress and honour cancellation.
 """
 
 from __future__ import annotations
@@ -21,9 +28,10 @@ from .protocol import ProtocolError
 from .serialization import frame_preview, to_json_safe
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.job import JobContext
     from .app import SystemDServer
 
-__all__ = ["ServerState", "HANDLERS", "SERVER_HANDLERS"]
+__all__ = ["ServerState", "HANDLERS", "SERVER_HANDLERS", "JOB_HANDLERS"]
 
 
 @dataclass
@@ -133,10 +141,16 @@ def handle_set_drivers(state: ServerState, params: dict[str, Any]) -> dict[str, 
     return {"drivers": session.drivers}
 
 
-def handle_driver_importance(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+def handle_driver_importance(
+    state: ServerState,
+    params: dict[str, Any],
+    checkpoint: Callable[[float], None] | None = None,
+) -> dict[str, Any]:
     """(E) Driver importance analysis."""
     session = state.require_session()
-    result = session.driver_importance(verify=bool(params.get("verify", True)))
+    result = session.driver_importance(
+        verify=bool(params.get("verify", True)), checkpoint=checkpoint
+    )
     return to_json_safe(result)
 
 
@@ -160,18 +174,28 @@ def _parse_perturbations(params: dict[str, Any]) -> tuple[PerturbationSet, str]:
     raise ProtocolError("'perturbations' must be an object or a list")
 
 
-def handle_sensitivity(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+def handle_sensitivity(
+    state: ServerState,
+    params: dict[str, Any],
+    checkpoint: Callable[[float], None] | None = None,
+) -> dict[str, Any]:
     """(F)+(G)+(H) Sensitivity analysis on the whole dataset."""
     session = state.require_session()
     perturbations, _ = _parse_perturbations(params)
     try:
-        result = session.sensitivity(perturbations, track_as=params.get("track_as"))
+        result = session.sensitivity(
+            perturbations, track_as=params.get("track_as"), checkpoint=checkpoint
+        )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
     return to_json_safe(result)
 
 
-def handle_comparison(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+def handle_comparison(
+    state: ServerState,
+    params: dict[str, Any],
+    checkpoint: Callable[[float], None] | None = None,
+) -> dict[str, Any]:
     """(H) Comparison analysis across drivers and perturbation magnitudes."""
     session = state.require_session()
     amounts = params.get("amounts", (-40.0, -20.0, 0.0, 20.0, 40.0))
@@ -180,6 +204,7 @@ def handle_comparison(state: ServerState, params: dict[str, Any]) -> dict[str, A
             params.get("drivers"),
             [float(a) for a in amounts],
             mode=params.get("mode", "percentage"),
+            checkpoint=checkpoint,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
@@ -199,7 +224,11 @@ def handle_per_data(state: ServerState, params: dict[str, Any]) -> dict[str, Any
     return to_json_safe(result)
 
 
-def handle_goal_inversion(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+def handle_goal_inversion(
+    state: ServerState,
+    params: dict[str, Any],
+    checkpoint: Callable[[float], None] | None = None,
+) -> dict[str, Any]:
     """(I) Free goal inversion (maximize / minimize / target)."""
     session = state.require_session()
     try:
@@ -211,13 +240,18 @@ def handle_goal_inversion(state: ServerState, params: dict[str, Any]) -> dict[st
             n_calls=int(params.get("n_calls", 30)),
             optimizer=params.get("optimizer", "bayesian"),
             track_as=params.get("track_as"),
+            checkpoint=checkpoint,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
     return to_json_safe(result)
 
 
-def handle_constrained(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
+def handle_constrained(
+    state: ServerState,
+    params: dict[str, Any],
+    checkpoint: Callable[[float], None] | None = None,
+) -> dict[str, Any]:
     """(G)+(I) Constrained analysis with per-driver bounds."""
     session = state.require_session()
     raw_bounds = params.get("bounds")
@@ -243,6 +277,7 @@ def handle_constrained(state: ServerState, params: dict[str, Any]) -> dict[str, 
             n_calls=int(params.get("n_calls", 30)),
             optimizer=params.get("optimizer", "bayesian"),
             track_as=params.get("track_as"),
+            checkpoint=checkpoint,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
@@ -303,8 +338,115 @@ def handle_list_sessions(server: "SystemDServer", params: dict[str, Any]) -> dic
 
 
 def handle_server_stats(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
-    """Registry, model-cache, and request-level counters."""
+    """Registry, model-cache, engine, and request-level counters."""
     return server.stats()
+
+
+# --------------------------------------------------------------------------- #
+# server-scoped handlers: the async analysis engine
+# --------------------------------------------------------------------------- #
+def _require_job_id(params: dict[str, Any]) -> str:
+    job_id = params.get("job_id")
+    if not job_id:
+        raise ProtocolError("'job_id' parameter is required")
+    return str(job_id)
+
+
+def _job_lookup(job_id: str, lookup: Callable[[], Any]) -> Any:
+    """Run a store lookup, translating unknown/evicted ids to protocol errors."""
+    from ..engine import UnknownJobError
+
+    try:
+        return lookup()
+    except UnknownJobError as exc:
+        raise ProtocolError(
+            f"unknown job {job_id!r} (finished jobs are retained LRU; it may have "
+            "been evicted)"
+        ) from exc
+
+
+def handle_submit(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Queue any job-able analysis action for asynchronous execution.
+
+    Identical in-flight submissions (same session, model fingerprint, action,
+    and params) coalesce onto one job; ``coalesced`` reports whether that
+    happened.  Poll with ``job_status`` / fetch with ``job_result``.
+    """
+    action = params.get("action")
+    if not action:
+        raise ProtocolError("'action' parameter is required for submit")
+    job_params = params.get("params", {})
+    if not isinstance(job_params, dict):
+        raise ProtocolError("'params' must be an object")
+    try:
+        priority = int(params.get("priority", 0))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid priority: {params.get('priority')!r}") from exc
+    job, coalesced = server.engine.submit(
+        str(action),
+        job_params,
+        session_id=str(params.get("session_id") or ""),
+        priority=priority,
+    )
+    return {"job": job.to_dict(now=server.engine.now()), "coalesced": coalesced}
+
+
+def handle_job_status(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Lifecycle state, progress fraction, and timings of one job."""
+    job_id = _require_job_id(params)
+    job = _job_lookup(job_id, lambda: server.engine.status(job_id))
+    return {"job": job.to_dict(now=server.engine.now())}
+
+
+def handle_job_result(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Fetch a finished job's payload, optionally waiting for completion.
+
+    ``wait`` (default True) blocks up to ``timeout_s`` (default 30) for the
+    job to reach a terminal state.  Failed/cancelled jobs and jobs still
+    running after the wait produce error responses so clients never mistake
+    a partial analysis for a result.
+    """
+    job_id = _require_job_id(params)
+    wait = bool(params.get("wait", True))
+    try:
+        timeout = float(params.get("timeout_s", 30.0))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid timeout_s: {params.get('timeout_s')!r}") from exc
+    job = _job_lookup(
+        job_id, lambda: server.engine.result(job_id, wait=wait, timeout=timeout)
+    )
+    snapshot = job.to_dict(now=server.engine.now(), include_result=True)
+    state = snapshot["state"]
+    if state == "done":
+        return {"job": snapshot, "result": snapshot.pop("result")}
+    if state in ("failed", "cancelled"):
+        raise ProtocolError(f"job {job_id} {state}: {snapshot['error'] or state}")
+    raise ProtocolError(
+        f"job {job_id} is still {state} (progress {snapshot['progress']:.0%}); "
+        "poll 'job_status' or pass a longer 'timeout_s'"
+    )
+
+
+def handle_cancel_job(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Request cooperative cancellation of a pending or running job."""
+    job_id = _require_job_id(params)
+    job = _job_lookup(job_id, lambda: server.engine.cancel(job_id))
+    return {"job": job.to_dict(now=server.engine.now())}
+
+
+def handle_list_jobs(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Snapshots of tracked jobs, optionally filtered by session or state."""
+    states = params.get("states")
+    if states is not None and not isinstance(states, (list, tuple)):
+        raise ProtocolError("'states' must be a list of job states")
+    session_id = params.get("session_id")
+    return {
+        "jobs": server.engine.list_jobs(
+            session_id=str(session_id) if session_id else None,
+            states=[str(s) for s in states] if states is not None else None,
+        ),
+        "engine": server.engine.stats(),
+    }
 
 
 #: Dispatch table used by the server app.
@@ -323,11 +465,58 @@ HANDLERS: dict[str, Callable[[ServerState, dict[str, Any]], dict[str, Any]]] = {
     "list_scenarios": handle_list_scenarios,
 }
 
-#: Server-scoped dispatch table (session lifecycle + observability); these
-#: handlers run outside any per-session lock.
+#: Server-scoped dispatch table (session lifecycle, observability, and the
+#: async engine); these handlers run outside any per-session lock — ``submit``
+#: returns immediately and the job acquires the session lock on a worker.
 SERVER_HANDLERS: dict[str, Callable[["SystemDServer", dict[str, Any]], dict[str, Any]]] = {
     "create_session": handle_create_session,
     "close_session": handle_close_session,
     "list_sessions": handle_list_sessions,
     "server_stats": handle_server_stats,
+    "submit": handle_submit,
+    "job_status": handle_job_status,
+    "job_result": handle_job_result,
+    "cancel_job": handle_cancel_job,
+    "list_jobs": handle_list_jobs,
+}
+
+
+# --------------------------------------------------------------------------- #
+# job-able wrappers: the same analysis handlers, driven by an engine worker
+# --------------------------------------------------------------------------- #
+def _checkpointed(
+    handler: Callable[[ServerState, dict[str, Any], Callable[[float], None] | None], dict[str, Any]],
+) -> Callable[[ServerState, dict[str, Any], "JobContext"], dict[str, Any]]:
+    """Adapt a checkpoint-aware handler to the job-runner calling convention."""
+
+    def run(state: ServerState, params: dict[str, Any], context: "JobContext") -> dict[str, Any]:
+        return handler(state, params, checkpoint=context.checkpoint)
+
+    return run
+
+
+def _plain(
+    handler: Callable[[ServerState, dict[str, Any]], dict[str, Any]],
+) -> Callable[[ServerState, dict[str, Any], "JobContext"], dict[str, Any]]:
+    """Adapt a handler with no chunked runner (fast actions): it runs once,
+    checkpointing only at the start so a pre-run cancellation still lands."""
+
+    def run(state: ServerState, params: dict[str, Any], context: "JobContext") -> dict[str, Any]:
+        context.checkpoint(0.0)
+        return handler(state, params)
+
+    return run
+
+
+#: Actions that may run asynchronously as engine jobs, mapped to wrappers
+#: with the ``(state, params, job_context)`` signature.  The heavy analyses
+#: thread the job's checkpoint through their chunked runners; the payload of
+#: a job is bitwise identical to the synchronous action's response data.
+JOB_HANDLERS: dict[str, Callable[[ServerState, dict[str, Any], "JobContext"], dict[str, Any]]] = {
+    "driver_importance": _checkpointed(handle_driver_importance),
+    "sensitivity": _checkpointed(handle_sensitivity),
+    "comparison": _checkpointed(handle_comparison),
+    "per_data": _plain(handle_per_data),
+    "goal_inversion": _checkpointed(handle_goal_inversion),
+    "constrained": _checkpointed(handle_constrained),
 }

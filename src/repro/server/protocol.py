@@ -31,7 +31,22 @@ action               session management
 ``create_session``   register a new analysis session, returns its id
 ``close_session``    unregister a session
 ``list_sessions``    summaries of every live session
-``server_stats``     registry, model-cache, and request counters
+``server_stats``     registry, model-cache, engine, and request counters
+===================  ======================================================
+
+Long-running analyses can run without blocking the caller through the async
+analysis engine (see :mod:`repro.engine`):
+
+===================  ======================================================
+action               async analysis engine
+===================  ======================================================
+``submit``           queue any analysis action as a background job; returns
+                     the job snapshot and whether it coalesced onto an
+                     identical in-flight job
+``job_status``       lifecycle state, progress fraction, and timings
+``job_result``       fetch (optionally wait for) a finished job's payload
+``cancel_job``       cooperatively cancel a pending or running job
+``list_jobs``        snapshots of tracked jobs plus engine counters
 ===================  ======================================================
 
 Every request may carry a ``session_id`` (envelope field or inside
@@ -69,6 +84,11 @@ ACTIONS = (
     "close_session",
     "list_sessions",
     "server_stats",
+    "submit",
+    "job_status",
+    "job_result",
+    "cancel_job",
+    "list_jobs",
 )
 
 

@@ -1,0 +1,170 @@
+"""Checkpointed (chunked) analysis runners: bitwise equivalence + cancellation.
+
+The async engine threads a ``checkpoint`` callable through sensitivity,
+comparison, goal-inversion, and driver-importance runs.  These tests pin the
+two contracts the engine relies on:
+
+* results with a checkpoint are **bitwise identical** to results without one
+  (chunking only regroups independent per-row / per-matrix work), on every
+  registry use case — covering both the forest and linear model families;
+* the checkpoint is called with a monotone fraction in [0, 1], and an
+  exception raised by it (cancellation) propagates promptly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.sensitivity as sensitivity_mod
+from repro import WhatIfSession
+
+DATASET_KWARGS = {
+    "marketing_mix": {"n_days": 120},
+    "customer_retention": {"n_customers": 200},
+    "deal_closing": {"n_prospects": 200},
+}
+
+
+class Recorder:
+    """A checkpoint that records every reported fraction."""
+
+    def __init__(self):
+        self.fractions: list[float] = []
+
+    def __call__(self, fraction: float) -> None:
+        self.fractions.append(fraction)
+
+    def assert_valid(self):
+        assert self.fractions, "checkpoint was never called"
+        assert all(0.0 <= f <= 1.0 for f in self.fractions)
+        assert self.fractions == sorted(self.fractions), "progress went backwards"
+
+
+class Cancelled(Exception):
+    """Stand-in for the engine's JobCancelled."""
+
+
+class CancelAfter:
+    """A checkpoint that raises after ``limit`` calls."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.calls = 0
+
+    def __call__(self, fraction: float) -> None:
+        self.calls += 1
+        if self.calls > self.limit:
+            raise Cancelled()
+
+
+@pytest.fixture(scope="module", params=sorted(DATASET_KWARGS))
+def session(request):
+    return WhatIfSession.from_use_case(
+        request.param, dataset_kwargs=DATASET_KWARGS[request.param], random_state=0
+    )
+
+
+@pytest.fixture(autouse=True)
+def small_chunks(monkeypatch):
+    """Force several chunks even on the small test datasets."""
+    monkeypatch.setattr(sensitivity_mod, "SENSITIVITY_CHUNK_ROWS", 64)
+    monkeypatch.setattr(sensitivity_mod, "COMPARISON_CHUNK_MATRICES", 2)
+
+
+def first_driver(session):
+    return session.drivers[0]
+
+
+class TestBitwiseEquivalence:
+    def test_sensitivity(self, session):
+        perturbations = {first_driver(session): 20.0}
+        plain = session.sensitivity(perturbations)
+        recorder = Recorder()
+        chunked = session.sensitivity(perturbations, checkpoint=recorder)
+        assert chunked.perturbed_kpi == plain.perturbed_kpi
+        assert chunked.original_kpi == plain.original_kpi
+        assert chunked.uplift == plain.uplift
+        recorder.assert_valid()
+        assert len(recorder.fractions) > 2  # several chunks actually ran
+
+    def test_comparison(self, session):
+        amounts = [-30.0, -10.0, 0.0, 10.0, 30.0]
+        plain = session.comparison_analysis(amounts=amounts)
+        recorder = Recorder()
+        chunked = session.comparison_analysis(amounts=amounts, checkpoint=recorder)
+        assert len(chunked.points) == len(plain.points)
+        for chunked_point, plain_point in zip(chunked.points, plain.points):
+            assert chunked_point.driver == plain_point.driver
+            assert chunked_point.amount == plain_point.amount
+            assert chunked_point.kpi_value == plain_point.kpi_value
+        recorder.assert_valid()
+
+    def test_goal_inversion(self, session):
+        kwargs = dict(n_calls=8, optimizer="random")
+        plain = session.goal_inversion("maximize", **kwargs)
+        recorder = Recorder()
+        checkpointed = session.goal_inversion("maximize", checkpoint=recorder, **kwargs)
+        assert checkpointed.best_kpi == plain.best_kpi
+        assert checkpointed.driver_changes == plain.driver_changes
+        assert checkpointed.n_evaluations == plain.n_evaluations
+        recorder.assert_valid()
+        assert recorder.fractions[-1] == 1.0
+
+    def test_constrained(self, session):
+        driver = first_driver(session)
+        kwargs = dict(goal="maximize", n_calls=8, optimizer="random")
+        bounds = {driver: (10.0, 40.0)}
+        plain = session.constrained_analysis(bounds, **kwargs)
+        recorder = Recorder()
+        checkpointed = session.constrained_analysis(bounds, checkpoint=recorder, **kwargs)
+        assert checkpointed.best_kpi == plain.best_kpi
+        assert checkpointed.driver_changes == plain.driver_changes
+        recorder.assert_valid()
+
+    def test_driver_importance(self, session):
+        plain = session.driver_importance(verify=True)
+        recorder = Recorder()
+        checkpointed = session.driver_importance(verify=True, checkpoint=recorder)
+        assert [e.driver for e in checkpointed.drivers] == [e.driver for e in plain.drivers]
+        for checked, reference in zip(checkpointed.drivers, plain.drivers):
+            assert checked.importance == reference.importance
+            assert checked.verification == reference.verification
+        assert checkpointed.agreement == plain.agreement
+        recorder.assert_valid()
+        assert recorder.fractions[-1] == 1.0
+
+    def test_importance_without_verification(self, session):
+        plain = session.driver_importance(verify=False)
+        recorder = Recorder()
+        checkpointed = session.driver_importance(verify=False, checkpoint=recorder)
+        for checked, reference in zip(checkpointed.drivers, plain.drivers):
+            assert checked.importance == reference.importance
+        recorder.assert_valid()
+
+
+class TestCancellation:
+    def test_sensitivity_stops_at_checkpoint(self, session):
+        with pytest.raises(Cancelled):
+            session.sensitivity(
+                {first_driver(session): 20.0}, checkpoint=CancelAfter(1)
+            )
+
+    def test_comparison_stops_at_checkpoint(self, session):
+        cancel = CancelAfter(2)
+        with pytest.raises(Cancelled):
+            session.comparison_analysis(
+                amounts=[-30.0, -10.0, 10.0, 30.0], checkpoint=cancel
+            )
+        assert cancel.calls == 3  # stopped right after the limit, not at the end
+
+    def test_goal_inversion_stops_between_evaluations(self, session):
+        cancel = CancelAfter(3)
+        with pytest.raises(Cancelled):
+            session.goal_inversion(
+                "maximize", n_calls=16, optimizer="random", checkpoint=cancel
+            )
+        assert cancel.calls == 4
+
+    def test_driver_importance_stops_between_stages(self, session):
+        with pytest.raises(Cancelled):
+            session.driver_importance(verify=True, checkpoint=CancelAfter(2))

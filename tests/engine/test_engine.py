@@ -1,0 +1,291 @@
+"""Engine-through-protocol tests: submission, coalescing, cancellation races.
+
+Deterministic concurrency control comes from fake job-able actions patched
+into :data:`repro.server.handlers.JOB_HANDLERS`: a *gate* action that blocks
+its worker on an event, and a *spin* action that loops on its checkpoint —
+so cancel-before-start, cancel-mid-run, and in-flight coalescing can be
+exercised without timing-dependent sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.server.handlers as handlers
+from repro.server import SystemDServer
+
+
+class Gate:
+    """A fake job handler that records runs and blocks until released."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.tags: list[str] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, state, params, context):
+        with self._lock:
+            self.tags.append(params.get("tag", ""))
+        self.started.set()
+        assert self.release.wait(30), "gate was never released"
+        context.checkpoint(1.0)
+        return {"tag": params.get("tag", "")}
+
+
+@pytest.fixture
+def gate(monkeypatch):
+    instance = Gate()
+    monkeypatch.setitem(handlers.JOB_HANDLERS, "gate_test", instance)
+    yield instance
+    instance.release.set()  # never leave a worker blocked
+
+
+@pytest.fixture
+def spin(monkeypatch):
+    """A fake handler that checkpoints in a loop until cancelled."""
+    started = threading.Event()
+
+    def handler(state, params, context):
+        started.set()
+        for step in range(4000):  # bounded: ~20s worst case, cancels in ms
+            context.checkpoint(min(0.9, step / 4000))
+            time.sleep(0.005)
+        return {"finished": True}
+
+    monkeypatch.setitem(handlers.JOB_HANDLERS, "spin_test", handler)
+    return started
+
+
+def make_server(workers: int = 1, retention: int = 16) -> SystemDServer:
+    return SystemDServer(engine_workers=workers, job_retention=retention)
+
+
+def submit(server, action, params=None, **extra):
+    response = server.request(
+        "submit", {"action": action, "params": params or {}, **extra}
+    )
+    assert response.ok, response.error
+    return response.data
+
+
+class TestSubmission:
+    def test_job_result_matches_sync_response(self):
+        server = make_server(workers=2)
+        loaded = server.request(
+            "load_use_case", use_case="deal_closing", dataset_kwargs={"n_prospects": 150}
+        )
+        assert loaded.ok, loaded.error
+        perturbations = {"Open Marketing Email": 40.0}
+        sync = server.request("sensitivity", perturbations=perturbations)
+        assert sync.ok, sync.error
+        data = submit(server, "sensitivity", {"perturbations": perturbations})
+        result = server.request("job_result", job_id=data["job"]["job_id"], timeout_s=60)
+        assert result.ok, result.error
+        assert result.data["result"] == sync.data
+        assert result.data["job"]["state"] == "done"
+        assert result.data["job"]["progress"] == 1.0
+        server.close()
+
+    def test_non_jobable_action_is_rejected(self):
+        server = make_server()
+        response = server.request("submit", {"action": "list_use_cases"})
+        assert not response.ok
+        assert "cannot run as a job" in response.error
+
+    def test_unknown_session_is_rejected(self):
+        server = make_server()
+        response = server.request(
+            "submit", {"action": "sensitivity", "params": {}, "session_id": "ghost"}
+        )
+        assert not response.ok
+        assert "unknown session" in response.error
+
+    def test_missing_action_is_rejected(self):
+        server = make_server()
+        response = server.request("submit", {})
+        assert not response.ok
+        assert "'action' parameter is required" in response.error
+
+    def test_job_failure_is_reported_not_raised(self):
+        server = make_server()
+        # sensitivity without a loaded dataset fails inside the worker
+        data = submit(server, "sensitivity", {"perturbations": {"X": 1.0}})
+        result = server.request("job_result", job_id=data["job"]["job_id"], timeout_s=60)
+        assert not result.ok
+        assert "failed" in result.error
+        status = server.request("job_status", job_id=data["job"]["job_id"])
+        assert status.ok
+        assert status.data["job"]["state"] == "failed"
+        assert "load_use_case" in status.data["job"]["error"]
+        server.close()
+
+
+class TestCoalescing:
+    def test_identical_inflight_submissions_attach(self, gate):
+        server = make_server(workers=1)
+        first = submit(server, "gate_test", {"tag": "a"})
+        assert gate.started.wait(10)
+        second = submit(server, "gate_test", {"tag": "a"})
+        third = submit(server, "gate_test", {"tag": "a"})
+        assert not first["coalesced"]
+        assert second["coalesced"] and third["coalesced"]
+        assert second["job"]["job_id"] == first["job"]["job_id"]
+        assert third["job"]["attached"] == 3
+        gate.release.set()
+        result = server.request("job_result", job_id=first["job"]["job_id"], timeout_s=60)
+        assert result.ok, result.error
+        assert gate.tags == ["a"]  # one execution served all three submitters
+        server.close()
+
+    def test_different_params_do_not_coalesce(self, gate):
+        server = make_server(workers=1)
+        first = submit(server, "gate_test", {"tag": "a"})
+        assert gate.started.wait(10)
+        other = submit(server, "gate_test", {"tag": "b"})
+        assert not other["coalesced"]
+        assert other["job"]["job_id"] != first["job"]["job_id"]
+        gate.release.set()
+        for data in (first, other):
+            assert server.request(
+                "job_result", job_id=data["job"]["job_id"], timeout_s=60
+            ).ok
+        assert sorted(gate.tags) == ["a", "b"]
+        server.close()
+
+    def test_finished_job_is_not_reused(self, gate):
+        server = make_server(workers=1)
+        first = submit(server, "gate_test", {"tag": "a"})
+        gate.release.set()
+        assert server.request("job_result", job_id=first["job"]["job_id"], timeout_s=60).ok
+        again = submit(server, "gate_test", {"tag": "a"})
+        assert not again["coalesced"]
+        assert again["job"]["job_id"] != first["job"]["job_id"]
+        assert server.request("job_result", job_id=again["job"]["job_id"], timeout_s=60).ok
+        assert gate.tags == ["a", "a"]
+        server.close()
+
+
+class TestCancellation:
+    def test_cancel_before_start(self, gate):
+        server = make_server(workers=1)
+        blocker = submit(server, "gate_test", {"tag": "blocker"})
+        assert gate.started.wait(10)
+        queued = submit(server, "gate_test", {"tag": "queued"})
+        cancelled = server.request("cancel_job", job_id=queued["job"]["job_id"])
+        assert cancelled.ok
+        assert cancelled.data["job"]["state"] == "cancelled"
+        gate.release.set()
+        assert server.request("job_result", job_id=blocker["job"]["job_id"], timeout_s=60).ok
+        result = server.request("job_result", job_id=queued["job"]["job_id"], timeout_s=60)
+        assert not result.ok
+        assert "cancelled" in result.error
+        assert gate.tags == ["blocker"]  # the queued job never ran
+        server.close()
+
+    def test_cancel_mid_run_stops_at_next_checkpoint(self, spin):
+        server = make_server(workers=1)
+        data = submit(server, "spin_test", {})
+        assert spin.wait(10)
+        response = server.request("cancel_job", job_id=data["job"]["job_id"])
+        assert response.ok
+        result = server.request("job_result", job_id=data["job"]["job_id"], timeout_s=60)
+        assert not result.ok
+        status = server.request("job_status", job_id=data["job"]["job_id"])
+        assert status.data["job"]["state"] == "cancelled"
+        assert status.data["job"]["progress"] < 1.0
+        server.close()
+
+    def test_cancel_terminal_job_is_a_noop(self, gate):
+        server = make_server(workers=1)
+        data = submit(server, "gate_test", {"tag": "a"})
+        gate.release.set()
+        assert server.request("job_result", job_id=data["job"]["job_id"], timeout_s=60).ok
+        response = server.request("cancel_job", job_id=data["job"]["job_id"])
+        assert response.ok
+        assert response.data["job"]["state"] == "done"
+        server.close()
+
+    def test_cancel_unknown_job(self):
+        server = make_server()
+        response = server.request("cancel_job", job_id="j-missing")
+        assert not response.ok
+        assert "unknown job" in response.error
+
+
+class TestPrioritiesAndIntrospection:
+    def test_higher_priority_jobs_run_first(self, gate):
+        server = make_server(workers=1)
+        submit(server, "gate_test", {"tag": "blocker"})
+        assert gate.started.wait(10)
+        low = submit(server, "gate_test", {"tag": "low"})
+        high = submit(server, "gate_test", {"tag": "high"}, priority=5)
+        gate.release.set()
+        for data in (low, high):
+            assert server.request(
+                "job_result", job_id=data["job"]["job_id"], timeout_s=60
+            ).ok
+        assert gate.tags == ["blocker", "high", "low"]
+        server.close()
+
+    def test_list_jobs_filters_and_counters(self, gate):
+        server = make_server(workers=1)
+        submit(server, "gate_test", {"tag": "a"})
+        assert gate.started.wait(10)
+        submit(server, "gate_test", {"tag": "a"})  # coalesces
+        listing = server.request("list_jobs")
+        assert listing.ok
+        assert len(listing.data["jobs"]) == 1
+        assert listing.data["jobs"][0]["attached"] == 2
+        assert listing.data["engine"]["coalesced_total"] == 1
+        running = server.request("list_jobs", states=["running"])
+        assert len(running.data["jobs"]) == 1
+        done = server.request("list_jobs", states=["done"])
+        assert done.data["jobs"] == []
+        gate.release.set()
+        server.close()
+
+    def test_job_result_without_wait_reports_running(self, gate):
+        server = make_server(workers=1)
+        data = submit(server, "gate_test", {"tag": "a"})
+        assert gate.started.wait(10)
+        result = server.request("job_result", job_id=data["job"]["job_id"], wait=False)
+        assert not result.ok
+        assert "still running" in result.error
+        gate.release.set()
+        server.close()
+
+    def test_store_eviction_forgets_old_jobs(self, gate):
+        server = make_server(workers=1, retention=2)
+        gate.release.set()  # jobs run straight through
+        ids = []
+        for index in range(4):
+            data = submit(server, "gate_test", {"tag": f"t{index}"})
+            response = server.request(
+                "job_result", job_id=data["job"]["job_id"], timeout_s=60
+            )
+            assert response.ok, response.error
+            ids.append(data["job"]["job_id"])
+        evicted = server.request("job_status", job_id=ids[0])
+        assert not evicted.ok
+        assert "unknown job" in evicted.error
+        retained = server.request("job_status", job_id=ids[-1])
+        assert retained.ok
+        stats = server.request("server_stats")
+        assert stats.data["engine"]["store"]["evicted_total"] == 2
+        server.close()
+
+    def test_server_stats_reports_engine_and_latency_percentiles(self):
+        server = make_server()
+        server.request("list_use_cases")
+        stats = server.request("server_stats")
+        assert stats.ok
+        engine = stats.data["engine"]
+        assert engine["pool"]["workers"] == 1
+        assert engine["submitted_total"] == 0
+        latency = stats.data["requests"]["latency_ms"]
+        assert latency["p50"] is not None
+        assert latency["p95"] >= latency["p50"]

@@ -1,0 +1,232 @@
+"""Unit tests for the job primitives: lifecycle, store retention, pool."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import (
+    CANCELLED,
+    DONE,
+    PENDING,
+    RUNNING,
+    Job,
+    JobCancelled,
+    JobContext,
+    JobStore,
+    UnknownJobError,
+    WorkerPool,
+)
+
+
+def make_job(job_id: str = "j-1", *, key: str = "", priority: int = 0) -> Job:
+    return Job(
+        job_id=job_id,
+        action="sensitivity",
+        params={},
+        session_id="default",
+        priority=priority,
+        coalesce_key=key,
+        submitted_at=0.0,
+    )
+
+
+class TestJobLifecycle:
+    def test_forward_transitions(self):
+        job = make_job()
+        assert job.state == PENDING
+        assert job.try_start(1.0)
+        assert job.state == RUNNING
+        job.finish_success({"x": 1}, 2.0)
+        assert job.state == DONE
+        assert job.result == {"x": 1}
+        assert job.progress == 1.0
+        assert job.wait(0.0)
+
+    def test_try_start_fails_after_cancel(self):
+        job = make_job()
+        assert job.request_cancel(1.0)  # pending -> cancelled immediately
+        assert job.state == CANCELLED
+        assert not job.try_start(2.0)
+
+    def test_cancel_of_running_job_only_raises_flag(self):
+        job = make_job()
+        job.try_start(1.0)
+        assert not job.request_cancel(2.0)
+        assert job.state == RUNNING
+        assert job.cancel_requested
+
+    def test_cancel_wins_over_late_success(self):
+        job = make_job()
+        job.try_start(1.0)
+        job.request_cancel(2.0)
+        job.finish_success({"x": 1}, 3.0)
+        assert job.state == CANCELLED
+        assert job.result is None
+
+    def test_finish_does_not_overwrite_terminal_state(self):
+        job = make_job()
+        job.try_start(1.0)
+        job.finish(CANCELLED, 2.0, error="cancelled")
+        job.finish(DONE, 3.0, result={"x": 1})
+        assert job.state == CANCELLED
+
+    def test_progress_is_monotone_and_clamped(self):
+        job = make_job()
+        job.set_progress(0.5)
+        job.set_progress(0.25)  # may not move backwards
+        assert job.progress == 0.5
+        job.set_progress(7.0)
+        assert job.progress == 1.0
+        job.set_progress(-3.0)
+        assert job.progress == 1.0
+
+    def test_to_dict_reports_durations(self):
+        job = make_job()
+        job.submitted_at = 10.0
+        job.try_start(12.5)
+        snapshot = job.to_dict(now=14.0)
+        assert snapshot["wait_seconds"] == pytest.approx(2.5)
+        assert snapshot["run_seconds"] == pytest.approx(1.5)
+        job.finish_success({"x": 1}, 15.0)
+        done = job.to_dict(include_result=True)
+        assert done["run_seconds"] == pytest.approx(2.5)
+        assert done["result"] == {"x": 1}
+        assert "result" not in job.to_dict()
+
+
+class TestJobContext:
+    def test_checkpoint_publishes_progress(self):
+        job = make_job()
+        context = JobContext(job)
+        context.checkpoint(0.3)
+        assert job.progress == 0.3
+
+    def test_checkpoint_raises_once_cancelled(self):
+        job = make_job()
+        job.try_start(1.0)
+        context = JobContext(job)
+        context.checkpoint(0.3)
+        job.request_cancel(2.0)
+        assert context.cancelled
+        with pytest.raises(JobCancelled):
+            context.checkpoint(0.6)
+
+
+class TestJobStore:
+    def test_get_unknown_raises(self):
+        store = JobStore()
+        with pytest.raises(UnknownJobError):
+            store.get("nope")
+
+    def test_coalesce_attaches_to_inflight_job(self):
+        store = JobStore()
+        first, attached = store.coalesce_or_add("k", lambda: make_job("j-1", key="k"))
+        assert not attached
+        second, attached = store.coalesce_or_add("k", lambda: make_job("j-2", key="k"))
+        assert attached
+        assert second is first
+        assert first.attached == 2
+
+    def test_empty_key_never_coalesces(self):
+        store = JobStore()
+        first, _ = store.coalesce_or_add("", lambda: make_job("j-1"))
+        second, attached = store.coalesce_or_add("", lambda: make_job("j-2"))
+        assert not attached
+        assert second is not first
+
+    def test_finished_job_is_not_coalesced(self):
+        store = JobStore()
+        first, _ = store.coalesce_or_add("k", lambda: make_job("j-1", key="k"))
+        first.try_start(1.0)
+        first.finish_success({}, 2.0)
+        store.mark_finished(first)
+        second, attached = store.coalesce_or_add("k", lambda: make_job("j-2", key="k"))
+        assert not attached
+        assert second is not first
+
+    def test_cancel_requested_job_is_not_coalesced(self):
+        store = JobStore()
+        first, _ = store.coalesce_or_add("k", lambda: make_job("j-1", key="k"))
+        first.try_start(1.0)
+        first.request_cancel(2.0)
+        second, attached = store.coalesce_or_add("k", lambda: make_job("j-2", key="k"))
+        assert not attached
+
+    def test_lru_eviction_of_finished_jobs(self):
+        store = JobStore(max_finished=2)
+        jobs = []
+        for index in range(3):
+            job, _ = store.coalesce_or_add("", lambda i=index: make_job(f"j-{i}"))
+            job.try_start(1.0)
+            job.finish_success({}, 2.0)
+            jobs.append(job)
+        store.mark_finished(jobs[0])
+        store.mark_finished(jobs[1])
+        store.get("j-0")  # refresh j-0: j-1 becomes LRU
+        store.mark_finished(jobs[2])
+        assert "j-0" in store
+        assert "j-1" not in store
+        assert "j-2" in store
+        assert store.stats()["evicted_total"] == 1
+
+    def test_inflight_jobs_are_never_evicted(self):
+        store = JobStore(max_finished=1)
+        pending, _ = store.coalesce_or_add("k", lambda: make_job("j-p", key="k"))
+        for index in range(3):
+            job, _ = store.coalesce_or_add("", lambda i=index: make_job(f"j-{i}"))
+            job.try_start(1.0)
+            job.finish_success({}, 2.0)
+            store.mark_finished(job)
+        assert "j-p" in store
+        assert len(store) == 2  # the pending job + one retained finished job
+
+    def test_list_jobs_filters(self):
+        store = JobStore()
+        a, _ = store.coalesce_or_add("", lambda: make_job("j-a"))
+        b, _ = store.coalesce_or_add("", lambda: make_job("j-b"))
+        b.session_id = "other"
+        b.try_start(1.0)
+        b.finish_success({}, 2.0)
+        assert [j.job_id for j in store.list_jobs(session_id="other")] == ["j-b"]
+        assert [j.job_id for j in store.list_jobs(states=[PENDING])] == ["j-a"]
+
+
+class TestWorkerPool:
+    def test_executes_by_priority_with_fifo_ties(self):
+        order: list[str] = []
+        gate = threading.Event()
+        done = threading.Event()
+
+        def run(job: Job) -> None:
+            if job.job_id == "gate":
+                gate.wait(10)
+                return
+            order.append(job.job_id)
+            if len(order) == 3:
+                done.set()
+
+        pool = WorkerPool(run, workers=1)
+        pool.submit(make_job("gate"))
+        pool.submit(make_job("low-1", priority=0))
+        pool.submit(make_job("high", priority=5))
+        pool.submit(make_job("low-2", priority=0))
+        gate.set()
+        assert done.wait(10)
+        assert order == ["high", "low-1", "low-2"]
+        pool.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(lambda job: None, workers=1)
+        pool.submit(make_job("j-1"))
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(make_job("j-2"))
+
+    def test_lazy_start(self):
+        pool = WorkerPool(lambda job: None, workers=2)
+        assert not pool.stats()["started"]
+        pool.submit(make_job("j-1"))
+        assert pool.stats()["started"]
+        pool.shutdown()

@@ -135,6 +135,68 @@ class TestCommands:
         assert payload["models_trained"] == 1
         assert payload["cache_hits"] >= 1
 
+    def test_bench_engine_json_output(self, capsys):
+        exit_code = main(
+            [
+                "bench-engine",
+                "--use-case", "deal_closing",
+                "--rows", "150",
+                "--jobs", "2",
+                "--workers", "2",
+                "--amounts", "4",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_jobs"] == 2
+        assert payload["workers"] == 2
+        assert payload["bitwise_equal"] is True
+        assert payload["coalescing"]["distinct_jobs"] == 1
+        assert payload["speedup"] > 0
+
+    def test_jobs_command_against_http_backend(self, capsys):
+        import threading
+
+        from repro.server import serve_http
+
+        httpd = serve_http(port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = httpd.server_address[:2]
+            backend = httpd.backend
+            loaded = backend.request(
+                "load_use_case", use_case="deal_closing", dataset_kwargs={"n_prospects": 120}
+            )
+            assert loaded.ok, loaded.error
+            submitted = backend.request(
+                "submit",
+                {"action": "sensitivity", "params": {"perturbations": {"Call": 10.0}}},
+            )
+            assert submitted.ok, submitted.error
+            job_id = submitted.data["job"]["job_id"]
+            backend.request("job_result", job_id=job_id, timeout_s=60)
+
+            assert main(["jobs", "--host", str(host), "--port", str(port), "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert [job["job_id"] for job in payload["jobs"]] == [job_id]
+            assert payload["engine"]["executed_total"] == 1
+
+            assert main(
+                ["jobs", "--host", str(host), "--port", str(port), "--status", job_id]
+            ) == 0
+            assert job_id in capsys.readouterr().out
+
+            assert main(
+                ["jobs", "--host", str(host), "--port", str(port), "--status", "j-missing"]
+            ) == 2
+            assert "unknown job" in capsys.readouterr().err
+        finally:
+            httpd.shutdown()
+            httpd.backend.close()
+            httpd.server_close()
+
     def test_run_spec_missing_file(self, tmp_path, capsys):
         assert main(["run-spec", str(tmp_path / "nope.json")]) == 2
         assert "error" in capsys.readouterr().err
