@@ -178,8 +178,16 @@ def test_groupby_agg_speedup_and_artifact(benchmark):
     print_table(
         "P3: group-by + aggregate at 50k rows, row-wise vs columnar",
         [
-            {"path": "row-wise (tuple keys, subframes)", "ms": record["rowwise_ms"], "speedup": 1.0},
-            {"path": "columnar (factorize + reduceat)", "ms": record["columnar_ms"], "speedup": speedup},
+            {
+                "path": "row-wise (tuple keys, subframes)",
+                "ms": record["rowwise_ms"],
+                "speedup": 1.0,
+            },
+            {
+                "path": "columnar (factorize + reduceat)",
+                "ms": record["columnar_ms"],
+                "speedup": speedup,
+            },
         ],
     )
 
@@ -221,8 +229,16 @@ def test_inner_join_speedup_and_artifact(benchmark):
     print_table(
         "P3: inner join 50k x 500, row-wise vs columnar",
         [
-            {"path": "row-wise (dict index, row dicts)", "ms": record["rowwise_ms"], "speedup": 1.0},
-            {"path": "columnar (code join + take)", "ms": record["columnar_ms"], "speedup": speedup},
+            {
+                "path": "row-wise (dict index, row dicts)",
+                "ms": record["rowwise_ms"],
+                "speedup": 1.0,
+            },
+            {
+                "path": "columnar (code join + take)",
+                "ms": record["columnar_ms"],
+                "speedup": speedup,
+            },
         ],
     )
 

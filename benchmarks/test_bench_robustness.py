@@ -32,7 +32,10 @@ def test_robustness_of_rankings_and_recommendations(benchmark, deal_session):
     print_table(
         "A3: importance-ranking stability across 6 bootstrap models",
         [
-            {"metric": "mean pairwise Spearman agreement", "value": stability.mean_pairwise_spearman},
+            {
+                "metric": "mean pairwise Spearman agreement",
+                "value": stability.mean_pairwise_spearman,
+            },
             {"metric": "mean top-3 overlap", "value": stability.mean_top_k_overlap},
             {"metric": "max rank spread (positions)", "value": max(stability.rank_spread.values())},
         ],

@@ -12,6 +12,8 @@ The CLI covers the non-interactive entry points:
     Sensitivity analysis for one or more driver perturbations.
 ``python -m repro goal --use-case deal_closing --goal maximize --bound "Open Marketing Email=40:80"``
     Goal inversion / constrained analysis.
+``python -m repro sweep --use-case deal_closing --axis "Call=-40:40:20" --axis "Renewal=0,20,40"``
+    Scenario-space sweep: enumerate and rank a whole option space.
 ``python -m repro run-spec experiment.json``
     Execute a declarative experiment specification and print its results.
 ``python -m repro serve --port 8765``
@@ -36,7 +38,7 @@ from collections.abc import Sequence
 from typing import Any
 
 from .core import WhatIfSession
-from .datasets import list_use_cases
+from .datasets import get_use_case, list_use_cases
 from .server import to_json_safe
 from .spec import SpecError, execute_spec, load_spec, spec_to_sql
 
@@ -57,6 +59,23 @@ def _parse_assignment(text: str) -> tuple[str, float]:
         return name.strip(), float(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"invalid amount in {text!r}") from exc
+
+
+def _parse_axis(text: str) -> tuple[str, dict]:
+    """Parse ``"Driver=-40:40:20"`` (grid) or ``"Driver=0,10,25"`` (values)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"expected DRIVER=SPEC, got {text!r}")
+    name, _, spec = text.partition("=")
+    spec = spec.strip()
+    try:
+        if ":" in spec:
+            start, stop, step = spec.split(":")
+            axis = {"start": float(start), "stop": float(stop), "step": float(step)}
+        else:
+            axis = {"amounts": [float(part) for part in spec.split(",") if part.strip()]}
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"invalid axis spec in {text!r}") from exc
+    return name.strip(), axis
 
 
 def _parse_bound(text: str) -> tuple[str, tuple[float, float]]:
@@ -142,6 +161,49 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--cancel", metavar="JOB_ID", default=None, help="cancel one job")
     jobs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
+    sweep = subparsers.add_parser(
+        "sweep", help="scenario-space sweep: enumerate and rank whole option spaces"
+    )
+    add_session_arguments(sweep)
+    sweep.add_argument(
+        "--axis",
+        type=_parse_axis,
+        action="append",
+        required=True,
+        metavar="DRIVER=SPEC",
+        help="axis spec: 'Driver=-40:40:20' (start:stop:step grid) or "
+        "'Driver=0,10,25' (value list); repeatable",
+    )
+    sweep.add_argument(
+        "--mode",
+        choices=("percentage", "absolute"),
+        default="percentage",
+        help="perturbation mode shared by every axis",
+    )
+    sweep.add_argument("--goal", choices=("maximize", "minimize"), default="maximize")
+    sweep.add_argument("--top-k", type=int, default=10, help="frontier size")
+    sweep.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="prune scenarios whose total absolute change exceeds this budget",
+    )
+    sweep.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="evaluate this many sampled scenarios instead of the full grid",
+    )
+    sweep.add_argument(
+        "--sample-method",
+        choices=("random", "halton"),
+        default="random",
+        help="sampling strategy for --sample (halton = low-discrepancy)",
+    )
+    sweep.add_argument(
+        "--cohort", default=None, help="break the frontier down by this column"
+    )
+
     bench_engine = subparsers.add_parser(
         "bench-engine",
         help="async engine benchmark: concurrent sweeps vs serialized execution",
@@ -188,17 +250,10 @@ def _format(value: Any) -> str:
 
 
 def _session_from_args(args: argparse.Namespace) -> WhatIfSession:
-    dataset_kwargs: dict[str, Any] = {}
-    if args.rows is not None:
-        size_parameter = {
-            "deal_closing": "n_prospects",
-            "customer_retention": "n_customers",
-            "marketing_mix": "n_days",
-        }.get(args.use_case)
-        if size_parameter:
-            dataset_kwargs[size_parameter] = args.rows
     return WhatIfSession.from_use_case(
-        args.use_case, dataset_kwargs=dataset_kwargs, random_state=args.seed
+        args.use_case,
+        dataset_kwargs=get_use_case(args.use_case).size_kwargs(args.rows),
+        random_state=args.seed,
     )
 
 
@@ -285,6 +340,43 @@ def _command_goal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .scenarios import Axis, BudgetConstraint, ScenarioSpace
+
+    session = _session_from_args(args)
+    axes = [
+        Axis.from_dict({"driver": driver, "mode": args.mode, **spec})
+        for driver, spec in args.axis
+    ]
+    constraints = [BudgetConstraint.of(args.budget)] if args.budget is not None else []
+    space = ScenarioSpace(axes, constraints=constraints)
+    if args.sample is not None:
+        space = space.sampled(args.sample, method=args.sample_method, seed=args.seed)
+    result = session.sweep(
+        space, goal=args.goal, top_k=max(1, args.top_k), cohort=args.cohort
+    )
+    _emit(
+        result,
+        args.json,
+        lambda r: (
+            _print_table(
+                [
+                    {"rank": e.rank, "scenario": e.label, "kpi": e.kpi_value,
+                     "uplift": e.uplift}
+                    for e in r.top
+                ]
+            ),
+            print(
+                f"baseline {r.baseline_kpi:.3f}{r.kpi_unit} | "
+                f"{r.n_scenarios} scenarios scored"
+                + (f" ({r.n_pruned} pruned)" if r.n_pruned else "")
+                + f" | space {space.describe()}"
+            ),
+        ),
+    )
+    return 0
+
+
 def _command_run_spec(args: argparse.Namespace) -> int:
     try:
         spec = load_spec(args.path)
@@ -305,10 +397,15 @@ def _command_run_spec(args: argparse.Namespace) -> int:
         print(f"experiment: {spec.name}")
         for name, result in run.results.items():
             summary = to_json_safe(result.to_dict())
+            headline_keys = (
+                "best_kpi",
+                "uplift",
+                "original_kpi",
+                "perturbed_kpi",
+                "model_confidence",
+            )
             headline = {
-                key: summary[key]
-                for key in ("best_kpi", "uplift", "original_kpi", "perturbed_kpi", "model_confidence")
-                if key in summary
+                key: summary[key] for key in headline_keys if key in summary
             }
             print(f"  {name}: {headline or 'completed'}")
     return 0
@@ -337,12 +434,11 @@ def _command_bench_sessions(args: argparse.Namespace) -> int:
     n_sessions = max(1, args.sessions)
     # size the registry to the fleet so no session is LRU-evicted mid-run
     server = SystemDServer(registry=SessionRegistry(capacity=max(64, n_sessions)))
-    size_parameter = {
-        "deal_closing": "n_prospects",
-        "customer_retention": "n_customers",
-        "marketing_mix": "n_days",
-    }.get(args.use_case)
-    dataset_kwargs = {size_parameter: args.rows} if size_parameter else {}
+    try:
+        dataset_kwargs = get_use_case(args.use_case).size_kwargs(args.rows)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
 
     session_ids: list[str] = []
     for _ in range(n_sessions):
@@ -509,6 +605,7 @@ _COMMANDS = {
     "importance": _command_importance,
     "sensitivity": _command_sensitivity,
     "goal": _command_goal,
+    "sweep": _command_sweep,
     "run-spec": _command_run_spec,
     "serve": _command_serve,
     "bench-sessions": _command_bench_sessions,

@@ -27,7 +27,7 @@ from .results import (
     PerDataResult,
     SensitivityResult,
 )
-from .scenario import Scenario, ScenarioManager
+from .scenario import SCENARIO_KINDS, Scenario, ScenarioError, ScenarioManager
 from .sensitivity import run_comparison, run_per_data, run_sensitivity
 from .session import WhatIfSession
 
@@ -58,7 +58,9 @@ __all__ = [
     "GOALS",
     "DEFAULT_PERTURBATION_RANGE",
     "Scenario",
+    "ScenarioError",
     "ScenarioManager",
+    "SCENARIO_KINDS",
     "DriverImportance",
     "ImportanceResult",
     "SensitivityResult",

@@ -4,20 +4,36 @@ The paper argues "there are often multiple feasible choices with dynamic costs
 and trade-offs bound to decision paths.  Systems should enable rapid discovery
 as well as management and tracking of these choices (options), making them
 first-class citizens of data analysis."  A :class:`Scenario` is one such
-option — a named analysis (sensitivity run or goal inversion) with its inputs
-and outcome — and :class:`ScenarioManager` is the session's ledger of them:
-record, list, compare, and rank scenarios by the KPI they achieve.
+option — a named analysis (sensitivity run, goal inversion, or scenario-space
+sweep) with its inputs and outcome — and :class:`ScenarioManager` is the
+session's ledger of them: record, list, compare, and rank scenarios by the
+KPI they achieve.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from .results import GoalInversionResult, SensitivityResult
 
-__all__ = ["Scenario", "ScenarioManager"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.planner import SweepResult
+
+__all__ = ["Scenario", "ScenarioError", "ScenarioManager", "SCENARIO_KINDS"]
+
+#: Analysis kinds a scenario can track.
+SCENARIO_KINDS = ("sensitivity", "goal_inversion", "sweep")
+
+
+class ScenarioError(ValueError):
+    """Raised for scenario-ledger misuse (e.g. ranking an empty ledger).
+
+    Subclasses :class:`ValueError` so callers that caught the old bare
+    ``ValueError`` keep working.
+    """
 
 
 @dataclass(frozen=True)
@@ -31,10 +47,10 @@ class Scenario:
     name:
         User-supplied label ("increase emails 40%", "constrained max", ...).
     kind:
-        ``"sensitivity"`` or ``"goal_inversion"``.
+        One of :data:`SCENARIO_KINDS`.
     kpi_value:
         The KPI value this scenario achieves (perturbed KPI for sensitivity,
-        best KPI for goal inversion).
+        best KPI for goal inversion and sweeps).
     uplift:
         KPI change versus the original data.
     detail:
@@ -51,6 +67,12 @@ class Scenario:
     detail: dict[str, Any] = field(default_factory=dict)
     notes: str = ""
 
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ScenarioError(
+                f"kind must be one of {SCENARIO_KINDS}, got {self.kind!r}"
+            )
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation."""
         return {
@@ -62,6 +84,19 @@ class Scenario:
             "detail": dict(self.detail),
             "notes": self.notes,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Reconstruct from :meth:`to_dict` output (round-trip safe)."""
+        return cls(
+            scenario_id=int(payload["scenario_id"]),
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            kpi_value=float(payload["kpi_value"]),
+            uplift=float(payload["uplift"]),
+            detail=dict(payload.get("detail", {})),
+            notes=str(payload.get("notes", "")),
+        )
 
 
 class ScenarioManager:
@@ -110,6 +145,27 @@ class ScenarioManager:
         self._scenarios.append(scenario)
         return scenario
 
+    def record_sweep(
+        self, name: str, result: "SweepResult", *, notes: str = ""
+    ) -> Scenario:
+        """Track a scenario-space sweep outcome as a scenario.
+
+        The sweep's best frontier entry provides the headline KPI/uplift;
+        the full ranked result (frontier, marginals, cohorts) rides along in
+        ``detail``.
+        """
+        scenario = Scenario(
+            scenario_id=next(self._ids),
+            name=name,
+            kind="sweep",
+            kpi_value=result.best_kpi,
+            uplift=result.uplift,
+            detail=result.to_dict(),
+            notes=notes,
+        )
+        self._scenarios.append(scenario)
+        return scenario
+
     # ------------------------------------------------------------------ #
     def get(self, scenario_id: int) -> Scenario:
         """Look up a scenario by id."""
@@ -125,12 +181,20 @@ class ScenarioManager:
     def best(self, *, maximize: bool = True) -> Scenario:
         """The scenario achieving the best KPI value."""
         if not self._scenarios:
-            raise ValueError("no scenarios recorded yet")
+            raise ScenarioError(
+                "no scenarios recorded yet; run an analysis with track_as= "
+                "(or a sweep) before asking for the best scenario"
+            )
         key = (lambda s: s.kpi_value) if maximize else (lambda s: -s.kpi_value)
         return max(self._scenarios, key=key)
 
     def rank(self, *, maximize: bool = True) -> list[Scenario]:
         """Scenarios ordered best-to-worst by the KPI they achieve."""
+        if not self._scenarios:
+            raise ScenarioError(
+                "no scenarios recorded yet; run an analysis with track_as= "
+                "(or a sweep) before ranking scenarios"
+            )
         return sorted(self._scenarios, key=lambda s: s.kpi_value, reverse=maximize)
 
     def compare(self, scenario_ids: list[int] | None = None) -> list[dict[str, Any]]:

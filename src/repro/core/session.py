@@ -336,6 +336,42 @@ class WhatIfSession:
         return PerturbationSet.from_mapping(dict(perturbations), mode=mode)
 
     # ------------------------------------------------------------------ #
+    # scenario-space sweeps: discover options instead of evaluating one
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self,
+        space,
+        *,
+        goal: str = "maximize",
+        top_k: int = 10,
+        cohort: str | None = None,
+        track_as: str | None = None,
+        checkpoint: Callable[[float], None] | None = None,
+    ):
+        """Evaluate a whole scenario space in batched matrix form.
+
+        ``space`` is a :class:`~repro.scenarios.space.ScenarioSpace` (or its
+        wire-form dict).  The ranked :class:`~repro.scenarios.planner
+        .SweepResult` — top-``top_k`` frontier, per-axis marginal KPI
+        profiles, optional per-``cohort`` breakdowns — auto-records into the
+        scenario ledger (``track_as`` overrides the generated name) so
+        discovered options stay first-class citizens alongside hand-built
+        ones.  KPI values are bitwise identical to looping
+        :meth:`sensitivity` over the space.
+        """
+        # imported lazily: repro.scenarios builds on repro.core
+        from ..scenarios import ScenarioSpace, SweepPlanner
+
+        if not isinstance(space, ScenarioSpace):
+            space = ScenarioSpace.from_dict(space)
+        planner = SweepPlanner(
+            self.model, space, goal=goal, top_k=top_k, cohort_column=cohort
+        )
+        result = planner.run(checkpoint=checkpoint)
+        self.scenarios.record_sweep(track_as or f"sweep {space.describe()}", result)
+        return result
+
+    # ------------------------------------------------------------------ #
     # functionality 3: goal inversion (view I)
     # ------------------------------------------------------------------ #
     def goal_inversion(

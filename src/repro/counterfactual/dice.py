@@ -139,7 +139,11 @@ def generate_counterfactuals(
     candidates = np.tile(original, (n_candidates, 1))
     for i in range(n_candidates):
         n_mutations = rng.integers(1, max(2, allowed_mask.sum() + 1))
-        mutate = rng.choice(np.flatnonzero(allowed_mask), size=min(n_mutations, allowed_mask.sum()), replace=False)
+        mutate = rng.choice(
+            np.flatnonzero(allowed_mask),
+            size=min(n_mutations, allowed_mask.sum()),
+            replace=False,
+        )
         candidates[i, mutate] = lows[mutate] + rng.random(mutate.size) * spans[mutate]
 
     predictions = manager.predict_rows(

@@ -41,6 +41,10 @@ class UseCase:
         identifiers and bookkeeping columns).
     loader:
         Zero-argument-friendly callable returning the dataset.
+    size_parameter:
+        Name of the loader kwarg controlling the synthetic dataset's size
+        (``n_prospects``, ``n_customers``, ``n_days``); the CLI and the
+        benchmark workloads use it to translate a generic ``rows`` argument.
     """
 
     key: str
@@ -50,10 +54,17 @@ class UseCase:
     kpi_kind: str
     excluded_drivers: tuple[str, ...] = ()
     loader: Callable[..., DataFrame] = field(default=None, repr=False)
+    size_parameter: str = ""
 
     def load(self, **kwargs) -> DataFrame:
         """Load the use case's dataset (kwargs forwarded to the generator)."""
         return self.loader(**kwargs)
+
+    def size_kwargs(self, rows: int | None) -> dict[str, int]:
+        """``rows`` translated into this use case's loader kwargs."""
+        if rows is None or not self.size_parameter:
+            return {}
+        return {self.size_parameter: rows}
 
 
 USE_CASES: dict[str, UseCase] = {
@@ -69,6 +80,7 @@ USE_CASES: dict[str, UseCase] = {
         kpi_kind="continuous",
         excluded_drivers=("Day", "Day Of Week"),
         loader=load_marketing_mix,
+        size_parameter="n_days",
     ),
     "customer_retention": UseCase(
         key="customer_retention",
@@ -82,6 +94,7 @@ USE_CASES: dict[str, UseCase] = {
         kpi_kind="discrete",
         excluded_drivers=RETENTION_TEXT_COLUMNS,
         loader=load_customer_retention,
+        size_parameter="n_customers",
     ),
     "deal_closing": UseCase(
         key="deal_closing",
@@ -95,6 +108,7 @@ USE_CASES: dict[str, UseCase] = {
         kpi_kind="discrete",
         excluded_drivers=DEAL_TEXT_COLUMNS,
         loader=load_deal_closing,
+        size_parameter="n_prospects",
     ),
 }
 

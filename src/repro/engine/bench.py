@@ -32,12 +32,6 @@ from typing import Any
 
 __all__ = ["run_engine_benchmark", "available_cpus"]
 
-_SIZE_PARAMETER = {
-    "deal_closing": "n_prospects",
-    "customer_retention": "n_customers",
-    "marketing_mix": "n_days",
-}
-
 
 def available_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
@@ -67,14 +61,14 @@ def run_engine_benchmark(
     Raises ``RuntimeError`` on any request failure or payload mismatch, so
     callers can trust every number in the summary.
     """
+    from ..datasets import get_use_case
     from ..server import SessionRegistry, SystemDServer
 
     server = SystemDServer(
         registry=SessionRegistry(capacity=max(64, n_jobs)),
         engine_workers=workers,
     )
-    size_parameter = _SIZE_PARAMETER.get(use_case)
-    dataset_kwargs = {size_parameter: rows} if size_parameter else {}
+    dataset_kwargs = get_use_case(use_case).size_kwargs(rows)
 
     session_ids: list[str] = []
     for _ in range(n_jobs):

@@ -1,0 +1,35 @@
+"""Scenario-space sweeps: discover feasible options, not just evaluate one.
+
+* :class:`~repro.scenarios.space.ScenarioSpace` /
+  :class:`~repro.scenarios.space.Axis` — the declarative space grammar
+  (grids and value lists per driver, cartesian product, seeded random or
+  low-discrepancy sampling, constraint pruning);
+* :class:`~repro.scenarios.planner.SweepPlanner` /
+  :func:`~repro.scenarios.planner.run_sweep` — batched evaluation of whole
+  spaces through the kernel stack, returning a ranked
+  :class:`~repro.scenarios.planner.SweepResult`.
+"""
+
+from .planner import (
+    SWEEP_CHUNK_SCENARIOS,
+    SWEEP_GOALS,
+    SweepEntry,
+    SweepPlanner,
+    SweepResult,
+    run_sweep,
+)
+from .space import SAMPLE_METHODS, Axis, BudgetConstraint, ScenarioSpace, SweepScenario
+
+__all__ = [
+    "Axis",
+    "BudgetConstraint",
+    "ScenarioSpace",
+    "SweepScenario",
+    "SAMPLE_METHODS",
+    "SweepEntry",
+    "SweepPlanner",
+    "SweepResult",
+    "run_sweep",
+    "SWEEP_GOALS",
+    "SWEEP_CHUNK_SCENARIOS",
+]

@@ -134,7 +134,8 @@ class SystemDServer:
                 if request.session_id:
                     params.setdefault("session_id", request.session_id)
                 data = SERVER_HANDLERS[request.action](self, params)
-                session_id = str(data.get("session_id", "")) if request.action == "create_session" else ""
+                if request.action == "create_session":
+                    session_id = str(data.get("session_id", ""))
             else:
                 session_id = str(
                     request.session_id

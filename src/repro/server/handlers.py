@@ -284,6 +284,50 @@ def handle_constrained(
     return to_json_safe(result)
 
 
+def _parse_scenario_space(params: dict[str, Any]):
+    """Parse and canonicalise the ``space`` parameter of sweep actions."""
+    from ..scenarios import ScenarioSpace
+
+    payload = params.get("space")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "'space' parameter is required and must be an object "
+            "(see ScenarioSpace.to_dict)"
+        )
+    try:
+        return ScenarioSpace.from_dict(payload)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"invalid scenario space: {exc}") from exc
+
+
+def handle_run_sweep(
+    state: ServerState,
+    params: dict[str, Any],
+    checkpoint: Callable[[float], None] | None = None,
+) -> dict[str, Any]:
+    """Scenario-space sweep: score a whole space in batched matrix form.
+
+    The result auto-records into the session's scenario ledger.  Submitted
+    through the ``sweep`` action this runs as a chunk-checkpointed,
+    cancellable engine job; as a synchronous ``run_sweep`` request it blocks
+    like any other analysis action.
+    """
+    session = state.require_session()
+    space = _parse_scenario_space(params)
+    try:
+        result = session.sweep(
+            space,
+            goal=str(params.get("goal", "maximize")),
+            top_k=int(params.get("top_k", 10)),
+            cohort=params.get("cohort"),
+            track_as=params.get("track_as"),
+            checkpoint=checkpoint,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(str(exc)) from exc
+    return to_json_safe(result)
+
+
 def handle_list_scenarios(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
     """List the scenarios (options) tracked so far."""
     session = state.require_session()
@@ -449,6 +493,83 @@ def handle_list_jobs(server: "SystemDServer", params: dict[str, Any]) -> dict[st
     }
 
 
+def handle_sweep(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Queue a scenario-space sweep as a background engine job.
+
+    The space is parsed and re-serialised to its canonical wire form before
+    submission, so two clients describing the same space — axes in any
+    order — submit byte-identical job params and coalesce onto one job (the
+    engine's coalesce key covers the session, the model fingerprint, and the
+    canonical params, which embed the space hash).  Returns the job snapshot,
+    the ``space_hash``, and whether the submission coalesced; fetch the
+    ranked result with ``sweep_result``.
+    """
+    space = _parse_scenario_space(params)
+    job_params: dict[str, Any] = {
+        "space": space.to_dict(),
+        "space_hash": space.space_hash(),
+        "goal": str(params.get("goal", "maximize")),
+        "top_k": int(params.get("top_k", 10)),
+    }
+    if params.get("cohort") is not None:
+        job_params["cohort"] = str(params["cohort"])
+    if params.get("track_as") is not None:
+        job_params["track_as"] = str(params["track_as"])
+    try:
+        priority = int(params.get("priority", 0))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid priority: {params.get('priority')!r}") from exc
+    job, coalesced = server.engine.submit(
+        "run_sweep",
+        job_params,
+        session_id=str(params.get("session_id") or ""),
+        priority=priority,
+    )
+    return {
+        "job": job.to_dict(now=server.engine.now()),
+        "coalesced": coalesced,
+        "space_hash": job_params["space_hash"],
+        "space_size": space.size,
+    }
+
+
+def handle_sweep_result(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Fetch a sweep job's ranked result.
+
+    Address the job either by ``job_id`` or by the ``space_hash`` that
+    ``sweep`` returned (the most recently submitted sweep job of the
+    request's session for that hash).  Waiting semantics match
+    ``job_result``.
+    """
+    job_id = params.get("job_id")
+    if not job_id:
+        space_hash = params.get("space_hash")
+        if not space_hash:
+            raise ProtocolError(
+                "either 'job_id' or 'space_hash' is required for sweep_result"
+            )
+        # imported here like UnknownSessionError above: the registry imports
+        # ServerState from this module, so a top-level import would be circular
+        from .registry import DEFAULT_SESSION_ID
+
+        # resolve the session exactly like submission does: an omitted id
+        # means the default session, never "any session with this hash"
+        session_id = str(params.get("session_id") or "") or DEFAULT_SESSION_ID
+        candidates = [
+            job
+            for job in server.engine.store.list_jobs(session_id=session_id)
+            if job.action == "run_sweep"
+            and job.params.get("space_hash") == space_hash
+        ]
+        if not candidates:
+            raise ProtocolError(
+                f"no sweep job found for space hash {space_hash!r} (finished jobs "
+                "are retained LRU; it may have been evicted)"
+            )
+        job_id = candidates[-1].job_id
+    return handle_job_result(server, {**params, "job_id": job_id})
+
+
 #: Dispatch table used by the server app.
 HANDLERS: dict[str, Callable[[ServerState, dict[str, Any]], dict[str, Any]]] = {
     "list_use_cases": handle_list_use_cases,
@@ -462,6 +583,7 @@ HANDLERS: dict[str, Callable[[ServerState, dict[str, Any]], dict[str, Any]]] = {
     "per_data": handle_per_data,
     "goal_inversion": handle_goal_inversion,
     "constrained": handle_constrained,
+    "run_sweep": handle_run_sweep,
     "list_scenarios": handle_list_scenarios,
 }
 
@@ -478,6 +600,8 @@ SERVER_HANDLERS: dict[str, Callable[["SystemDServer", dict[str, Any]], dict[str,
     "job_result": handle_job_result,
     "cancel_job": handle_cancel_job,
     "list_jobs": handle_list_jobs,
+    "sweep": handle_sweep,
+    "sweep_result": handle_sweep_result,
 }
 
 
@@ -485,11 +609,16 @@ SERVER_HANDLERS: dict[str, Callable[["SystemDServer", dict[str, Any]], dict[str,
 # job-able wrappers: the same analysis handlers, driven by an engine worker
 # --------------------------------------------------------------------------- #
 def _checkpointed(
-    handler: Callable[[ServerState, dict[str, Any], Callable[[float], None] | None], dict[str, Any]],
+    handler: Callable[
+        [ServerState, dict[str, Any], Callable[[float], None] | None],
+        dict[str, Any],
+    ],
 ) -> Callable[[ServerState, dict[str, Any], "JobContext"], dict[str, Any]]:
     """Adapt a checkpoint-aware handler to the job-runner calling convention."""
 
-    def run(state: ServerState, params: dict[str, Any], context: "JobContext") -> dict[str, Any]:
+    def run(
+        state: ServerState, params: dict[str, Any], context: "JobContext"
+    ) -> dict[str, Any]:
         return handler(state, params, checkpoint=context.checkpoint)
 
     return run
@@ -519,4 +648,5 @@ JOB_HANDLERS: dict[str, Callable[[ServerState, dict[str, Any], "JobContext"], di
     "per_data": _plain(handle_per_data),
     "goal_inversion": _checkpointed(handle_goal_inversion),
     "constrained": _checkpointed(handle_constrained),
+    "run_sweep": _checkpointed(handle_run_sweep),
 }

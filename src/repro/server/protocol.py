@@ -19,6 +19,7 @@ action               paper view / interaction
 ``per_data``         (H) per-data analysis
 ``goal_inversion``   (I) goal inversion analysis
 ``constrained``      (G)+(I) constrained analysis
+``run_sweep``        scenario-space sweep (synchronous execution)
 ``list_scenarios``   options tracking
 ===================  ======================================================
 
@@ -47,6 +48,11 @@ action               async analysis engine
 ``job_result``       fetch (optionally wait for) a finished job's payload
 ``cancel_job``       cooperatively cancel a pending or running job
 ``list_jobs``        snapshots of tracked jobs plus engine counters
+``sweep``            queue a scenario-space sweep as a background job;
+                     identical spaces coalesce on (session, model
+                     fingerprint, space hash)
+``sweep_result``     fetch a sweep job's ranked result, by job id or by
+                     the space hash ``sweep`` returned
 ===================  ======================================================
 
 Every request may carry a ``session_id`` (envelope field or inside
@@ -79,6 +85,7 @@ ACTIONS = (
     "per_data",
     "goal_inversion",
     "constrained",
+    "run_sweep",
     "list_scenarios",
     "create_session",
     "close_session",
@@ -89,6 +96,8 @@ ACTIONS = (
     "job_result",
     "cancel_job",
     "list_jobs",
+    "sweep",
+    "sweep_result",
 )
 
 

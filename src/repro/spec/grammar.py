@@ -61,7 +61,9 @@ class FilterSpec:
 
     def __post_init__(self) -> None:
         if self.op not in self._OPS:
-            raise ValueError(f"unsupported filter operator {self.op!r}; expected one of {self._OPS}")
+            raise ValueError(
+                f"unsupported filter operator {self.op!r}; expected one of {self._OPS}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation."""

@@ -57,7 +57,11 @@ def tiny_frame() -> DataFrame:
     """A 6-row hand-written frame used by the frame-layer unit tests."""
     return DataFrame(
         {
-            "region": Column("region", ["east", "west", "east", "west", "east", "west"], dtype="string"),
+            "region": Column(
+                "region",
+                ["east", "west", "east", "west", "east", "west"],
+                dtype="string",
+            ),
             "spend": [10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
             "clicks": [1, 2, 3, 4, 5, 6],
             "converted": [False, False, True, True, True, True],

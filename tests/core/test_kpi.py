@@ -86,7 +86,8 @@ class TestTargetsAndAggregation:
 
     def test_mean_and_sum_aggregations(self):
         assert KPI("sales", "continuous").aggregate(np.array([10.0, 20.0])) == 15.0
-        assert KPI("sales", "continuous", aggregation="sum").aggregate(np.array([10.0, 20.0])) == 30.0
+        total = KPI("sales", "continuous", aggregation="sum")
+        assert total.aggregate(np.array([10.0, 20.0])) == 30.0
 
     def test_empty_predictions_rejected(self):
         with pytest.raises(ValueError):

@@ -31,7 +31,9 @@ class TestDatasetSensitivity:
     def test_multi_driver_perturbation(self, deal_manager):
         result = run_sensitivity(
             deal_manager,
-            PerturbationSet.from_mapping({"Open Marketing Email": 30.0, "Call": 30.0, "Renewal": 30.0}),
+            PerturbationSet.from_mapping(
+                {"Open Marketing Email": 30.0, "Call": 30.0, "Renewal": 30.0}
+            ),
         )
         single = run_sensitivity(
             deal_manager, PerturbationSet.from_mapping({"Open Marketing Email": 30.0})

@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.core import Perturbation, PerturbationSet, Scenario, ScenarioManager, WhatIfSession
+from repro.core import (
+    Perturbation,
+    PerturbationSet,
+    Scenario,
+    ScenarioError,
+    ScenarioManager,
+    WhatIfSession,
+)
 from repro.datasets import RETENTION_OBVIOUS_DRIVER, load_customer_retention
 from repro.frame import DataFrame
+from repro.scenarios import Axis, ScenarioSpace
 
 
 class TestSessionConstruction:
@@ -171,3 +181,32 @@ class TestScenarioManager:
         payload = manager_with_scenarios.get(1).to_dict()
         assert payload["kind"] == "sensitivity"
         assert "detail" in payload
+
+    def test_empty_ledger_raises_scenario_error(self):
+        manager = ScenarioManager()
+        with pytest.raises(ScenarioError, match="no scenarios recorded"):
+            manager.best()
+        with pytest.raises(ScenarioError, match="no scenarios recorded"):
+            manager.rank()
+        # ScenarioError subclasses ValueError, so pre-existing callers that
+        # caught the bare ValueError keep working
+        with pytest.raises(ValueError):
+            manager.best()
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="kind"):
+            Scenario(scenario_id=1, name="x", kind="typo", kpi_value=0.0, uplift=0.0)
+
+    def test_sweep_scenarios_round_trip(self, deal_session):
+        space = ScenarioSpace([Axis.values(deal_session.drivers[0], [10.0, 20.0])])
+        result = deal_session.sweep(space, track_as="email dial")
+        recorded = deal_session.scenarios.list()[-1]
+        assert recorded.kind == "sweep"
+        assert recorded.kpi_value == result.best_kpi
+        payload = json.loads(json.dumps(recorded.to_dict()))
+        rebuilt = Scenario.from_dict(payload)
+        assert rebuilt == recorded
+        assert rebuilt.detail["top"][0]["label"] == result.best.label
+        # sweep entries rank alongside hand-tracked ones without breaking
+        # the ledger's ordering operations
+        assert recorded in deal_session.scenarios.rank()

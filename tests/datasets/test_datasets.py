@@ -24,6 +24,15 @@ from repro.datasets import (
 )
 
 
+def _tiny_kwargs(use_case_key: str) -> dict[str, int]:
+    """Smallest-size dataset kwargs for each registered use case."""
+    if use_case_key == "marketing_mix":
+        return {"n_days": 40}
+    if use_case_key == "customer_retention":
+        return {"n_customers": 40}
+    return {"n_prospects": 40}
+
+
 class TestDealClosing:
     def test_schema(self, deal_frame):
         assert deal_frame.has_column("Account")
@@ -155,15 +164,11 @@ class TestRegistry:
 
     def test_kpi_kind_matches_dataset(self):
         for use_case in list_use_cases():
-            frame = use_case.load(**({"n_days": 40} if use_case.key == "marketing_mix" else
-                                     {"n_customers": 40} if use_case.key == "customer_retention" else
-                                     {"n_prospects": 40}))
+            frame = use_case.load(**_tiny_kwargs(use_case.key))
             assert frame.has_column(use_case.kpi)
 
     def test_excluded_drivers_exist_in_dataset(self):
         for use_case in list_use_cases():
-            frame = use_case.load(**({"n_days": 40} if use_case.key == "marketing_mix" else
-                                     {"n_customers": 40} if use_case.key == "customer_retention" else
-                                     {"n_prospects": 40}))
+            frame = use_case.load(**_tiny_kwargs(use_case.key))
             for column in use_case.excluded_drivers:
                 assert frame.has_column(column)

@@ -1,0 +1,234 @@
+"""Protocol-level sweep-job tests: coalescing, cancellation, progress.
+
+Deterministic concurrency control mirrors ``test_engine``: the sweep's
+batched scoring is forced onto the chunked fallback path (tiny chunks) and
+``ModelManager.predict_kpi_batch`` is wrapped with an event barrier, so
+"cancel mid-chunk" and "inspect progress mid-run" never race the worker.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.scenarios.planner as planner
+from repro.core.model_manager import ModelManager
+from repro.server import SystemDServer
+
+SPACE = {
+    "axes": [
+        {"driver": "Call", "start": -40, "stop": 40, "step": 20},
+        {"driver": "Renewal", "amounts": [0, 20, 40]},
+    ]
+}
+
+#: The same space with its axes listed in the opposite order.
+SPACE_REVERSED = {"axes": list(reversed(SPACE["axes"]))}
+
+
+def make_server(workers: int = 1) -> SystemDServer:
+    server = SystemDServer(engine_workers=workers)
+    loaded = server.request(
+        "load_use_case", use_case="deal_closing", dataset_kwargs={"n_prospects": 80}
+    )
+    assert loaded.ok, loaded.error
+    return server
+
+
+class Barrier:
+    """Wraps predict_kpi_batch: lets one chunk through, then blocks."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+        self.original = ModelManager.predict_kpi_batch
+
+    def handle(self, manager, matrices):
+        self.calls += 1
+        if self.calls > 1:
+            self.started.set()
+            assert self.release.wait(30), "barrier was never released"
+        return self.original(manager, matrices)
+
+
+@pytest.fixture
+def barrier(monkeypatch):
+    """Force the chunked path (2 scenarios per chunk) behind a barrier."""
+    instance = Barrier()
+
+    def wrapped(manager, matrices):
+        return instance.handle(manager, matrices)
+
+    monkeypatch.setattr(planner, "grid_sweep_kpis", lambda *a, **k: None)
+    monkeypatch.setattr(planner, "SWEEP_CHUNK_SCENARIOS", 2)
+    monkeypatch.setattr(ModelManager, "predict_kpi_batch", wrapped)
+    yield instance
+    instance.release.set()  # never leave a worker blocked
+
+
+class TestSweepSubmission:
+    def test_async_result_matches_sync_run_sweep(self):
+        server = make_server(workers=2)
+        submitted = server.request("sweep", space=SPACE, top_k=3)
+        assert submitted.ok, submitted.error
+        assert submitted.data["space_size"] == 15
+        fetched = server.request(
+            "sweep_result", job_id=submitted.data["job"]["job_id"], timeout_s=120
+        )
+        assert fetched.ok, fetched.error
+        sync = server.request("run_sweep", space=SPACE, top_k=3)
+        assert sync.ok, sync.error
+        assert json.dumps(fetched.data["result"], sort_keys=True) == json.dumps(
+            sync.data, sort_keys=True
+        )
+        # both runs auto-recorded into the ledger as sweep scenarios
+        ledger = server.request("list_scenarios")
+        assert [s["kind"] for s in ledger.data["scenarios"]] == ["sweep", "sweep"]
+        server.close()
+
+    def test_sweep_result_by_hash_is_session_scoped(self):
+        # the same space hash submitted from two sessions must resolve to
+        # the requesting session's job, and an omitted session id means the
+        # default session — never "any session with this hash"
+        server = make_server()
+        other = server.request(
+            "create_session", use_case="deal_closing", dataset_kwargs={"n_prospects": 60}
+        )
+        assert other.ok, other.error
+        other_id = other.data["session_id"]
+        mine = server.request("sweep", space=SPACE)
+        theirs = server.request("sweep", space=SPACE, session_id=other_id)
+        assert mine.data["space_hash"] == theirs.data["space_hash"]
+        assert mine.data["job"]["job_id"] != theirs.data["job"]["job_id"]
+        default_result = server.request(
+            "sweep_result", space_hash=mine.data["space_hash"], timeout_s=120
+        )
+        assert default_result.ok, default_result.error
+        assert default_result.data["job"]["job_id"] == mine.data["job"]["job_id"]
+        scoped = server.request(
+            "sweep_result",
+            space_hash=theirs.data["space_hash"],
+            session_id=other_id,
+            timeout_s=120,
+        )
+        assert scoped.ok, scoped.error
+        assert scoped.data["job"]["job_id"] == theirs.data["job"]["job_id"]
+        server.close()
+
+    def test_sweep_result_by_space_hash(self):
+        server = make_server()
+        submitted = server.request("sweep", space=SPACE)
+        assert submitted.ok, submitted.error
+        fetched = server.request(
+            "sweep_result", space_hash=submitted.data["space_hash"], timeout_s=120
+        )
+        assert fetched.ok, fetched.error
+        assert fetched.data["job"]["job_id"] == submitted.data["job"]["job_id"]
+        missing = server.request("sweep_result", space_hash="no-such-hash")
+        assert not missing.ok
+        assert "no sweep job" in missing.error
+        neither = server.request("sweep_result")
+        assert not neither.ok
+        server.close()
+
+    def test_invalid_spaces_are_protocol_errors(self):
+        server = make_server()
+        for params in (
+            {},
+            {"space": "not an object"},
+            {"space": {"axes": []}},
+            {"space": {"axes": [{"driver": "Call"}]}},
+            {"space": {"axes": [{"driver": "Call", "amounts": [1], "mode": "typo"}]}},
+        ):
+            response = server.request("sweep", params)
+            assert not response.ok
+            # every failure is a structured protocol error, not a crash
+            assert "space" in response.error or "invalid" in response.error
+        server.close()
+
+
+class TestSweepCoalescing:
+    def test_identical_spaces_coalesce_across_axis_order(self, barrier):
+        server = make_server(workers=1)
+        first = server.request("sweep", space=SPACE)
+        assert first.ok, first.error
+        assert barrier.started.wait(10)
+        # same space, different listing order: canonicalisation makes the
+        # submissions byte-identical, so they attach to the in-flight job
+        second = server.request("sweep", space=SPACE_REVERSED)
+        assert second.ok, second.error
+        assert second.data["space_hash"] == first.data["space_hash"]
+        assert second.data["coalesced"]
+        assert second.data["job"]["job_id"] == first.data["job"]["job_id"]
+        assert second.data["job"]["attached"] == 2
+        # a different space must not coalesce
+        other = server.request(
+            "sweep", space={"axes": [{"driver": "Call", "amounts": [5.0]}]}
+        )
+        assert not other.data["coalesced"]
+        barrier.release.set()
+        # drain every job before the patched scoring path is restored
+        for data in (first, other):
+            result = server.request(
+                "sweep_result", job_id=data.data["job"]["job_id"], timeout_s=120
+            )
+            assert result.ok, result.error
+        server.close()
+
+    def test_different_top_k_does_not_coalesce(self, barrier):
+        server = make_server(workers=1)
+        first = server.request("sweep", space=SPACE, top_k=3)
+        assert barrier.started.wait(10)
+        second = server.request("sweep", space=SPACE, top_k=5)
+        assert not second.data["coalesced"]
+        assert second.data["job"]["job_id"] != first.data["job"]["job_id"]
+        barrier.release.set()
+        # drain every job before the patched scoring path is restored
+        for data in (first, second):
+            result = server.request(
+                "sweep_result", job_id=data.data["job"]["job_id"], timeout_s=120
+            )
+            assert result.ok, result.error
+        server.close()
+
+
+class TestSweepCancellationAndProgress:
+    def test_cancel_mid_chunk_stops_at_next_checkpoint(self, barrier):
+        server = make_server(workers=1)
+        submitted = server.request("sweep", space=SPACE)
+        assert submitted.ok, submitted.error
+        job_id = submitted.data["job"]["job_id"]
+        assert barrier.started.wait(10)
+        cancelled = server.request("cancel_job", job_id=job_id)
+        assert cancelled.ok
+        barrier.release.set()
+        result = server.request("sweep_result", job_id=job_id, timeout_s=60)
+        assert not result.ok
+        assert "cancelled" in result.error
+        status = server.request("job_status", job_id=job_id)
+        assert status.data["job"]["state"] == "cancelled"
+        assert status.data["job"]["progress"] < 1.0
+        server.close()
+
+    def test_list_jobs_surfaces_sweep_progress_fraction(self, barrier):
+        server = make_server(workers=1)
+        submitted = server.request("sweep", space=SPACE)
+        assert submitted.ok, submitted.error
+        assert barrier.started.wait(10)
+        # one of eight 2-scenario chunks finished and checkpointed
+        listing = server.request("list_jobs", states=["running"])
+        assert listing.ok
+        jobs = listing.data["jobs"]
+        assert len(jobs) == 1
+        assert jobs[0]["action"] == "run_sweep"
+        assert 0.0 < jobs[0]["progress"] < 1.0
+        barrier.release.set()
+        done = server.request(
+            "sweep_result", job_id=submitted.data["job"]["job_id"], timeout_s=120
+        )
+        assert done.ok, done.error
+        assert done.data["job"]["progress"] == 1.0
+        server.close()

@@ -1,0 +1,108 @@
+"""Unit tests for the bench-regression gate comparator."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.check_regression import TOLERANCE, compare_file, run
+
+
+def write(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+def make_dirs(tmp_path: Path) -> tuple[Path, Path]:
+    baseline_dir = tmp_path / "baselines"
+    current_dir = tmp_path / "current"
+    baseline_dir.mkdir()
+    current_dir.mkdir()
+    return baseline_dir, current_dir
+
+
+TREE_BASE = {"speedup": 10.0, "bitwise_identical": True}
+
+
+class TestCompareFile:
+    def test_equal_results_pass(self):
+        assert compare_file("BENCH_tree_kernels.json", TREE_BASE, dict(TREE_BASE)) == []
+
+    def test_slowdown_within_tolerance_passes(self):
+        current = {"speedup": 10.0 * (1.0 - TOLERANCE) + 0.01, "bitwise_identical": True}
+        assert compare_file("BENCH_tree_kernels.json", TREE_BASE, current) == []
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        current = {"speedup": 10.0 * (1.0 - TOLERANCE) - 0.1, "bitwise_identical": True}
+        failures = compare_file("BENCH_tree_kernels.json", TREE_BASE, current)
+        assert len(failures) == 1
+        assert "below the baseline" in failures[0]
+
+    def test_speedup_improvement_passes(self):
+        current = {"speedup": 99.0, "bitwise_identical": True}
+        assert compare_file("BENCH_tree_kernels.json", TREE_BASE, current) == []
+
+    def test_equality_flip_fails_regardless_of_speed(self):
+        current = {"speedup": 99.0, "bitwise_identical": False}
+        failures = compare_file("BENCH_tree_kernels.json", TREE_BASE, current)
+        assert len(failures) == 1
+        assert "equality check changed" in failures[0]
+
+    def test_missing_metric_fails(self):
+        failures = compare_file("BENCH_tree_kernels.json", TREE_BASE, {})
+        assert len(failures) == 2  # one per configured metric
+
+    def test_nested_paths(self):
+        baseline = {
+            "groupby_agg": {"speedup": 8.0},
+            "inner_join": {"speedup": 16.0},
+        }
+        current = {
+            "groupby_agg": {"speedup": 7.9},
+            "inner_join": {"speedup": 4.0},
+        }
+        failures = compare_file("BENCH_frame_ops.json", baseline, current)
+        assert len(failures) == 1
+        assert "inner_join.speedup" in failures[0]
+
+
+class TestRun:
+    def test_all_pass(self, tmp_path):
+        baseline_dir, current_dir = make_dirs(tmp_path)
+        write(baseline_dir / "BENCH_tree_kernels.json", TREE_BASE)
+        write(current_dir / "BENCH_tree_kernels.json", dict(TREE_BASE))
+        assert run(baseline_dir, current_dir) == 0
+
+    def test_missing_fresh_result_fails(self, tmp_path):
+        baseline_dir, current_dir = make_dirs(tmp_path)
+        write(baseline_dir / "BENCH_tree_kernels.json", TREE_BASE)
+        assert run(baseline_dir, current_dir) == 1
+
+    def test_fresh_file_without_baseline_is_allowed(self, tmp_path):
+        baseline_dir, current_dir = make_dirs(tmp_path)
+        write(baseline_dir / "BENCH_tree_kernels.json", TREE_BASE)
+        write(current_dir / "BENCH_tree_kernels.json", dict(TREE_BASE))
+        write(current_dir / "BENCH_brand_new.json", {"speedup": 1.0})
+        assert run(baseline_dir, current_dir) == 0
+
+    def test_no_baselines_at_all_fails(self, tmp_path):
+        baseline_dir, current_dir = make_dirs(tmp_path)
+        assert run(baseline_dir, current_dir) == 1
+
+    def test_regression_fails(self, tmp_path):
+        baseline_dir, current_dir = make_dirs(tmp_path)
+        write(baseline_dir / "BENCH_tree_kernels.json", TREE_BASE)
+        write(
+            current_dir / "BENCH_tree_kernels.json",
+            {"speedup": 1.0, "bitwise_identical": True},
+        )
+        assert run(baseline_dir, current_dir) == 1
+
+    def test_committed_baselines_cover_every_gated_metric(self):
+        # the real baselines must stay in sync with the comparator's manifest
+        from benchmarks.check_regression import EQUALITY_METRICS, RATIO_METRICS, lookup
+
+        baseline_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+        for name in set(RATIO_METRICS) | set(EQUALITY_METRICS):
+            payload = json.loads((baseline_dir / name).read_text())
+            for path in RATIO_METRICS.get(name, []) + EQUALITY_METRICS.get(name, []):
+                lookup(payload, path)  # KeyError = manifest/baseline drift
