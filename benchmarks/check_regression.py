@@ -22,6 +22,15 @@ no fresh counterpart fails (a benchmark silently dropped is a regression
 too); a fresh file with no baseline is reported but allowed, so adding a new
 benchmark is a two-step: land the bench, then commit its baseline.
 
+Ratios only transfer across machines when baseline and fresh run measured
+the same *configuration*: a thread-pool ``worker_speedup`` captured on a
+4-core runner says nothing about a 1-core sandbox, and vice versa.  Files
+named in :data:`CONTEXT_KEYS` therefore carry their capture context
+(executor kind, worker count, usable CPUs); when any of those keys differ
+between baseline and fresh run the ratio metrics are *skipped* (reported as
+``[SKIP]``) instead of failing on an apples-to-oranges comparison.  Equality
+metrics are never skipped — correctness invariants hold on any hardware.
+
 Usage::
 
     python benchmarks/check_regression.py \
@@ -46,6 +55,7 @@ RATIO_METRICS: dict[str, list[str]] = {
     "BENCH_tree_kernels.json": ["speedup"],
     "BENCH_frame_ops.json": ["groupby_agg.speedup", "inner_join.speedup"],
     "BENCH_engine.json": ["speedup", "worker_speedup"],
+    "BENCH_engine_process.json": ["speedup", "worker_speedup"],
     "BENCH_scenario_sweep.json": ["speedup"],
 }
 
@@ -57,7 +67,20 @@ EQUALITY_METRICS: dict[str, list[str]] = {
         "coalescing.distinct_jobs",
         "coalescing.result_matches_sync",
     ],
+    "BENCH_engine_process.json": [
+        "bitwise_equal",
+        "coalescing.distinct_jobs",
+        "coalescing.result_matches_sync",
+    ],
     "BENCH_scenario_sweep.json": ["bitwise_equal", "grid_kernel"],
+}
+
+#: Capture-context keys per bench file: when any of these differ between the
+#: baseline and the fresh run, the file's *ratio* metrics are skipped rather
+#: than compared (a key absent from both sides counts as matching).
+CONTEXT_KEYS: dict[str, list[str]] = {
+    "BENCH_engine.json": ["executor", "workers", "cpu_count"],
+    "BENCH_engine_process.json": ["executor", "workers", "cpu_count"],
 }
 
 
@@ -69,10 +92,31 @@ def lookup(payload: dict, path: str):
     return value
 
 
+def context_mismatches(name: str, baseline: dict, current: dict) -> list[str]:
+    """Context keys whose values differ between baseline and fresh run.
+
+    A key missing from *both* payloads matches (older snapshots predate the
+    context keys); a key present on only one side is a mismatch.
+    """
+    return [
+        key
+        for key in CONTEXT_KEYS.get(name, [])
+        if baseline.get(key) != current.get(key)
+    ]
+
+
 def compare_file(name: str, baseline: dict, current: dict) -> list[str]:
     """Compare one bench file; returns failure messages (empty = pass)."""
     failures: list[str] = []
-    for path in RATIO_METRICS.get(name, []):
+    mismatched = context_mismatches(name, baseline, current)
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: {baseline.get(key)!r} -> {current.get(key)!r}"
+            for key in mismatched
+        )
+        for path in RATIO_METRICS.get(name, []):
+            print(f"  [SKIP] {name}:{path}: capture context differs ({detail})")
+    for path in [] if mismatched else RATIO_METRICS.get(name, []):
         try:
             base_value = float(lookup(baseline, path))
             new_value = float(lookup(current, path))

@@ -139,6 +139,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser("serve", help="start the JSON HTTP backend")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="async-engine executor: 'process' fans CPU-bound jobs across "
+        "worker processes (falls back to threads where spawn is unavailable)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="async-engine worker count"
+    )
 
     bench = subparsers.add_parser(
         "bench-sessions",
@@ -212,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_engine.add_argument("--rows", type=int, default=1000, help="synthetic dataset size")
     bench_engine.add_argument("--jobs", type=int, default=4, help="concurrent sweep jobs")
     bench_engine.add_argument("--workers", type=int, default=4, help="engine worker threads")
+    bench_engine.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="async-engine executor to benchmark",
+    )
     bench_engine.add_argument(
         "--amounts", type=int, default=10, help="perturbation amounts per sweep"
     )
@@ -414,8 +430,13 @@ def _command_run_spec(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking loop
     from .server import serve_http
 
-    httpd = serve_http(args.host, args.port)
-    print(f"SystemD backend listening on http://{args.host}:{httpd.server_address[1]}")
+    httpd = serve_http(
+        args.host, args.port, executor=args.executor, workers=max(1, args.workers)
+    )
+    print(
+        f"SystemD backend listening on http://{args.host}:{httpd.server_address[1]} "
+        f"(executor={httpd.backend.engine.executor_kind})"
+    )
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
@@ -575,6 +596,7 @@ def _command_bench_engine(args: argparse.Namespace) -> int:
             workers=max(1, args.workers),
             amounts_per_job=max(2, args.amounts),
             seed=args.seed,
+            executor=args.executor,
         )
     except RuntimeError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -586,6 +608,7 @@ def _command_bench_engine(args: argparse.Namespace) -> int:
             [
                 {
                     "jobs": s["n_jobs"],
+                    "executor": s["executor"],
                     "workers": s["workers"],
                     "cpus": s["cpu_count"],
                     "serial_s": s["serial_s"],

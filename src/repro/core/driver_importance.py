@@ -58,6 +58,7 @@ def compute_driver_importance(
     permutation_repeats: int = 3,
     random_state: int | None = 0,
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> ImportanceResult:
     """Run driver importance analysis for a trained model manager.
 
@@ -80,12 +81,32 @@ def compute_driver_importance(
         interleave with the existing computation, so results are bitwise
         identical with and without one; cancellation latency is bounded by
         the longest single stage (the Shapley estimate).
+    executor:
+        Optional process executor; the whole analysis then runs as one work
+        unit in a worker process (its stages share intermediate arrays, so
+        the win is escaping the GIL, not splitting stages).  The seeded
+        estimates reproduce identically in the worker.
 
     Returns
     -------
     ImportanceResult
         Drivers ordered most-to-least important by absolute importance.
     """
+    if executor is not None:
+        if checkpoint is not None:
+            checkpoint(0.0)
+        payload = {
+            "verify": bool(verify),
+            "shapley_samples": int(shapley_samples),
+            "shapley_permutations": int(shapley_permutations),
+            "permutation_repeats": int(permutation_repeats),
+            "random_state": random_state,
+        }
+        [result] = executor.run_units(
+            manager, [("driver_importance", payload)], checkpoint=checkpoint
+        )
+        return result
+
     tick = checkpoint if checkpoint is not None else _no_checkpoint
     frame = manager.frame
     drivers = manager.drivers

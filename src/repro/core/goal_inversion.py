@@ -95,6 +95,7 @@ def invert_goal(
     optimizer: str = "bayesian",
     random_state: int | None = 0,
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> GoalInversionResult:
     """Find driver perturbations that achieve a KPI goal.
 
@@ -131,6 +132,14 @@ def invert_goal(
         fraction after every objective evaluation.  The optimiser probes the
         identical candidate sequence either way, so results are bitwise equal
         with and without a checkpoint.
+    executor:
+        Optional process executor; the whole (unconstrained) inversion then
+        runs as one work unit in a worker process — the optimiser is
+        sequential, so the win is moving the model evaluations off the GIL,
+        not splitting them.  Seeded optimisers reproduce the identical
+        candidate sequence in the worker, so results are bitwise equal.
+        Constrained runs stay in-process (:class:`ConstraintSet` may carry
+        arbitrary callables that do not pickle).
 
     Returns
     -------
@@ -148,8 +157,35 @@ def invert_goal(
         raise ValueError(f"unknown drivers for goal inversion: {unknown}")
     if not chosen:
         raise ValueError("goal inversion needs at least one driver to vary")
+    if optimizer not in ("bayesian", "random", "grid"):
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; expected 'bayesian', 'random', or 'grid'"
+        )
 
     space = _build_space(chosen, dict(bounds or {}), default_range)
+
+    if executor is not None and constraints is None:
+        if checkpoint is not None:
+            checkpoint(0.0)
+        payload = {
+            "goal": goal,
+            "target_value": float(target_value) if target_value is not None else None,
+            "drivers": chosen,
+            "bounds": {
+                driver: [float(low), float(high)]
+                for driver, (low, high) in (bounds or {}).items()
+            },
+            "mode": mode,
+            "default_range": [float(default_range[0]), float(default_range[1])],
+            "n_calls": int(n_calls),
+            "optimizer": optimizer,
+            "random_state": random_state,
+        }
+        [result] = executor.run_units(
+            manager, [("goal_inversion", payload)], checkpoint=checkpoint
+        )
+        return result
+
     original_kpi = manager.baseline_kpi()
 
     def kpi_of(point: Sequence[float]) -> float:

@@ -80,6 +80,20 @@ class ModelManager:
         self._baseline_rows: np.ndarray | None = None
         self._baseline_kpi: float | None = None
         self._driver_matrix: np.ndarray | None = None
+        self._fingerprint: str | None = None
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Memoised identity of this manager's (dataset, KPI, drivers, params,
+        seed) tuple — the key process-pool workers cache hydrated models under,
+        matching the server-side :class:`~repro.core.cache.ModelCache` key."""
+        if self._fingerprint is None:
+            from .cache import model_fingerprint
+
+            self._fingerprint = model_fingerprint(
+                self.frame, self.kpi, self.drivers, self.model_params, self.random_state
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     @property

@@ -34,13 +34,29 @@ from .model_manager import ModelManager
 from .perturbation import Perturbation, PerturbationSet
 from .results import ComparisonPoint, ComparisonResult, PerDataResult, SensitivityResult
 
-__all__ = ["run_sensitivity", "run_comparison", "run_per_data"]
+__all__ = ["run_sensitivity", "run_comparison", "run_per_data", "split_ranges"]
 
 #: Row-chunk size of the checkpointed sensitivity prediction path.
 SENSITIVITY_CHUNK_ROWS = 2048
 
 #: Perturbed matrices evaluated per chunk of a checkpointed comparison sweep.
 COMPARISON_CHUNK_MATRICES = 4
+
+
+def split_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``parts`` contiguous sub-ranges.
+
+    The ranges are returned in order and cover every index exactly once, so
+    concatenating per-range results reproduces the full-range result for any
+    elementwise computation.  Used to partition rows, comparison points, and
+    scenario enumerations into process-pool work units.
+    """
+    total = int(total)
+    if total <= 0:
+        return []
+    parts = max(1, min(int(parts), total))
+    step = -(-total // parts)  # ceil division
+    return [(start, min(total, start + step)) for start in range(0, total, step)]
 
 
 def _predict_kpi_chunked(
@@ -90,11 +106,41 @@ def _predict_kpi_batch_chunked(
     return kpis
 
 
+def _sensitivity_kpi_units(
+    manager: ModelManager,
+    perturbations: PerturbationSet,
+    executor,
+    checkpoint: Callable[[float], None] | None,
+) -> float:
+    """Perturbed KPI computed as row-range work units on a process executor.
+
+    Perturbations are elementwise per row and predictions never look across
+    rows, so concatenating per-range predictions in range order reproduces
+    the full-matrix prediction bitwise before the single KPI aggregation.
+    """
+    n_rows = manager.driver_matrix().shape[0]
+    ranges = split_ranges(n_rows, executor.workers)
+    wire = perturbations.to_list()
+    units = [
+        ("sensitivity_rows", {"perturbations": wire, "start": start, "stop": stop})
+        for start, stop in ranges
+    ]
+    parts = executor.run_units(
+        manager,
+        units,
+        checkpoint=checkpoint,
+        weights=[stop - start for start, stop in ranges],
+    )
+    rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return float(manager.kpi.aggregate(rows))
+
+
 def run_sensitivity(
     manager: ModelManager,
     perturbations: PerturbationSet,
     *,
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> SensitivityResult:
     """Dataset-level sensitivity analysis.
 
@@ -109,11 +155,10 @@ def run_sensitivity(
         prediction runs in row chunks (bitwise identical to the single-shot
         path) and ``checkpoint`` is called with the completed fraction after
         each chunk.
-
-    Returns
-    -------
-    SensitivityResult
-        Original KPI, perturbed KPI, and their difference (the up-lift).
+    executor:
+        Optional process executor; when given, the perturbed prediction is
+        partitioned into row-range work units scored by worker processes
+        (bitwise identical — see :func:`_sensitivity_kpi_units`).
     """
     unknown = [p.driver for p in perturbations if p.driver not in manager.drivers]
     if unknown:
@@ -122,7 +167,9 @@ def run_sensitivity(
             f"available drivers: {manager.drivers}"
         )
     original_kpi = manager.baseline_kpi()
-    if checkpoint is None:
+    if executor is not None:
+        perturbed_kpi = _sensitivity_kpi_units(manager, perturbations, executor, checkpoint)
+    elif checkpoint is None:
         perturbed_kpi = manager.predict_kpi_matrix(manager.perturbed_matrix(perturbations))
     else:
         checkpoint(0.0)
@@ -139,6 +186,43 @@ def run_sensitivity(
     )
 
 
+def _comparison_kpis_units(
+    manager: ModelManager,
+    work: list[tuple[str, float]],
+    mode: str,
+    executor,
+    checkpoint: Callable[[float], None] | None,
+) -> np.ndarray:
+    """Comparison-sweep KPIs computed as point-range units on an executor.
+
+    Each (driver, amount) matrix is predicted and aggregated independently,
+    so concatenating per-range KPI arrays in range order reproduces the
+    one-shot batch bitwise.
+    """
+    if not work:
+        if checkpoint is not None:
+            checkpoint(0.0)
+        return np.array([])
+    ranges = split_ranges(len(work), executor.workers)
+    units = [
+        (
+            "comparison_kpis",
+            {
+                "pairs": [[driver, amount] for driver, amount in work[start:stop]],
+                "mode": mode,
+            },
+        )
+        for start, stop in ranges
+    ]
+    parts = executor.run_units(
+        manager,
+        units,
+        checkpoint=checkpoint,
+        weights=[stop - start for start, stop in ranges],
+    )
+    return np.concatenate([np.asarray(part, dtype=np.float64) for part in parts])
+
+
 def run_comparison(
     manager: ModelManager,
     drivers: Sequence[str] | None = None,
@@ -146,6 +230,7 @@ def run_comparison(
     *,
     mode: str = "percentage",
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> ComparisonResult:
     """Comparison analysis: sweep each driver individually over ``amounts``.
 
@@ -163,6 +248,10 @@ def run_comparison(
         Optional progress/cancellation callback; when given, the stacked
         sweep is evaluated a few matrices at a time (bitwise identical to
         the one-shot batch) with a checkpoint between chunks.
+    executor:
+        Optional process executor; when given, the sweep's (driver, amount)
+        points are partitioned into range units worker processes evaluate
+        (bitwise identical — see :func:`_comparison_kpis_units`).
 
     Returns
     -------
@@ -177,25 +266,25 @@ def run_comparison(
         raise ValueError("comparison analysis needs at least one perturbation amount")
 
     original_kpi = manager.baseline_kpi()
-    # build every perturbed matrix up front, then evaluate the whole sweep in
-    # one stacked kernel traversal instead of one model call per point
-    baseline_matrix = manager.driver_matrix()
-    sweep: list[tuple[str, float]] = []
-    matrices: list = []
-    for driver in chosen:
-        for amount in amounts:
-            sweep.append((driver, float(amount)))
-            if amount != 0:
-                matrices.append(
-                    Perturbation(driver, float(amount), mode).apply_to_matrix(
-                        baseline_matrix, manager.drivers
-                    )
-                )
-    if checkpoint is None:
-        kpis = iter(manager.predict_kpi_batch(matrices))
+    sweep = [(driver, float(amount)) for driver in chosen for amount in amounts]
+    work = [pair for pair in sweep if pair[1] != 0]
+    if executor is not None:
+        kpis = iter(_comparison_kpis_units(manager, work, mode, executor, checkpoint))
     else:
-        checkpoint(0.0)
-        kpis = iter(_predict_kpi_batch_chunked(manager, matrices, checkpoint))
+        # build every perturbed matrix up front, then evaluate the whole sweep
+        # in one stacked kernel traversal instead of one model call per point
+        baseline_matrix = manager.driver_matrix()
+        matrices = [
+            Perturbation(driver, amount, mode).apply_to_matrix(
+                baseline_matrix, manager.drivers
+            )
+            for driver, amount in work
+        ]
+        if checkpoint is None:
+            kpis = iter(manager.predict_kpi_batch(matrices))
+        else:
+            checkpoint(0.0)
+            kpis = iter(_predict_kpi_batch_chunked(manager, matrices, checkpoint))
     points = [
         ComparisonPoint(
             driver=driver,

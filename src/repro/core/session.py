@@ -265,19 +265,22 @@ class WhatIfSession:
         *,
         verify: bool = True,
         checkpoint: Callable[[float], None] | None = None,
+        executor=None,
     ) -> ImportanceResult:
         """Rank drivers by their importance to the KPI.
 
         With ``verify=True`` (default) the result also carries the Shapley /
         Pearson / Spearman / permutation cross-checks of each importance.
-        ``checkpoint`` threads progress/cancellation through the stages (used
-        by the async engine; results are identical either way).
+        ``checkpoint`` threads progress/cancellation through the stages and
+        ``executor`` (a process executor) moves the computation off the GIL
+        (used by the async engine; results are identical either way).
         """
         return compute_driver_importance(
             self.model,
             verify=verify,
             random_state=self._random_state,
             checkpoint=checkpoint,
+            executor=executor,
         )
 
     # ------------------------------------------------------------------ #
@@ -290,16 +293,20 @@ class WhatIfSession:
         mode: str = "percentage",
         track_as: str | None = None,
         checkpoint: Callable[[float], None] | None = None,
+        executor=None,
     ) -> SensitivityResult:
         """Perturb the dataset and compare the predicted KPI against baseline.
 
         ``perturbations`` may be a ready :class:`PerturbationSet` or a simple
         ``{driver: amount}`` mapping interpreted in ``mode``.  Pass
         ``track_as`` to record the outcome as a named scenario; ``checkpoint``
-        threads progress/cancellation through the chunked prediction.
+        threads progress/cancellation through the chunked prediction and
+        ``executor`` fans the prediction out across worker processes.
         """
         perturbation_set = self._as_perturbation_set(perturbations, mode)
-        result = run_sensitivity(self.model, perturbation_set, checkpoint=checkpoint)
+        result = run_sensitivity(
+            self.model, perturbation_set, checkpoint=checkpoint, executor=executor
+        )
         if track_as is not None:
             self.scenarios.record_sensitivity(track_as, result)
         return result
@@ -311,10 +318,16 @@ class WhatIfSession:
         *,
         mode: str = "percentage",
         checkpoint: Callable[[float], None] | None = None,
+        executor=None,
     ) -> ComparisonResult:
         """KPI trend for each driver individually across a perturbation range."""
         return run_comparison(
-            self.model, drivers, amounts, mode=mode, checkpoint=checkpoint
+            self.model,
+            drivers,
+            amounts,
+            mode=mode,
+            checkpoint=checkpoint,
+            executor=executor,
         )
 
     def per_data_analysis(
@@ -347,6 +360,7 @@ class WhatIfSession:
         cohort: str | None = None,
         track_as: str | None = None,
         checkpoint: Callable[[float], None] | None = None,
+        executor=None,
     ):
         """Evaluate a whole scenario space in batched matrix form.
 
@@ -367,7 +381,7 @@ class WhatIfSession:
         planner = SweepPlanner(
             self.model, space, goal=goal, top_k=top_k, cohort_column=cohort
         )
-        result = planner.run(checkpoint=checkpoint)
+        result = planner.run(checkpoint=checkpoint, executor=executor)
         self.scenarios.record_sweep(track_as or f"sweep {space.describe()}", result)
         return result
 
@@ -386,6 +400,7 @@ class WhatIfSession:
         optimizer: str = "bayesian",
         track_as: str | None = None,
         checkpoint: Callable[[float], None] | None = None,
+        executor=None,
     ) -> GoalInversionResult:
         """Find driver changes that maximise/minimise or hit a KPI target."""
         result = invert_goal(
@@ -399,6 +414,7 @@ class WhatIfSession:
             optimizer=optimizer,
             random_state=self._random_state,
             checkpoint=checkpoint,
+            executor=executor,
         )
         if track_as is not None:
             self.scenarios.record_goal_inversion(track_as, result)

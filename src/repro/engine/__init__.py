@@ -9,6 +9,13 @@ decouples request handling from analysis execution:
   cooperative cancellation via :class:`JobContext` checkpoints;
 * :mod:`~repro.engine.pool` — a thread-based :class:`WorkerPool` draining a
   priority queue;
+* :mod:`~repro.engine.process` — a spawn-safe :class:`ProcessExecutor` that
+  fans the CPU-bound job kinds out across persistent worker processes
+  (escaping the GIL), shipping fitted models once per fingerprint and
+  threading cancellation/progress over the process boundary;
+* :mod:`~repro.engine.units` — the picklable work units those processes
+  execute, decomposed so merged results stay bitwise identical to the
+  serial paths;
 * :mod:`~repro.engine.store` — a bounded :class:`JobStore` with LRU
   retention of finished results and the coalescing index that lets identical
   in-flight submissions share one execution;
@@ -17,7 +24,7 @@ decouples request handling from analysis execution:
   ``list_jobs`` actions delegate to.
 """
 
-from .engine import AnalysisEngine
+from .engine import PROCESS_ACTIONS, AnalysisEngine
 from .job import (
     CANCELLED,
     DONE,
@@ -31,6 +38,7 @@ from .job import (
     JobContext,
 )
 from .pool import WorkerPool
+from .process import ProcessExecutor, WorkerUnitError
 from .store import JobStore, UnknownJobError
 
 __all__ = [
@@ -39,8 +47,11 @@ __all__ = [
     "JobContext",
     "JobCancelled",
     "JobStore",
+    "PROCESS_ACTIONS",
+    "ProcessExecutor",
     "UnknownJobError",
     "WorkerPool",
+    "WorkerUnitError",
     "JOB_STATES",
     "TERMINAL_STATES",
     "PENDING",

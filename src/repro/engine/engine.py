@@ -44,12 +44,21 @@ from ..server.registry import DEFAULT_SESSION_ID
 from ..server.serialization import to_json_safe
 from .job import CANCELLED, DONE, FAILED, Job, JobCancelled, JobContext
 from .pool import WorkerPool
+from .process import ProcessExecutor
 from .store import JobStore, UnknownJobError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..server.app import SystemDServer
 
-__all__ = ["AnalysisEngine"]
+__all__ = ["AnalysisEngine", "PROCESS_ACTIONS"]
+
+#: CPU-bound job actions routed through the process executor when one is
+#: configured.  The remaining job-able actions (``per_data``,
+#: ``constrained``) stay in-process: they are sub-millisecond or carry
+#: non-picklable constraint callables.
+PROCESS_ACTIONS = frozenset(
+    {"run_sweep", "sensitivity", "comparison", "goal_inversion", "driver_importance"}
+)
 
 
 class AnalysisEngine:
@@ -62,8 +71,16 @@ class AnalysisEngine:
         their session through its registry and run under that session's lock.
     workers:
         Worker threads in the pool (threads start lazily on first submit).
+        With ``executor="process"`` the same count sizes the process pool.
     max_finished:
         Finished jobs retained by the store before LRU eviction.
+    executor:
+        ``"thread"`` (default) runs every job's analysis on the worker
+        thread; ``"process"`` additionally fans the CPU-bound actions
+        (:data:`PROCESS_ACTIONS`) out to a lazy-started
+        :class:`~repro.engine.process.ProcessExecutor`, escaping the GIL.
+        Where the ``spawn`` start method is unavailable the engine falls
+        back to threads and records the fallback in :meth:`stats`.
     clock:
         Monotonic time source, injectable for tests.
     """
@@ -74,6 +91,7 @@ class AnalysisEngine:
         *,
         workers: int = 4,
         max_finished: int = 256,
+        executor: str = "thread",
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._server = server
@@ -81,6 +99,21 @@ class AnalysisEngine:
         self.store = JobStore(max_finished=max_finished)
         self.pool = WorkerPool(self._run, workers=workers)
         self._lock = threading.Lock()
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self._executor_requested = executor
+        self._executor_fallback = ""
+        self.process_executor: ProcessExecutor | None = None
+        if executor == "process":
+            if ProcessExecutor.available():
+                # lazy pool: no process is spawned until the first routed job
+                self.process_executor = ProcessExecutor(workers=workers)
+            else:  # pragma: no cover - platform without spawn
+                self._executor_fallback = (
+                    "the 'spawn' start method is unavailable on this platform"
+                )
         # submission/coalescing totals live in the store (which decides them
         # under its own lock); the engine only counts what the store cannot
         # know — executions and terminal outcomes
@@ -166,7 +199,7 @@ class AnalysisEngine:
             return
         with self._lock:
             self._executed_total += 1
-        context = JobContext(job)
+        context = JobContext(job, executor=self.executor_for(job.action))
         try:
             entry = self._server._entry_for(job.session_id)
             handler = JOB_HANDLERS[job.action]
@@ -192,6 +225,21 @@ class AnalysisEngine:
             self._finished_by_state[job.state] = (
                 self._finished_by_state.get(job.state, 0) + 1
             )
+
+    # ------------------------------------------------------------------ #
+    # executor routing
+    # ------------------------------------------------------------------ #
+    @property
+    def executor_kind(self) -> str:
+        """The executor actually in effect (after any spawn fallback)."""
+        return "process" if self.process_executor is not None else "thread"
+
+    def executor_for(self, action: str) -> ProcessExecutor | None:
+        """The process executor a job of ``action`` should fan out to, or
+        ``None`` when the action (or the engine) runs thread-local."""
+        if self.process_executor is not None and action in PROCESS_ACTIONS:
+            return self.process_executor
+        return None
 
     # ------------------------------------------------------------------ #
     # inspection and control
@@ -248,8 +296,24 @@ class AnalysisEngine:
                 "failed_total": self._finished_by_state.get(FAILED, 0),
                 "cancelled_total": self._finished_by_state.get(CANCELLED, 0),
             }
-        return {**counters, "pool": self.pool.stats(), "store": store_stats}
+        executor_stats: dict[str, Any] = {
+            "kind": self.executor_kind,
+            "requested": self._executor_requested,
+        }
+        if self._executor_fallback:
+            executor_stats["fallback_reason"] = self._executor_fallback
+        if self.process_executor is not None:
+            executor_stats["process"] = self.process_executor.stats()
+        return {
+            **counters,
+            "executor": executor_stats,
+            "pool": self.pool.stats(),
+            "store": store_stats,
+        }
 
     def shutdown(self, *, wait: bool = True) -> None:
-        """Stop the worker pool (pending jobs stay pending)."""
+        """Stop the worker pool and any process executor (pending jobs stay
+        pending)."""
         self.pool.shutdown(wait=wait)
+        if self.process_executor is not None:
+            self.process_executor.shutdown(wait=wait)

@@ -232,13 +232,20 @@ class Job:
 class JobContext:
     """The cooperative-execution face of a job, handed to analysis runners."""
 
-    def __init__(self, job: Job) -> None:
+    def __init__(self, job: Job, *, executor: Any = None) -> None:
         self._job = job
+        self._executor = executor
 
     @property
     def job(self) -> Job:
         """The underlying job."""
         return self._job
+
+    @property
+    def executor(self) -> Any:
+        """The process executor this job's runner should fan work out to
+        (``None`` for thread-local execution — the serial runner paths)."""
+        return self._executor
 
     @property
     def cancelled(self) -> bool:

@@ -32,8 +32,9 @@ from typing import Any
 import numpy as np
 
 from ..core.model_manager import ModelManager
+from ..core.sensitivity import split_ranges
 from ..frame.kernels import group_index
-from .kernel import grid_sweep_kpis
+from .kernel import grid_kernel_applies, grid_sweep_kpis
 from .space import ScenarioSpace, SweepScenario
 
 __all__ = ["SweepEntry", "SweepResult", "SweepPlanner", "run_sweep", "SWEEP_GOALS"]
@@ -228,13 +229,19 @@ class SweepPlanner:
 
     # ------------------------------------------------------------------ #
     def run(
-        self, *, checkpoint: Callable[[float], None] | None = None
+        self,
+        *,
+        checkpoint: Callable[[float], None] | None = None,
+        executor=None,
     ) -> SweepResult:
         """Enumerate, score, rank, and profile the space.
 
         ``checkpoint`` is called with the completed fraction after every
         scored chunk (and during the cohort breakdown), publishing progress
-        and honouring cooperative cancellation between kernel passes.
+        and honouring cooperative cancellation between kernel passes.  With
+        ``executor`` (a process executor), scoring is partitioned into
+        contiguous sub-range work units scored by worker processes and merged
+        in enumeration order — bitwise identical to the serial paths.
         """
         scenarios = self.space.scenarios()
         if not scenarios:
@@ -244,7 +251,7 @@ class SweepPlanner:
             )
         if checkpoint is not None:
             checkpoint(0.0)
-        kpis = self._score(scenarios, checkpoint)
+        kpis = self._score(scenarios, checkpoint, executor=executor)
         order = self._rank(kpis)
         baseline = self.manager.baseline_kpi()
         top = self._frontier(scenarios, kpis, order, baseline)
@@ -279,6 +286,7 @@ class SweepPlanner:
         checkpoint: Callable[[float], None] | None,
         *,
         chunk_scenarios: int | None = None,
+        executor=None,
     ) -> np.ndarray:
         """Score every scenario in batched matrix form.
 
@@ -294,6 +302,10 @@ class SweepPlanner:
         manager = self.manager
         # the cohort phase owns the tail of the progress bar when requested
         scored_share = 0.9 if self.cohort_column is not None else 1.0
+        if executor is not None:
+            unit_kpis = self._score_units(scenarios, checkpoint, executor, scored_share)
+            if unit_kpis is not None:
+                return unit_kpis
         grid_kpis = grid_sweep_kpis(
             manager,
             self.space,
@@ -316,6 +328,61 @@ class SweepPlanner:
             if checkpoint is not None:
                 checkpoint(scored_share * (start + len(chunk)) / len(scenarios))
         return kpis
+
+    def _score_units(
+        self,
+        scenarios: list[SweepScenario],
+        checkpoint: Callable[[float], None] | None,
+        executor,
+        scored_share: float,
+    ) -> np.ndarray | None:
+        """Score the space as contiguous sub-range units on a process executor.
+
+        Exhaustive kernel-eligible grids are partitioned along the canonical
+        *outermost* axis (the first of the driver-name-sorted axes): its
+        levels vary slowest in :meth:`ScenarioSpace.scenarios`, so a level
+        block ``[lo, hi)`` is exactly the enumeration slice
+        ``[lo * inner, hi * inner)`` and the grid kernel scores each block
+        independently.  Other spaces split into enumeration-index ranges that
+        workers re-enumerate deterministically.  Either way the per-unit KPI
+        arrays concatenate in dispatch order into the identical enumeration-
+        order surface the serial ``_score`` produces, so frontier, marginals,
+        and cohort ranking downstream are bitwise unchanged.
+
+        Returns ``None`` when the space cannot travel over the wire (callable
+        constraints don't serialise) — the caller then stays in-process.
+        """
+        space = self.space
+        payload = space.to_dict()
+        try:
+            ScenarioSpace.from_dict(payload)
+        except (TypeError, ValueError, KeyError):
+            return None
+        if grid_kernel_applies(self.manager, space):
+            head = space.axes[0]
+            levels = len(head.amounts)
+            inner = space.size // levels
+            blocks = split_ranges(levels, executor.workers)
+            units = [
+                ("sweep_grid_block", {"space": payload, "lo": lo, "hi": hi})
+                for lo, hi in blocks
+            ]
+            weights = [(hi - lo) * inner for lo, hi in blocks]
+        else:
+            ranges = split_ranges(len(scenarios), executor.workers)
+            units = [
+                ("sweep_slice", {"space": payload, "start": start, "stop": stop})
+                for start, stop in ranges
+            ]
+            weights = [stop - start for start, stop in ranges]
+        parts = executor.run_units(
+            self.manager,
+            units,
+            checkpoint=checkpoint,
+            progress=(0.0, scored_share),
+            weights=weights,
+        )
+        return np.concatenate([np.asarray(part, dtype=np.float64) for part in parts])
 
     def _rank(self, kpis: np.ndarray) -> np.ndarray:
         """Scenario order best-to-worst (stable, so ties keep enumeration order)."""
@@ -448,9 +515,10 @@ def run_sweep(
     top_k: int = 10,
     cohort_column: str | None = None,
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> SweepResult:
     """Functional entry point mirroring the other analysis runners."""
     planner = SweepPlanner(
         manager, space, goal=goal, top_k=top_k, cohort_column=cohort_column
     )
-    return planner.run(checkpoint=checkpoint)
+    return planner.run(checkpoint=checkpoint, executor=executor)

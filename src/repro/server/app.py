@@ -62,10 +62,17 @@ class SystemDServer:
         Model cache shared by every session this server creates.
     engine_workers:
         Worker threads of the async analysis engine (threads start lazily on
-        the first ``submit``).
+        the first ``submit``).  With ``executor="process"`` the same count
+        sizes the process pool.
     job_retention:
         Finished jobs the engine's store retains (LRU) for ``job_status`` /
         ``job_result`` polling.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — passed through to the
+        engine; ``"process"`` fans the CPU-bound job actions out across a
+        persistent process pool (see
+        :class:`~repro.engine.process.ProcessExecutor`), falling back to
+        threads where ``spawn`` is unavailable.
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class SystemDServer:
         model_cache: ModelCache | None = None,
         engine_workers: int = 4,
         job_retention: int = 256,
+        executor: str = "thread",
     ) -> None:
         # imported here, not at module level: repro.engine imports the handler
         # tables from repro.server, so a module-level import would be circular
@@ -83,7 +91,7 @@ class SystemDServer:
         self.registry = registry if registry is not None else SessionRegistry()
         self.model_cache = model_cache if model_cache is not None else ModelCache()
         self.engine = AnalysisEngine(
-            self, workers=engine_workers, max_finished=job_retention
+            self, workers=engine_workers, max_finished=job_retention, executor=executor
         )
         self._request_log: deque[dict[str, Any]] = deque(maxlen=REQUEST_LOG_LIMIT)
         self._log_lock = threading.Lock()
@@ -286,7 +294,8 @@ class SystemDServer:
         }
 
     def close(self) -> None:
-        """Shut down the engine's worker pool (daemon threads; optional)."""
+        """Shut down the engine's worker pool and any process executor
+        (daemon threads/processes; optional)."""
         self.engine.shutdown(wait=False)
 
 
@@ -347,14 +356,23 @@ class _SystemDHTTPHandler(BaseHTTPRequestHandler):
         """Silence per-request stderr logging."""
 
 
-def serve_http(host: str = "127.0.0.1", port: int = 8765) -> ThreadingHTTPServer:
+def serve_http(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    *,
+    executor: str = "thread",
+    workers: int = 4,
+) -> ThreadingHTTPServer:
     """Create (but do not start) an HTTP server wrapping a fresh backend.
 
     Call ``serve_forever()`` on the returned object to run it; tests use
     ``handle_request()`` for single-shot interactions.  The threading server
     dispatches each request on its own thread, which the session locks make
-    safe.
+    safe.  ``executor``/``workers`` configure the backend's async engine
+    (``repro serve --executor process --workers N``).
     """
     httpd = ThreadingHTTPServer((host, port), _SystemDHTTPHandler)
-    httpd.backend = SystemDServer()  # type: ignore[attr-defined]
+    httpd.backend = SystemDServer(  # type: ignore[attr-defined]
+        engine_workers=workers, executor=executor
+    )
     return httpd

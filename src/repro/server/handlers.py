@@ -145,11 +145,14 @@ def handle_driver_importance(
     state: ServerState,
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> dict[str, Any]:
     """(E) Driver importance analysis."""
     session = state.require_session()
     result = session.driver_importance(
-        verify=bool(params.get("verify", True)), checkpoint=checkpoint
+        verify=bool(params.get("verify", True)),
+        checkpoint=checkpoint,
+        executor=executor,
     )
     return to_json_safe(result)
 
@@ -178,13 +181,17 @@ def handle_sensitivity(
     state: ServerState,
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> dict[str, Any]:
     """(F)+(G)+(H) Sensitivity analysis on the whole dataset."""
     session = state.require_session()
     perturbations, _ = _parse_perturbations(params)
     try:
         result = session.sensitivity(
-            perturbations, track_as=params.get("track_as"), checkpoint=checkpoint
+            perturbations,
+            track_as=params.get("track_as"),
+            checkpoint=checkpoint,
+            executor=executor,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
@@ -195,6 +202,7 @@ def handle_comparison(
     state: ServerState,
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> dict[str, Any]:
     """(H) Comparison analysis across drivers and perturbation magnitudes."""
     session = state.require_session()
@@ -205,6 +213,7 @@ def handle_comparison(
             [float(a) for a in amounts],
             mode=params.get("mode", "percentage"),
             checkpoint=checkpoint,
+            executor=executor,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
@@ -228,6 +237,7 @@ def handle_goal_inversion(
     state: ServerState,
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> dict[str, Any]:
     """(I) Free goal inversion (maximize / minimize / target)."""
     session = state.require_session()
@@ -241,6 +251,7 @@ def handle_goal_inversion(
             optimizer=params.get("optimizer", "bayesian"),
             track_as=params.get("track_as"),
             checkpoint=checkpoint,
+            executor=executor,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
@@ -251,6 +262,7 @@ def handle_constrained(
     state: ServerState,
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,  # accepted for signature parity; constraint callables stay in-process
 ) -> dict[str, Any]:
     """(G)+(I) Constrained analysis with per-driver bounds."""
     session = state.require_session()
@@ -304,6 +316,7 @@ def handle_run_sweep(
     state: ServerState,
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
+    executor=None,
 ) -> dict[str, Any]:
     """Scenario-space sweep: score a whole space in batched matrix form.
 
@@ -322,6 +335,7 @@ def handle_run_sweep(
             cohort=params.get("cohort"),
             track_as=params.get("track_as"),
             checkpoint=checkpoint,
+            executor=executor,
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError(str(exc)) from exc
@@ -619,7 +633,12 @@ def _checkpointed(
     def run(
         state: ServerState, params: dict[str, Any], context: "JobContext"
     ) -> dict[str, Any]:
-        return handler(state, params, checkpoint=context.checkpoint)
+        return handler(
+            state,
+            params,
+            checkpoint=context.checkpoint,
+            executor=getattr(context, "executor", None),
+        )
 
     return run
 

@@ -1,0 +1,125 @@
+"""Pickle round-trips for everything the process executor ships.
+
+The :class:`~repro.engine.process.ProcessExecutor` moves fitted model
+managers, scenario spaces, and perturbation sets across the process boundary
+by pickling them onto a worker's task queue.  Correctness of the parallel
+paths rests on those objects surviving the trip *exactly*: a rebuilt model
+whose predictions move by one ulp breaks the bitwise-identity guarantee the
+benchmarks enforce.  Every test here therefore asserts equality with
+``==``-level strictness (``np.array_equal``), never ``allclose``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.perturbation import Perturbation, PerturbationSet
+from repro.ml import ForestKernel, RandomForestClassifier, TreeKernel
+from repro.scenarios import Axis, BudgetConstraint, ScenarioSpace
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+@pytest.fixture(scope="module")
+def forest_and_data(classification_module_data):
+    X, y = classification_module_data
+    forest = RandomForestClassifier(n_estimators=8, max_depth=5, random_state=0)
+    forest.fit(X, y)
+    return forest, X
+
+
+@pytest.fixture(scope="module")
+def classification_module_data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 3))
+    logits = 1.5 * X[:, 0] - 2.0 * X[:, 1] + 0.5 * rng.normal(size=300)
+    return X, (logits > 0).astype(float)
+
+
+class TestFittedModels:
+    def test_forest_classifier_predictions_identical(self, forest_and_data):
+        forest, X = forest_and_data
+        clone = roundtrip(forest)
+        assert np.array_equal(clone.predict_proba(X), forest.predict_proba(X))
+        assert np.array_equal(clone.predict(X), forest.predict(X))
+
+    def test_tree_and_linear_managers_identical(self, deal_manager, marketing_session):
+        # one discrete-KPI manager (random forest) and one continuous
+        # (linear pipeline) — the two model families the executor ships
+        for manager in (deal_manager, marketing_session.model):
+            manager.fit()
+            clone = roundtrip(manager)
+            matrix = manager.driver_matrix()
+            assert np.array_equal(clone.driver_matrix(), matrix)
+            assert np.array_equal(
+                clone.predict_rows_matrix(matrix), manager.predict_rows_matrix(matrix)
+            )
+            assert clone.baseline_kpi() == manager.baseline_kpi()
+
+    def test_manager_fingerprint_survives(self, deal_manager):
+        assert roundtrip(deal_manager).fingerprint() == deal_manager.fingerprint()
+
+
+class TestKernels:
+    def test_tree_kernel_arrays_identical(self, forest_and_data):
+        forest, X = forest_and_data
+        kernel = forest.estimators_[0].kernel_
+        clone = roundtrip(kernel)
+        assert isinstance(clone, TreeKernel)
+        for attr in ("feature", "threshold", "left", "right", "value"):
+            assert np.array_equal(getattr(clone, attr), getattr(kernel, attr))
+        assert np.array_equal(clone.predict(X), kernel.predict(X))
+
+    def test_forest_kernel_arrays_identical(self, forest_and_data):
+        forest, X = forest_and_data
+        kernel = forest.kernel_
+        clone = roundtrip(kernel)
+        assert isinstance(clone, ForestKernel)
+        for attr in ("feature", "threshold", "left", "right", "value", "roots"):
+            assert np.array_equal(getattr(clone, attr), getattr(kernel, attr))
+        assert np.array_equal(clone.predict(X), kernel.predict(X))
+
+
+class TestScenarioObjects:
+    def test_grid_space_identical(self):
+        space = ScenarioSpace(
+            [
+                Axis.from_dict({"driver": "A", "start": -30, "stop": 30, "step": 15}),
+                Axis.from_dict({"driver": "B", "amounts": [0.0, 10.0, 20.0]}),
+            ],
+            constraints=[BudgetConstraint.of(40.0)],
+        )
+        clone = roundtrip(space)
+        assert clone.to_dict() == space.to_dict()
+        assert clone.scenarios() == space.scenarios()
+
+    def test_sampled_space_identical(self):
+        space = ScenarioSpace(
+            [
+                Axis.from_dict({"driver": "A", "start": -20, "stop": 20, "step": 2}),
+                Axis.from_dict({"driver": "B", "start": -20, "stop": 20, "step": 2}),
+            ]
+        ).sampled(25, method="halton", seed=9)
+        clone = roundtrip(space)
+        assert clone.scenarios() == space.scenarios()
+
+    def test_perturbation_set_identical(self, deal_manager):
+        drivers = deal_manager.drivers[:2]
+        pset = PerturbationSet(
+            [
+                Perturbation(drivers[0], 25.0, "percentage"),
+                Perturbation(drivers[1], -5.0, "absolute"),
+            ]
+        )
+        clone = roundtrip(pset)
+        assert clone.to_list() == pset.to_list()
+        matrix = deal_manager.driver_matrix()
+        assert np.array_equal(
+            clone.apply_to_matrix(matrix, deal_manager.drivers),
+            pset.apply_to_matrix(matrix, deal_manager.drivers),
+        )

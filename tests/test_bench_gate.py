@@ -65,6 +65,69 @@ class TestCompareFile:
         assert "inner_join.speedup" in failures[0]
 
 
+ENGINE_BASE = {
+    "executor": "thread",
+    "workers": 4,
+    "cpu_count": 4,
+    "speedup": 4.0,
+    "worker_speedup": 2.0,
+    "bitwise_equal": True,
+    "coalescing": {"distinct_jobs": 1, "result_matches_sync": True},
+}
+
+
+class TestContextSkip:
+    """Baseline/fresh runs captured under different configs compare sanely."""
+
+    def test_matching_context_still_gates_ratios(self):
+        current = dict(ENGINE_BASE, speedup=1.0)
+        failures = compare_file("BENCH_engine.json", ENGINE_BASE, current)
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_different_cpu_count_skips_ratios(self):
+        # a 4-core baseline vs a 1-core fresh run: ratios are incomparable,
+        # so a collapsed speedup must not fail the gate
+        current = dict(ENGINE_BASE, cpu_count=1, speedup=1.0, worker_speedup=0.9)
+        assert compare_file("BENCH_engine.json", ENGINE_BASE, current) == []
+
+    def test_different_executor_skips_ratios(self):
+        current = dict(ENGINE_BASE, executor="process", speedup=1.0)
+        assert compare_file("BENCH_engine.json", ENGINE_BASE, current) == []
+
+    def test_different_workers_skips_ratios(self):
+        current = dict(ENGINE_BASE, workers=1, speedup=1.0)
+        assert compare_file("BENCH_engine.json", ENGINE_BASE, current) == []
+
+    def test_context_key_on_one_side_only_skips_ratios(self):
+        baseline = {k: v for k, v in ENGINE_BASE.items() if k != "cpu_count"}
+        current = dict(ENGINE_BASE, speedup=1.0)
+        assert compare_file("BENCH_engine.json", baseline, current) == []
+
+    def test_context_keys_missing_on_both_sides_still_compare(self):
+        # pre-context snapshots (no executor/workers/cpu_count keys) keep
+        # gating exactly as before
+        strip = lambda payload: {  # noqa: E731
+            k: v for k, v in payload.items() if k not in ("executor", "workers", "cpu_count")
+        }
+        current = strip(dict(ENGINE_BASE, speedup=1.0))
+        failures = compare_file("BENCH_engine.json", strip(ENGINE_BASE), current)
+        assert len(failures) == 1
+
+    def test_equality_metrics_never_skipped(self):
+        current = dict(ENGINE_BASE, cpu_count=1, bitwise_equal=False)
+        failures = compare_file("BENCH_engine.json", ENGINE_BASE, current)
+        assert len(failures) == 1
+        assert "equality check changed" in failures[0]
+
+    def test_process_file_gated_like_engine_file(self):
+        base = dict(ENGINE_BASE, executor="process")
+        current = dict(base, worker_speedup=0.5)
+        failures = compare_file("BENCH_engine_process.json", base, current)
+        assert len(failures) == 1
+        assert "worker_speedup" in failures[0]
+
+
 class TestRun:
     def test_all_pass(self, tmp_path):
         baseline_dir, current_dir = make_dirs(tmp_path)
