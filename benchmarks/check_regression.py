@@ -73,6 +73,11 @@ EQUALITY_METRICS: dict[str, list[str]] = {
         "coalescing.result_matches_sync",
     ],
     "BENCH_scenario_sweep.json": ["bitwise_equal", "grid_kernel"],
+    # streaming gates on correctness only: wall-clock latency on shared
+    # runners is too noisy to ratio-compare, but the streamed result must
+    # stay bitwise-identical to the polled one and the stream must keep
+    # delivering at least one incremental chunk before the job finishes
+    "BENCH_streaming.json": ["streamed_equals_polled", "chunk_before_done"],
 }
 
 #: Capture-context keys per bench file: when any of these differ between the

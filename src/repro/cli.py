@@ -169,6 +169,24 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--session", default=None, help="only jobs of this session id")
     jobs.add_argument("--status", metavar="JOB_ID", default=None, help="show one job")
     jobs.add_argument("--cancel", metavar="JOB_ID", default=None, help="cancel one job")
+    jobs.add_argument(
+        "--follow",
+        metavar="JOB_ID",
+        default=None,
+        help="stream one job's events live over SSE until it finishes",
+    )
+    jobs.add_argument(
+        "--after",
+        type=int,
+        default=0,
+        help="with --follow: resume the stream after this sequence id",
+    )
+    jobs.add_argument(
+        "--limit", type=int, default=None, help="page size for the job listing"
+    )
+    jobs.add_argument(
+        "--offset", type=int, default=0, help="page offset for the job listing"
+    )
     jobs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     sweep = subparsers.add_parser(
@@ -536,10 +554,50 @@ def _post_backend(host: str, port: int, payload: dict[str, Any]) -> dict[str, An
         return {"ok": False, "error": f"cannot reach backend at {host}:{port}: {error.reason}"}
 
 
-def _command_jobs(args: argparse.Namespace) -> int:
-    if args.status and args.cancel:
-        print("error: --status and --cancel are mutually exclusive", file=sys.stderr)
+def _follow_job(args: argparse.Namespace) -> int:
+    """Stream one job's events over SSE, rendering them as they arrive."""
+    from .server.stream import StreamClient, StreamError
+
+    client = StreamClient(args.host, args.port)
+    terminal = "failed"
+    try:
+        for event in client.stream_job(
+            args.session or "", args.follow, after_seq=args.after or None
+        ):
+            if args.json:
+                print(json.dumps(event.data))
+                continue
+            payload = event.payload
+            if event.type == "progress":
+                print(f"[{event.event_id:>4}] progress {payload.get('progress', 0.0):.0%}")
+            elif event.type == "gap":
+                print(f"[  --] gap: {payload.get('missed', '?')} events evicted")
+            elif event.type in ("done", "failed", "cancelled"):
+                terminal = event.type
+                detail = payload.get("error") or ""
+                print(f"[{event.event_id:>4}] {event.type}" + (f": {detail}" if detail else ""))
+            else:
+                summary = {k: v for k, v in payload.items() if not isinstance(v, (dict, list))}
+                print(f"[{event.event_id:>4}] {event.type} {summary}")
+            if event.type in ("done", "failed", "cancelled"):
+                break
+    except StreamError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
+    except (ConnectionError, OSError) as error:
+        print(f"error: stream dropped: {error}", file=sys.stderr)
+        return 2
+    return 0 if terminal == "done" else 1
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    exclusive = [name for name in ("status", "cancel", "follow") if getattr(args, name)]
+    if len(exclusive) > 1:
+        flags = ", ".join(f"--{name}" for name in exclusive)
+        print(f"error: {flags} are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.follow:
+        return _follow_job(args)
     if args.status:
         envelope = _post_backend(
             args.host, args.port, {"action": "job_status", "params": {"job_id": args.status}}
@@ -552,6 +610,10 @@ def _command_jobs(args: argparse.Namespace) -> int:
         params: dict[str, Any] = {}
         if args.session:
             params["session_id"] = args.session
+        if args.limit is not None:
+            params["limit"] = args.limit
+        if args.offset:
+            params["offset"] = args.offset
         envelope = _post_backend(args.host, args.port, {"action": "list_jobs", "params": params})
     if not envelope.get("ok"):
         print(f"error: {envelope.get('error', 'request failed')}", file=sys.stderr)

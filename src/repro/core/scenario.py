@@ -174,9 +174,12 @@ class ScenarioManager:
                 return scenario
         raise KeyError(f"no scenario with id {scenario_id}")
 
-    def list(self) -> list[Scenario]:
-        """All scenarios in recording order."""
-        return list(self._scenarios)
+    def list(self, *, limit: int | None = None, offset: int = 0) -> list[Scenario]:
+        """Scenarios in recording order (a stable pagination key: ids only
+        grow), optionally sliced by ``limit``/``offset``."""
+        offset = max(0, int(offset))
+        stop = None if limit is None else offset + max(0, int(limit))
+        return self._scenarios[offset:stop]
 
     def best(self, *, maximize: bool = True) -> Scenario:
         """The scenario achieving the best KPI value."""

@@ -27,6 +27,7 @@ original single-shot code paths run untouched.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -65,12 +66,16 @@ def _predict_kpi_chunked(
     checkpoint: Callable[[float], None],
     *,
     chunk_rows: int | None = None,
+    emit: Callable[..., None] | None = None,
 ) -> float:
     """Aggregate KPI of ``matrix`` predicted in row chunks.
 
     Per-row predictions are independent, so concatenating chunk predictions
     reproduces the whole-matrix prediction bitwise; the KPI aggregation then
-    sees the identical array.
+    sees the identical array.  With ``emit``, every chunk publishes a
+    ``sensitivity_chunk`` event carrying the rows scored so far and the
+    partial KPI over that prefix — streaming clients watch the estimate
+    converge to the exact final value.
     """
     if chunk_rows is None:  # read at call time so tests can shrink the chunks
         chunk_rows = SENSITIVITY_CHUNK_ROWS
@@ -79,6 +84,15 @@ def _predict_kpi_chunked(
     for start in range(0, n_rows, chunk_rows):
         parts.append(manager.predict_rows_matrix(matrix[start : start + chunk_rows]))
         checkpoint(min(1.0, (start + chunk_rows) / n_rows))
+        if emit is not None:
+            emit(
+                "sensitivity_chunk",
+                {
+                    "rows_scored": min(n_rows, start + chunk_rows),
+                    "n_rows": n_rows,
+                    "partial_kpi": float(manager.kpi.aggregate(np.concatenate(parts))),
+                },
+            )
     rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
     return manager.kpi.aggregate(rows)
 
@@ -89,20 +103,27 @@ def _predict_kpi_batch_chunked(
     checkpoint: Callable[[float], None],
     *,
     chunk_matrices: int | None = None,
+    on_chunk: Callable[[int, np.ndarray], None] | None = None,
 ) -> np.ndarray:
     """Aggregate KPIs of many perturbed matrices, evaluated in chunks.
 
     Each matrix is predicted and aggregated independently inside
     :meth:`~repro.core.model_manager.ModelManager.predict_kpi_batch`, so
     splitting the batch only changes how the work is grouped, not any value.
+    ``on_chunk(start, values)`` fires after each chunk with its KPI values —
+    the comparison runner maps them back to (driver, amount) points for
+    streaming.
     """
     if chunk_matrices is None:  # read at call time so tests can shrink the chunks
         chunk_matrices = COMPARISON_CHUNK_MATRICES
     kpis = np.empty(len(matrices))
     for start in range(0, len(matrices), chunk_matrices):
         chunk = matrices[start : start + chunk_matrices]
-        kpis[start : start + len(chunk)] = manager.predict_kpi_batch(chunk)
+        values = manager.predict_kpi_batch(chunk)
+        kpis[start : start + len(chunk)] = values
         checkpoint(min(1.0, (start + len(chunk)) / max(1, len(matrices))))
+        if on_chunk is not None:
+            on_chunk(start, np.asarray(values))
     return kpis
 
 
@@ -111,12 +132,16 @@ def _sensitivity_kpi_units(
     perturbations: PerturbationSet,
     executor,
     checkpoint: Callable[[float], None] | None,
+    emit: Callable[..., None] | None = None,
 ) -> float:
     """Perturbed KPI computed as row-range work units on a process executor.
 
     Perturbations are elementwise per row and predictions never look across
     rows, so concatenating per-range predictions in range order reproduces
     the full-matrix prediction bitwise before the single KPI aggregation.
+    With ``emit``, each completed row-range unit publishes a
+    ``sensitivity_chunk`` event as its result crosses back from the worker
+    process (units finish in any order, so no prefix-partial KPI here).
     """
     n_rows = manager.driver_matrix().shape[0]
     ranges = split_ranges(n_rows, executor.workers)
@@ -125,11 +150,20 @@ def _sensitivity_kpi_units(
         ("sensitivity_rows", {"perturbations": wire, "start": start, "stop": stop})
         for start, stop in ranges
     ]
+
+    def on_unit_done(unit_index: int, _result) -> None:
+        start, stop = ranges[unit_index]
+        emit(
+            "sensitivity_chunk",
+            {"rows": [start, stop], "n_rows": n_rows, "unit": unit_index},
+        )
+
     parts = executor.run_units(
         manager,
         units,
         checkpoint=checkpoint,
         weights=[stop - start for start, stop in ranges],
+        on_unit_done=on_unit_done if emit is not None else None,
     )
     rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
     return float(manager.kpi.aggregate(rows))
@@ -141,6 +175,7 @@ def run_sensitivity(
     *,
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> SensitivityResult:
     """Dataset-level sensitivity analysis.
 
@@ -159,6 +194,10 @@ def run_sensitivity(
         Optional process executor; when given, the perturbed prediction is
         partitioned into row-range work units scored by worker processes
         (bitwise identical — see :func:`_sensitivity_kpi_units`).
+    emit:
+        Optional event publisher (``emit(type, data)``, the job context's
+        :meth:`~repro.engine.job.JobContext.emit`); chunked paths publish
+        ``sensitivity_chunk`` events for streaming clients.
     """
     unknown = [p.driver for p in perturbations if p.driver not in manager.drivers]
     if unknown:
@@ -168,13 +207,15 @@ def run_sensitivity(
         )
     original_kpi = manager.baseline_kpi()
     if executor is not None:
-        perturbed_kpi = _sensitivity_kpi_units(manager, perturbations, executor, checkpoint)
+        perturbed_kpi = _sensitivity_kpi_units(
+            manager, perturbations, executor, checkpoint, emit
+        )
     elif checkpoint is None:
         perturbed_kpi = manager.predict_kpi_matrix(manager.perturbed_matrix(perturbations))
     else:
         checkpoint(0.0)
         perturbed_kpi = _predict_kpi_chunked(
-            manager, manager.perturbed_matrix(perturbations), checkpoint
+            manager, manager.perturbed_matrix(perturbations), checkpoint, emit=emit
         )
     return SensitivityResult(
         kpi=manager.kpi.name,
@@ -186,12 +227,27 @@ def run_sensitivity(
     )
 
 
+def _comparison_point_events(
+    work: list[tuple[str, float]], start: int, values: np.ndarray
+) -> dict[str, Any]:
+    """``comparison_chunk`` payload for the sweep points ``work[start:...]``."""
+    return {
+        "points": [
+            {"driver": driver, "amount": amount, "kpi_value": float(value)}
+            for (driver, amount), value in zip(work[start : start + len(values)], values)
+        ],
+        "start": start,
+        "n_points": len(work),
+    }
+
+
 def _comparison_kpis_units(
     manager: ModelManager,
     work: list[tuple[str, float]],
     mode: str,
     executor,
     checkpoint: Callable[[float], None] | None,
+    emit: Callable[..., None] | None = None,
 ) -> np.ndarray:
     """Comparison-sweep KPIs computed as point-range units on an executor.
 
@@ -214,11 +270,16 @@ def _comparison_kpis_units(
         )
         for start, stop in ranges
     ]
+    def on_unit_done(unit_index: int, result) -> None:
+        start, _stop = ranges[unit_index]
+        emit("comparison_chunk", _comparison_point_events(work, start, np.asarray(result)))
+
     parts = executor.run_units(
         manager,
         units,
         checkpoint=checkpoint,
         weights=[stop - start for start, stop in ranges],
+        on_unit_done=on_unit_done if emit is not None else None,
     )
     return np.concatenate([np.asarray(part, dtype=np.float64) for part in parts])
 
@@ -231,6 +292,7 @@ def run_comparison(
     mode: str = "percentage",
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> ComparisonResult:
     """Comparison analysis: sweep each driver individually over ``amounts``.
 
@@ -252,6 +314,9 @@ def run_comparison(
         Optional process executor; when given, the sweep's (driver, amount)
         points are partitioned into range units worker processes evaluate
         (bitwise identical — see :func:`_comparison_kpis_units`).
+    emit:
+        Optional event publisher; chunked paths publish ``comparison_chunk``
+        events carrying each chunk's scored (driver, amount, kpi) points.
 
     Returns
     -------
@@ -269,7 +334,9 @@ def run_comparison(
     sweep = [(driver, float(amount)) for driver in chosen for amount in amounts]
     work = [pair for pair in sweep if pair[1] != 0]
     if executor is not None:
-        kpis = iter(_comparison_kpis_units(manager, work, mode, executor, checkpoint))
+        kpis = iter(
+            _comparison_kpis_units(manager, work, mode, executor, checkpoint, emit)
+        )
     else:
         # build every perturbed matrix up front, then evaluate the whole sweep
         # in one stacked kernel traversal instead of one model call per point
@@ -284,7 +351,19 @@ def run_comparison(
             kpis = iter(manager.predict_kpi_batch(matrices))
         else:
             checkpoint(0.0)
-            kpis = iter(_predict_kpi_batch_chunked(manager, matrices, checkpoint))
+            on_chunk = (
+                (
+                    lambda start, values: emit(
+                        "comparison_chunk",
+                        _comparison_point_events(work, start, values),
+                    )
+                )
+                if emit is not None
+                else None
+            )
+            kpis = iter(
+                _predict_kpi_batch_chunked(manager, matrices, checkpoint, on_chunk=on_chunk)
+            )
     points = [
         ComparisonPoint(
             driver=driver,

@@ -294,6 +294,7 @@ class WhatIfSession:
         track_as: str | None = None,
         checkpoint: Callable[[float], None] | None = None,
         executor=None,
+        emit: Callable[..., None] | None = None,
     ) -> SensitivityResult:
         """Perturb the dataset and compare the predicted KPI against baseline.
 
@@ -305,7 +306,11 @@ class WhatIfSession:
         """
         perturbation_set = self._as_perturbation_set(perturbations, mode)
         result = run_sensitivity(
-            self.model, perturbation_set, checkpoint=checkpoint, executor=executor
+            self.model,
+            perturbation_set,
+            checkpoint=checkpoint,
+            executor=executor,
+            emit=emit,
         )
         if track_as is not None:
             self.scenarios.record_sensitivity(track_as, result)
@@ -319,6 +324,7 @@ class WhatIfSession:
         mode: str = "percentage",
         checkpoint: Callable[[float], None] | None = None,
         executor=None,
+        emit: Callable[..., None] | None = None,
     ) -> ComparisonResult:
         """KPI trend for each driver individually across a perturbation range."""
         return run_comparison(
@@ -328,6 +334,7 @@ class WhatIfSession:
             mode=mode,
             checkpoint=checkpoint,
             executor=executor,
+            emit=emit,
         )
 
     def per_data_analysis(
@@ -361,6 +368,7 @@ class WhatIfSession:
         track_as: str | None = None,
         checkpoint: Callable[[float], None] | None = None,
         executor=None,
+        emit: Callable[..., None] | None = None,
     ):
         """Evaluate a whole scenario space in batched matrix form.
 
@@ -381,7 +389,7 @@ class WhatIfSession:
         planner = SweepPlanner(
             self.model, space, goal=goal, top_k=top_k, cohort_column=cohort
         )
-        result = planner.run(checkpoint=checkpoint, executor=executor)
+        result = planner.run(checkpoint=checkpoint, executor=executor, emit=emit)
         self.scenarios.record_sweep(track_as or f"sweep {space.describe()}", result)
         return result
 

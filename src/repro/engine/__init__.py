@@ -16,6 +16,10 @@ decouples request handling from analysis execution:
 * :mod:`~repro.engine.units` — the picklable work units those processes
   execute, decomposed so merged results stay bitwise identical to the
   serial paths;
+* :mod:`~repro.engine.events` — a per-job :class:`JobEventBus` (bounded
+  ring buffers, monotonic sequence ids, replay-from-seq, multi-subscriber
+  fan-out) that jobs publish progress ticks, incremental result chunks, and
+  terminal events to — the backbone of the SSE streaming endpoint;
 * :mod:`~repro.engine.store` — a bounded :class:`JobStore` with LRU
   retention of finished results and the coalescing index that lets identical
   in-flight submissions share one execution;
@@ -25,6 +29,7 @@ decouples request handling from analysis execution:
 """
 
 from .engine import PROCESS_ACTIONS, AnalysisEngine
+from .events import TERMINAL_EVENTS, JobEvent, JobEventBus, Subscription
 from .job import (
     CANCELLED,
     DONE,
@@ -46,6 +51,10 @@ __all__ = [
     "Job",
     "JobContext",
     "JobCancelled",
+    "JobEvent",
+    "JobEventBus",
+    "Subscription",
+    "TERMINAL_EVENTS",
     "JobStore",
     "PROCESS_ACTIONS",
     "ProcessExecutor",

@@ -42,6 +42,7 @@ from ..server.handlers import JOB_HANDLERS
 from ..server.protocol import ProtocolError
 from ..server.registry import DEFAULT_SESSION_ID
 from ..server.serialization import to_json_safe
+from .events import JobEventBus
 from .job import CANCELLED, DONE, FAILED, Job, JobCancelled, JobContext
 from .pool import WorkerPool
 from .process import ProcessExecutor
@@ -97,6 +98,9 @@ class AnalysisEngine:
         self._server = server
         self._clock = clock
         self.store = JobStore(max_finished=max_finished)
+        # every job's lifecycle + incremental payloads stream through here
+        # (SSE subscribers replay/follow per-job channels — see events.py)
+        self.events = JobEventBus(max_channels=max_finished)
         self.pool = WorkerPool(self._run, workers=workers)
         self._lock = threading.Lock()
         if executor not in ("thread", "process"):
@@ -163,6 +167,11 @@ class AnalysisEngine:
 
         job, attached = self.store.coalesce_or_add(key, factory)
         if not attached:
+            self.events.publish(
+                job.job_id,
+                "queued",
+                {"action": job.action, "session_id": job.session_id},
+            )
             self.pool.submit(job)
         return job, attached
 
@@ -199,7 +208,10 @@ class AnalysisEngine:
             return
         with self._lock:
             self._executed_total += 1
-        context = JobContext(job, executor=self.executor_for(job.action))
+        self.events.publish(job.job_id, "started", {"action": job.action})
+        context = JobContext(
+            job, executor=self.executor_for(job.action), events=self.events
+        )
         try:
             entry = self._server._entry_for(job.session_id)
             handler = JOB_HANDLERS[job.action]
@@ -225,6 +237,17 @@ class AnalysisEngine:
             self._finished_by_state[job.state] = (
                 self._finished_by_state.get(job.state, 0) + 1
             )
+        # exactly one terminal event per job: _finalize runs once, from the
+        # worker (_run) or from a pending-job cancel; the bus additionally
+        # drops any publish after a terminal event as a backstop.  ``done``
+        # embeds the full result payload so a streaming client's final event
+        # is byte-identical to the polled ``job_result`` blob.
+        if job.state == DONE:
+            self.events.publish(
+                job.job_id, "done", {"progress": 1.0, "result": job.result}
+            )
+        else:
+            self.events.publish(job.job_id, job.state, {"error": job.error})
 
     # ------------------------------------------------------------------ #
     # executor routing
@@ -276,13 +299,30 @@ class AnalysisEngine:
         *,
         session_id: str | None = None,
         states: Iterable[str] | None = None,
+        limit: int | None = None,
+        offset: int = 0,
     ) -> list[dict[str, Any]]:
-        """JSON-safe snapshots of tracked jobs, oldest first."""
+        """JSON-safe snapshots of tracked jobs, oldest first.
+
+        ``limit``/``offset`` paginate over the stable
+        ``(submitted_at, job_id)`` ordering the store guarantees.
+        """
         now = self._clock()
         return [
             job.to_dict(now=now)
-            for job in self.store.list_jobs(session_id=session_id, states=states)
+            for job in self.store.list_jobs(
+                session_id=session_id, states=states, limit=limit, offset=offset
+            )
         ]
+
+    def count_jobs(
+        self,
+        *,
+        session_id: str | None = None,
+        states: Iterable[str] | None = None,
+    ) -> int:
+        """Total tracked jobs matching the filters (pagination's ``total``)."""
+        return self.store.count(session_id=session_id, states=states)
 
     def stats(self) -> dict[str, Any]:
         """Engine counters for the ``server_stats`` action."""
@@ -309,6 +349,7 @@ class AnalysisEngine:
             "executor": executor_stats,
             "pool": self.pool.stats(),
             "store": store_stats,
+            "events": self.events.stats(),
         }
 
     def shutdown(self, *, wait: bool = True) -> None:

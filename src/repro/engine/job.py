@@ -163,13 +163,17 @@ class Job:
             self.finished_at = now
             self._done_event.set()
 
-    def set_progress(self, fraction: float) -> None:
+    def set_progress(self, fraction: float) -> bool:
         """Publish a progress checkpoint (clamped to [0, 1], never moving
-        backwards so readers see a monotone fraction)."""
+        backwards so readers see a monotone fraction).  Returns whether the
+        fraction actually advanced (event publication keys off this so
+        out-of-order process-executor ticks never emit regressions)."""
         fraction = min(1.0, max(0.0, float(fraction)))
         with self._lock:
             if fraction > self.progress:
                 self.progress = fraction
+                return True
+            return False
 
     # ------------------------------------------------------------------ #
     @property
@@ -230,11 +234,21 @@ class Job:
 
 
 class JobContext:
-    """The cooperative-execution face of a job, handed to analysis runners."""
+    """The cooperative-execution face of a job, handed to analysis runners.
 
-    def __init__(self, job: Job, *, executor: Any = None) -> None:
+    Besides progress/cancellation (:meth:`checkpoint`), the context carries
+    the job's event publisher: :meth:`emit` appends typed events (sweep
+    frontier chunks, sensitivity row-chunk deltas, ...) to the engine's
+    :class:`~repro.engine.events.JobEventBus`, and every advancing
+    checkpoint publishes a ``progress`` event.  With ``events=None`` (e.g.
+    a context built outside an engine) both are silent no-ops, so runners
+    never special-case the wiring.
+    """
+
+    def __init__(self, job: Job, *, executor: Any = None, events: Any = None) -> None:
         self._job = job
         self._executor = executor
+        self._events = events
 
     @property
     def job(self) -> Job:
@@ -262,4 +276,19 @@ class JobContext:
         """
         if self._job.cancel_requested:
             raise JobCancelled(self._job.job_id)
-        self._job.set_progress(fraction)
+        if self._job.set_progress(fraction) and self._events is not None:
+            self._events.publish(
+                self._job.job_id,
+                "progress",
+                {"progress": round(self._job.progress, 6)},
+            )
+
+    def emit(self, type_: str, data: dict[str, Any] | None = None) -> None:
+        """Publish a typed event on the job's stream (no-op without a bus).
+
+        Analysis runners call this for incremental payloads — a scored sweep
+        chunk, a sensitivity row-chunk delta — so streaming clients see
+        partial results long before the terminal ``done`` event.
+        """
+        if self._events is not None:
+            self._events.publish(self._job.job_id, type_, data)

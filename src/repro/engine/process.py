@@ -23,9 +23,12 @@ persistent pool of ``spawn``-ed worker processes instead:
   lifecycle (weighted by unit size, monotone at the ``Job`` level).
 * **Crash containment.**  Worker incarnations are tracked so a process that
   dies mid-job surfaces as a ``failed`` job (never a hang): the waiter
-  detects the dead pid on its poll tick, synthetic errors are posted for all
-  of that incarnation's outstanding units, the shipped-fingerprint set is
-  invalidated, and a fresh worker is spawned in its place.
+  detects the dead pid on its poll tick and synthetic errors are posted for
+  every outstanding unit.  Recovery then rebuilds the *entire* pool — fresh
+  queues, fresh workers, fresh dispatcher — because a killed worker may die
+  holding the shared result queue's cross-process write lock (POSIX
+  semaphores are not robust to holder death), which would silently wedge
+  every surviving sibling's feeder thread.
 
 The pool starts lazily on the first ``run_units`` call, so constructing a
 server with ``executor="process"`` costs nothing until a CPU-heavy job
@@ -135,12 +138,20 @@ class ProcessExecutor:
 
     kind = "process"
 
-    def __init__(self, *, workers: int = 4, name: str = "repro-proc", poll_interval: float = 0.05):
+    def __init__(
+        self,
+        *,
+        workers: int = 4,
+        name: str = "repro-proc",
+        poll_interval: float = 0.05,
+        stall_timeout: float = 300.0,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = int(workers)
         self._name = name
         self._poll_interval = float(poll_interval)
+        self._stall_timeout = float(stall_timeout)
         self._lock = threading.Lock()
         self._started = False
         self._stopping = False
@@ -249,6 +260,7 @@ class ProcessExecutor:
         checkpoint: Callable[[float], None] | None = None,
         progress: tuple[float, float] = (0.0, 1.0),
         weights: Sequence[float] | None = None,
+        on_unit_done: Callable[[int, Any], None] | None = None,
     ) -> list[Any]:
         """Execute ``units`` across the pool; return results in unit order.
 
@@ -257,8 +269,12 @@ class ProcessExecutor:
         (the job's cancel/progress callback) is fed the weighted completed
         fraction mapped onto the ``progress`` interval and may raise
         :class:`~repro.engine.job.JobCancelled` — the shared cancel flag then
-        aborts every in-flight unit of this group cooperatively.  Raises
-        :class:`WorkerUnitError` when a unit fails or its worker dies.
+        aborts every in-flight unit of this group cooperatively.
+        ``on_unit_done(unit_index, result)`` fires on the waiting job thread
+        the moment each unit's result arrives (units complete in any order) —
+        the streaming layer uses it to publish incremental chunk events while
+        the group is still running.  Raises :class:`WorkerUnitError` when a
+        unit fails or its worker dies.
         """
         if not units:
             return []
@@ -321,19 +337,33 @@ class ProcessExecutor:
 
         try:
             publish()  # honours cancel-before-start via the job checkpoint
+            last_message = time.monotonic()
             while len(results) < n_units:
                 try:
                     message = group.queue.get(timeout=self._poll_interval)
                 except queue.Empty:
                     self._reap_dead_workers(group)
                     publish()
+                    # Workers checkpoint progress as they go, so a group that
+                    # hears *nothing* for this long has lost its dispatch (a
+                    # queue feeder dropped a task) or its workers are wedged.
+                    # Fail the job — a terminal event must always arrive.
+                    if time.monotonic() - last_message > self._stall_timeout:
+                        raise WorkerUnitError(
+                            f"no message from workers in {self._stall_timeout:.0f}s "
+                            f"({n_units - len(results)} of {n_units} units "
+                            "outstanding); dispatch lost or workers wedged"
+                        )
                     continue
+                last_message = time.monotonic()
                 kind, unit_index, value = message
                 if kind == "progress":
                     fractions[unit_index] = max(fractions[unit_index], float(value))
                 elif kind == "done":
                     fractions[unit_index] = 1.0
                     results[unit_index] = value
+                    if on_unit_done is not None:
+                        on_unit_done(unit_index, value)
                 elif kind == "error":
                     raise WorkerUnitError(str(value))
                 else:  # "cancelled" without a parent-side cancel: treat as failure
@@ -355,16 +385,28 @@ class ProcessExecutor:
 
     def _dispatch_loop(self) -> None:
         """Route messages from the shared result queue to waiting groups."""
+        # Bind the queue at thread start: a pool rebuild installs a fresh
+        # result queue and dispatcher, and this stale one must retire the
+        # moment it notices instead of stealing messages from its successor.
+        result_queue = self._result_queue
         while True:
             try:
-                message = self._result_queue.get(timeout=0.2)
+                message = result_queue.get(timeout=0.2)
             except queue.Empty:
-                if self._stopping:
+                if self._stopping or result_queue is not self._result_queue:
                     return
                 continue
             except (EOFError, OSError):  # pragma: no cover - queue torn down
                 return
-            kind, worker_index, group_id, unit_index, value = message
+            except Exception:  # pragma: no cover - corrupted stream
+                # A worker SIGKILLed mid-write leaves a truncated pickle on
+                # the shared queue; a dead dispatcher would wedge every later
+                # group, so skip the garbage (the reaper fails the unit).
+                continue
+            try:
+                kind, worker_index, group_id, unit_index, value = message
+            except (TypeError, ValueError):  # pragma: no cover - malformed
+                continue
             if kind == "ready":
                 self._ready[worker_index].set()
                 continue
@@ -401,18 +443,21 @@ class ProcessExecutor:
                     self._handle_worker_death_locked(worker_index)
 
     def _handle_worker_death_locked(self, worker_index: int) -> None:
-        """Fail the dead incarnation's outstanding units everywhere, then respawn."""
-        incarnation = self._incarnations[worker_index]
+        """Fail every in-flight unit, then rebuild the pool from scratch.
+
+        An in-place respawn is not enough: a worker killed between acquiring
+        and releasing the shared result queue's write lock (its feeder thread
+        sits in that window whenever it loses the GIL after ``send_bytes``)
+        leaves the semaphore locked forever, and every sibling's feeder then
+        wedges silently on the next ``put``.  The queue cannot be repaired,
+        so all workers, both queues, and the dispatcher are replaced; the
+        model mirrors re-ship on the next unit per fingerprint.
+        """
         pid = self._processes[worker_index].pid if self._processes[worker_index] else None
         for group_id, group in list(self._groups.items()):
-            lost = [
-                unit_index
-                for unit_index, owner in group.outstanding.items()
-                if owner == (worker_index, incarnation)
-            ]
-            for unit_index in lost:
-                group.outstanding.pop(unit_index)
-                self._units_failed[worker_index] += 1
+            for unit_index in list(group.outstanding):
+                owner_worker, _ = group.outstanding.pop(unit_index)
+                self._units_failed[owner_worker] += 1
                 if not group.closed:
                     group.queue.put(
                         (
@@ -422,11 +467,29 @@ class ProcessExecutor:
                         )
                     )
             self._maybe_release_locked(group_id, group)
-        self._shipped[worker_index].clear()
-        self._incarnations[worker_index] += 1
+        for process in self._processes:
+            if process is not None and process.is_alive():
+                process.kill()  # siblings may hold poisoned locks: no SIGTERM grace
+        for process in self._processes:
+            if process is not None:
+                process.join(5.0)
+        for index in range(self.workers):
+            self._incarnations[index] += 1
+            self._shipped[index].clear()
+            self._ready[index] = threading.Event()
+            self._task_queues[index] = None
+            self._processes[index] = None
         self._respawns += 1
         if not self._stopping:
-            self._spawn_worker_locked(worker_index)
+            self._result_queue = self._ctx.Queue()
+            for index in range(self.workers):
+                self._spawn_worker_locked(index)
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"{self._name}-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
 
     # -- introspection -----------------------------------------------------
 

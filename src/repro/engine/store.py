@@ -111,8 +111,15 @@ class JobStore:
         *,
         session_id: str | None = None,
         states: Iterable[str] | None = None,
+        limit: int | None = None,
+        offset: int = 0,
     ) -> list[Job]:
-        """Tracked jobs, oldest submission first, optionally filtered."""
+        """Tracked jobs, oldest submission first, optionally filtered.
+
+        Ordering is stable — ``(submitted_at, job_id)`` — so ``limit`` /
+        ``offset`` windows partition the listing consistently across calls
+        (new arrivals only ever append past the cursor).
+        """
         wanted = frozenset(states) if states is not None else None
         with self._lock:
             jobs = [
@@ -121,7 +128,29 @@ class JobStore:
                 if (session_id is None or job.session_id == session_id)
                 and (wanted is None or job.state in wanted)
             ]
-        return sorted(jobs, key=lambda job: (job.submitted_at, job.job_id))
+        jobs = sorted(jobs, key=lambda job: (job.submitted_at, job.job_id))
+        offset = max(0, int(offset))
+        if offset:
+            jobs = jobs[offset:]
+        if limit is not None:
+            jobs = jobs[: max(0, int(limit))]
+        return jobs
+
+    def count(
+        self,
+        *,
+        session_id: str | None = None,
+        states: Iterable[str] | None = None,
+    ) -> int:
+        """Number of tracked jobs matching the filters (ignores pagination)."""
+        wanted = frozenset(states) if states is not None else None
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if (session_id is None or job.session_id == session_id)
+                and (wanted is None or job.state in wanted)
+            )
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

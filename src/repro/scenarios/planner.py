@@ -233,6 +233,7 @@ class SweepPlanner:
         *,
         checkpoint: Callable[[float], None] | None = None,
         executor=None,
+        emit: Callable[..., None] | None = None,
     ) -> SweepResult:
         """Enumerate, score, rank, and profile the space.
 
@@ -242,6 +243,14 @@ class SweepPlanner:
         ``executor`` (a process executor), scoring is partitioned into
         contiguous sub-range work units scored by worker processes and merged
         in enumeration order — bitwise identical to the serial paths.
+
+        ``emit`` (the job context's event publisher) streams incremental
+        ``sweep_chunk`` events — one per scored chunk or completed work
+        unit, carrying the enumeration range and the running best scenario —
+        so subscribers watch the frontier improve live.  The serial grid
+        kernel accumulates KPIs across trees and only yields the complete
+        surface at the end, so that path publishes progress ticks but no
+        partial frontiers.
         """
         scenarios = self.space.scenarios()
         if not scenarios:
@@ -251,7 +260,7 @@ class SweepPlanner:
             )
         if checkpoint is not None:
             checkpoint(0.0)
-        kpis = self._score(scenarios, checkpoint, executor=executor)
+        kpis = self._score(scenarios, checkpoint, executor=executor, emit=emit)
         order = self._rank(kpis)
         baseline = self.manager.baseline_kpi()
         top = self._frontier(scenarios, kpis, order, baseline)
@@ -287,6 +296,7 @@ class SweepPlanner:
         *,
         chunk_scenarios: int | None = None,
         executor=None,
+        emit: Callable[..., None] | None = None,
     ) -> np.ndarray:
         """Score every scenario in batched matrix form.
 
@@ -303,7 +313,9 @@ class SweepPlanner:
         # the cohort phase owns the tail of the progress bar when requested
         scored_share = 0.9 if self.cohort_column is not None else 1.0
         if executor is not None:
-            unit_kpis = self._score_units(scenarios, checkpoint, executor, scored_share)
+            unit_kpis = self._score_units(
+                scenarios, checkpoint, executor, scored_share, emit
+            )
             if unit_kpis is not None:
                 return unit_kpis
         grid_kpis = grid_sweep_kpis(
@@ -316,6 +328,7 @@ class SweepPlanner:
             return grid_kpis
         baseline_matrix = manager.driver_matrix()
         kpis = np.empty(len(scenarios))
+        running_best: dict[str, Any] = {}
         for start in range(0, len(scenarios), chunk_scenarios):
             chunk = scenarios[start : start + chunk_scenarios]
             matrices = [
@@ -327,7 +340,64 @@ class SweepPlanner:
             kpis[start : start + len(chunk)] = manager.predict_kpi_batch(matrices)
             if checkpoint is not None:
                 checkpoint(scored_share * (start + len(chunk)) / len(scenarios))
+            if emit is not None:
+                emit(
+                    "sweep_chunk",
+                    self._frontier_chunk(
+                        scenarios,
+                        kpis[start : start + len(chunk)],
+                        start,
+                        start + len(chunk),
+                        scored=start + len(chunk),
+                        total=len(scenarios),
+                        running_best=running_best,
+                        include_values=True,
+                    ),
+                )
         return kpis
+
+    def _frontier_chunk(
+        self,
+        scenarios: list[SweepScenario],
+        part: np.ndarray,
+        start: int,
+        stop: int,
+        *,
+        scored: int,
+        total: int,
+        running_best: dict[str, Any],
+        include_values: bool,
+    ) -> dict[str, Any]:
+        """Build one ``sweep_chunk`` event payload, folding the chunk's best
+        scenario into the caller's ``running_best`` accumulator.
+
+        Strictly-better comparisons keep tie resolution aligned with the
+        final frontier's stable ranking when chunks arrive in enumeration
+        order (the serial path); out-of-order unit completions may break a
+        tie differently, which only affects the advisory live view — the
+        terminal result is always the exactly-ranked frontier.
+        """
+        part = np.asarray(part, dtype=np.float64)
+        local = int(np.argmax(part) if self.goal == "maximize" else np.argmin(part))
+        value = float(part[local])
+        incumbent = running_best.get("kpi_value")
+        if incumbent is None or (
+            value > incumbent if self.goal == "maximize" else value < incumbent
+        ):
+            scenario = scenarios[start + local]
+            running_best.update(
+                scenario_index=scenario.scenario_index,
+                kpi_value=value,
+                label=self.space.label(scenario),
+            )
+        return {
+            "start": int(start),
+            "stop": int(stop),
+            "scored": int(scored),
+            "total": int(total),
+            "kpi_values": [float(v) for v in part] if include_values else None,
+            "best": dict(running_best),
+        }
 
     def _score_units(
         self,
@@ -335,6 +405,7 @@ class SweepPlanner:
         checkpoint: Callable[[float], None] | None,
         executor,
         scored_share: float,
+        emit: Callable[..., None] | None = None,
     ) -> np.ndarray | None:
         """Score the space as contiguous sub-range units on a process executor.
 
@@ -368,6 +439,7 @@ class SweepPlanner:
                 for lo, hi in blocks
             ]
             weights = [(hi - lo) * inner for lo, hi in blocks]
+            enum_ranges = [(lo * inner, hi * inner) for lo, hi in blocks]
         else:
             ranges = split_ranges(len(scenarios), executor.workers)
             units = [
@@ -375,12 +447,37 @@ class SweepPlanner:
                 for start, stop in ranges
             ]
             weights = [stop - start for start, stop in ranges]
+            enum_ranges = ranges
+        # on_unit_done fires on this (the job's) thread from the run_units
+        # waiter loop, so the running-best accumulator needs no locking even
+        # though units complete in any order across worker processes
+        running_best: dict[str, Any] = {}
+        scored_units = {"count": 0}
+
+        def on_unit_done(unit_index: int, result) -> None:
+            start, stop = enum_ranges[unit_index]
+            scored_units["count"] += stop - start
+            emit(
+                "sweep_chunk",
+                self._frontier_chunk(
+                    scenarios,
+                    np.asarray(result, dtype=np.float64),
+                    start,
+                    stop,
+                    scored=scored_units["count"],
+                    total=len(scenarios),
+                    running_best=running_best,
+                    include_values=False,
+                ),
+            )
+
         parts = executor.run_units(
             self.manager,
             units,
             checkpoint=checkpoint,
             progress=(0.0, scored_share),
             weights=weights,
+            on_unit_done=on_unit_done if emit is not None else None,
         )
         return np.concatenate([np.asarray(part, dtype=np.float64) for part in parts])
 
@@ -516,9 +613,10 @@ def run_sweep(
     cohort_column: str | None = None,
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> SweepResult:
     """Functional entry point mirroring the other analysis runners."""
     planner = SweepPlanner(
         manager, space, goal=goal, top_k=top_k, cohort_column=cohort_column
     )
-    return planner.run(checkpoint=checkpoint, executor=executor)
+    return planner.run(checkpoint=checkpoint, executor=executor, emit=emit)

@@ -2,15 +2,25 @@
 dispatcher standing in for SystemD's browser-client / Python-backend
 architecture."""
 
-from .app import SystemDServer, serve_http
+from .app import SSE_KEEPALIVE_S, SystemDServer, serve_http
 from .handlers import HANDLERS, JOB_HANDLERS, SERVER_HANDLERS, ServerState
-from .protocol import ACTIONS, ProtocolError, Request, Response
+from .protocol import (
+    ACTIONS,
+    API_VERSION,
+    ConflictError,
+    NotFoundError,
+    ProtocolError,
+    Request,
+    Response,
+)
 from .registry import DEFAULT_SESSION_ID, SessionEntry, SessionRegistry, UnknownSessionError
 from .serialization import dumps, frame_preview, to_json_safe
+from .stream import ServerEvent, StreamClient
 
 __all__ = [
     "SystemDServer",
     "serve_http",
+    "SSE_KEEPALIVE_S",
     "ServerState",
     "HANDLERS",
     "SERVER_HANDLERS",
@@ -22,7 +32,12 @@ __all__ = [
     "Request",
     "Response",
     "ACTIONS",
+    "API_VERSION",
     "ProtocolError",
+    "NotFoundError",
+    "ConflictError",
+    "ServerEvent",
+    "StreamClient",
     "to_json_safe",
     "frame_preview",
     "dumps",

@@ -26,29 +26,95 @@ cancellation.  Synchronous handling of the pre-existing actions is untouched.
 backend with ``curl``; it is optional and nothing else in the package depends
 on it.  Malformed envelopes (invalid JSON, non-object bodies, unknown
 actions) come back as structured JSON error bodies with 4xx status codes.
+
+The HTTP wrapper serves two surfaces (see :mod:`repro.server.protocol` for
+the deprecation path): the original bare-POST protocol (POST an envelope to
+any non-API path, always 200 with errors inside the envelope), and the
+resource-routed API under ``/api/v1`` where HTTP verbs map to actions,
+failures carry real status codes (404 unknown resource, 409 duplicate, 400
+bad request), and ``GET .../jobs/{jid}/events`` streams the job's event bus
+as Server-Sent Events with ``Last-Event-ID`` resume.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable
+from urllib.parse import parse_qsl, urlsplit
 
 import numpy as np
 
 from ..core import ModelCache
 from .handlers import HANDLERS, SERVER_HANDLERS, ServerState
-from .protocol import ProtocolError, Request, Response
+from .protocol import (
+    API_VERSION,
+    ConflictError,
+    NotFoundError,
+    ProtocolError,
+    Request,
+    Response,
+)
 from .registry import DEFAULT_SESSION_ID, SessionRegistry, UnknownSessionError
 from .serialization import to_json_safe
 
-__all__ = ["SystemDServer", "serve_http"]
+__all__ = ["SystemDServer", "serve_http", "SSE_KEEPALIVE_S"]
 
 #: Requests remembered by the bounded request log.
 REQUEST_LOG_LIMIT = 1000
+
+#: Seconds between SSE keepalive comments when a job stream is idle.  The
+#: keepalive write is also how a dropped client is detected (the next write
+#: fails), bounding how long ``cancel_on_disconnect`` jobs outlive readers.
+SSE_KEEPALIVE_S = 1.0
+
+#: ``error_kind`` → HTTP status for the resource-routed API.
+_KIND_STATUS = {"protocol": 400, "not_found": 404, "conflict": 409, "internal": 500}
+
+
+def _protocol_kind(exc: ProtocolError) -> str:
+    """Map a protocol exception to its ``error_kind`` taxonomy value."""
+    if isinstance(exc, NotFoundError):
+        return "not_found"
+    if isinstance(exc, ConflictError):
+        return "conflict"
+    return "protocol"
+
+
+def _status_for(response: Response) -> int:
+    """HTTP status for a response on the resource-routed API."""
+    if response.ok:
+        return 200
+    return _KIND_STATUS.get(response.error_kind, 400)
+
+
+# Resource routes: ``(method, compiled path pattern, SystemDServer method
+# name)``.  The SSE events route is matched separately by the HTTP handler
+# because it needs the raw socket, not a ``(status, Response)`` pair.
+_R_SESSIONS = re.compile(r"^/api/v1/sessions/?$")
+_R_SESSION = re.compile(r"^/api/v1/sessions/(?P<sid>[^/]+)/?$")
+_R_JOBS = re.compile(r"^/api/v1/sessions/(?P<sid>[^/]+)/jobs/?$")
+_R_JOB = re.compile(r"^/api/v1/sessions/(?P<sid>[^/]+)/jobs/(?P<jid>[^/]+)/?$")
+_R_JOB_EVENTS = re.compile(
+    r"^/api/v1/sessions/(?P<sid>[^/]+)/jobs/(?P<jid>[^/]+)/events/?$"
+)
+_R_SCENARIOS = re.compile(r"^/api/v1/sessions/(?P<sid>[^/]+)/scenarios/?$")
+
+_ROUTES: tuple[tuple[str, re.Pattern[str], str], ...] = (
+    ("GET", _R_SESSIONS, "_rest_list_sessions"),
+    ("POST", _R_SESSIONS, "_rest_create_session"),
+    ("GET", _R_SESSION, "_rest_get_session"),
+    ("DELETE", _R_SESSION, "_rest_close_session"),
+    ("GET", _R_JOBS, "_rest_list_jobs"),
+    ("POST", _R_JOBS, "_rest_submit_job"),
+    ("GET", _R_JOB, "_rest_get_job"),
+    ("DELETE", _R_JOB, "_rest_cancel_job"),
+    ("GET", _R_SCENARIOS, "_rest_list_scenarios"),
+)
 
 
 class SystemDServer:
@@ -118,7 +184,7 @@ class SystemDServer:
         try:
             return self.registry.get(session_id)
         except UnknownSessionError as exc:
-            raise ProtocolError(
+            raise NotFoundError(
                 f"unknown session {session_id!r}; create one with 'create_session' "
                 "or omit session_id for the default session"
             ) from exc
@@ -165,12 +231,17 @@ class SystemDServer:
         except ProtocolError as exc:
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             response = Response.failure(
-                str(exc), request_id=request_id, session_id=session_id, elapsed_ms=elapsed_ms
+                str(exc),
+                kind=_protocol_kind(exc),
+                request_id=request_id,
+                session_id=session_id,
+                elapsed_ms=elapsed_ms,
             )
         except Exception as exc:  # noqa: BLE001 - the server must not crash
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             response = Response.failure(
                 f"internal error: {type(exc).__name__}: {exc}",
+                kind="internal",
                 request_id=request_id,
                 session_id=session_id,
                 elapsed_ms=elapsed_ms,
@@ -209,12 +280,13 @@ class SystemDServer:
         try:
             payload = json.loads(body) if body.strip() else {}
         except json.JSONDecodeError as exc:
-            response = Response.failure(f"request is not valid JSON: {exc}")
+            response = Response.failure(f"request is not valid JSON: {exc}", kind="protocol")
             self._record("?", "", response)
             return 400, response
         if not isinstance(payload, dict):
             response = Response.failure(
-                f"request body must be a JSON object, got {type(payload).__name__}"
+                f"request body must be a JSON object, got {type(payload).__name__}",
+                kind="protocol",
             )
             self._record("?", "", response)
             return 400, response
@@ -222,11 +294,193 @@ class SystemDServer:
             request = Request.from_dict(payload)
         except ProtocolError as exc:
             response = Response.failure(
-                str(exc), request_id=str(payload.get("request_id") or "")
+                str(exc), kind="protocol", request_id=str(payload.get("request_id") or "")
             )
             self._record(str(payload.get("action", "?")), "", response)
             return 400, response
         return 200, self.handle(request)
+
+    # ------------------------------------------------------------------ #
+    # resource-routed API (/api/v1): HTTP verbs mapped onto actions
+    # ------------------------------------------------------------------ #
+    def handle_rest(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> tuple[int, Response] | None:
+        """Dispatch one resource-routed request, returning ``(status, response)``.
+
+        Returns ``None`` when no route matches ``(method, path)`` so the HTTP
+        adapter can fall back (bare-POST protocol for POST, 404/405 for the
+        rest).  Unlike the bare-POST surface, handler failures surface as
+        real HTTP status codes via ``error_kind``.
+        """
+        query = query or {}
+        body = body if isinstance(body, dict) else {}
+        for route_method, pattern, attr in _ROUTES:
+            if route_method != method.upper():
+                continue
+            match = pattern.match(path)
+            if match is None:
+                continue
+            adapter: Callable[..., tuple[int, Response]] = getattr(self, attr)
+            return adapter(match, query, body)
+        return None
+
+    def _rest_failure(
+        self, action: str, session_id: str, error: str, kind: str
+    ) -> Response:
+        """Build (and log) a failure synthesised by the routing layer itself."""
+        response = Response.failure(error, kind=kind, session_id=session_id)
+        self._record(action, session_id, response)
+        return response
+
+    def _session_exists(self, session_id: str) -> bool:
+        """Whether a session id is currently addressable (default is always)."""
+        if session_id == DEFAULT_SESSION_ID:
+            return True
+        try:
+            self.registry.get(session_id)
+        except UnknownSessionError:
+            return False
+        return True
+
+    def _job_session_error(
+        self, action: str, session_id: str, job_id: str
+    ) -> Response | None:
+        """404-shaped failure unless ``job_id`` exists and belongs to the session."""
+        from ..engine import UnknownJobError  # circular at module level
+
+        try:
+            job = self.engine.status(job_id)
+        except UnknownJobError:
+            return self._rest_failure(
+                action,
+                session_id,
+                f"unknown job {job_id!r} (finished jobs are retained LRU; it may "
+                "have been evicted)",
+                "not_found",
+            )
+        job_session = job.session_id or DEFAULT_SESSION_ID
+        if job_session != session_id:
+            return self._rest_failure(
+                action,
+                session_id,
+                f"job {job_id!r} does not belong to session {session_id!r}",
+                "not_found",
+            )
+        return None
+
+    @staticmethod
+    def _query_flag(query: dict[str, str], name: str) -> bool:
+        return str(query.get(name, "")).lower() in ("1", "true", "yes", "on")
+
+    @staticmethod
+    def _page_params(query: dict[str, str]) -> dict[str, Any]:
+        params: dict[str, Any] = {}
+        if "limit" in query:
+            params["limit"] = query["limit"]
+        if "offset" in query:
+            params["offset"] = query["offset"]
+        return params
+
+    def _rest_list_sessions(self, match, query, body) -> tuple[int, Response]:
+        response = self.handle(Request(action="list_sessions"))
+        return _status_for(response), response
+
+    def _rest_create_session(self, match, query, body) -> tuple[int, Response]:
+        response = self.handle(Request(action="create_session", params=dict(body)))
+        return (201 if response.ok else _status_for(response)), response
+
+    def _rest_get_session(self, match, query, body) -> tuple[int, Response]:
+        session_id = match.group("sid")
+        response = self.handle(Request(action="list_sessions"))
+        if not response.ok:
+            return _status_for(response), response
+        for summary in response.data.get("sessions", []):
+            if summary.get("session_id") == session_id:
+                return 200, Response.success(
+                    {"session": summary},
+                    session_id=session_id,
+                    elapsed_ms=response.elapsed_ms,
+                )
+        return 404, self._rest_failure(
+            "get_session", session_id, f"unknown session {session_id!r}", "not_found"
+        )
+
+    def _rest_close_session(self, match, query, body) -> tuple[int, Response]:
+        session_id = match.group("sid")
+        response = self.handle(
+            Request(action="close_session", params={"session_id": session_id})
+        )
+        return _status_for(response), response
+
+    def _rest_list_jobs(self, match, query, body) -> tuple[int, Response]:
+        session_id = match.group("sid")
+        if not self._session_exists(session_id):
+            return 404, self._rest_failure(
+                "list_jobs", session_id, f"unknown session {session_id!r}", "not_found"
+            )
+        params: dict[str, Any] = {"session_id": session_id, **self._page_params(query)}
+        if "states" in query:
+            params["states"] = [s for s in query["states"].split(",") if s]
+        response = self.handle(Request(action="list_jobs", params=params))
+        return _status_for(response), response
+
+    def _rest_submit_job(self, match, query, body) -> tuple[int, Response]:
+        session_id = match.group("sid")
+        if not self._session_exists(session_id):
+            return 404, self._rest_failure(
+                "submit", session_id, f"unknown session {session_id!r}", "not_found"
+            )
+        params = dict(body)
+        params["session_id"] = session_id
+        response = self.handle(Request(action="submit", params=params))
+        return (201 if response.ok else _status_for(response)), response
+
+    def _rest_get_job(self, match, query, body) -> tuple[int, Response]:
+        session_id, job_id = match.group("sid"), match.group("jid")
+        error = self._job_session_error("job_status", session_id, job_id)
+        if error is not None:
+            return 404, error
+        if self._query_flag(query, "result"):
+            params: dict[str, Any] = {"job_id": job_id, "session_id": session_id}
+            if "wait" in query:
+                params["wait"] = self._query_flag(query, "wait")
+            if "timeout_s" in query:
+                params["timeout_s"] = query["timeout_s"]
+            response = self.handle(Request(action="job_result", params=params))
+        else:
+            response = self.handle(
+                Request(action="job_status", params={"job_id": job_id})
+            )
+        return _status_for(response), response
+
+    def _rest_cancel_job(self, match, query, body) -> tuple[int, Response]:
+        session_id, job_id = match.group("sid"), match.group("jid")
+        error = self._job_session_error("cancel_job", session_id, job_id)
+        if error is not None:
+            return 404, error
+        response = self.handle(Request(action="cancel_job", params={"job_id": job_id}))
+        return _status_for(response), response
+
+    def _rest_list_scenarios(self, match, query, body) -> tuple[int, Response]:
+        session_id = match.group("sid")
+        params = self._page_params(query)
+        response = self.handle(
+            Request(action="list_scenarios", params=params, session_id=session_id)
+        )
+        return _status_for(response), response
+
+    def stream_check(self, session_id: str, job_id: str) -> Response | None:
+        """Validate an SSE subscription target (``None`` means streamable)."""
+        if not self._session_exists(session_id):
+            return self._rest_failure(
+                "job_events", session_id, f"unknown session {session_id!r}", "not_found"
+            )
+        return self._job_session_error("job_events", session_id, job_id)
 
     def _coerce_request(self, request: Request | dict[str, Any] | str) -> Request:
         if isinstance(request, Request):
@@ -300,38 +554,193 @@ class SystemDServer:
 
 
 class _SystemDHTTPHandler(BaseHTTPRequestHandler):
-    """Minimal HTTP adapter: POST a request JSON to any path.
+    """HTTP adapter serving the bare-POST protocol and the ``/api/v1`` routes.
 
     Every outcome — including malformed envelopes and internal faults — is a
     JSON response envelope with a meaningful status code: 200 for dispatched
-    requests, 400 for bad envelopes, 405/501 for non-POST methods (the
+    bare-POST requests, 400 for bad envelopes, resource-route statuses
+    (200/201/400/404/409) on ``/api/v1``, 405/501 for unroutable methods (the
     ``send_error`` override keeps even stdlib-generated errors JSON), 500
-    only for unexpected adapter errors — never a bare HTML traceback.
+    only for unexpected adapter errors — never a bare HTML traceback.  The
+    one non-JSON response is ``GET .../jobs/{jid}/events``: a
+    ``text/event-stream`` that frames the job's event bus as SSE.
     """
 
     server_version = "SystemDRepro/0.1"
 
+    @property
+    def backend(self) -> SystemDServer:
+        return self.server.backend  # type: ignore[attr-defined]
+
+    def _split_target(self) -> tuple[str, dict[str, str]]:
+        parts = urlsplit(self.path)
+        return parts.path, dict(parse_qsl(parts.query))
+
+    def _read_body(self) -> str:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        return self.rfile.read(length).decode("utf-8", errors="replace") if length else ""
+
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         try:
-            length = int(self.headers.get("Content-Length", 0) or 0)
-            body = self.rfile.read(length).decode("utf-8", errors="replace") if length else ""
-            status, response = self.server.backend.handle_http(body)  # type: ignore[attr-defined]
+            path, query = self._split_target()
+            body = self._read_body()
+            if path.startswith("/api/"):
+                self._dispatch_rest("POST", path, query, body)
+                return
+            status, response = self.backend.handle_http(body)
             payload = response.to_dict()
         except Exception as exc:  # noqa: BLE001 - the adapter must not emit tracebacks
             status = 500
             payload = Response.failure(
-                f"internal error: {type(exc).__name__}: {exc}"
+                f"internal error: {type(exc).__name__}: {exc}", kind="internal"
             ).to_dict()
         self._send_json(status, payload)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            path, query = self._split_target()
+            events = _R_JOB_EVENTS.match(path)
+            if events is not None:
+                self._serve_events(events.group("sid"), events.group("jid"), query)
+                return
+            if path.startswith("/api/"):
+                self._dispatch_rest("GET", path, query, "")
+                return
+        except Exception as exc:  # noqa: BLE001 - the adapter must not emit tracebacks
+            self._send_json(
+                500,
+                Response.failure(
+                    f"internal error: {type(exc).__name__}: {exc}", kind="internal"
+                ).to_dict(),
+            )
+            return
         self._send_json(
             405,
-            Response.failure("use POST with a JSON request envelope").to_dict(),
+            Response.failure(
+                "use POST with a JSON request envelope, or a /api/v1 route",
+                kind="protocol",
+            ).to_dict(),
+        )
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            path, query = self._split_target()
+            if path.startswith("/api/"):
+                self._dispatch_rest("DELETE", path, query, "")
+                return
+        except Exception as exc:  # noqa: BLE001 - the adapter must not emit tracebacks
+            self._send_json(
+                500,
+                Response.failure(
+                    f"internal error: {type(exc).__name__}: {exc}", kind="internal"
+                ).to_dict(),
+            )
+            return
+        self._send_json(
+            405,
+            Response.failure(
+                "use POST with a JSON request envelope, or a /api/v1 route",
+                kind="protocol",
+            ).to_dict(),
         )
 
     do_PUT = do_GET
-    do_DELETE = do_GET
+
+    def _dispatch_rest(self, method: str, path: str, query: dict[str, str], body: str) -> None:
+        """Route one ``/api/v1`` request, 404-ing unknown paths."""
+        if body.strip():
+            try:
+                parsed = json.loads(body)
+            except json.JSONDecodeError as exc:
+                self._send_json(
+                    400,
+                    Response.failure(
+                        f"request is not valid JSON: {exc}", kind="protocol"
+                    ).to_dict(),
+                )
+                return
+            if not isinstance(parsed, dict):
+                self._send_json(
+                    400,
+                    Response.failure(
+                        f"request body must be a JSON object, got {type(parsed).__name__}",
+                        kind="protocol",
+                    ).to_dict(),
+                )
+                return
+        else:
+            parsed = {}
+        result = self.backend.handle_rest(method, path, query, parsed)
+        if result is None:
+            self._send_json(
+                404,
+                Response.failure(
+                    f"no route for {method} {path}", kind="not_found"
+                ).to_dict(),
+            )
+            return
+        status, response = result
+        self._send_json(status, response.to_dict())
+
+    def _serve_events(self, session_id: str, job_id: str, query: dict[str, str]) -> None:
+        """Stream one job's event bus as Server-Sent Events.
+
+        Replays from ``Last-Event-ID`` (or ``?after=N``) so reconnecting
+        clients miss nothing, emits keepalive comments while the stream is
+        idle, and stops after the terminal event.  With
+        ``?cancel_on_disconnect=1`` a dropped connection cooperatively
+        cancels the job — detected when a keepalive or event write fails.
+        """
+        # imported here like AnalysisEngine above: module-level would be circular
+        from ..engine import TERMINAL_EVENTS, UnknownJobError
+
+        backend = self.backend
+        error = backend.stream_check(session_id, job_id)
+        if error is not None:
+            self._send_json(404, error.to_dict())
+            return
+        raw_after = self.headers.get("Last-Event-ID") or query.get("after") or "0"
+        try:
+            after_seq = max(0, int(raw_after))
+        except ValueError:
+            self._send_json(
+                400,
+                Response.failure(
+                    f"invalid Last-Event-ID/after value {raw_after!r}", kind="protocol"
+                ).to_dict(),
+            )
+            return
+        cancel_on_disconnect = backend._query_flag(query, "cancel_on_disconnect")
+        subscription = backend.engine.events.subscribe(job_id, after_seq=after_seq)
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("X-Repro-Api-Version", API_VERSION)
+            self.end_headers()
+            while True:
+                event = subscription.get(timeout=SSE_KEEPALIVE_S)
+                if event is None:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                frame = (
+                    f"id: {event.seq}\n"
+                    f"event: {event.type}\n"
+                    f"data: {json.dumps(event.to_dict())}\n\n"
+                )
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+                if event.type in TERMINAL_EVENTS:
+                    break
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            if cancel_on_disconnect:
+                try:
+                    backend.engine.cancel(job_id)
+                except UnknownJobError:
+                    pass
+        finally:
+            subscription.close()
 
     def send_error(self, code, message=None, explain=None):  # noqa: D102
         # the stdlib falls back to send_error (an HTML page) for any method
@@ -340,7 +749,8 @@ class _SystemDHTTPHandler(BaseHTTPRequestHandler):
         self._send_json(
             int(code),
             Response.failure(
-                str(message) if message else "use POST with a JSON request envelope"
+                str(message) if message else "use POST with a JSON request envelope",
+                kind="protocol",
             ).to_dict(),
         )
 
@@ -349,6 +759,7 @@ class _SystemDHTTPHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        self.send_header("X-Repro-Api-Version", API_VERSION)
         self.end_headers()
         self.wfile.write(encoded)
 

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from ..core import DriverBound, ModelCache, PerturbationSet, WhatIfSession
 from ..datasets import get_use_case, list_use_cases
-from .protocol import ProtocolError
+from .protocol import ConflictError, NotFoundError, ProtocolError
 from .serialization import frame_preview, to_json_safe
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -146,6 +146,7 @@ def handle_driver_importance(
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> dict[str, Any]:
     """(E) Driver importance analysis."""
     session = state.require_session()
@@ -182,6 +183,7 @@ def handle_sensitivity(
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> dict[str, Any]:
     """(F)+(G)+(H) Sensitivity analysis on the whole dataset."""
     session = state.require_session()
@@ -192,6 +194,7 @@ def handle_sensitivity(
             track_as=params.get("track_as"),
             checkpoint=checkpoint,
             executor=executor,
+            emit=emit,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
@@ -203,6 +206,7 @@ def handle_comparison(
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> dict[str, Any]:
     """(H) Comparison analysis across drivers and perturbation magnitudes."""
     session = state.require_session()
@@ -214,6 +218,7 @@ def handle_comparison(
             mode=params.get("mode", "percentage"),
             checkpoint=checkpoint,
             executor=executor,
+            emit=emit,
         )
     except ValueError as exc:
         raise ProtocolError(str(exc)) from exc
@@ -238,6 +243,7 @@ def handle_goal_inversion(
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> dict[str, Any]:
     """(I) Free goal inversion (maximize / minimize / target)."""
     session = state.require_session()
@@ -263,6 +269,7 @@ def handle_constrained(
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
     executor=None,  # accepted for signature parity; constraint callables stay in-process
+    emit: Callable[..., None] | None = None,  # likewise: no chunked stream to publish
 ) -> dict[str, Any]:
     """(G)+(I) Constrained analysis with per-driver bounds."""
     session = state.require_session()
@@ -317,6 +324,7 @@ def handle_run_sweep(
     params: dict[str, Any],
     checkpoint: Callable[[float], None] | None = None,
     executor=None,
+    emit: Callable[..., None] | None = None,
 ) -> dict[str, Any]:
     """Scenario-space sweep: score a whole space in batched matrix form.
 
@@ -336,16 +344,44 @@ def handle_run_sweep(
             track_as=params.get("track_as"),
             checkpoint=checkpoint,
             executor=executor,
+            emit=emit,
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError(str(exc)) from exc
     return to_json_safe(result)
 
 
+def _parse_page(params: dict[str, Any]) -> tuple[int | None, int]:
+    """Parse the optional ``limit``/``offset`` pagination parameters."""
+    limit = params.get("limit")
+    offset = params.get("offset", 0)
+    try:
+        limit = None if limit is None else max(0, int(limit))
+        offset = max(0, int(offset))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"invalid pagination: limit={params.get('limit')!r} "
+            f"offset={params.get('offset')!r}"
+        ) from exc
+    return limit, offset
+
+
 def handle_list_scenarios(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
-    """List the scenarios (options) tracked so far."""
+    """List the scenarios (options) tracked so far.
+
+    Pagination: ``limit``/``offset`` slice the stable recording order;
+    ``total`` always reports the unsliced count.
+    """
     session = state.require_session()
-    return {"scenarios": to_json_safe([s.to_dict() for s in session.scenarios])}
+    limit, offset = _parse_page(params)
+    total = len(session.scenarios)
+    page = session.scenarios.list(limit=limit, offset=offset)
+    return {
+        "scenarios": to_json_safe([s.to_dict() for s in page]),
+        "total": total,
+        "limit": limit,
+        "offset": offset,
+    }
 
 
 # --------------------------------------------------------------------------- #
@@ -362,6 +398,8 @@ def handle_create_session(server: "SystemDServer", params: dict[str, Any]) -> di
     try:
         entry = server.registry.create(str(requested_id) if requested_id else None)
     except ValueError as exc:
+        if "already exists" in str(exc):
+            raise ConflictError(str(exc)) from exc
         raise ProtocolError(str(exc)) from exc
     entry.state.model_cache = server.model_cache
     payload: dict[str, Any] = {"session_id": entry.session_id}
@@ -386,7 +424,7 @@ def handle_close_session(server: "SystemDServer", params: dict[str, Any]) -> dic
     try:
         entry = server.registry.close(str(session_id))
     except UnknownSessionError as exc:
-        raise ProtocolError(f"unknown session {session_id!r}") from exc
+        raise NotFoundError(f"unknown session {session_id!r}") from exc
     return {"closed": entry.to_dict()}
 
 
@@ -417,7 +455,7 @@ def _job_lookup(job_id: str, lookup: Callable[[], Any]) -> Any:
     try:
         return lookup()
     except UnknownJobError as exc:
-        raise ProtocolError(
+        raise NotFoundError(
             f"unknown job {job_id!r} (finished jobs are retained LRU; it may have "
             "been evicted)"
         ) from exc
@@ -493,16 +531,28 @@ def handle_cancel_job(server: "SystemDServer", params: dict[str, Any]) -> dict[s
 
 
 def handle_list_jobs(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
-    """Snapshots of tracked jobs, optionally filtered by session or state."""
+    """Snapshots of tracked jobs, optionally filtered by session or state.
+
+    Pagination: ``limit``/``offset`` slice the stable ``(submitted_at,
+    job_id)`` ordering; ``total`` always reports the unsliced match count.
+    """
     states = params.get("states")
     if states is not None and not isinstance(states, (list, tuple)):
         raise ProtocolError("'states' must be a list of job states")
     session_id = params.get("session_id")
+    limit, offset = _parse_page(params)
+    state_filter = [str(s) for s in states] if states is not None else None
+    sid_filter = str(session_id) if session_id else None
     return {
         "jobs": server.engine.list_jobs(
-            session_id=str(session_id) if session_id else None,
-            states=[str(s) for s in states] if states is not None else None,
+            session_id=sid_filter,
+            states=state_filter,
+            limit=limit,
+            offset=offset,
         ),
+        "total": server.engine.count_jobs(session_id=sid_filter, states=state_filter),
+        "limit": limit,
+        "offset": offset,
         "engine": server.engine.stats(),
     }
 
@@ -576,7 +626,7 @@ def handle_sweep_result(server: "SystemDServer", params: dict[str, Any]) -> dict
             and job.params.get("space_hash") == space_hash
         ]
         if not candidates:
-            raise ProtocolError(
+            raise NotFoundError(
                 f"no sweep job found for space hash {space_hash!r} (finished jobs "
                 "are retained LRU; it may have been evicted)"
             )
@@ -638,6 +688,7 @@ def _checkpointed(
             params,
             checkpoint=context.checkpoint,
             executor=getattr(context, "executor", None),
+            emit=getattr(context, "emit", None),
         )
 
     return run

@@ -63,6 +63,42 @@ behaviour.
 Requests and responses are plain dataclasses that serialise to/from dicts, so
 they can travel over any transport (the in-process dispatcher used in tests
 and benchmarks, or the stdlib HTTP wrapper in :mod:`repro.server.app`).
+
+**Versioned envelope.**  Every response carries ``"api_version":
+:data:`API_VERSION`` (and HTTP transports add an ``X-Repro-Api-Version``
+header), so clients can detect envelope evolution without sniffing fields.
+Failures additionally carry ``error_kind`` — ``"protocol"`` (malformed or
+invalid request), ``"not_found"`` (unknown session/job/resource),
+``"conflict"`` (duplicate creation), or ``"internal"`` — which the
+resource-routed HTTP API maps onto 400/404/409/500 status codes.
+
+**HTTP transports and the bare-POST deprecation path.**  The original wire
+transport — POST one request envelope to any path, always receiving 200 with
+errors inside the envelope — remains fully supported and byte-compatible
+(modulo the additive ``api_version``/``error_kind`` fields above).  New
+clients should prefer the resource-routed API served alongside it:
+
+=========================================================  =================
+route                                                      action(s)
+=========================================================  =================
+``GET /api/v1/sessions``                                   ``list_sessions``
+``POST /api/v1/sessions``                                  ``create_session``
+``GET /api/v1/sessions/{sid}``                             one session's summary
+``DELETE /api/v1/sessions/{sid}``                          ``close_session``
+``GET /api/v1/sessions/{sid}/jobs``                        ``list_jobs`` (paginated)
+``POST /api/v1/sessions/{sid}/jobs``                       ``submit``
+``GET /api/v1/sessions/{sid}/jobs/{jid}``                  ``job_status`` / ``job_result``
+``DELETE /api/v1/sessions/{sid}/jobs/{jid}``               ``cancel_job``
+``GET /api/v1/sessions/{sid}/jobs/{jid}/events``           SSE event stream
+``GET /api/v1/sessions/{sid}/scenarios``                   ``list_scenarios`` (paginated)
+=========================================================  =================
+
+Deprecation path for the bare-POST protocol: (1) today — both transports
+served, bare POST is the compatibility surface; (2) next — bare-POST
+responses may add a ``deprecation`` notice field and new capabilities
+(streaming, pagination cursors) land on ``/api/v1`` only; (3) eventually —
+bare POST becomes opt-in via server configuration.  No stage breaks the
+envelope: ``ok``/``data``/``error`` keep their meaning throughout.
 """
 
 from __future__ import annotations
@@ -70,7 +106,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Request", "Response", "ACTIONS", "ProtocolError"]
+__all__ = [
+    "ACTIONS",
+    "API_VERSION",
+    "ConflictError",
+    "NotFoundError",
+    "ProtocolError",
+    "Request",
+    "Response",
+]
+
+#: Version stamped into every response envelope (and the
+#: ``X-Repro-Api-Version`` HTTP header).
+API_VERSION = "1"
 
 #: The full action vocabulary of the backend.
 ACTIONS = (
@@ -103,6 +151,20 @@ ACTIONS = (
 
 class ProtocolError(Exception):
     """Raised for malformed requests (unknown action, missing parameters)."""
+
+
+class NotFoundError(ProtocolError):
+    """Raised when a request names a session/job/resource that does not exist.
+
+    Maps to ``error_kind == "not_found"`` and HTTP 404 on the resource routes.
+    """
+
+
+class ConflictError(ProtocolError):
+    """Raised when a request would duplicate an existing resource.
+
+    Maps to ``error_kind == "conflict"`` and HTTP 409 on the resource routes.
+    """
 
 
 @dataclass(frozen=True)
@@ -169,6 +231,11 @@ class Response:
         Action-specific payload (empty on error).
     error:
         Error message when ``ok`` is False.
+    error_kind:
+        Failure taxonomy when ``ok`` is False — ``"protocol"``,
+        ``"not_found"``, ``"conflict"``, or ``"internal"`` (empty on
+        success).  Serialised only when set, keeping success envelopes
+        byte-compatible with earlier clients.
     request_id:
         Correlation id echoed from the request.
     session_id:
@@ -183,20 +250,25 @@ class Response:
     ok: bool
     data: dict[str, Any] = field(default_factory=dict)
     error: str = ""
+    error_kind: str = ""
     request_id: str = ""
     session_id: str = ""
     elapsed_ms: float = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation."""
-        return {
+        payload = {
             "ok": self.ok,
+            "api_version": API_VERSION,
             "data": dict(self.data),
             "error": self.error,
             "request_id": self.request_id,
             "session_id": self.session_id,
             "elapsed_ms": self.elapsed_ms,
         }
+        if self.error_kind:
+            payload["error_kind"] = self.error_kind
+        return payload
 
     @classmethod
     def success(
@@ -221,6 +293,7 @@ class Response:
         cls,
         error: str,
         *,
+        kind: str = "",
         request_id: str = "",
         session_id: str = "",
         elapsed_ms: float = 0.0,
@@ -229,6 +302,7 @@ class Response:
         return cls(
             ok=False,
             error=error,
+            error_kind=kind,
             request_id=request_id,
             session_id=session_id,
             elapsed_ms=elapsed_ms,

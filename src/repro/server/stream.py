@@ -1,0 +1,182 @@
+"""SSE client helper for the job-event streaming endpoint.
+
+:class:`StreamClient` is the Python-side counterpart of ``GET
+/api/v1/sessions/{sid}/jobs/{jid}/events``: it opens the stream over a plain
+:class:`http.client.HTTPConnection`, parses the ``id:`` / ``event:`` /
+``data:`` framing into :class:`ServerEvent` records, and tracks the last
+delivered sequence id so a dropped connection resumes exactly where it left
+off (``Last-Event-ID``) — the same contract a browser ``EventSource`` gives
+the paper's interactive frontend.  Stdlib only, like the server it talks to.
+
+Typical use (also what ``repro jobs --follow`` runs)::
+
+    client = StreamClient("127.0.0.1", 8765)
+    for event in client.stream_job(session_id, job_id):
+        print(event.type, event.data)
+    # returns after the terminal done/failed/cancelled event
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .registry import DEFAULT_SESSION_ID
+
+__all__ = ["ServerEvent", "StreamClient", "StreamError"]
+
+
+class StreamError(RuntimeError):
+    """Raised when the server refuses a stream (non-200 status)."""
+
+    def __init__(self, status: int, body: dict[str, Any] | str):
+        self.status = status
+        self.body = body
+        super().__init__(f"stream request failed with HTTP {status}: {body}")
+
+
+@dataclass(frozen=True)
+class ServerEvent:
+    """One parsed SSE frame.
+
+    ``event_id``/``type`` come from the frame fields; ``data`` is the decoded
+    JSON payload — for job streams, the full ``JobEvent.to_dict()`` record
+    (whose ``data`` key holds the event-specific payload).
+    """
+
+    event_id: int
+    type: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def payload(self) -> dict[str, Any]:
+        """The event-specific payload nested inside the bus record."""
+        inner = self.data.get("data")
+        return inner if isinstance(inner, dict) else {}
+
+
+def parse_sse(lines: Iterator[str]) -> Iterator[ServerEvent]:
+    """Parse SSE framing (``id:``/``event:``/``data:``, blank-line flush).
+
+    Comment lines (``:`` prefix — keepalives) are ignored.  ``data`` lines
+    accumulate per the SSE spec and are JSON-decoded at flush; frames whose
+    data is not a JSON object yield an empty dict.
+    """
+    event_id = 0
+    event_type = "message"
+    data_lines: list[str] = []
+    for raw in lines:
+        line = raw.rstrip("\r\n")
+        if not line:
+            if data_lines or event_type != "message":
+                joined = "\n".join(data_lines)
+                try:
+                    decoded = json.loads(joined) if joined else {}
+                except json.JSONDecodeError:
+                    decoded = {}
+                yield ServerEvent(
+                    event_id=event_id,
+                    type=event_type,
+                    data=decoded if isinstance(decoded, dict) else {},
+                )
+            event_id, event_type, data_lines = 0, "message", []
+            continue
+        if line.startswith(":"):
+            continue
+        name, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if name == "id":
+            try:
+                event_id = int(value)
+            except ValueError:
+                event_id = 0
+        elif name == "event":
+            event_type = value
+        elif name == "data":
+            data_lines.append(value)
+
+
+class StreamClient:
+    """Streams a job's events from a running :func:`~repro.server.app.serve_http`.
+
+    Parameters
+    ----------
+    host, port:
+        The HTTP server's address.
+    timeout:
+        Socket timeout while waiting for the next byte of the stream; the
+        server's keepalive comments arrive well inside any sane value.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Sequence id of the last event delivered by :meth:`stream_job`
+        #: (what a reconnect resumes from).
+        self.last_event_id = 0
+
+    # ------------------------------------------------------------------ #
+    def events_path(self, session_id: str, job_id: str) -> str:
+        sid = session_id or DEFAULT_SESSION_ID
+        return f"/api/v1/sessions/{sid}/jobs/{job_id}/events"
+
+    def _open(
+        self, session_id: str, job_id: str, after_seq: int, cancel_on_disconnect: bool
+    ) -> tuple[http.client.HTTPConnection, http.client.HTTPResponse]:
+        path = self.events_path(session_id, job_id)
+        if cancel_on_disconnect:
+            path += "?cancel_on_disconnect=1"
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        headers = {"Accept": "text/event-stream"}
+        if after_seq:
+            headers["Last-Event-ID"] = str(after_seq)
+        connection.request("GET", path, headers=headers)
+        response = connection.getresponse()
+        if response.status != 200:
+            body_text = response.read().decode("utf-8", errors="replace")
+            connection.close()
+            try:
+                body: dict[str, Any] | str = json.loads(body_text)
+            except json.JSONDecodeError:
+                body = body_text
+            raise StreamError(response.status, body)
+        return connection, response
+
+    def stream_job(
+        self,
+        session_id: str,
+        job_id: str,
+        *,
+        after_seq: int | None = None,
+        cancel_on_disconnect: bool = False,
+        max_events: int | None = None,
+    ) -> Iterator[ServerEvent]:
+        """Yield a job's events, ending after the terminal one.
+
+        ``after_seq`` overrides the resume point (default: continue from
+        :attr:`last_event_id`, i.e. 0 on a fresh client).  ``max_events``
+        stops early without closing politely — handy for tests that simulate
+        a dropped connection.
+        """
+        # imported lazily: repro.engine pulls in the handler tables
+        from ..engine import TERMINAL_EVENTS
+
+        start = self.last_event_id if after_seq is None else after_seq
+        connection, response = self._open(session_id, job_id, start, cancel_on_disconnect)
+        delivered = 0
+        try:
+            lines = (raw.decode("utf-8", errors="replace") for raw in response)
+            for event in parse_sse(lines):
+                if event.event_id:
+                    self.last_event_id = event.event_id
+                yield event
+                delivered += 1
+                if event.type in TERMINAL_EVENTS:
+                    return
+                if max_events is not None and delivered >= max_events:
+                    return
+        finally:
+            connection.close()

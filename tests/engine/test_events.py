@@ -1,0 +1,250 @@
+"""Unit tests for the per-job event bus (:mod:`repro.engine.events`).
+
+The bus is the contract the SSE endpoint stands on: monotonic per-job
+sequence ids, replay-from-seq on subscribe (no misses, no duplicates), a
+synthetic ``gap`` event when the ring has evicted needed history, fan-out
+that never lets one slow subscriber affect another, and exactly one terminal
+event per stream.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import TERMINAL_EVENTS, JobEventBus
+from repro.engine.events import EVENT_GAP
+
+
+@pytest.fixture
+def bus():
+    return JobEventBus(buffer_size=8, max_channels=4)
+
+
+class TestPublish:
+    def test_sequence_ids_are_per_job_and_monotonic(self, bus):
+        first = bus.publish("a", "queued")
+        second = bus.publish("a", "progress", {"progress": 0.5})
+        other = bus.publish("b", "queued")
+        assert (first.seq, second.seq) == (1, 2)
+        assert other.seq == 1
+        assert bus.last_seq("a") == 2
+
+    def test_event_to_dict_is_json_safe(self, bus):
+        event = bus.publish("a", "progress", {"progress": 0.25})
+        payload = event.to_dict()
+        assert payload["seq"] == 1
+        assert payload["job_id"] == "a"
+        assert payload["type"] == "progress"
+        assert payload["data"] == {"progress": 0.25}
+
+    def test_publish_after_terminal_is_dropped(self, bus):
+        bus.publish("a", "queued")
+        assert bus.publish("a", "done") is not None
+        assert bus.publish("a", "progress", {"progress": 0.9}) is None
+        assert bus.last_seq("a") == 2
+
+    def test_terminal_channels_evict_lru(self):
+        bus = JobEventBus(max_channels=2)
+        for job_id in ("a", "b", "c"):
+            bus.publish(job_id, "done")
+        stats = bus.stats()
+        assert stats["terminal_retained"] == 2
+        assert stats["evicted_channels"] == 1
+        assert bus.events("a") == []  # oldest terminal channel is gone
+        assert bus.events("c")  # newest survives
+
+
+class TestReplay:
+    def test_subscribe_replays_from_seq(self, bus):
+        for i in range(5):
+            bus.publish("a", "progress", {"progress": i / 5})
+        subscription = bus.subscribe("a", after_seq=3)
+        got = [subscription.get(timeout=0.1) for _ in range(2)]
+        assert [e.seq for e in got] == [4, 5]
+        assert subscription.get(timeout=0.05) is None  # nothing else queued
+
+    def test_replay_then_live_misses_nothing(self, bus):
+        bus.publish("a", "queued")
+        subscription = bus.subscribe("a", after_seq=0)
+        bus.publish("a", "progress", {"progress": 1.0})
+        bus.publish("a", "done")
+        seqs = [event.seq for event in subscription]
+        assert seqs == [1, 2, 3]
+
+    def test_ring_overflow_produces_gap_event(self):
+        bus = JobEventBus(buffer_size=4)
+        for i in range(10):
+            bus.publish("a", "progress", {"progress": i / 10})
+        # ring retains seqs 7..10; a fresh subscriber missed 1..6
+        subscription = bus.subscribe("a", after_seq=0)
+        gap = subscription.get(timeout=0.1)
+        assert gap.type == EVENT_GAP
+        assert gap.seq == 0  # synthetic, never stored in the ring
+        assert gap.data == {"missed": 6, "from_seq": 1, "to_seq": 6}
+        assert [subscription.get(timeout=0.1).seq for _ in range(4)] == [7, 8, 9, 10]
+
+    def test_no_gap_when_resuming_inside_ring(self):
+        bus = JobEventBus(buffer_size=4)
+        for i in range(10):
+            bus.publish("a", "progress", {"progress": i / 10})
+        subscription = bus.subscribe("a", after_seq=8)
+        events = [subscription.get(timeout=0.1) for _ in range(2)]
+        assert [e.seq for e in events] == [9, 10]
+        assert all(e.type != EVENT_GAP for e in events)
+
+    def test_subscribe_to_unknown_job_goes_live(self, bus):
+        subscription = bus.subscribe("future-job")
+        assert subscription.get(timeout=0.05) is None
+        bus.publish("future-job", "queued")
+        assert subscription.get(timeout=0.5).type == "queued"
+
+
+class TestFanOut:
+    def test_multiple_subscribers_each_get_every_event(self, bus):
+        subs = [bus.subscribe("a") for _ in range(3)]
+        for i in range(4):
+            bus.publish("a", "progress", {"progress": i / 4})
+        bus.publish("a", "done")
+        streams = [[event.seq for event in sub] for sub in subs]
+        assert streams == [[1, 2, 3, 4, 5]] * 3
+
+    def test_slow_subscriber_does_not_block_publisher_or_peers(self, bus):
+        slow = bus.subscribe("a")  # never drained until the end
+        fast = bus.subscribe("a")
+        for i in range(50):
+            bus.publish("a", "progress", {"progress": i / 50})
+            assert fast.get(timeout=0.5).seq == i + 1
+        bus.publish("a", "done")
+        # the slow subscriber's private queue is unbounded: full stream intact
+        assert [event.seq for event in slow] == list(range(1, 52))
+
+    def test_close_unregisters_live_delivery(self, bus):
+        subscription = bus.subscribe("a")
+        subscription.close()
+        bus.publish("a", "queued")
+        assert bus.stats()["subscribers"] == 0
+        assert subscription.get(timeout=0.05) is None
+
+    def test_concurrent_publish_and_subscribe_never_loses_events(self, bus):
+        total = 200
+        done = threading.Event()
+
+        def publisher():
+            for i in range(total):
+                bus.publish("a", "progress", {"i": i})
+            bus.publish("a", "done")
+            done.set()
+
+        thread = threading.Thread(target=publisher)
+        thread.start()
+        subscription = bus.subscribe("a", after_seq=0)
+        seen = [event.seq for event in subscription]
+        thread.join()
+        # replay + live must cover a contiguous, duplicate-free suffix; with
+        # buffer_size=8 the earliest events may be summarised by one gap
+        non_gap = [s for s in seen if s != 0]
+        assert non_gap == list(range(non_gap[0], total + 2))
+        assert non_gap[-1] == total + 1  # terminal event always delivered
+
+    def test_stats_counters(self, bus):
+        bus.publish("a", "queued")
+        bus.publish("a", "done")
+        bus.subscribe("b")
+        stats = bus.stats()
+        assert stats["published_total"] == 2
+        assert stats["channels"] == 2
+        assert stats["subscribers"] == 1
+        assert stats["buffer_size"] == 8
+
+
+def wait_terminal(server, job_id: str, timeout: float = 60.0) -> str:
+    """Poll until the job finishes; subscribing after that replays a bounded
+    stream, so a stalled job fails the test instead of hanging it."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = server.request("job_status", job_id=job_id).data["job"]["state"]
+        if state in ("done", "failed", "cancelled"):
+            return state
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} still {state!r} after {timeout}s")
+
+
+class TestEngineIntegration:
+    """Jobs publish their lifecycle to the engine's bus under both executors."""
+
+    @pytest.fixture
+    def server(self):
+        from repro.server import SystemDServer
+
+        server = SystemDServer(engine_workers=2)
+        server.request(
+            "load_use_case",
+            use_case="deal_closing",
+            dataset_kwargs={"n_prospects": 120},
+        )
+        yield server
+        server.close()
+
+    def test_job_lifecycle_publishes_queued_started_progress_done(self, server):
+        submitted = server.request(
+            "submit",
+            {
+                "action": "sensitivity",
+                "params": {"perturbations": {"Open Marketing Email": 20.0}},
+            },
+        )
+        job_id = submitted.data["job"]["job_id"]
+        assert wait_terminal(server, job_id) == "done"
+        events = list(server.engine.events.subscribe(job_id))
+        types = [event.type for event in events]
+        assert types[0] == "queued"
+        assert "started" in types
+        assert types[-1] == "done"
+        assert all(t not in TERMINAL_EVENTS for t in types[:-1])
+        # the terminal event embeds the full result payload
+        polled = server.request("job_result", job_id=job_id)
+        assert events[-1].data["result"] == polled.data["result"]
+
+    def test_failed_job_publishes_failed_event(self, server):
+        submitted = server.request(
+            "submit",
+            {"action": "sensitivity", "params": {"perturbations": {"no such": 1.0}}},
+        )
+        job_id = submitted.data["job"]["job_id"]
+        assert wait_terminal(server, job_id) == "failed"
+        events = list(server.engine.events.subscribe(job_id))
+        assert events[-1].type == "failed"
+        assert events[-1].data["error"]
+
+    def test_process_executor_forwards_unit_events(self):
+        from repro.server import SystemDServer
+
+        server = SystemDServer(engine_workers=2, executor="process")
+        try:
+            server.request(
+                "load_use_case",
+                use_case="deal_closing",
+                dataset_kwargs={"n_prospects": 200},
+            )
+            submitted = server.request(
+                "submit",
+                {
+                    "action": "sensitivity",
+                    "params": {"perturbations": {"Open Marketing Email": 20.0}},
+                },
+            )
+            job_id = submitted.data["job"]["job_id"]
+            assert wait_terminal(server, job_id) == "done"
+            events = list(server.engine.events.subscribe(job_id))
+            types = [event.type for event in events]
+            assert types[-1] == "done"
+            chunk_events = [e for e in events if e.type == "sensitivity_chunk"]
+            # unit completions on worker processes surface as chunk events
+            assert chunk_events, types
+            for event in chunk_events:
+                assert event.data["n_rows"] > 0
+        finally:
+            server.close()

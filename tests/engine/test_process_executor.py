@@ -160,6 +160,27 @@ class TestWorkerDeath:
         results = pool.run_units(manager, sensitivity_units(manager))
         assert len(results) == 4
 
+    def test_lost_dispatch_trips_stall_watchdog(self, manager):
+        """A swallowed task (queue feeder failure) fails the job, never hangs."""
+
+        class _BlackHole:
+            def put(self, task):
+                pass  # the task vanishes: no worker ever sees it
+
+        executor = ProcessExecutor(workers=1, name="repro-test-stall")
+        try:
+            executor.run_units(manager, sensitivity_units(manager))  # pool warm
+            real_queue = executor._task_queues[0]
+            executor._task_queues[0] = _BlackHole()
+            # tighten only now: a cold spawn + model shipping can itself
+            # exceed a short timeout, which is legitimate silence
+            executor._stall_timeout = 1.0
+            with pytest.raises(WorkerUnitError, match="dispatch lost"):
+                executor.run_units(manager, sensitivity_units(manager))
+            executor._task_queues[0] = real_queue
+        finally:
+            executor.shutdown(wait=True)
+
 
 class TestShutdown:
     def test_shutdown_leaves_no_orphans(self, deal_manager):

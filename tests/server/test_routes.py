@@ -1,0 +1,313 @@
+"""HTTP round-trips for the resource-routed ``/api/v1`` surface.
+
+Every route gets exercised over a real socket: verb→action mapping, the
+versioned envelope (``api_version`` field + ``X-Repro-Api-Version`` header),
+real status codes (201 created, 404 unknown resource, 409 duplicate, 400 bad
+request), pagination query params, and the bare-POST protocol staying
+byte-compatible alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import API_VERSION, serve_http
+
+
+@pytest.fixture(scope="module")
+def httpd():
+    httpd = serve_http(port=0)  # port 0: the OS picks a free port
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.backend.close()
+    httpd.server_close()
+
+
+@pytest.fixture(scope="module")
+def base_url(httpd):
+    host, port = httpd.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def call(base_url: str, method: str, path: str, body: dict | None = None, timeout=60.0):
+    """One HTTP round-trip; returns (status, headers, decoded JSON envelope)."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base_url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+class TestSessionsRoutes:
+    def test_create_session_is_201_with_envelope(self, base_url):
+        status, headers, envelope = call(
+            base_url, "POST", "/api/v1/sessions", {"session_id": "alpha"}
+        )
+        assert status == 201
+        assert envelope["ok"]
+        assert envelope["data"]["session_id"] == "alpha"
+        assert envelope["api_version"] == API_VERSION
+        assert headers["X-Repro-Api-Version"] == API_VERSION
+
+    def test_duplicate_create_is_409_conflict(self, base_url):
+        call(base_url, "POST", "/api/v1/sessions", {"session_id": "dup"})
+        status, _, envelope = call(
+            base_url, "POST", "/api/v1/sessions", {"session_id": "dup"}
+        )
+        assert status == 409
+        assert not envelope["ok"]
+        assert envelope["error_kind"] == "conflict"
+        assert "already exists" in envelope["error"]
+
+    def test_list_sessions(self, base_url):
+        call(base_url, "POST", "/api/v1/sessions", {"session_id": "listed"})
+        status, _, envelope = call(base_url, "GET", "/api/v1/sessions")
+        assert status == 200
+        ids = {s["session_id"] for s in envelope["data"]["sessions"]}
+        assert "listed" in ids
+
+    def test_get_one_session(self, base_url):
+        call(base_url, "POST", "/api/v1/sessions", {"session_id": "solo"})
+        status, _, envelope = call(base_url, "GET", "/api/v1/sessions/solo")
+        assert status == 200
+        assert envelope["data"]["session"]["session_id"] == "solo"
+
+    def test_get_unknown_session_is_404(self, base_url):
+        status, _, envelope = call(base_url, "GET", "/api/v1/sessions/nope")
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+        assert "unknown session" in envelope["error"]
+
+    def test_delete_session(self, base_url):
+        call(base_url, "POST", "/api/v1/sessions", {"session_id": "doomed"})
+        status, _, envelope = call(base_url, "DELETE", "/api/v1/sessions/doomed")
+        assert status == 200
+        assert envelope["data"]["closed"]["session_id"] == "doomed"
+        status, _, envelope = call(base_url, "DELETE", "/api/v1/sessions/doomed")
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+
+    def test_unknown_api_path_is_404(self, base_url):
+        status, _, envelope = call(base_url, "GET", "/api/v1/nonsense")
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+        assert "no route" in envelope["error"]
+
+    def test_invalid_json_body_is_400(self, base_url):
+        request = urllib.request.Request(
+            base_url + "/api/v1/sessions",
+            data=b"{broken",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                status, body = response.status, response.read()
+        except urllib.error.HTTPError as error:
+            status, body = error.code, error.read()
+        envelope = json.loads(body)
+        assert status == 400
+        assert envelope["error_kind"] == "protocol"
+
+
+class TestJobsRoutes:
+    @pytest.fixture(scope="class")
+    def session_id(self, base_url):
+        sid = "jobs-session"
+        status, _, envelope = call(
+            base_url,
+            "POST",
+            "/api/v1/sessions",
+            {
+                "session_id": sid,
+                "use_case": "deal_closing",
+                "dataset_kwargs": {"n_prospects": 120},
+            },
+        )
+        assert status == 201, envelope
+        return sid
+
+    def submit(self, base_url, session_id):
+        status, _, envelope = call(
+            base_url,
+            "POST",
+            f"/api/v1/sessions/{session_id}/jobs",
+            {
+                "action": "sensitivity",
+                "params": {"perturbations": {"Open Marketing Email": 20.0}},
+            },
+        )
+        assert status == 201, envelope
+        return envelope["data"]["job"]["job_id"]
+
+    def test_submit_then_get_status_and_result(self, base_url, session_id):
+        job_id = self.submit(base_url, session_id)
+        status, _, envelope = call(
+            base_url, "GET", f"/api/v1/sessions/{session_id}/jobs/{job_id}"
+        )
+        assert status == 200
+        assert envelope["data"]["job"]["job_id"] == job_id
+        status, _, envelope = call(
+            base_url,
+            "GET",
+            f"/api/v1/sessions/{session_id}/jobs/{job_id}?result=1&timeout_s=60",
+        )
+        assert status == 200, envelope
+        assert envelope["data"]["job"]["state"] == "done"
+        assert envelope["data"]["result"]["original_kpi"]
+
+    def test_submit_to_unknown_session_is_404(self, base_url):
+        status, _, envelope = call(
+            base_url,
+            "POST",
+            "/api/v1/sessions/ghost/jobs",
+            {"action": "sensitivity", "params": {}},
+        )
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+
+    def test_get_job_from_wrong_session_is_404(self, base_url, session_id):
+        job_id = self.submit(base_url, session_id)
+        call(base_url, "POST", "/api/v1/sessions", {"session_id": "other"})
+        status, _, envelope = call(
+            base_url, "GET", f"/api/v1/sessions/other/jobs/{job_id}"
+        )
+        assert status == 404
+        assert "does not belong" in envelope["error"]
+
+    def test_unknown_job_is_404(self, base_url, session_id):
+        status, _, envelope = call(
+            base_url, "GET", f"/api/v1/sessions/{session_id}/jobs/job-nope"
+        )
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+
+    def test_list_jobs_paginates_with_stable_order(self, base_url, session_id):
+        for _ in range(3):
+            self.submit(base_url, session_id)
+        status, _, unpaged = call(
+            base_url, "GET", f"/api/v1/sessions/{session_id}/jobs"
+        )
+        assert status == 200
+        all_ids = [job["job_id"] for job in unpaged["data"]["jobs"]]
+        assert len(all_ids) >= 3
+        assert unpaged["data"]["total"] == len(all_ids)
+        paged: list[str] = []
+        for offset in range(0, len(all_ids), 2):
+            status, _, page = call(
+                base_url,
+                "GET",
+                f"/api/v1/sessions/{session_id}/jobs?limit=2&offset={offset}",
+            )
+            assert page["data"]["limit"] == 2
+            assert page["data"]["offset"] == offset
+            paged.extend(job["job_id"] for job in page["data"]["jobs"])
+        assert paged == all_ids  # pagination walks the same stable order
+
+    def test_delete_cancels_job(self, base_url, session_id):
+        job_id = self.submit(base_url, session_id)
+        status, _, envelope = call(
+            base_url, "DELETE", f"/api/v1/sessions/{session_id}/jobs/{job_id}"
+        )
+        assert status == 200
+        assert envelope["data"]["job"]["state"] in ("cancelled", "running", "done")
+
+    def test_bad_pagination_is_400(self, base_url, session_id):
+        status, _, envelope = call(
+            base_url, "GET", f"/api/v1/sessions/{session_id}/jobs?limit=banana"
+        )
+        assert status == 400
+        assert envelope["error_kind"] == "protocol"
+
+
+class TestScenariosRoute:
+    def test_list_scenarios_paginated(self, base_url):
+        sid = "scenario-session"
+        call(
+            base_url,
+            "POST",
+            "/api/v1/sessions",
+            {
+                "session_id": sid,
+                "use_case": "deal_closing",
+                "dataset_kwargs": {"n_prospects": 120},
+            },
+        )
+        for i in range(3):  # tracked scenarios accrue via track_as on analyses
+            status, _, envelope = call(
+                base_url,
+                "POST",
+                "/",
+                {
+                    "action": "sensitivity",
+                    "session_id": sid,
+                    "params": {
+                        "perturbations": {"Open Marketing Email": 10.0 * (i + 1)},
+                        "track_as": f"option-{i}",
+                    },
+                },
+            )
+            assert envelope["ok"], envelope
+        status, _, envelope = call(
+            base_url, "GET", f"/api/v1/sessions/{sid}/scenarios?limit=2&offset=1"
+        )
+        assert status == 200
+        assert envelope["data"]["total"] == 3
+        names = [s["name"] for s in envelope["data"]["scenarios"]]
+        assert names == ["option-1", "option-2"]
+
+    def test_scenarios_of_unknown_session_is_404(self, base_url):
+        status, _, envelope = call(base_url, "GET", "/api/v1/sessions/void/scenarios")
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+        assert "unknown session" in envelope["error"]
+
+
+class TestLegacySurface:
+    def test_bare_post_still_dispatches_with_versioned_envelope(self, base_url):
+        status, headers, envelope = call(
+            base_url, "POST", "/", {"action": "list_use_cases"}
+        )
+        assert status == 200
+        assert envelope["ok"]
+        assert envelope["api_version"] == API_VERSION
+        assert headers["X-Repro-Api-Version"] == API_VERSION
+        assert "error_kind" not in envelope  # success envelopes stay lean
+
+    def test_bare_post_handler_failure_stays_200_with_kind(self, base_url):
+        status, _, envelope = call(
+            base_url, "POST", "/", {"action": "load_use_case", "params": {}}
+        )
+        assert status == 200
+        assert not envelope["ok"]
+        assert envelope["error_kind"] == "protocol"
+
+    def test_bare_post_unknown_session_reports_not_found_kind(self, base_url):
+        status, _, envelope = call(
+            base_url,
+            "POST",
+            "/",
+            {"action": "describe_dataset", "session_id": "missing"},
+        )
+        assert status == 200  # legacy surface: errors ride inside the envelope
+        assert envelope["error_kind"] == "not_found"
+        assert "unknown session" in envelope["error"]
+
+    def test_non_api_get_is_still_405(self, base_url):
+        status, _, envelope = call(base_url, "GET", "/anything")
+        assert status == 405
+        assert not envelope["ok"]

@@ -1,0 +1,305 @@
+"""End-to-end SSE streaming tests over a real socket.
+
+The acceptance bar for the streaming subsystem, asserted here:
+
+* a subscriber attached to a *running* sweep job receives at least one
+  incremental frontier chunk before the job finishes (proved with a barrier
+  that holds the job mid-run until the chunk has been read live);
+* after a dropped connection, reconnecting with ``Last-Event-ID`` resumes
+  with no missing and no duplicated events;
+* ``?cancel_on_disconnect=1`` transitions the job to ``cancelled`` when the
+  client vanishes — under both the thread and the process executor;
+* the ``done`` event's embedded result is bitwise-identical to the polled
+  ``job_result`` payload.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.scenarios.planner as planner
+import repro.server.app as app_module
+from repro.core.model_manager import ModelManager
+from repro.server import DEFAULT_SESSION_ID, serve_http
+from repro.server.stream import StreamClient, StreamError
+
+SPACE = {
+    "axes": [
+        {"driver": "Call", "start": -40, "stop": 40, "step": 20},
+        {"driver": "Renewal", "amounts": [0, 20, 40]},
+    ]
+}
+
+#: Large enough that a process-executor sweep runs for many seconds.
+BIG_SPACE = {
+    "axes": [
+        {"driver": "Call", "start": -40, "stop": 40, "step": 2},
+        {"driver": "Renewal", "amounts": [0, 10, 20, 30, 40]},
+    ]
+}
+
+
+def start_http(**kwargs):
+    httpd = serve_http(port=0, **kwargs)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return httpd
+
+
+def stop_http(httpd):
+    httpd.shutdown()
+    httpd.backend.close()
+    httpd.server_close()
+
+
+def post(httpd, payload: dict, timeout: float = 120.0) -> dict:
+    host, port = httpd.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}/",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def submit_sweep(httpd, space=SPACE) -> str:
+    envelope = post(httpd, {"action": "sweep", "params": {"space": space}})
+    assert envelope["ok"], envelope["error"]
+    return envelope["data"]["job"]["job_id"]
+
+
+def job_state(httpd, job_id: str) -> str:
+    envelope = post(httpd, {"action": "job_status", "params": {"job_id": job_id}})
+    assert envelope["ok"], envelope["error"]
+    return envelope["data"]["job"]["state"]
+
+
+def wait_terminal(httpd, job_id: str, timeout: float = 60.0) -> str:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        state = job_state(httpd, job_id)
+        if state in ("done", "failed", "cancelled"):
+            return state
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} still {state!r} after {timeout}s")
+
+
+def make_client(httpd, **kwargs) -> StreamClient:
+    host, port = httpd.server_address[:2]
+    return StreamClient(host, port, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def thread_httpd():
+    httpd = start_http(workers=2)
+    envelope = post(
+        httpd,
+        {
+            "action": "load_use_case",
+            "params": {"use_case": "deal_closing", "dataset_kwargs": {"n_prospects": 80}},
+        },
+    )
+    assert envelope["ok"], envelope["error"]
+    yield httpd
+    stop_http(httpd)
+
+
+@pytest.fixture
+def chunked(monkeypatch):
+    """Force the sweep onto the chunked fallback (2 scenarios per chunk)."""
+    monkeypatch.setattr(planner, "grid_sweep_kpis", lambda *a, **k: None)
+    monkeypatch.setattr(planner, "SWEEP_CHUNK_SCENARIOS", 2)
+
+
+class Gate:
+    """Wraps ``predict_kpi_batch``: chunk 1 passes, later chunks block."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.calls = 0
+        self.original = ModelManager.predict_kpi_batch
+
+    def handle(self, manager, matrices):
+        self.calls += 1
+        if self.calls > 1:
+            assert self.release.wait(30), "gate was never released"
+        return self.original(manager, matrices)
+
+
+@pytest.fixture
+def gate(monkeypatch, chunked):
+    instance = Gate()
+    monkeypatch.setattr(
+        ModelManager, "predict_kpi_batch", lambda m, x: instance.handle(m, x)
+    )
+    yield instance
+    instance.release.set()
+
+
+#: A sweep space big enough that, at one slowed chunk per scenario, many
+#: seconds of work remain after the first chunk — disconnect detection
+#: (a couple of keepalive intervals) always lands well before completion.
+SLOW_SPACE = {
+    "axes": [
+        {"driver": "Call", "start": -40, "stop": 40, "step": 5},
+        {"driver": "Renewal", "amounts": [0, 20, 40]},
+    ]
+}
+
+
+@pytest.fixture
+def slow_chunks(monkeypatch):
+    """One scenario per chunk, each slowed down: a sweep that takes ~15s."""
+    monkeypatch.setattr(planner, "grid_sweep_kpis", lambda *a, **k: None)
+    monkeypatch.setattr(planner, "SWEEP_CHUNK_SCENARIOS", 1)
+    original = ModelManager.predict_kpi_batch
+
+    def slowed(manager, matrices):
+        time.sleep(0.3)
+        return original(manager, matrices)
+
+    monkeypatch.setattr(ModelManager, "predict_kpi_batch", slowed)
+
+
+class TestLiveStreaming:
+    def test_chunk_arrives_while_job_is_still_running(self, thread_httpd, gate):
+        job_id = submit_sweep(thread_httpd)
+        client = make_client(thread_httpd)
+        stream = client.stream_job(DEFAULT_SESSION_ID, job_id)
+        events = []
+        first_chunk = None
+        for event in stream:
+            events.append(event)
+            if event.type == "sweep_chunk":
+                first_chunk = event
+                break
+        # the gate still holds chunk 2: the chunk was delivered mid-run
+        assert first_chunk is not None
+        assert first_chunk.payload["scored"] < first_chunk.payload["total"]
+        assert first_chunk.payload["kpi_values"]
+        assert job_state(thread_httpd, job_id) == "running"
+        gate.release.set()
+        events.extend(stream)
+        types = [event.type for event in events]
+        assert types[0] == "queued"
+        assert "started" in types
+        assert types[-1] == "done"
+        assert types.count("sweep_chunk") == 8  # ceil(15 scenarios / 2 per chunk)
+        seqs = [event.event_id for event in events]
+        assert seqs == list(range(1, len(events) + 1))  # contiguous, no gaps
+
+    def test_streamed_result_is_bitwise_identical_to_polled(self, thread_httpd, chunked):
+        job_id = submit_sweep(thread_httpd)
+        events = list(make_client(thread_httpd).stream_job(DEFAULT_SESSION_ID, job_id))
+        assert events[-1].type == "done"
+        streamed = events[-1].payload["result"]
+        envelope = post(
+            thread_httpd,
+            {"action": "job_result", "params": {"job_id": job_id, "timeout_s": 60}},
+        )
+        assert envelope["ok"], envelope["error"]
+        polled = envelope["data"]["result"]
+        assert json.dumps(streamed, sort_keys=True) == json.dumps(polled, sort_keys=True)
+
+    def test_resume_from_last_event_id_misses_and_duplicates_nothing(
+        self, thread_httpd, chunked
+    ):
+        job_id = submit_sweep(thread_httpd)
+        client = make_client(thread_httpd)
+        # first connection drops after 4 events (no polite shutdown)
+        first = list(
+            client.stream_job(DEFAULT_SESSION_ID, job_id, max_events=4)
+        )
+        assert len(first) == 4
+        assert client.last_event_id == first[-1].event_id
+        # reconnect: the client resumes from its Last-Event-ID automatically
+        second = list(client.stream_job(DEFAULT_SESSION_ID, job_id))
+        seqs = [event.event_id for event in first + second]
+        assert seqs == list(range(1, len(seqs) + 1))  # no misses, no duplicates
+        assert (first + second)[-1].type == "done"
+        assert all(event.type != "gap" for event in second)
+
+    def test_late_subscriber_replays_a_finished_jobs_stream(
+        self, thread_httpd, chunked
+    ):
+        job_id = submit_sweep(thread_httpd)
+        assert wait_terminal(thread_httpd, job_id) == "done"
+        events = list(make_client(thread_httpd).stream_job(DEFAULT_SESSION_ID, job_id))
+        types = [event.type for event in events]
+        assert types[0] == "queued" and types[-1] == "done"
+        assert "sweep_chunk" in types
+
+
+class TestStreamErrors:
+    def test_unknown_job_stream_is_404(self, thread_httpd):
+        with pytest.raises(StreamError) as excinfo:
+            next(iter(make_client(thread_httpd).stream_job(DEFAULT_SESSION_ID, "nope")))
+        assert excinfo.value.status == 404
+        assert excinfo.value.body["error_kind"] == "not_found"
+
+    def test_stream_from_wrong_session_is_404(self, thread_httpd, chunked):
+        job_id = submit_sweep(thread_httpd)
+        post(thread_httpd, {"action": "create_session", "params": {"session_id": "bystander"}})
+        with pytest.raises(StreamError) as excinfo:
+            next(iter(make_client(thread_httpd).stream_job("bystander", job_id)))
+        assert excinfo.value.status == 404
+        assert "does not belong" in excinfo.value.body["error"]
+
+    def test_invalid_last_event_id_is_400(self, thread_httpd, chunked):
+        job_id = submit_sweep(thread_httpd)
+        host, port = thread_httpd.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/api/v1/sessions/{DEFAULT_SESSION_ID}/jobs/{job_id}/events",
+            headers={"Last-Event-ID": "banana"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+
+class TestCancelOnDisconnect:
+    def test_disconnect_cancels_running_job_thread_executor(
+        self, thread_httpd, slow_chunks, monkeypatch
+    ):
+        monkeypatch.setattr(app_module, "SSE_KEEPALIVE_S", 0.1)
+        job_id = submit_sweep(thread_httpd, space=SLOW_SPACE)
+        client = make_client(thread_httpd)
+        for event in client.stream_job(
+            DEFAULT_SESSION_ID, job_id, cancel_on_disconnect=True
+        ):
+            if event.type == "sweep_chunk":
+                break  # drop the connection mid-run, no DELETE sent
+        assert wait_terminal(thread_httpd, job_id, timeout=30.0) == "cancelled"
+
+    def test_disconnect_cancels_running_job_process_executor(self, monkeypatch):
+        monkeypatch.setattr(app_module, "SSE_KEEPALIVE_S", 0.1)
+        httpd = start_http(workers=4, executor="process")
+        try:
+            envelope = post(
+                httpd,
+                {
+                    "action": "load_use_case",
+                    "params": {
+                        "use_case": "deal_closing",
+                        "dataset_kwargs": {"n_prospects": 2000},
+                    },
+                },
+            )
+            assert envelope["ok"], envelope["error"]
+            job_id = submit_sweep(httpd, space=BIG_SPACE)
+            client = make_client(httpd)
+            for event in client.stream_job(
+                DEFAULT_SESSION_ID, job_id, cancel_on_disconnect=True
+            ):
+                if event.type == "started":
+                    break  # vanish as early as possible: maximal remaining work
+            assert wait_terminal(httpd, job_id, timeout=60.0) == "cancelled"
+        finally:
+            stop_http(httpd)
