@@ -19,8 +19,9 @@ from the committed snapshots in ``benchmarks/baselines/``:
 
 Metrics are addressed by dotted paths into the JSON.  A baseline file with
 no fresh counterpart fails (a benchmark silently dropped is a regression
-too); a fresh file with no baseline is reported but allowed, so adding a new
-benchmark is a two-step: land the bench, then commit its baseline.
+too), and a fresh file with no committed baseline *also* fails: a benchmark
+that lands without a baseline is silently unguarded, so landing a bench and
+committing its baseline (plus manifest entries here) are one change.
 
 Ratios only transfer across machines when baseline and fresh run measured
 the same *configuration*: a thread-pool ``worker_speedup`` captured on a
@@ -179,7 +180,14 @@ def run(baseline_dir: Path, current_dir: Path) -> int:
     known = {path.name for path in baselines}
     for current_path in sorted(current_dir.glob("BENCH_*.json")):
         if current_path.name not in known:
-            print(f"{current_path.name}: no baseline committed yet (allowed)")
+            name = current_path.name
+            print(f"{name}: [FAIL] no baseline committed")
+            failures.append(
+                f"{name}: fresh benchmark has no committed baseline — copy it to "
+                f"{baseline_dir}/{name} and register its metrics in RATIO_METRICS/"
+                "EQUALITY_METRICS in benchmarks/check_regression.py so it is gated "
+                "from day one"
+            )
     if failures:
         print(f"\nbench-regression gate FAILED ({len(failures)} problem(s)):")
         for failure in failures:

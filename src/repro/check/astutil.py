@@ -1,0 +1,181 @@
+"""AST plumbing shared by the ``repro check`` rules.
+
+The rule modules all work off the same parsed view of a source tree: a
+:class:`ModuleInfo` per file (path, source, AST with parent links) plus a
+handful of helpers for the recurring questions — "is this ``with`` statement
+holding a lock?", "which function/class encloses this node?", "what are the
+string keys of this registry dict?".  Parent links are attached once at load
+time (``node.repro_parent``) so rules can walk *up* the tree, which
+:mod:`ast` does not support natively.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "ModuleInfo",
+    "attach_parents",
+    "enclosing",
+    "enclosing_class",
+    "enclosing_function",
+    "is_lock_expr",
+    "iter_parents",
+    "load_module",
+    "lock_keys_of_with",
+    "str_constants",
+    "string_dict_keys",
+    "walk_same_scope",
+]
+
+#: Node types that open a new runtime scope: code inside them does not run
+#: as part of the enclosing block, so lexical analyses must not descend.
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file of the project under analysis."""
+
+    path: Path
+    #: Path relative to the analysis root, with ``/`` separators.  Rules match
+    #: modules by suffix (``endswith("server/protocol.py")``) so fixture trees
+    #: can mimic the real layout without the ``repro/`` prefix.
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+def load_module(path: Path, relpath: str) -> ModuleInfo:
+    """Parse ``path`` into a :class:`ModuleInfo` with parent links attached."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    attach_parents(tree)
+    return ModuleInfo(path=path, relpath=relpath, source=source, tree=tree)
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``repro_parent`` link to its parent."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child.repro_parent = parent  # type: ignore[attr-defined]
+
+
+def iter_parents(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield the ancestors of ``node``, nearest first."""
+    current = getattr(node, "repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "repro_parent", None)
+
+
+def enclosing(node: ast.AST, types: tuple[type, ...]) -> ast.AST | None:
+    """The nearest ancestor of ``node`` that is one of ``types``."""
+    for parent in iter_parents(node):
+        if isinstance(parent, types):
+            return parent
+    return None
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The nearest enclosing function definition, if any."""
+    found = enclosing(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return found  # type: ignore[return-value]
+
+
+def enclosing_class(node: ast.AST) -> ast.ClassDef | None:
+    """The nearest enclosing class definition, if any."""
+    found = enclosing(node, (ast.ClassDef,))
+    return found  # type: ignore[return-value]
+
+
+def walk_same_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested scopes.
+
+    Code inside nested ``def``/``lambda``/``class`` bodies does not execute
+    as part of ``root``'s block, so lexical analyses (is this call made while
+    the lock is held?) must skip it.  The root itself may be a function.
+    """
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_TYPES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def is_lock_expr(expr: ast.expr) -> bool:
+    """Whether ``expr`` syntactically names a lock.
+
+    Project convention: every mutex attribute has ``lock`` in its final name
+    (``self._lock``, ``entry.lock``, ``self._log_lock``), so the analyzer
+    keys off that rather than type inference.
+    """
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    if isinstance(expr, ast.Name):
+        return "lock" in expr.id.lower()
+    return False
+
+
+def lock_keys_of_with(node: ast.With, class_name: str | None) -> list[tuple[str, ast.expr]]:
+    """The locks acquired by a ``with`` statement, as ``(key, expr)`` pairs.
+
+    Keys normalise ``self.<attr>`` to ``<ClassName>.<attr>`` so the same lock
+    gets the same key across methods (and, for well-known classes, across
+    modules); other expressions key on their source text.
+    """
+    keys: list[tuple[str, ast.expr]] = []
+    for item in node.items:
+        expr = item.context_expr
+        if not is_lock_expr(expr):
+            continue
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and class_name
+        ):
+            keys.append((f"{class_name}.{expr.attr}", expr))
+        else:
+            keys.append((ast.unparse(expr), expr))
+    return keys
+
+
+def str_constants(node: ast.expr | None) -> list[str] | None:
+    """String elements of a tuple/list/set literal or ``frozenset({...})`` call.
+
+    Returns ``None`` when ``node`` is not a recognised all-string container,
+    so registry rules can skip rather than misreport on exotic shapes.
+    """
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("frozenset", "set", "tuple", "list") and len(node.args) == 1:
+            return str_constants(node.args[0])
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        values = []
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            values.append(element.value)
+        return values
+    return None
+
+
+def string_dict_keys(node: ast.expr | None) -> list[str] | None:
+    """String keys of a dict literal (``None`` for anything else)."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys = []
+    for key in node.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return keys

@@ -1,0 +1,239 @@
+"""The ``repro check`` rule engine: findings, suppressions, and the runner.
+
+A :class:`Project` is a parsed source tree; a :class:`Rule` is a named check
+over it; a :class:`Finding` is one (rule, file, line, message) hit.  The
+engine's own value-add is the suppression protocol: any finding can be
+silenced with an inline comment on the flagged line or the line directly
+above it::
+
+    self._queue.put(item)  # repro: ignore[LCK002] -- queue is unbounded, put cannot block
+
+Suppressions *must* carry a ``-- justification`` (rule ``SUP001`` flags bare
+ones) and must actually suppress something (rule ``SUP002`` flags stale
+ones), so the ignore inventory stays an honest record of audited exceptions
+rather than an accumulating blanket.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from .astutil import ModuleInfo, load_module
+
+__all__ = [
+    "Finding",
+    "Project",
+    "RawFinding",
+    "Rule",
+    "Suppression",
+    "load_project",
+    "run_rules",
+]
+
+#: ``(relpath, line, message)`` as produced by rule check functions; the
+#: engine upgrades these to :class:`Finding` and applies suppressions.
+RawFinding = tuple[str, int, str]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<ids>[^\]]*)\]\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit at a specific source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (used by ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Suppression:
+    """One inline ``# repro: ignore[...]`` comment."""
+
+    path: str
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    used: bool = False
+
+    def covers(self, finding_line: int, rule_id: str) -> bool:
+        """Whether this comment silences ``rule_id`` at ``finding_line``.
+
+        A suppression applies to its own line and to the line directly below
+        it (comment-above style), mirroring ``noqa``/``type: ignore`` reach.
+        """
+        return rule_id in self.rule_ids and finding_line in (self.line, self.line + 1)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named check over a :class:`Project`."""
+
+    rule_id: str
+    severity: str
+    summary: str
+    check: Callable[["Project"], Iterable[RawFinding]]
+
+
+class Project:
+    """A parsed source tree plus the suppressions found in it."""
+
+    def __init__(self, root: Path, modules: list[ModuleInfo]):
+        self.root = root
+        self.modules = sorted(modules, key=lambda m: m.relpath)
+        self.suppressions = [
+            suppression
+            for module in self.modules
+            for suppression in _parse_suppressions(module)
+        ]
+
+    def find(self, suffix: str) -> ModuleInfo | None:
+        """The module whose relpath ends with ``suffix``, if present.
+
+        Suffix matching (rather than exact paths) lets the registry rules run
+        unchanged on the real tree (``repro/server/protocol.py``) and on the
+        miniature fixture trees under ``tests/check/fixtures``.
+        """
+        for module in self.modules:
+            if module.relpath.endswith(suffix):
+                return module
+        return None
+
+
+def load_project(root: Path) -> Project:
+    """Parse every ``*.py`` under ``root`` into a :class:`Project`.
+
+    Files that fail to parse are skipped here and reported by the runner as
+    ``CHK000`` findings, so one syntax error doesn't hide every other result.
+    """
+    modules: list[ModuleInfo] = []
+    errors: list[RawFinding] = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        if "__pycache__" in relpath:
+            continue
+        try:
+            modules.append(load_module(path, relpath))
+        except SyntaxError as exc:
+            errors.append((relpath, exc.lineno or 1, f"syntax error: {exc.msg}"))
+    project = Project(root, modules)
+    project.parse_errors = errors  # type: ignore[attr-defined]
+    return project
+
+
+def _parse_suppressions(module: ModuleInfo) -> list[Suppression]:
+    # tokenize (rather than scanning raw lines) so ``# repro: ignore[...]``
+    # examples inside docstrings and string literals don't count as live
+    # suppressions
+    suppressions = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        comments = []
+    for lineno, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(part.strip() for part in match.group("ids").split(",") if part.strip())
+        suppressions.append(
+            Suppression(
+                path=module.relpath,
+                line=lineno,
+                rule_ids=ids,
+                justification=(match.group("why") or "").strip(),
+            )
+        )
+    return suppressions
+
+
+def run_rules(
+    project: Project, rules: list[Rule], only: list[str] | None = None
+) -> list[Finding]:
+    """Run ``rules`` over ``project`` and apply inline suppressions.
+
+    ``only`` restricts to the named rule ids.  The suppression-hygiene rules
+    (``SUP001`` missing justification, ``SUP002`` stale suppression) run only
+    on full-catalogue runs: under ``--rule`` filtering a suppression for an
+    unselected rule would look stale without being so.
+    """
+    selected = [rule for rule in rules if only is None or rule.rule_id in only]
+    severities = {rule.rule_id: rule.severity for rule in rules}
+    findings: list[Finding] = []
+    for relpath, line, message in getattr(project, "parse_errors", []):
+        findings.append(Finding("CHK000", "error", relpath, line, message))
+    for rule in selected:
+        for relpath, line, message in rule.check(project):
+            findings.append(Finding(rule.rule_id, rule.severity, relpath, line, message))
+    resolved = []
+    for finding in findings:
+        suppression = _matching_suppression(project, finding)
+        if suppression is None:
+            resolved.append(finding)
+        else:
+            suppression.used = True
+            resolved.append(
+                replace(finding, suppressed=True, justification=suppression.justification)
+            )
+    if only is None:
+        for suppression in project.suppressions:
+            if not suppression.justification:
+                resolved.append(
+                    Finding(
+                        "SUP001",
+                        "error",
+                        suppression.path,
+                        suppression.line,
+                        "suppression is missing its justification: write "
+                        "'# repro: ignore[RULE] -- why this is safe'",
+                    )
+                )
+            if not suppression.used:
+                resolved.append(
+                    Finding(
+                        "SUP002",
+                        "error",
+                        suppression.path,
+                        suppression.line,
+                        f"suppression for {', '.join(suppression.rule_ids)} no longer "
+                        "matches any finding; delete the stale comment",
+                    )
+                )
+    resolved.sort(key=lambda f: (f.path, f.line, f.rule))
+    return resolved
+
+
+def _matching_suppression(project: Project, finding: Finding) -> Suppression | None:
+    for suppression in project.suppressions:
+        if suppression.path == finding.path and suppression.covers(
+            finding.line, finding.rule
+        ):
+            return suppression
+    return None

@@ -1,0 +1,62 @@
+"""Rendering for ``repro check`` findings (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import Finding
+
+__all__ = ["format_json", "format_text", "summarize"]
+
+
+def summarize(findings: list[Finding]) -> dict[str, Any]:
+    """Counts the CI gate and the text footer both report."""
+    unsuppressed = [f for f in findings if not f.suppressed]
+    by_rule: dict[str, int] = {}
+    for finding in unsuppressed:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "total": len(findings),
+        "unsuppressed": len(unsuppressed),
+        "suppressed": len(findings) - len(unsuppressed),
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+
+
+def format_text(findings: list[Finding], *, show_suppressed: bool = False) -> str:
+    """Human-oriented ``path:line: [RULE] message`` listing with a summary."""
+    lines = []
+    for finding in findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        marker = " (suppressed)" if finding.suppressed else ""
+        lines.append(
+            f"{finding.path}:{finding.line}: [{finding.rule}] "
+            f"{finding.message}{marker}"
+        )
+    summary = summarize(findings)
+    if summary["unsuppressed"]:
+        per_rule = ", ".join(f"{rule}={n}" for rule, n in summary["by_rule"].items())
+        lines.append(
+            f"\n{summary['unsuppressed']} unsuppressed finding(s) ({per_rule}); "
+            f"{summary['suppressed']} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: 0 unsuppressed findings ({summary['suppressed']} suppressed)"
+        )
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding]) -> str:
+    """Machine-oriented payload: the summary plus every finding (suppressed
+    ones included, so the CI artifact records the audited exceptions too)."""
+    return json.dumps(
+        {
+            "summary": summarize(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+        sort_keys=False,
+    )

@@ -1,0 +1,308 @@
+"""Lock-discipline rules (LCK family).
+
+The engine and server mutate shared state from worker threads, HTTP threads,
+and watchdogs; every shared attribute is supposed to mutate only under its
+owner's lock.  Three checks enforce that without type inference, leaning on
+two project conventions: mutex attributes have ``lock`` in their name, and
+methods suffixed ``_locked`` are only called with the class lock already
+held.
+
+* **LCK001** — per class, any attribute ever written inside a ``with
+  <lock>`` block (outside ``__init__``) is treated as lock-managed; a write
+  to it from an unguarded context is flagged.  Guarded contexts are lexical
+  ``with``-lock bodies, ``*_locked`` methods, and (by fixpoint) private
+  methods whose every intra-class call site is itself guarded.
+* **LCK002** — blocking calls made while a lock is held: queue ``put``/
+  ``get``, thread/process ``join``, ``wait``/``acquire``, socket and pipe
+  I/O, ``open``, ``time.sleep``.  Each hit either gets fixed or suppressed
+  with a recorded justification (e.g. "queue is unbounded, put cannot
+  block") — the point is that every such call is *audited*, not banned.
+* **LCK003** — cross-module lock-acquisition-order graph from lexically
+  nested ``with``-lock blocks; any cycle is a potential deadlock and fails.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .astutil import (
+    ModuleInfo,
+    enclosing_class,
+    is_lock_expr,
+    iter_parents,
+    lock_keys_of_with,
+    walk_same_scope,
+)
+from .engine import Project, RawFinding, Rule
+
+__all__ = ["RULES"]
+
+#: ``.join`` receivers that look like threads/processes (``", ".join`` must
+#: not count, so the receiver text has to name something joinable).
+_JOINABLE_HINTS = ("thread", "process", "proc", "worker", "pool", "dispatcher")
+
+#: Attribute calls that block unconditionally while held.
+_ALWAYS_BLOCKING_ATTRS = {
+    "wait": "waiting on a condition/event",
+    "acquire": "acquiring another lock",
+    "send_bytes": "pipe I/O",
+    "recv_bytes": "pipe I/O",
+    "recv": "socket/pipe I/O",
+    "accept": "socket I/O",
+    "connect": "socket I/O",
+    "select": "I/O multiplexing",
+}
+
+
+def _class_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _in_with_lock(node: ast.AST, boundary: ast.AST) -> bool:
+    """Whether ``node`` sits inside a ``with``-lock block within ``boundary``."""
+    for parent in iter_parents(node):
+        if isinstance(parent, ast.With) and any(
+            is_lock_expr(item.context_expr) for item in parent.items
+        ):
+            return True
+        if parent is boundary:
+            return False
+    return False
+
+
+def _guarded_methods(cls: ast.ClassDef) -> set[str]:
+    """Methods whose bodies run with the class lock held, by convention.
+
+    Seeds with the ``*_locked`` suffix convention, then fixpoints: a method
+    every one of whose intra-class call sites (``self.m(...)``) is itself in
+    a guarded context is guarded too (e.g. an ``_evict_expired`` helper only
+    ever called under ``with self._lock``).
+    """
+    methods = _class_methods(cls)
+    guarded = {name for name in methods if name.endswith("_locked")}
+    call_sites: dict[str, list[tuple[str, ast.Call]]] = {name: [] for name in methods}
+    for caller_name, caller in methods.items():
+        for node in ast.walk(caller):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+                and node.func.attr in methods
+            ):
+                call_sites[node.func.attr].append((caller_name, node))
+    changed = True
+    while changed:
+        changed = False
+        for name, method in methods.items():
+            if name in guarded or name in ("__init__", "__enter__", "__exit__"):
+                continue
+            sites = call_sites[name]
+            if sites and all(
+                caller in guarded or _in_with_lock(call, methods[caller])
+                for caller, call in sites
+            ):
+                guarded.add(name)
+                changed = True
+    return guarded
+
+
+def _written_self_attrs(node: ast.AST) -> Iterator[tuple[str, ast.AST, bool]]:
+    """``(attr, node, is_container_write)`` for every ``self.X`` write under
+    ``node`` — plain/aug/annotated assignments, deletions, and item writes
+    (``self.X[k] = v``, ``del self.X[k]``)."""
+
+    def targets_of(stmt: ast.AST) -> list[ast.expr]:
+        if isinstance(stmt, ast.Assign):
+            return list(stmt.targets)
+        if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            return [stmt.target]
+        if isinstance(stmt, ast.Delete):
+            return list(stmt.targets)
+        return []
+
+    for stmt in ast.walk(node):
+        for target in targets_of(stmt):
+            queue = [target]
+            while queue:
+                expr = queue.pop()
+                if isinstance(expr, (ast.Tuple, ast.List)):
+                    queue.extend(expr.elts)
+                elif (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    yield expr.attr, stmt, False
+                elif (
+                    isinstance(expr, ast.Subscript)
+                    and isinstance(expr.value, ast.Attribute)
+                    and isinstance(expr.value.value, ast.Name)
+                    and expr.value.value.id == "self"
+                ):
+                    yield expr.value.attr, stmt, True
+
+
+def check_lck001(project: Project) -> Iterable[RawFinding]:
+    """Unguarded writes to attributes that are elsewhere lock-guarded."""
+    for module in project.modules:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            guarded_methods = _guarded_methods(cls)
+            writes: dict[str, list[tuple[ast.AST, bool, str]]] = {}
+            for name, method in _class_methods(cls).items():
+                if name == "__init__":
+                    continue
+                method_guarded = name in guarded_methods
+                for attr, node, _container in _written_self_attrs(method):
+                    guarded = method_guarded or _in_with_lock(node, method)
+                    writes.setdefault(attr, []).append((node, guarded, name))
+            for attr, sites in writes.items():
+                if not any(guarded for _, guarded, _ in sites):
+                    continue  # never lock-managed; out of scope
+                for node, guarded, method_name in sites:
+                    if guarded:
+                        continue
+                    yield (
+                        module.relpath,
+                        node.lineno,
+                        f"attribute '{attr}' of class '{cls.name}' is written under "
+                        f"a lock elsewhere but written here (in '{method_name}') "
+                        "without holding it",
+                    )
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why ``call`` may block, or ``None`` when it looks non-blocking."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return "file I/O" if func.id == "open" else None
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = ast.unparse(func.value).lower()
+    attr = func.attr
+    if attr in ("put", "get") and "queue" in receiver:
+        return f"queue .{attr}() can block on a full/empty queue"
+    if attr == "join" and any(hint in receiver for hint in _JOINABLE_HINTS):
+        return "joining a thread/process can block indefinitely"
+    if attr == "sleep" and receiver == "time":
+        return "sleeping"
+    if attr in _ALWAYS_BLOCKING_ATTRS:
+        return _ALWAYS_BLOCKING_ATTRS[attr]
+    return None
+
+
+def check_lck002(project: Project) -> Iterable[RawFinding]:
+    """Blocking calls made while a lock is held."""
+    for module in project.modules:
+        reported: set[int] = set()
+        for region, held in _lock_held_regions(module):
+            for node in walk_same_scope(region):
+                if not isinstance(node, ast.Call) or id(node) in reported:
+                    continue
+                reason = _blocking_reason(node)
+                if reason is not None:
+                    reported.add(id(node))
+                    yield (
+                        module.relpath,
+                        node.lineno,
+                        f"blocking call '{ast.unparse(node.func)}' while holding "
+                        f"{held}: {reason}",
+                    )
+
+
+def _lock_held_regions(module: ModuleInfo) -> Iterator[tuple[ast.AST, str]]:
+    """``(region_root, lock_description)`` pairs whose bodies hold a lock.
+
+    Regions are lexical ``with``-lock bodies plus the bodies of methods the
+    ``_locked``-suffix/fixpoint convention marks as called-with-lock-held.
+    Nested ``with``-lock statements yield their own region, so a finding is
+    reported once, against the innermost holder.
+    """
+    for cls in ast.walk(module.tree):
+        if isinstance(cls, ast.ClassDef):
+            methods = _class_methods(cls)
+            for name in _guarded_methods(cls):
+                yield methods[name], f"the {cls.name} lock (held by '{name}' convention)"
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.With):
+            cls = enclosing_class(node)
+            keys = lock_keys_of_with(node, cls.name if cls else None)
+            if keys:
+                yield node, f"lock '{keys[0][0]}'"
+
+
+def check_lck003(project: Project) -> Iterable[RawFinding]:
+    """Cycles in the cross-module lock-acquisition-order graph."""
+    edges: dict[str, set[str]] = {}
+    locations: dict[tuple[str, str], tuple[str, int]] = {}
+    for module in project.modules:
+        for outer in ast.walk(module.tree):
+            if not isinstance(outer, ast.With):
+                continue
+            cls = enclosing_class(outer)
+            outer_keys = lock_keys_of_with(outer, cls.name if cls else None)
+            if not outer_keys:
+                continue
+            for inner in walk_same_scope(outer):
+                if not isinstance(inner, ast.With) or inner is outer:
+                    continue
+                inner_cls = enclosing_class(inner)
+                inner_keys = lock_keys_of_with(inner, inner_cls.name if inner_cls else None)
+                for outer_key, _ in outer_keys:
+                    for inner_key, _ in inner_keys:
+                        if outer_key == inner_key:
+                            continue
+                        edges.setdefault(outer_key, set()).add(inner_key)
+                        locations.setdefault(
+                            (outer_key, inner_key), (module.relpath, inner.lineno)
+                        )
+    for cycle in _find_cycles(edges):
+        path, line = locations[(cycle[0], cycle[1])]
+        ordering = " -> ".join(cycle + (cycle[0],))
+        yield (
+            path,
+            line,
+            f"lock-acquisition-order cycle: {ordering}; two threads taking these "
+            "locks in opposite orders can deadlock",
+        )
+
+
+def _find_cycles(edges: dict[str, set[str]]) -> list[tuple[str, ...]]:
+    """Elementary cycles in a small digraph (DFS; deduplicated by rotation)."""
+    cycles: list[tuple[str, ...]] = []
+    seen: set[tuple[str, ...]] = set()
+
+    def visit(start: str, node: str, trail: list[str]) -> None:
+        for succ in sorted(edges.get(node, ())):
+            if succ == start:
+                rotation = min(
+                    tuple(trail[i:] + trail[:i]) for i in range(len(trail))
+                )
+                if rotation not in seen:
+                    seen.add(rotation)
+                    cycles.append(tuple(trail))
+            elif succ not in trail:
+                visit(start, succ, trail + [succ])
+
+    for node in sorted(edges):
+        visit(node, node, [node])
+    return cycles
+
+
+RULES = [
+    Rule(
+        "LCK001",
+        "error",
+        "lock-managed attribute written without holding the lock",
+        check_lck001,
+    ),
+    Rule("LCK002", "warning", "blocking call while a lock is held", check_lck002),
+    Rule("LCK003", "error", "lock-acquisition-order cycle (deadlock risk)", check_lck003),
+]

@@ -1,0 +1,321 @@
+"""Registry-drift rules (REG family).
+
+Five hand-maintained registries describe the backend's surface and must
+agree: the action vocabulary (``ACTIONS`` + the docstring tables in
+``server/protocol.py``), the dispatch tables (``HANDLERS`` /
+``SERVER_HANDLERS`` / ``JOB_HANDLERS`` in ``server/handlers.py``), the
+process-routing set (``PROCESS_ACTIONS`` in ``engine/engine.py``), the REST
+route table (``_ROUTES`` in ``server/app.py``), and the CLI command table
+(``_COMMANDS`` in ``cli.py``).  Nothing ties them together at runtime — a
+forgotten entry only surfaces as a 404 or a silently thread-bound job — so
+these rules diff them statically on every check run.
+
+Each rule skips cleanly when its file is absent, which lets the fixture
+trees under ``tests/check/fixtures`` exercise one registry at a time.
+
+* **REG001** — every ``ACTIONS`` entry appears as ````action```` in the
+  protocol module's docstring tables.
+* **REG002** — every ``JOB_HANDLERS`` key is in ``PROCESS_ACTIONS`` or has
+  its thread-only reason recorded in the comment block above it.
+* **REG003** — every ``_ROUTES`` entry names a defined handler method,
+  every ``_R_*`` route pattern is actually routed, and both JSON and SSE
+  response paths stamp the API version.
+* **REG004** — terminal job events (``done``/``failed``/``cancelled``) are
+  published from exactly one place: ``AnalysisEngine._finalize``.
+* **REG005** — the CLI's ``_COMMANDS`` table and its registered subparsers
+  name the same command set.
+* **REG006** — ``ACTIONS`` equals the union of the dispatch-table keys, and
+  job-able actions are a subset of the session handlers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from .astutil import ModuleInfo, enclosing_function, str_constants, string_dict_keys
+from .engine import Project, RawFinding, Rule
+
+__all__ = ["RULES"]
+
+_TERMINAL_KINDS = {"done", "failed", "cancelled"}
+_TERMINAL_NAMES = {"EVENT_DONE", "EVENT_FAILED", "EVENT_CANCELLED"}
+
+
+def _module_assign(module: ModuleInfo, name: str) -> tuple[ast.expr, int] | None:
+    """Value and line of the module-level assignment to ``name``."""
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value, node.lineno
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return (node.value, node.lineno) if node.value is not None else None
+    return None
+
+
+def _registry_strings(module: ModuleInfo | None, name: str) -> tuple[list[str], int] | None:
+    if module is None:
+        return None
+    found = _module_assign(module, name)
+    if found is None:
+        return None
+    value, lineno = found
+    strings = str_constants(value)
+    if strings is None:
+        strings = string_dict_keys(value)
+    if strings is None:
+        return None
+    return strings, lineno
+
+
+def check_reg001(project: Project) -> Iterable[RawFinding]:
+    """Every protocol action is documented in the module docstring tables."""
+    module = project.find("server/protocol.py")
+    actions = _registry_strings(module, "ACTIONS")
+    if module is None or actions is None:
+        return
+    docstring = ast.get_docstring(module.tree) or ""
+    for action in actions[0]:
+        if f"``{action}``" not in docstring:
+            yield (
+                module.relpath,
+                actions[1],
+                f"action '{action}' is missing from the protocol docstring "
+                "tables; document which view/interaction it serves",
+            )
+
+
+def check_reg002(project: Project) -> Iterable[RawFinding]:
+    """Thread-only job actions carry a recorded reason next to PROCESS_ACTIONS."""
+    handlers = project.find("server/handlers.py")
+    engine = project.find("engine/engine.py")
+    job_handlers = _registry_strings(handlers, "JOB_HANDLERS")
+    process_actions = _registry_strings(engine, "PROCESS_ACTIONS")
+    if handlers is None or engine is None or job_handlers is None or process_actions is None:
+        return
+    assert engine is not None
+    _, lineno = process_actions
+    # the prose justifying thread-only routing lives in the comment/docstring
+    # block directly above the PROCESS_ACTIONS assignment
+    preamble = "\n".join(engine.lines[max(0, lineno - 12) : lineno])
+    for action in job_handlers[0]:
+        if action in process_actions[0]:
+            continue
+        if f"``{action}``" not in preamble and f"'{action}'" not in preamble:
+            yield (
+                engine.relpath,
+                lineno,
+                f"job action '{action}' is not in PROCESS_ACTIONS and no thread-only "
+                "reason for it is recorded in the comment above PROCESS_ACTIONS",
+            )
+
+
+def check_reg003(project: Project) -> Iterable[RawFinding]:
+    """Route table targets exist, every route pattern is used, api_version is stamped."""
+    app = project.find("server/app.py")
+    if app is None:
+        return
+    routes = _module_assign(app, "_ROUTES")
+    method_names = {
+        node.name
+        for node in ast.walk(app.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    if routes is not None and isinstance(routes[0], (ast.Tuple, ast.List)):
+        for entry in routes[0].elts:
+            if not (isinstance(entry, (ast.Tuple, ast.List)) and len(entry.elts) == 3):
+                continue
+            handler = entry.elts[2]
+            if isinstance(handler, ast.Constant) and isinstance(handler.value, str):
+                if handler.value not in method_names:
+                    yield (
+                        app.relpath,
+                        entry.lineno,
+                        f"route handler '{handler.value}' in _ROUTES is not defined "
+                        "on any class in this module",
+                    )
+    # every module-level _R_* pattern must be referenced beyond its definition
+    pattern_names = [
+        target.id
+        for node in app.tree.body
+        if isinstance(node, ast.Assign)
+        for target in node.targets
+        if isinstance(target, ast.Name) and re.fullmatch(r"_R_[A-Z_]+", target.id)
+    ]
+    loads: dict[str, int] = {}
+    for node in ast.walk(app.tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loads[node.id] = loads.get(node.id, 0) + 1
+    for name in pattern_names:
+        if loads.get(name, 0) == 0:
+            found = _module_assign(app, name)
+            yield (
+                app.relpath,
+                found[1] if found else 1,
+                f"route pattern '{name}' is defined but never routed (neither in "
+                "_ROUTES nor matched explicitly)",
+            )
+    # both response paths must stamp the API version header
+    stampers = {
+        fn.name
+        for node in ast.walk(app.tree)
+        if isinstance(node, ast.Constant)
+        and node.value == "X-Repro-Api-Version"
+        and (fn := enclosing_function(node)) is not None
+    }
+    for required in ("_send_json", "_serve_events"):
+        if required in method_names and required not in stampers:
+            yield (
+                app.relpath,
+                1,
+                f"'{required}' does not send the X-Repro-Api-Version header; every "
+                "HTTP response path must stamp the API version",
+            )
+    protocol = project.find("server/protocol.py")
+    if protocol is not None and "api_version" in protocol.source:
+        to_dict_ok = any(
+            isinstance(node, ast.Constant)
+            and node.value == "api_version"
+            and (fn := enclosing_function(node)) is not None
+            and fn.name == "to_dict"
+            for node in ast.walk(protocol.tree)
+        )
+        if not to_dict_ok:
+            yield (
+                protocol.relpath,
+                1,
+                "Response.to_dict does not emit the 'api_version' envelope field",
+            )
+
+
+def check_reg004(project: Project) -> Iterable[RawFinding]:
+    """Terminal job events are published only from ``_finalize``.
+
+    ``AnalysisEngine._finalize`` runs exactly once per job (from the worker
+    or from a pending-cancel) and is the single place allowed to publish
+    ``done``/``failed``/``cancelled``.  A publish whose event-kind is an
+    arbitrary runtime expression could *become* terminal, so those are
+    flagged too unless audited with a suppression.
+    """
+    for module in project.modules:
+        if "engine/" not in module.relpath and not module.relpath.startswith("engine"):
+            continue
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "publish"
+                and len(node.args) >= 2
+            ):
+                continue
+            kind = node.args[1]
+            fn = enclosing_function(node)
+            fn_name = fn.name if fn is not None else "<module>"
+            if fn_name == "_finalize":
+                continue
+            if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+                if kind.value in _TERMINAL_KINDS:
+                    yield (
+                        module.relpath,
+                        node.lineno,
+                        f"terminal event '{kind.value}' published outside _finalize "
+                        f"(in '{fn_name}'); _finalize is the only legal terminal-"
+                        "publish site",
+                    )
+            elif isinstance(kind, ast.Name) and kind.id in _TERMINAL_NAMES:
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"terminal event {kind.id} published outside _finalize "
+                    f"(in '{fn_name}')",
+                )
+            elif not isinstance(kind, ast.Constant):
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    f"event kind '{ast.unparse(kind)}' is a runtime expression "
+                    f"published outside _finalize (in '{fn_name}'): it could name a "
+                    "terminal kind; publish literals or audit with a suppression",
+                )
+
+
+def check_reg005(project: Project) -> Iterable[RawFinding]:
+    """CLI ``_COMMANDS`` table and registered subparsers agree."""
+    cli = project.find("cli.py")
+    commands = _registry_strings(cli, "_COMMANDS")
+    if cli is None or commands is None:
+        return
+    subparsers = {
+        node.args[0].value: node.lineno
+        for node in ast.walk(cli.tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "add_parser"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    }
+    for name in commands[0]:
+        if name not in subparsers:
+            yield (
+                cli.relpath,
+                commands[1],
+                f"command '{name}' is dispatched in _COMMANDS but has no "
+                "registered subparser",
+            )
+    for name, lineno in sorted(subparsers.items()):
+        if name not in commands[0]:
+            yield (
+                cli.relpath,
+                lineno,
+                f"subparser '{name}' is registered but missing from the _COMMANDS "
+                "dispatch table",
+            )
+
+
+def check_reg006(project: Project) -> Iterable[RawFinding]:
+    """ACTIONS == HANDLERS ∪ SERVER_HANDLERS, and JOB_HANDLERS ⊆ HANDLERS."""
+    protocol = project.find("server/protocol.py")
+    handlers_mod = project.find("server/handlers.py")
+    actions = _registry_strings(protocol, "ACTIONS")
+    handlers = _registry_strings(handlers_mod, "HANDLERS")
+    server_handlers = _registry_strings(handlers_mod, "SERVER_HANDLERS")
+    job_handlers = _registry_strings(handlers_mod, "JOB_HANDLERS")
+    if None in (protocol, handlers_mod, actions, handlers, server_handlers, job_handlers):
+        return
+    assert protocol is not None and handlers_mod is not None
+    assert actions and handlers and server_handlers and job_handlers
+    action_set = set(actions[0])
+    dispatch = set(handlers[0]) | set(server_handlers[0])
+    for action in sorted(action_set - dispatch):
+        yield (
+            handlers_mod.relpath,
+            handlers[1],
+            f"action '{action}' is declared in ACTIONS but no handler dispatches it",
+        )
+    for action in sorted(dispatch - action_set):
+        yield (
+            protocol.relpath,
+            actions[1],
+            f"handler exists for '{action}' but it is not declared in ACTIONS",
+        )
+    for action in sorted(set(job_handlers[0]) - set(handlers[0])):
+        yield (
+            handlers_mod.relpath,
+            job_handlers[1],
+            f"job action '{action}' has no synchronous handler in HANDLERS; async "
+            "payloads must stay bitwise-identical to a synchronous path",
+        )
+
+
+RULES = [
+    Rule("REG001", "error", "protocol action missing from docstring tables", check_reg001),
+    Rule("REG002", "error", "thread-only job action without a recorded reason", check_reg002),
+    Rule("REG003", "error", "REST route/API-version drift", check_reg003),
+    Rule("REG004", "error", "terminal event published outside _finalize", check_reg004),
+    Rule("REG005", "error", "CLI command table and subparsers disagree", check_reg005),
+    Rule("REG006", "error", "action vocabulary and dispatch tables disagree", check_reg006),
+]

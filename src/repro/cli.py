@@ -252,6 +252,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench_engine.add_argument("--seed", type=int, default=0, help="random seed")
     bench_engine.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
+    check = subparsers.add_parser(
+        "check",
+        help="project-specific static analysis: lock discipline, determinism, "
+        "pickle-safety, registry drift",
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule id (repeatable, e.g. --rule LCK001 --rule REG006)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="findings output format",
+    )
+    check.add_argument(
+        "--root",
+        default=None,
+        help="source root to analyse (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in text output",
+    )
+
     return parser
 
 
@@ -685,6 +715,21 @@ def _command_bench_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    """Run the static analyzer; exit 1 on any unsuppressed finding."""
+    from pathlib import Path
+
+    from .check import format_json, format_text, run
+
+    root = Path(args.root) if args.root else None
+    findings = run(root, rule_ids=args.rules)
+    if args.output_format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings, show_suppressed=args.show_suppressed))
+    return 1 if any(not finding.suppressed for finding in findings) else 0
+
+
 _COMMANDS = {
     "list-use-cases": _command_list_use_cases,
     "importance": _command_importance,
@@ -696,6 +741,7 @@ _COMMANDS = {
     "bench-sessions": _command_bench_sessions,
     "jobs": _command_jobs,
     "bench-engine": _command_bench_engine,
+    "check": _command_check,
 }
 
 

@@ -146,6 +146,7 @@ class ModelCache:
                 creation_lock = self._pending.get(key)
                 if creation_lock is None:
                     creation_lock = threading.Lock()
+                    # repro: ignore[LCK002] -- first acquire of a freshly built lock cannot block
                     creation_lock.acquire()
                     self._pending[key] = creation_lock
                     self._misses += 1

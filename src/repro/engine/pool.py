@@ -111,6 +111,7 @@ class WorkerPool:
                 threads = list(self._threads)
                 if self._started:
                     for _ in range(self.workers):
+                        # repro: ignore[LCK002] -- unbounded PriorityQueue, put cannot block
                         self._queue.put((_SENTINEL_PRIORITY, next(self._sequence), None))
         if wait:
             for thread in threads:

@@ -314,6 +314,7 @@ class ProcessExecutor:
                     worker_index,
                     self._incarnations[worker_index],
                 )
+                # repro: ignore[LCK002] -- unbounded mp.Queue: put hands off to the feeder thread
                 self._task_queues[worker_index].put(
                     (
                         group_id,
@@ -353,7 +354,7 @@ class ProcessExecutor:
                             f"no message from workers in {self._stall_timeout:.0f}s "
                             f"({n_units - len(results)} of {n_units} units "
                             "outstanding); dispatch lost or workers wedged"
-                        )
+                        ) from None
                     continue
                 last_message = time.monotonic()
                 kind, unit_index, value = message
@@ -423,6 +424,7 @@ class ProcessExecutor:
                 if kind != "progress":
                     group.outstanding.pop(unit_index, None)
                 if not group.closed:
+                    # repro: ignore[LCK002] -- group.queue is unbounded, put cannot block
                     group.queue.put((kind, unit_index, value))
                 self._maybe_release_locked(group_id, group)
 
@@ -435,7 +437,9 @@ class ProcessExecutor:
     def _reap_dead_workers(self, group: _Group) -> None:
         """Poll-tick check: turn a dead worker's outstanding units into errors."""
         with self._lock:
-            for worker_index, incarnation in set(group.outstanding.values()):
+            # sorted: reap in stable worker order so death handling (and the
+            # synthetic-error sequence it posts) is deterministic
+            for worker_index, incarnation in sorted(set(group.outstanding.values())):
                 if incarnation != self._incarnations[worker_index]:
                     continue  # already handled; synthetic errors were posted
                 process = self._processes[worker_index]
@@ -459,6 +463,7 @@ class ProcessExecutor:
                 owner_worker, _ = group.outstanding.pop(unit_index)
                 self._units_failed[owner_worker] += 1
                 if not group.closed:
+                    # repro: ignore[LCK002] -- group.queue is unbounded, put cannot block
                     group.queue.put(
                         (
                             "error",
@@ -472,6 +477,7 @@ class ProcessExecutor:
                 process.kill()  # siblings may hold poisoned locks: no SIGTERM grace
         for process in self._processes:
             if process is not None:
+                # repro: ignore[LCK002] -- bounded 5s join; pool is wedged, rebuild must finish under the lock
                 process.join(5.0)
         for index in range(self.workers):
             self._incarnations[index] += 1

@@ -1,0 +1,20 @@
+"""Bad fixture: violates DET001-DET004 in a result-producing module."""
+
+import random
+import time
+
+import numpy as np
+
+
+def summarize(values, weights):
+    ordered = []
+    # DET001: set iteration order depends on hash seeding
+    for value in set(values):
+        ordered.append(value)
+    # DET002: unseeded global RNG calls
+    jitter = random.random() + np.random.uniform()
+    # DET003: wall-clock read flowing into the result payload
+    stamp = time.time()
+    # DET004: dict comprehension re-orders its input through a set
+    mapping = {key: weights.get(key, 0.0) for key in set(values)}
+    return {"ordered": ordered, "jitter": jitter, "stamp": stamp, "mapping": mapping}

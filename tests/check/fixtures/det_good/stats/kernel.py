@@ -1,0 +1,14 @@
+"""Good fixture: the deterministic counterpart of det_bad."""
+
+import numpy as np
+
+
+def summarize(values, weights, seed=0):
+    ordered = []
+    # sorted() pins the iteration order regardless of hash seeding
+    for value in sorted(set(values)):
+        ordered.append(value)
+    rng = np.random.default_rng(seed)
+    jitter = float(rng.uniform())
+    mapping = {key: weights.get(key, 0.0) for key in sorted(set(values))}
+    return {"ordered": ordered, "jitter": jitter, "mapping": mapping}

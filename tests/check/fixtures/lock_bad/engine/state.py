@@ -1,0 +1,37 @@
+"""Bad fixture: violates LCK001, LCK002, and LCK003."""
+
+import queue
+import threading
+
+
+class Widget:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+        self._queue = queue.Queue(maxsize=4)
+        self._count = 0
+
+    def bump(self):
+        with self._alpha_lock:
+            self._count += 1
+
+    def reset(self):
+        # LCK001: _count is lock-managed in bump() but written bare here
+        self._count = 0
+
+    def drain(self):
+        with self._alpha_lock:
+            # LCK002: blocking queue call while holding a lock
+            self._queue.get()
+
+    def forward(self):
+        # LCK003 (with sibling()): alpha -> beta here ...
+        with self._alpha_lock:
+            with self._beta_lock:
+                self._count += 1
+
+    def sibling(self):
+        # ... and beta -> alpha here: opposite order, deadlock risk
+        with self._beta_lock:
+            with self._alpha_lock:
+                self._count += 1

@@ -1,0 +1,41 @@
+"""Good fixture: same shape as lock_bad, with the discipline intact."""
+
+import queue
+import threading
+
+
+class Widget:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+        self._queue = queue.Queue(maxsize=4)
+        self._count = 0
+
+    def bump(self):
+        with self._alpha_lock:
+            self._count += 1
+
+    def reset(self):
+        with self._alpha_lock:
+            self._count = 0
+
+    def reset_locked(self):
+        # *_locked methods run with the lock already held: not a violation
+        self._count = 0
+
+    def drain(self):
+        with self._alpha_lock:
+            item = self._queue
+        # blocking call made after the lock is released
+        item.get()
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:
+                self._count += 1
+
+    def sibling(self):
+        # same alpha -> beta order as forward(): no cycle
+        with self._alpha_lock:
+            with self._beta_lock:
+                self._count += 1

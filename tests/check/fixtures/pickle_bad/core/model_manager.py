@@ -1,0 +1,16 @@
+"""Bad fixture: a boundary-crossing class smuggling unpicklable state."""
+
+import queue
+import threading
+
+
+class ModelManager:
+    def __init__(self, frame, drivers):
+        self.frame = frame
+        self.drivers = list(drivers)
+        # PKL001: a lock in the shipped attribute graph
+        self._guard = threading.Lock()
+        # PKL001: queues cannot cross the process boundary
+        self._results = queue.Queue()
+        # PKL001: lambdas cannot be pickled
+        self._score = lambda row: row.sum()

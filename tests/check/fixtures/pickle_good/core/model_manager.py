@@ -1,0 +1,21 @@
+"""Good fixture: a boundary-crossing class whose graph pickles cleanly."""
+
+
+class Estimator:
+    def __init__(self):
+        self.coefficients = None
+
+
+class ModelManager:
+    def __init__(self, frame, drivers):
+        self.frame = frame
+        self.drivers = list(drivers)
+        self._model = None
+        self._fingerprint = None
+
+    def _build_model(self):
+        return Estimator()
+
+    def fit(self):
+        self._model = self._build_model()
+        return self

@@ -1,0 +1,27 @@
+"""Bad fixture CLI: _COMMANDS and the registered subparsers disagree."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="fixture")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("run", help="run it")
+    # REG005: registered but missing from _COMMANDS
+    subparsers.add_parser("serve", help="serve it")
+    return parser
+
+
+def _command_run(args):
+    return 0
+
+
+def _command_extra(args):
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    # REG005: dispatched but no subparser registers it
+    "extra": _command_extra,
+}

@@ -1,0 +1,22 @@
+"""Bad fixture app: dangling route target, orphan pattern, unstamped JSON."""
+
+import re
+
+_R_SESSIONS = re.compile(r"^/api/v1/sessions/?$")
+# REG003: defined but never routed
+_R_ORPHAN = re.compile(r"^/api/v1/orphan/?$")
+
+_ROUTES = (
+    ("GET", _R_SESSIONS, "_rest_list_sessions"),
+    # REG003: no such method anywhere in this module
+    ("POST", _R_SESSIONS, "_rest_missing"),
+)
+
+
+class Server:
+    def _rest_list_sessions(self, match, query, body):
+        return 200, {}
+
+    def _send_json(self, status, payload):
+        # REG003: response path without the X-Repro-Api-Version header
+        return status, payload

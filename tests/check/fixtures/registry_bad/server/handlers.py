@@ -1,0 +1,31 @@
+"""Bad fixture handlers: dispatch tables drifted from ACTIONS."""
+
+
+def handle_alpha(state, params):
+    return {}
+
+
+def handle_gamma(state, params):
+    return {}
+
+
+def handle_delta(server, params):
+    return {}
+
+
+# REG006: 'beta' is in ACTIONS but dispatched nowhere
+HANDLERS = {
+    "alpha": handle_alpha,
+}
+
+# REG006: 'delta' is dispatched but not declared in ACTIONS
+SERVER_HANDLERS = {
+    "delta": handle_delta,
+}
+
+# REG006: 'gamma' is not in ACTIONS (and not in HANDLERS either);
+# REG002: 'gamma' is not in PROCESS_ACTIONS and has no recorded reason
+JOB_HANDLERS = {
+    "alpha": handle_alpha,
+    "gamma": handle_gamma,
+}

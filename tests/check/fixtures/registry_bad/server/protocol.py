@@ -1,0 +1,28 @@
+"""Bad fixture protocol module.
+
+Documented actions:
+
+==========  =======================
+action      purpose
+==========  =======================
+``alpha``   the only documented one
+==========  =======================
+
+REG001: the second action is missing from the table above.
+"""
+
+API_VERSION = "1"
+
+ACTIONS = (
+    "alpha",
+    "beta",
+)
+
+
+class Response:
+    def __init__(self, ok):
+        self.ok = ok
+
+    def to_dict(self):
+        # REG003: no api_version field in the envelope
+        return {"ok": self.ok}

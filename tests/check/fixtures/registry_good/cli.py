@@ -1,0 +1,25 @@
+"""Good fixture CLI: _COMMANDS mirrors the registered subparsers."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="fixture")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("run", help="run it")
+    subparsers.add_parser("serve", help="serve it")
+    return parser
+
+
+def _command_run(args):
+    return 0
+
+
+def _command_serve(args):
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "serve": _command_serve,
+}

@@ -1,0 +1,16 @@
+"""Good fixture engine: reasons recorded, terminal publishes confined."""
+
+#: CPU-bound actions routed to the process pool.  ``alpha`` stays
+#: thread-local: it is sub-millisecond.
+PROCESS_ACTIONS = frozenset({"beta"})
+
+
+class Engine:
+    def __init__(self, events):
+        self.events = events
+
+    def submit(self, job_id):
+        self.events.publish(job_id, "queued", {})
+
+    def _finalize(self, job_id):
+        self.events.publish(job_id, "done", {"result": None})

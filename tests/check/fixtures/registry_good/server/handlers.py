@@ -1,0 +1,22 @@
+"""Good fixture handlers: every table agrees with ACTIONS."""
+
+
+def handle_alpha(state, params):
+    return {}
+
+
+def handle_beta(server, params):
+    return {}
+
+
+HANDLERS = {
+    "alpha": handle_alpha,
+}
+
+SERVER_HANDLERS = {
+    "beta": handle_beta,
+}
+
+JOB_HANDLERS = {
+    "alpha": handle_alpha,
+}

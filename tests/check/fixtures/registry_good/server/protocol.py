@@ -1,0 +1,26 @@
+"""Good fixture protocol module.
+
+Documented actions:
+
+==========  =====================
+action      purpose
+==========  =====================
+``alpha``   session-scoped action
+``beta``    server-scoped action
+==========  =====================
+"""
+
+API_VERSION = "1"
+
+ACTIONS = (
+    "alpha",
+    "beta",
+)
+
+
+class Response:
+    def __init__(self, ok):
+        self.ok = ok
+
+    def to_dict(self):
+        return {"ok": self.ok, "api_version": API_VERSION}

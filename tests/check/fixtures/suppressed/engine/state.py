@@ -1,0 +1,23 @@
+"""Suppression fixture: one justified, one bare (SUP001), one stale (SUP002)."""
+
+import queue
+import threading
+
+
+class Holder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._queue = queue.Queue(maxsize=4)
+
+    def flush(self):
+        with self._lock:
+            # repro: ignore[LCK002] -- bounded test double; never filled in practice
+            self._queue.put(1)
+
+    def bare(self):
+        with self._lock:
+            # repro: ignore[LCK002]
+            self._queue.put(2)
+
+
+# repro: ignore[DET001] -- nothing on this line ever fires DET001

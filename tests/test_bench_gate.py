@@ -140,12 +140,18 @@ class TestRun:
         write(baseline_dir / "BENCH_tree_kernels.json", TREE_BASE)
         assert run(baseline_dir, current_dir) == 1
 
-    def test_fresh_file_without_baseline_is_allowed(self, tmp_path):
+    def test_fresh_file_without_baseline_fails(self, tmp_path, capsys):
+        # a benchmark landed without a committed baseline is silently
+        # unguarded — the gate fails and tells you how to fix it
         baseline_dir, current_dir = make_dirs(tmp_path)
         write(baseline_dir / "BENCH_tree_kernels.json", TREE_BASE)
         write(current_dir / "BENCH_tree_kernels.json", dict(TREE_BASE))
         write(current_dir / "BENCH_brand_new.json", {"speedup": 1.0})
-        assert run(baseline_dir, current_dir) == 0
+        assert run(baseline_dir, current_dir) == 1
+        out = capsys.readouterr().out
+        assert "BENCH_brand_new.json" in out
+        assert "no committed baseline" in out
+        assert "RATIO_METRICS" in out  # the message names the manifest to edit
 
     def test_no_baselines_at_all_fails(self, tmp_path):
         baseline_dir, current_dir = make_dirs(tmp_path)
@@ -165,7 +171,14 @@ class TestRun:
         from benchmarks.check_regression import EQUALITY_METRICS, RATIO_METRICS, lookup
 
         baseline_dir = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
-        for name in set(RATIO_METRICS) | set(EQUALITY_METRICS):
+        manifest = set(RATIO_METRICS) | set(EQUALITY_METRICS)
+        for name in manifest:
             payload = json.loads((baseline_dir / name).read_text())
             for path in RATIO_METRICS.get(name, []) + EQUALITY_METRICS.get(name, []):
                 lookup(payload, path)  # KeyError = manifest/baseline drift
+        committed = {path.name for path in baseline_dir.glob("BENCH_*.json")}
+        orphans = committed - manifest
+        assert not orphans, (
+            f"baselines with no gated metrics (register them in RATIO_METRICS/"
+            f"EQUALITY_METRICS): {sorted(orphans)}"
+        )
