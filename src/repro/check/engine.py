@@ -185,7 +185,6 @@ def run_rules(
     unselected rule would look stale without being so.
     """
     selected = [rule for rule in rules if only is None or rule.rule_id in only]
-    severities = {rule.rule_id: rule.severity for rule in rules}
     findings: list[Finding] = []
     for relpath, line, message in getattr(project, "parse_errors", []):
         findings.append(Finding("CHK000", "error", relpath, line, message))

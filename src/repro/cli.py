@@ -281,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="include suppressed findings in text output",
     )
+    check.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the report to this file (the exit code still reflects "
+        "unsuppressed findings, so CI can gate and archive in one step)",
+    )
 
     return parser
 
@@ -724,9 +731,12 @@ def _command_check(args: argparse.Namespace) -> int:
     root = Path(args.root) if args.root else None
     findings = run(root, rule_ids=args.rules)
     if args.output_format == "json":
-        print(format_json(findings))
+        report = format_json(findings)
     else:
-        print(format_text(findings, show_suppressed=args.show_suppressed))
+        report = format_text(findings, show_suppressed=args.show_suppressed)
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
     return 1 if any(not finding.suppressed for finding in findings) else 0
 
 

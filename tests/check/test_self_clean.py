@@ -49,6 +49,17 @@ def test_cli_check_command_runs_clean(capsys):
     assert payload["summary"]["unsuppressed"] == 0
 
 
+def test_cli_check_output_file_matches_stdout(capsys, tmp_path):
+    from repro.cli import main
+
+    out_path = tmp_path / "findings.json"
+    assert main(["check", "--format", "json", "--output", str(out_path)]) == 0
+    stdout_payload = json.loads(capsys.readouterr().out)
+    file_payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert file_payload == stdout_payload
+    assert file_payload["summary"]["unsuppressed"] == 0
+
+
 def test_cli_check_command_fails_on_bad_fixture(capsys):
     from pathlib import Path
 
