@@ -3,9 +3,11 @@
 An AST-based rule engine enforcing the invariants no generic linter can
 see: lock discipline in the engine/server (LCK001–LCK003), bitwise
 determinism of result-producing code (DET001–DET004), pickle-safety of
-everything shipped across the process boundary (PKL001), and agreement
+everything shipped across the process boundary (PKL001), agreement
 between the five hand-maintained protocol/dispatch/route/CLI registries
-(REG001–REG006).  Findings are suppressable inline with a justified
+(REG001–REG006), and observability drift between the declarative
+``METRICS`` table and its instrumentation sites (OBS001–OBS003).
+Findings are suppressable inline with a justified
 ``# repro: ignore[RULE] -- why`` comment; see :mod:`repro.check.engine`.
 
 Run it locally with ``repro check`` (or ``python -m repro check``); the
@@ -20,6 +22,7 @@ from .engine import Finding, Project, Rule, load_project, run_rules
 from .report import format_json, format_text, summarize
 from .rules_determinism import RULES as DETERMINISM_RULES
 from .rules_lock import RULES as LOCK_RULES
+from .rules_obs import RULES as OBS_RULES
 from .rules_pickle import RULES as PICKLE_RULES
 from .rules_registry import RULES as REGISTRY_RULES
 
@@ -38,7 +41,13 @@ __all__ = [
 ]
 
 #: The full rule catalogue, in reporting order.
-ALL_RULES: list[Rule] = [*LOCK_RULES, *DETERMINISM_RULES, *PICKLE_RULES, *REGISTRY_RULES]
+ALL_RULES: list[Rule] = [
+    *LOCK_RULES,
+    *DETERMINISM_RULES,
+    *PICKLE_RULES,
+    *REGISTRY_RULES,
+    *OBS_RULES,
+]
 
 
 def default_root() -> Path:

@@ -1,0 +1,179 @@
+"""Observability-drift rules (OBS family).
+
+The metrics surface is declared once, in the ``METRICS`` table of
+``obs/metrics.py``; every instrumentation site then asks the registry for a
+family by name (``metrics.counter("repro_requests_total")``).  Nothing ties
+the two together until runtime — a typo in an accessor call raises only when
+that code path executes, and a metric dropped from an instrumentation site
+silently flatlines on the dashboard.  These rules diff declaration and usage
+statically.  Tracing has one discipline of its own: spans are opened through
+the ``span()`` context manager so they always close, never through the
+low-level ``start_span``.
+
+* **OBS001** — every metric name passed to a registry accessor
+  (``counter``/``gauge``/``histogram``/``percentile``) is declared in the
+  ``METRICS`` table.
+* **OBS002** — every ``METRICS`` entry is referenced by at least one
+  accessor call somewhere in the tree (no dead declarations).
+* **OBS003** — ``start_span`` is only called inside ``obs/trace.py``; all
+  other modules must open spans via the ``span()`` context manager.
+
+OBS001/OBS002 skip cleanly when the metrics module (or its ``METRICS`` dict
+literal) is absent, so the fixture trees under ``tests/check/fixtures`` can
+exercise other rule families without carrying a metrics table.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .astutil import ModuleInfo, string_dict_keys
+from .engine import Project, RawFinding, Rule
+
+__all__ = ["RULES"]
+
+#: Registry accessors whose first positional argument is a metric name.
+_ACCESSORS = ("counter", "gauge", "histogram", "percentile")
+
+#: Accessors that *create* a family (reading via ``percentile`` alone does
+#: not count as wiring a metric up).
+_CONSTRUCTORS = ("counter", "gauge", "histogram")
+
+_METRICS_MODULE = "obs/metrics.py"
+_TRACE_MODULE = "obs/trace.py"
+
+
+def _module_assign(module: ModuleInfo, name: str) -> tuple[ast.expr, int] | None:
+    """Value and line of the module-level assignment to ``name``."""
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value, node.lineno
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return (node.value, node.lineno) if node.value is not None else None
+    return None
+
+
+def _call_name(node: ast.Call) -> str | None:
+    """The final name of a call target (``metrics.counter`` -> ``counter``)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _accessor_calls(
+    module: ModuleInfo, names: tuple[str, ...]
+) -> Iterable[tuple[str, str, int]]:
+    """Yield ``(accessor, metric_name, line)`` for literal-name accessor calls."""
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _call_name(node)
+        if callee not in names or not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield callee, first.value, node.lineno
+
+
+def _declared_metrics(project: Project) -> tuple[ModuleInfo, dict[str, int]] | None:
+    """The metrics module and its ``METRICS`` keys mapped to declaration lines."""
+    module = project.find(_METRICS_MODULE)
+    if module is None:
+        return None
+    assigned = _module_assign(module, "METRICS")
+    if assigned is None:
+        return None
+    value, _ = assigned
+    if string_dict_keys(value) is None:
+        return None
+    lines = {
+        key.value: key.lineno
+        for key in value.keys  # type: ignore[union-attr]
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    }
+    return module, lines
+
+
+def check_undeclared_metric(project: Project) -> Iterable[RawFinding]:
+    """OBS001: accessor calls must name a metric declared in ``METRICS``."""
+    declared = _declared_metrics(project)
+    if declared is None:
+        return
+    metrics_module, keys = declared
+    for module in project.modules:
+        if module is metrics_module:
+            continue
+        for accessor, name, line in _accessor_calls(module, _ACCESSORS):
+            if name not in keys:
+                yield (
+                    module.relpath,
+                    line,
+                    f"{accessor}({name!r}) references a metric that is not "
+                    f"declared in the METRICS table of {metrics_module.relpath}",
+                )
+
+
+def check_unused_metric(project: Project) -> Iterable[RawFinding]:
+    """OBS002: every declared metric is constructed by some accessor call."""
+    declared = _declared_metrics(project)
+    if declared is None:
+        return
+    metrics_module, keys = declared
+    used: set[str] = set()
+    for module in project.modules:
+        if module is metrics_module:
+            continue
+        for _, name, _ in _accessor_calls(module, _CONSTRUCTORS):
+            used.add(name)
+    for name, line in keys.items():
+        if name not in used:
+            yield (
+                metrics_module.relpath,
+                line,
+                f"metric {name!r} is declared in METRICS but no module calls "
+                "counter()/gauge()/histogram() for it; drop the entry or wire "
+                "up the instrumentation site",
+            )
+
+
+def check_bare_start_span(project: Project) -> Iterable[RawFinding]:
+    """OBS003: spans open through ``span()``, never ``start_span`` directly."""
+    for module in project.modules:
+        if module.relpath.endswith(_TRACE_MODULE):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and _call_name(node) == "start_span":
+                yield (
+                    module.relpath,
+                    node.lineno,
+                    "start_span() called outside obs/trace.py; use the "
+                    "span() context manager so the span always closes",
+                )
+
+
+RULES = [
+    Rule(
+        "OBS001",
+        "error",
+        "metric accessor names must be declared in the METRICS table",
+        check_undeclared_metric,
+    ),
+    Rule(
+        "OBS002",
+        "error",
+        "declared metrics must have at least one instrumentation site",
+        check_unused_metric,
+    ),
+    Rule(
+        "OBS003",
+        "error",
+        "spans are opened via span(), not bare start_span() calls",
+        check_bare_start_span,
+    ),
+]

@@ -22,6 +22,8 @@ The CLI covers the non-interactive entry points:
     Throughput check: concurrent sessions sharing one model cache.
 ``python -m repro jobs --port 8765``
     Inspect (or cancel) async analysis jobs on a running HTTP backend.
+``python -m repro trace JOB_ID --port 8765``
+    Render one job's span timeline (request → job → worker units → reduce).
 ``python -m repro bench-engine --jobs 4 --workers 4``
     Async engine check: concurrent sweeps vs serialized execution.
 
@@ -188,6 +190,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--offset", type=int, default=0, help="page offset for the job listing"
     )
     jobs.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    trace = subparsers.add_parser(
+        "trace", help="render one job's span timeline from a running HTTP backend"
+    )
+    trace.add_argument("job_id", help="job id whose trace to render")
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=8765)
+    trace.add_argument("--json", action="store_true", help="emit the raw span records")
 
     sweep = subparsers.add_parser(
         "sweep", help="scenario-space sweep: enumerate and rank whole option spaces"
@@ -684,6 +694,69 @@ def _command_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_trace(spans: list[dict[str, Any]]) -> None:
+    """Render span records as an indented tree ordered by start time.
+
+    Offsets are milliseconds from the earliest span; children indent under
+    their parent (spans whose parent is not in the record set — e.g. an
+    already-evicted request span — render as roots).
+    """
+    if not spans:
+        print("(no spans recorded for this trace)")
+        return
+    by_id = {span["span_id"]: span for span in spans}
+    children: dict[str, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in sorted(spans, key=lambda s: (s["start_ts"], s["span_id"])):
+        parent = span.get("parent_span_id") or ""
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    origin = min(span["start_ts"] for span in spans)
+
+    def emit(span: dict[str, Any], depth: int) -> None:
+        offset_ms = (span["start_ts"] - origin) * 1000.0
+        duration = span.get("duration_ms")
+        duration_text = f"{duration:8.2f}ms" if duration is not None else "      open"
+        tags = span.get("tags") or {}
+        tag_text = " ".join(f"{k}={v}" for k, v in tags.items())
+        indent = "  " * depth
+        print(
+            f"{offset_ms:10.2f}ms {duration_text}  {indent}{span['name']}"
+            + (f"  [{tag_text}]" if tag_text else "")
+        )
+        for child in children.get(span["span_id"], []):
+            emit(child, depth + 1)
+
+    print(f"trace {spans[0]['trace_id']} — {len(spans)} span(s)")
+    print(f"{'offset':>12} {'duration':>10}  name")
+    for root in roots:
+        emit(root, 0)
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Fetch and render one job's span timeline from a running backend."""
+    envelope = _post_backend(
+        args.host, args.port, {"action": "job_status", "params": {"job_id": args.job_id}}
+    )
+    if not envelope.get("ok"):
+        print(f"error: {envelope.get('error', 'request failed')}", file=sys.stderr)
+        return 2
+    data = envelope["data"]
+    spans = data.get("trace") or []
+    if args.json:
+        print(json.dumps(spans, indent=2))
+        return 0
+    job = data.get("job", {})
+    print(
+        f"job {job.get('job_id', args.job_id)} "
+        f"({job.get('action', '?')}, {job.get('state', '?')})"
+    )
+    _render_trace(spans)
+    return 0
+
+
 def _command_bench_engine(args: argparse.Namespace) -> int:
     from .engine.bench import run_engine_benchmark
 
@@ -750,6 +823,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "bench-sessions": _command_bench_sessions,
     "jobs": _command_jobs,
+    "trace": _command_trace,
     "bench-engine": _command_bench_engine,
     "check": _command_check,
 }

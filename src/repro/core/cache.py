@@ -32,11 +32,16 @@ from typing import Any, Callable, TypeVar
 import numpy as np
 
 from ..frame import DataFrame
+from ..obs import metrics
 from .kpi import KPI
 
 __all__ = ["ModelCache", "frame_fingerprint", "model_fingerprint"]
 
 T = TypeVar("T")
+
+_CACHE_HITS = metrics.counter("repro_model_cache_events_total").labels("hit")
+_CACHE_MISSES = metrics.counter("repro_model_cache_events_total").labels("miss")
+_CACHE_EVICTIONS = metrics.counter("repro_model_cache_events_total").labels("evict")
 
 
 def frame_fingerprint(frame: DataFrame) -> str:
@@ -112,8 +117,10 @@ class ModelCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                _CACHE_HITS.inc()
                 return self._entries[key]
             self._misses += 1
+            _CACHE_MISSES.inc()
             return None
 
     def put(self, key: str, value: Any) -> None:
@@ -126,6 +133,7 @@ class ModelCache:
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                _CACHE_EVICTIONS.inc()
 
     def get_or_create(self, key: str, factory: Callable[[], T]) -> T:
         """Return the cached value for ``key``, building it once if absent.
@@ -142,6 +150,7 @@ class ModelCache:
                 if key in self._entries:
                     self._entries.move_to_end(key)
                     self._hits += 1
+                    _CACHE_HITS.inc()
                     return self._entries[key]
                 creation_lock = self._pending.get(key)
                 if creation_lock is None:
@@ -150,6 +159,7 @@ class ModelCache:
                     creation_lock.acquire()
                     self._pending[key] = creation_lock
                     self._misses += 1
+                    _CACHE_MISSES.inc()
                     is_owner = True
                 else:
                     is_owner = False

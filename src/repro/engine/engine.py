@@ -38,6 +38,7 @@ import time
 import uuid
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
+from ..obs import metrics, trace
 from ..server.handlers import JOB_HANDLERS
 from ..server.protocol import ProtocolError
 from ..server.registry import DEFAULT_SESSION_ID
@@ -60,6 +61,11 @@ __all__ = ["AnalysisEngine", "PROCESS_ACTIONS"]
 PROCESS_ACTIONS = frozenset(
     {"run_sweep", "sensitivity", "comparison", "goal_inversion", "driver_importance"}
 )
+
+_QUEUE_WAIT = metrics.histogram("repro_job_queue_wait_seconds")
+_RUN_SECONDS = metrics.histogram("repro_job_run_seconds")
+_CANCEL_LATENCY = metrics.histogram("repro_job_cancel_latency_seconds")
+_JOBS_FINISHED = metrics.counter("repro_jobs_finished_total")
 
 
 class AnalysisEngine:
@@ -154,6 +160,10 @@ class AnalysisEngine:
         job_params = dict(params or {})
         key = self._coalesce_key(resolved_session, action, job_params)
 
+        # capture the submitting request's trace context so the job's spans
+        # parent onto it (a fresh trace id when submitted outside any span)
+        trace_context = trace.current_context()
+
         def factory() -> Job:
             return Job(
                 job_id=f"j-{uuid.uuid4().hex[:12]}",
@@ -163,6 +173,12 @@ class AnalysisEngine:
                 priority=int(priority),
                 coalesce_key=key,
                 submitted_at=self._clock(),
+                trace_id=(
+                    trace_context.trace_id if trace_context else trace.new_id()
+                ),
+                parent_span_id=(
+                    trace_context.span_id if trace_context else ""
+                ),
             )
 
         job, attached = self.store.coalesce_or_add(key, factory)
@@ -209,15 +225,29 @@ class AnalysisEngine:
         with self._lock:
             self._executed_total += 1
         self.events.publish(job.job_id, "started", {"action": job.action})
+        if job.started_at is not None:
+            _QUEUE_WAIT.labels(job.action).observe(
+                max(0.0, job.started_at - job.submitted_at)
+            )
         context = JobContext(
             job, executor=self.executor_for(job.action), events=self.events
+        )
+        job_trace = (
+            trace.TraceContext(job.trace_id, job.parent_span_id)
+            if job.trace_id
+            else None
         )
         try:
             entry = self._server._entry_for(job.session_id)
             handler = JOB_HANDLERS[job.action]
-            with entry.lock:
-                entry.request_count += 1
-                data = handler(entry.state, dict(job.params), context)
+            # the job span closes before _finalize, so terminal events carry
+            # the complete timeline; worker-side spans parent onto it
+            with trace.activate(job_trace), trace.span(
+                "job", job_id=job.job_id, action=job.action
+            ):
+                with entry.lock:
+                    entry.request_count += 1
+                    data = handler(entry.state, dict(job.params), context)
             job.finish_success(to_json_safe(data), self._clock())
         except JobCancelled:
             job.finish(CANCELLED, self._clock(), error="cancelled")
@@ -237,17 +267,36 @@ class AnalysisEngine:
             self._finished_by_state[job.state] = (
                 self._finished_by_state.get(job.state, 0) + 1
             )
+        _JOBS_FINISHED.labels(job.state).inc()
+        if job.started_at is not None and job.finished_at is not None:
+            _RUN_SECONDS.labels(job.action).observe(
+                max(0.0, job.finished_at - job.started_at)
+            )
+        if (
+            job.state == CANCELLED
+            and job.cancel_requested_at is not None
+            and job.finished_at is not None
+        ):
+            _CANCEL_LATENCY.observe(
+                max(0.0, job.finished_at - job.cancel_requested_at)
+            )
         # exactly one terminal event per job: _finalize runs once, from the
         # worker (_run) or from a pending-job cancel; the bus additionally
         # drops any publish after a terminal event as a backstop.  ``done``
         # embeds the full result payload so a streaming client's final event
-        # is byte-identical to the polled ``job_result`` blob.
+        # is byte-identical to the polled ``job_result`` blob (the span
+        # timeline rides alongside, never inside, the result).
+        timeline = self.trace_timeline(job.job_id)
         if job.state == DONE:
             self.events.publish(
-                job.job_id, "done", {"progress": 1.0, "result": job.result}
+                job.job_id,
+                "done",
+                {"progress": 1.0, "result": job.result, "trace": timeline},
             )
         else:
-            self.events.publish(job.job_id, job.state, {"error": job.error})
+            self.events.publish(
+                job.job_id, job.state, {"error": job.error, "trace": timeline}
+            )
 
     # ------------------------------------------------------------------ #
     # executor routing
@@ -274,6 +323,16 @@ class AnalysisEngine:
     def status(self, job_id: str) -> Job:
         """The job for ``job_id`` (raises :class:`UnknownJobError`)."""
         return self.store.get(job_id)
+
+    def trace_timeline(self, job_id: str) -> list[dict[str, Any]]:
+        """The recorded span timeline of ``job_id``'s trace (possibly [])."""
+        try:
+            job = self.store.get(job_id)
+        except UnknownJobError:
+            return []
+        if not job.trace_id:
+            return []
+        return trace.trace_store().timeline(job.trace_id)
 
     def result(self, job_id: str, *, wait: bool = True, timeout: float | None = None) -> Job:
         """The job, optionally blocking until it reaches a terminal state."""

@@ -35,6 +35,8 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from ..obs import metrics
+
 __all__ = [
     "JobEvent",
     "JobEventBus",
@@ -66,6 +68,9 @@ DEFAULT_BUFFER_SIZE = 512
 
 #: Terminal-job channels retained (LRU) for late replay before eviction.
 DEFAULT_MAX_CHANNELS = 256
+
+_RING_EVICTIONS = metrics.counter("repro_bus_ring_evictions_total")
+_DELIVER_LAG = metrics.histogram("repro_bus_deliver_lag_seconds")
 
 
 @dataclass(frozen=True)
@@ -142,16 +147,27 @@ class Subscription:
     def _deliver(self, event: JobEvent) -> None:
         self._queue.put(event)
 
+    def _observe_lag(self, event: JobEvent) -> None:
+        # publish→deliver lag against the bus's own clock, so injected fake
+        # clocks stay self-consistent and real ones compare one host's wall
+        # clock with itself
+        lag = float(self._bus._clock()) - event.ts
+        if lag >= 0.0:
+            _DELIVER_LAG.observe(lag)
+
     def get(self, timeout: float | None = None) -> JobEvent | None:
         """Next event, or ``None`` when ``timeout`` elapses first."""
         try:
-            return self._queue.get(timeout=timeout)
+            event = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
+        self._observe_lag(event)
+        return event
 
     def __iter__(self) -> Iterator[JobEvent]:
         while not self._finished:
             event = self._queue.get()
+            self._observe_lag(event)
             if event.type in TERMINAL_EVENTS:
                 self._finished = True
             yield event
@@ -240,6 +256,7 @@ class JobEventBus:
             if len(channel.events) == channel.events.maxlen:
                 channel.dropped += 1
                 self._dropped_total += 1
+                _RING_EVICTIONS.inc()
             channel.events.append(event)
             self._published_total += 1
             if event.type in TERMINAL_EVENTS:

@@ -76,6 +76,10 @@ class Job:
         identical in-flight submissions attach to one job.
     attached:
         How many submissions this job serves (1 + coalesced duplicates).
+    trace_id / parent_span_id:
+        The trace context captured at submission (the submitting request's
+        span), so the job's execution spans parent onto the request that
+        caused it — see :mod:`repro.obs.trace`.
     """
 
     job_id: str
@@ -89,9 +93,12 @@ class Job:
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
+    cancel_requested_at: float | None = None
     result: dict[str, Any] | None = None
     error: str = ""
     attached: int = 1
+    trace_id: str = ""
+    parent_span_id: str = ""
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
     _done_event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -120,6 +127,8 @@ class Job:
         """
         with self._lock:
             self._cancel_event.set()
+            if self.cancel_requested_at is None:
+                self.cancel_requested_at = now
             if self.state == PENDING:
                 self.state = CANCELLED
                 self.error = "cancelled before start"

@@ -16,12 +16,16 @@ import queue
 import threading
 from typing import Any, Callable
 
+from ..obs import metrics
 from .job import Job
 
 __all__ = ["WorkerPool"]
 
 #: Sentinel priority that beats every job (jobs use finite ``-priority``).
 _SENTINEL_PRIORITY = float("-inf")
+
+_QUEUE_DEPTH = metrics.gauge("repro_pool_queue_depth")
+_DEQUEUED = metrics.counter("repro_pool_dequeued_total")
 
 
 class WorkerPool:
@@ -66,6 +70,7 @@ class WorkerPool:
                 raise RuntimeError("worker pool is shut down")
             self._ensure_started_locked()
         self._queue.put((-float(job.priority), next(self._sequence), job))
+        _QUEUE_DEPTH.set(self._queue.qsize())
 
     def _ensure_started_locked(self) -> None:
         if self._started:
@@ -86,6 +91,8 @@ class WorkerPool:
                     return
                 with self._lock:
                     self._dequeued_total += 1
+                _DEQUEUED.inc()
+                _QUEUE_DEPTH.set(self._queue.qsize())
                 self._run(job)
             finally:
                 self._queue.task_done()

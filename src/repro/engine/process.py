@@ -45,6 +45,7 @@ import time
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from ..obs import metrics, trace
 from .units import UnitCancelled, run_unit
 
 __all__ = ["ProcessExecutor", "WorkerUnitError"]
@@ -59,6 +60,9 @@ _START_METHOD = "spawn"
 #: Minimum per-unit progress delta a worker posts (keeps the queue quiet).
 _PROGRESS_DELTA = 0.01
 
+_WORKER_UNITS = metrics.counter("repro_worker_units_total")
+_WORKER_SHIPS = metrics.counter("repro_worker_model_ships_total")
+
 
 class WorkerUnitError(RuntimeError):
     """A work unit raised inside a worker, or its worker process died."""
@@ -69,7 +73,11 @@ def _worker_main(worker_index, task_queue, result_queue, cancel_flags):
 
     Hydrates shipped managers into a per-process ``{fingerprint: manager}``
     mirror and executes units against it, posting ``("done" | "cancelled" |
-    "error" | "progress", worker, group, unit, value)`` messages back.
+    "error" | "progress", worker, group, unit, value)`` messages back.  Each
+    unit runs re-rooted on the shipped trace context; its finished span
+    records travel back as one ``("spans", ...)`` message posted just before
+    the unit's terminal message, so the parent's timeline is complete by the
+    time the group's last result lands.
     """
     models: dict[str, Any] = {}
     result_queue.put(("ready", worker_index, None, None, None))
@@ -77,48 +85,48 @@ def _worker_main(worker_index, task_queue, result_queue, cancel_flags):
         task = task_queue.get()
         if task is None:
             break
-        group_id, unit_index, slot, fingerprint, kind, payload, shipped = task
+        group_id, unit_index, slot, fingerprint, kind, payload, shipped, ctx = task
+        spans: list[dict[str, Any]] = []
         try:
-            if shipped is not None:
-                models[fingerprint] = shipped
-            manager = models.get(fingerprint)
-            if manager is None:
-                raise RuntimeError(
-                    f"worker {worker_index} has no hydrated model for "
-                    f"fingerprint {fingerprint[:12]}…"
-                )
-            if cancel_flags[slot]:
-                result_queue.put(("cancelled", worker_index, group_id, unit_index, None))
-                continue
-            posted = [0.0]
+            with trace.capture() as spans, trace.activate(
+                trace.TraceContext(*ctx) if ctx is not None else None
+            ):
+                with trace.span("unit", worker=worker_index, unit=unit_index):
+                    if shipped is not None:
+                        with trace.span("ship", fingerprint=fingerprint[:12]):
+                            models[fingerprint] = shipped
+                    manager = models.get(fingerprint)
+                    if manager is None:
+                        raise RuntimeError(
+                            f"worker {worker_index} has no hydrated model for "
+                            f"fingerprint {fingerprint[:12]}…"
+                        )
+                    if cancel_flags[slot]:
+                        raise UnitCancelled(unit_index)
+                    posted = [0.0]
 
-            def checkpoint(fraction: float) -> None:
-                if cancel_flags[slot]:
-                    raise UnitCancelled(unit_index)
-                fraction = min(1.0, max(0.0, float(fraction)))
-                if fraction - posted[0] >= _PROGRESS_DELTA or fraction >= 1.0:
-                    posted[0] = fraction
-                    result_queue.put(
-                        ("progress", worker_index, group_id, unit_index, fraction)
-                    )
+                    def checkpoint(fraction: float) -> None:
+                        if cancel_flags[slot]:
+                            raise UnitCancelled(unit_index)
+                        fraction = min(1.0, max(0.0, float(fraction)))
+                        if fraction - posted[0] >= _PROGRESS_DELTA or fraction >= 1.0:
+                            posted[0] = fraction
+                            result_queue.put(
+                                ("progress", worker_index, group_id, unit_index, fraction)
+                            )
 
-            result = run_unit(manager, kind, payload, checkpoint)
-            result_queue.put(("done", worker_index, group_id, unit_index, result))
+                    result = run_unit(manager, kind, payload, checkpoint)
+            outcome = ("done", result)
         except UnitCancelled:
-            result_queue.put(("cancelled", worker_index, group_id, unit_index, None))
+            outcome = ("cancelled", None)
         except BaseException as exc:  # noqa: BLE001 - report, don't kill the worker
-            try:
-                result_queue.put(
-                    (
-                        "error",
-                        worker_index,
-                        group_id,
-                        unit_index,
-                        f"{type(exc).__name__}: {exc}",
-                    )
-                )
-            except Exception:  # pragma: no cover - result queue gone at shutdown
-                break
+            outcome = ("error", f"{type(exc).__name__}: {exc}")
+        try:
+            if spans:
+                result_queue.put(("spans", worker_index, group_id, unit_index, spans))
+            result_queue.put((outcome[0], worker_index, group_id, unit_index, outcome[1]))
+        except Exception:  # pragma: no cover - result queue gone at shutdown
+            break
 
 
 class _Group:
@@ -280,6 +288,10 @@ class ProcessExecutor:
             return []
         self.ensure_started()
         fingerprint = manager.fingerprint()
+        # The job span's picklable address: workers re-root their unit spans
+        # on it so the sweep timeline stays one connected trace.
+        ctx = trace.current_context()
+        trace_ctx = (ctx.trace_id, ctx.span_id) if ctx is not None else None
         n_units = len(units)
         unit_weights = [float(w) for w in weights] if weights is not None else [1.0] * n_units
         if len(unit_weights) != n_units:
@@ -310,6 +322,7 @@ class ProcessExecutor:
                 if ship:
                     self._shipped[worker_index].add(fingerprint)
                     self._ships[worker_index] += 1
+                    _WORKER_SHIPS.labels(worker_index).inc()
                 group.outstanding[unit_index] = (
                     worker_index,
                     self._incarnations[worker_index],
@@ -324,6 +337,7 @@ class ProcessExecutor:
                         kind,
                         payload,
                         manager if ship else None,
+                        trace_ctx,
                     )
                 )
 
@@ -358,6 +372,9 @@ class ProcessExecutor:
                     continue
                 last_message = time.monotonic()
                 kind, unit_index, value = message
+                if kind == "spans":
+                    trace.trace_store().record_many(value)
+                    continue
                 if kind == "progress":
                     fractions[unit_index] = max(fractions[unit_index], float(value))
                 elif kind == "done":
@@ -380,7 +397,8 @@ class ProcessExecutor:
             with self._lock:
                 group.closed = True
                 self._maybe_release_locked(group_id, group)
-        return [results[index] for index in range(n_units)]
+        with trace.span("reduce", units=n_units):
+            return [results[index] for index in range(n_units)]
 
     # -- parent-side bookkeeping ------------------------------------------
 
@@ -418,10 +436,12 @@ class ProcessExecutor:
                     self._units_failed[worker_index] += 1
                 elif kind == "cancelled":
                     self._units_cancelled[worker_index] += 1
+                if kind in ("done", "error", "cancelled"):
+                    _WORKER_UNITS.labels(worker_index, kind).inc()
                 group = self._groups.get(group_id)
                 if group is None:
                     continue  # stale message for an already-released group
-                if kind != "progress":
+                if kind not in ("progress", "spans"):
                     group.outstanding.pop(unit_index, None)
                 if not group.closed:
                     # repro: ignore[LCK002] -- group.queue is unbounded, put cannot block
@@ -462,6 +482,7 @@ class ProcessExecutor:
             for unit_index in list(group.outstanding):
                 owner_worker, _ = group.outstanding.pop(unit_index)
                 self._units_failed[owner_worker] += 1
+                _WORKER_UNITS.labels(owner_worker, "error").inc()
                 if not group.closed:
                     # repro: ignore[LCK002] -- group.queue is unbounded, put cannot block
                     group.queue.put(

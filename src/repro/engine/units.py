@@ -38,6 +38,7 @@ import numpy as np
 from ..core.model_manager import ModelManager
 from ..core.perturbation import Perturbation, PerturbationSet
 from ..core.sensitivity import COMPARISON_CHUNK_MATRICES, SENSITIVITY_CHUNK_ROWS
+from ..obs import trace
 
 __all__ = ["UnitCancelled", "run_unit", "UNIT_KINDS"]
 
@@ -230,4 +231,5 @@ def run_unit(
         raise ValueError(
             f"unknown work-unit kind {kind!r}; registered kinds: {', '.join(UNIT_KINDS)}"
         ) from None
-    return runner(manager, payload, checkpoint)
+    with trace.span("score", unit_kind=kind):
+        return runner(manager, payload, checkpoint)

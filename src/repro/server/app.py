@@ -47,11 +47,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 from urllib.parse import parse_qsl, urlsplit
 
-import numpy as np
-
 from ..core import ModelCache
+from ..obs import metrics, trace
 from .handlers import HANDLERS, SERVER_HANDLERS, ServerState
 from .protocol import (
+    ACTIONS,
     API_VERSION,
     ConflictError,
     NotFoundError,
@@ -74,6 +74,9 @@ SSE_KEEPALIVE_S = 1.0
 
 #: ``error_kind`` → HTTP status for the resource-routed API.
 _KIND_STATUS = {"protocol": 400, "not_found": 404, "conflict": 409, "internal": 500}
+
+_REQUESTS_TOTAL = metrics.counter("repro_requests_total")
+_REQUEST_LATENCY = metrics.histogram("repro_request_latency_ms")
 
 
 def _protocol_kind(exc: ProtocolError) -> str:
@@ -103,6 +106,7 @@ _R_JOB_EVENTS = re.compile(
     r"^/api/v1/sessions/(?P<sid>[^/]+)/jobs/(?P<jid>[^/]+)/events/?$"
 )
 _R_SCENARIOS = re.compile(r"^/api/v1/sessions/(?P<sid>[^/]+)/scenarios/?$")
+_R_METRICS = re.compile(r"^/api/v1/metrics/?$")
 
 _ROUTES: tuple[tuple[str, re.Pattern[str], str], ...] = (
     ("GET", _R_SESSIONS, "_rest_list_sessions"),
@@ -203,24 +207,27 @@ class SystemDServer:
         try:
             request = self._coerce_request(request)
             request_id = request.request_id
-            if request.action in SERVER_HANDLERS:
-                params = dict(request.params)
-                if request.session_id:
-                    params.setdefault("session_id", request.session_id)
-                data = SERVER_HANDLERS[request.action](self, params)
-                if request.action == "create_session":
-                    session_id = str(data.get("session_id", ""))
-            else:
-                session_id = str(
-                    request.session_id
-                    or request.params.get("session_id", "")
-                    or DEFAULT_SESSION_ID
-                )
-                entry = self._entry_for(session_id)
-                handler = HANDLERS[request.action]
-                with entry.lock:
-                    entry.request_count += 1
-                    data = handler(entry.state, request.params)
+            # The trace root: jobs submitted while this span is active parent
+            # onto it, so an async analysis's timeline starts at its request.
+            with trace.span("request", action=request.action):
+                if request.action in SERVER_HANDLERS:
+                    params = dict(request.params)
+                    if request.session_id:
+                        params.setdefault("session_id", request.session_id)
+                    data = SERVER_HANDLERS[request.action](self, params)
+                    if request.action == "create_session":
+                        session_id = str(data.get("session_id", ""))
+                else:
+                    session_id = str(
+                        request.session_id
+                        or request.params.get("session_id", "")
+                        or DEFAULT_SESSION_ID
+                    )
+                    entry = self._entry_for(session_id)
+                    handler = HANDLERS[request.action]
+                    with entry.lock:
+                        entry.request_count += 1
+                        data = handler(entry.state, request.params)
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             response = Response.success(
                 to_json_safe(data),
@@ -251,6 +258,11 @@ class SystemDServer:
 
     def _record(self, action: str, session_id: str, response: Response) -> None:
         """Append one request outcome to the bounded log and counters."""
+        # Unknown action strings collapse onto one label so a fuzzing client
+        # cannot grow the label space unboundedly.
+        label = action if action in ACTIONS else "invalid"
+        _REQUESTS_TOTAL.labels(label, "true" if response.ok else "false").inc()
+        _REQUEST_LATENCY.labels(label).observe(float(response.elapsed_ms))
         with self._log_lock:
             self._requests_total += 1
             if not response.ok:
@@ -524,21 +536,24 @@ class SystemDServer:
     def stats(self) -> dict[str, Any]:
         """Registry, cache, engine, and request counters (``server_stats``).
 
-        ``requests.latency_ms`` reports p50/p95 percentiles computed from the
-        bounded request log — the paper's "fast real-time response"
-        requirement as a tail-latency number, not just an average.
+        ``requests.latency_ms`` reports p50/p95 percentiles estimated from
+        the ``repro_request_latency_ms`` histogram buckets (merged across
+        actions) — the paper's "fast real-time response" requirement as a
+        tail-latency number, not just an average.  Keys are unchanged from
+        the earlier request-log implementation; ``None`` still means no
+        requests have been observed.
         """
+        latency = {
+            "p50": metrics.registry().percentile("repro_request_latency_ms", 0.50),
+            "p95": metrics.registry().percentile("repro_request_latency_ms", 0.95),
+        }
         with self._log_lock:
-            elapsed = [entry["elapsed_ms"] for entry in self._request_log]
             requests = {
                 "total": self._requests_total,
                 "failed": self._requests_failed,
                 "log_size": len(self._request_log),
                 "log_limit": REQUEST_LOG_LIMIT,
-                "latency_ms": {
-                    "p50": float(np.percentile(elapsed, 50)) if elapsed else None,
-                    "p95": float(np.percentile(elapsed, 95)) if elapsed else None,
-                },
+                "latency_ms": latency,
             }
         return {
             "registry": self.registry.stats(),
@@ -602,6 +617,9 @@ class _SystemDHTTPHandler(BaseHTTPRequestHandler):
             events = _R_JOB_EVENTS.match(path)
             if events is not None:
                 self._serve_events(events.group("sid"), events.group("jid"), query)
+                return
+            if _R_METRICS.match(path) is not None:
+                self._serve_metrics(query)
                 return
             if path.startswith("/api/"):
                 self._dispatch_rest("GET", path, query, "")
@@ -741,6 +759,21 @@ class _SystemDHTTPHandler(BaseHTTPRequestHandler):
                     pass
         finally:
             subscription.close()
+
+    def _serve_metrics(self, query: dict[str, str]) -> None:
+        """Serve the metrics registry: Prometheus text, or JSON with
+        ``?format=json`` (the same payload as the ``metrics`` action)."""
+        if str(query.get("format", "")).lower() == "json":
+            response = self.backend.handle(Request(action="metrics"))
+            self._send_json(_status_for(response), response.to_dict())
+            return
+        encoded = metrics.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.send_header("X-Repro-Api-Version", API_VERSION)
+        self.end_headers()
+        self.wfile.write(encoded)
 
     def send_error(self, code, message=None, explain=None):  # noqa: D102
         # the stdlib falls back to send_error (an HTML page) for any method

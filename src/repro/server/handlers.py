@@ -438,6 +438,18 @@ def handle_server_stats(server: "SystemDServer", params: dict[str, Any]) -> dict
     return server.stats()
 
 
+def handle_metrics(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """JSON twin of the Prometheus exposition (``GET /api/v1/metrics``).
+
+    Every declared metric with its kind, help text, and current samples —
+    the same registry the text endpoint renders, for clients that want
+    structured data instead of scraping exposition format.
+    """
+    from ..obs import metrics
+
+    return metrics.registry().to_dict()
+
+
 # --------------------------------------------------------------------------- #
 # server-scoped handlers: the async analysis engine
 # --------------------------------------------------------------------------- #
@@ -488,10 +500,15 @@ def handle_submit(server: "SystemDServer", params: dict[str, Any]) -> dict[str, 
 
 
 def handle_job_status(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
-    """Lifecycle state, progress fraction, and timings of one job."""
+    """Lifecycle state, progress fraction, timings, and span timeline of one
+    job (``trace`` is the recorded spans of the job's trace so far — empty
+    until the job starts, complete once it is terminal)."""
     job_id = _require_job_id(params)
     job = _job_lookup(job_id, lambda: server.engine.status(job_id))
-    return {"job": job.to_dict(now=server.engine.now())}
+    return {
+        "job": job.to_dict(now=server.engine.now()),
+        "trace": server.engine.trace_timeline(job_id),
+    }
 
 
 def handle_job_result(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
@@ -659,6 +676,7 @@ SERVER_HANDLERS: dict[str, Callable[["SystemDServer", dict[str, Any]], dict[str,
     "close_session": handle_close_session,
     "list_sessions": handle_list_sessions,
     "server_stats": handle_server_stats,
+    "metrics": handle_metrics,
     "submit": handle_submit,
     "job_status": handle_job_status,
     "job_result": handle_job_result,

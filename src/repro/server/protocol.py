@@ -33,6 +33,7 @@ action               session management
 ``close_session``    unregister a session
 ``list_sessions``    summaries of every live session
 ``server_stats``     registry, model-cache, engine, and request counters
+``metrics``          JSON twin of the Prometheus metrics exposition
 ===================  ======================================================
 
 Long-running analyses can run without blocking the caller through the async
@@ -91,6 +92,7 @@ route                                                      action(s)
 ``DELETE /api/v1/sessions/{sid}/jobs/{jid}``               ``cancel_job``
 ``GET /api/v1/sessions/{sid}/jobs/{jid}/events``           SSE event stream
 ``GET /api/v1/sessions/{sid}/scenarios``                   ``list_scenarios`` (paginated)
+``GET /api/v1/metrics``                                    Prometheus text (``?format=json`` for the ``metrics`` action)
 =========================================================  =================
 
 Deprecation path for the bare-POST protocol: (1) today — both transports
@@ -139,6 +141,7 @@ ACTIONS = (
     "close_session",
     "list_sessions",
     "server_stats",
+    "metrics",
     "submit",
     "job_status",
     "job_result",

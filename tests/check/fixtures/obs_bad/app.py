@@ -1,0 +1,15 @@
+"""Bad fixture instrumentation site.
+
+OBS001: ``demo_rogue_total`` is not declared in the METRICS table.
+OBS003: ``start_span`` is called directly instead of through ``span()``.
+"""
+
+from obs import metrics, trace
+
+_USED = metrics.counter("demo_used_total")
+_ROGUE = metrics.counter("demo_rogue_total")
+
+
+def handle(request):
+    handle = trace.start_span("request")
+    return handle

@@ -1,0 +1,20 @@
+"""Bad fixture metrics table.
+
+OBS002: ``demo_unused_total`` is declared below but nothing constructs it.
+"""
+
+
+class MetricSpec:
+    def __init__(self, kind, help_text):
+        self.kind = kind
+        self.help_text = help_text
+
+
+METRICS = {
+    "demo_used_total": MetricSpec("counter", "Constructed by app.py."),
+    "demo_unused_total": MetricSpec("counter", "Never referenced anywhere."),
+}
+
+
+def counter(name):
+    return name

@@ -1,0 +1,13 @@
+"""Good fixture instrumentation site: only declared metric names, spans via span()."""
+
+from obs import metrics, trace
+
+_REQUESTS = metrics.counter("demo_requests_total")
+_DEPTH = metrics.gauge("demo_queue_depth")
+_LATENCY = metrics.histogram("demo_latency_ms")
+
+
+def handle(request):
+    with trace.span("request"):
+        _REQUESTS.labels().inc()
+        return metrics.percentile("demo_latency_ms", 0.95)

@@ -1,0 +1,27 @@
+"""Good fixture metrics table: every entry is constructed somewhere."""
+
+
+class MetricSpec:
+    def __init__(self, kind, help_text, labels=()):
+        self.kind = kind
+        self.help_text = help_text
+        self.labels = labels
+
+
+METRICS = {
+    "demo_requests_total": MetricSpec("counter", "Requests handled."),
+    "demo_queue_depth": MetricSpec("gauge", "Jobs waiting in the queue."),
+    "demo_latency_ms": MetricSpec("histogram", "Request latency."),
+}
+
+
+def counter(name):
+    return name
+
+
+def gauge(name):
+    return name
+
+
+def histogram(name):
+    return name

@@ -111,6 +111,47 @@ def test_reg006_reports_each_direction_of_drift():
 
 
 # --------------------------------------------------------------------------- #
+# observability drift
+# --------------------------------------------------------------------------- #
+def test_obs_rules_fire_on_bad_fixture():
+    rules = fired(run_fixture("obs_bad"))
+    assert {"OBS001", "OBS002", "OBS003"} <= rules
+
+
+def test_obs_rules_pass_on_good_fixture():
+    assert fired(run_fixture("obs_good")) == set()
+
+
+def test_obs001_names_the_rogue_metric():
+    findings = [
+        f for f in run_fixture("obs_bad", only=["OBS001"]) if not f.suppressed
+    ]
+    assert len(findings) == 1
+    assert "'demo_rogue_total'" in findings[0].message
+    assert findings[0].path.endswith("app.py")
+
+
+def test_obs002_points_at_the_declaration_line():
+    findings = [
+        f for f in run_fixture("obs_bad", only=["OBS002"]) if not f.suppressed
+    ]
+    assert len(findings) == 1
+    assert "'demo_unused_total'" in findings[0].message
+    assert findings[0].path.endswith("obs/metrics.py")
+    assert findings[0].line > 1  # the key's line, not the file top
+
+
+def test_obs003_exempts_the_trace_module():
+    findings = [
+        f for f in run_fixture("obs_bad", only=["OBS003"]) if not f.suppressed
+    ]
+    assert len(findings) == 1
+    assert findings[0].path.endswith("app.py")
+    # the sanctioned call inside obs/trace.py stays silent
+    assert fired(run_fixture("obs_good", only=["OBS003"])) == set()
+
+
+# --------------------------------------------------------------------------- #
 # suppressions
 # --------------------------------------------------------------------------- #
 def test_suppression_round_trip():

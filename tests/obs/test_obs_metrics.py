@@ -1,0 +1,174 @@
+"""Unit tests for the metrics registry: families, exposition, estimation.
+
+Most tests build a *private* ``MetricsRegistry`` over the real ``METRICS``
+specs so they never pollute the process-global registry other tests (and
+the server instrumentation) write into.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry(METRICS)
+
+
+# --------------------------------------------------------------------------- #
+# families and children
+# --------------------------------------------------------------------------- #
+def test_counter_accumulates_per_label_child(registry):
+    family = registry.counter("repro_requests_total")
+    family.labels("sensitivity", "true").inc()
+    family.labels("sensitivity", "true").inc(2.0)
+    family.labels("sensitivity", "false").inc()
+    assert family.labels("sensitivity", "true").value == 3.0
+    assert family.labels("sensitivity", "false").value == 1.0
+
+
+def test_label_values_are_str_coerced(registry):
+    family = registry.counter("repro_worker_model_ships_total")
+    family.labels(0).inc()
+    assert family.labels("0").value == 1.0
+
+
+def test_label_arity_is_enforced(registry):
+    with pytest.raises(ValueError, match="takes labels"):
+        registry.counter("repro_requests_total").labels("sensitivity")
+
+
+def test_undeclared_metric_raises(registry):
+    with pytest.raises(KeyError, match="not declared"):
+        registry.counter("repro_bogus_total")
+
+
+def test_kind_mismatch_raises(registry):
+    with pytest.raises(TypeError, match="is a counter"):
+        registry.histogram("repro_requests_total")
+
+
+def test_gauge_moves_both_ways(registry):
+    family = registry.gauge("repro_pool_queue_depth")
+    family.set(5)
+    family.dec()
+    family.inc(3)
+    assert family.labels().value == 7.0
+
+
+# --------------------------------------------------------------------------- #
+# percentile estimation
+# --------------------------------------------------------------------------- #
+def test_percentile_none_when_empty(registry):
+    assert registry.percentile("repro_request_latency_ms", 0.5) is None
+
+
+def test_percentile_orders_and_bounds(registry):
+    family = registry.histogram("repro_request_latency_ms")
+    for value in (1.0, 2.0, 3.0, 50.0, 400.0):
+        family.labels("sensitivity").observe(value)
+    p50 = registry.percentile("repro_request_latency_ms", 0.50)
+    p95 = registry.percentile("repro_request_latency_ms", 0.95)
+    assert p50 is not None and p95 is not None
+    assert p50 <= p95
+    # p50 falls inside the bucket holding the median observation (3.0 -> (2.5, 5])
+    assert 0.0 < p50 <= 5.0
+    assert p95 <= 500.0
+
+
+def test_percentile_merges_across_children(registry):
+    family = registry.histogram("repro_request_latency_ms")
+    family.labels("sensitivity").observe(1.0)
+    family.labels("sweep").observe(1000.0)
+    p95 = registry.percentile("repro_request_latency_ms", 0.95)
+    assert p95 is not None and p95 > 100.0
+
+
+def test_percentile_inf_bucket_clamps_to_last_bound(registry):
+    family = registry.histogram("repro_request_latency_ms")
+    family.labels("sweep").observe(10.0**9)
+    spec = METRICS["repro_request_latency_ms"]
+    assert registry.percentile("repro_request_latency_ms", 0.99) == spec.buckets[-1]
+
+
+# --------------------------------------------------------------------------- #
+# exposition
+# --------------------------------------------------------------------------- #
+def test_prometheus_text_covers_every_declared_metric(registry):
+    text = registry.render_prometheus()
+    for name, spec in METRICS.items():
+        assert f"# HELP {name} " in text
+        assert f"# TYPE {name} {spec.kind}" in text
+
+
+def test_prometheus_histogram_series_are_consistent(registry):
+    family = registry.histogram("repro_request_latency_ms")
+    for value in (1.0, 7.0, 9000.0):
+        family.labels("sensitivity").observe(value)
+    lines = registry.render_prometheus().splitlines()
+    buckets = [
+        int(line.rsplit(" ", 1)[1])
+        for line in lines
+        if line.startswith('repro_request_latency_ms_bucket{action="sensitivity"')
+    ]
+    assert buckets == sorted(buckets)  # cumulative counts are monotonic
+    assert buckets[-1] == 3  # the +Inf bucket sees every observation
+    count_line = next(
+        line
+        for line in lines
+        if line.startswith('repro_request_latency_ms_count{action="sensitivity"')
+    )
+    assert count_line.endswith(" 3")
+
+
+def test_prometheus_escapes_label_values(registry):
+    registry.counter("repro_requests_total").labels('we"ird\naction', "true").inc()
+    text = registry.render_prometheus()
+    assert 'action="we\\"ird\\naction"' in text
+
+
+def test_to_dict_is_json_safe_and_complete(registry):
+    registry.counter("repro_jobs_finished_total").labels("done").inc()
+    payload = registry.to_dict()
+    json.dumps(payload)  # must not raise
+    assert set(payload["metrics"]) == set(METRICS)
+    samples = payload["metrics"]["repro_jobs_finished_total"]["samples"]
+    assert samples == [{"labels": {"state": "done"}, "value": 1.0}]
+
+
+# --------------------------------------------------------------------------- #
+# the global enable switch
+# --------------------------------------------------------------------------- #
+def test_set_enabled_false_freezes_all_mutation(registry):
+    counter = registry.counter("repro_pool_dequeued_total")
+    histogram = registry.histogram("repro_job_run_seconds")
+    metrics.set_enabled(False)
+    try:
+        counter.inc()
+        registry.gauge("repro_pool_queue_depth").set(9)
+        histogram.labels("sweep").observe(1.0)
+        assert counter.labels().value == 0.0
+        assert registry.gauge("repro_pool_queue_depth").labels().value == 0.0
+        assert registry.percentile("repro_job_run_seconds", 0.5) is None
+    finally:
+        metrics.set_enabled(True)
+    counter.inc()
+    assert counter.labels().value == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# documentation drift
+# --------------------------------------------------------------------------- #
+def test_readme_inventory_lists_every_metric():
+    """The README's Observability table must name all declared metrics."""
+    text = README.read_text(encoding="utf-8")
+    missing = [name for name in METRICS if name not in text]
+    assert not missing, f"README.md is missing metric(s): {missing}"

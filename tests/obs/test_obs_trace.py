@@ -1,0 +1,122 @@
+"""Unit tests for span nesting, context hand-off, capture, and the store."""
+
+from __future__ import annotations
+
+from repro.obs import metrics, trace
+from repro.obs.trace import TraceContext, TraceStore
+
+
+def test_spans_nest_and_share_a_trace():
+    with trace.capture() as spans:
+        with trace.span("request", action="sweep") as outer:
+            with trace.span("job") as inner:
+                pass
+    assert [record["name"] for record in spans] == ["job", "request"]
+    assert inner["trace_id"] == outer["trace_id"]
+    assert inner["parent_span_id"] == outer["span_id"]
+    assert outer["parent_span_id"] == ""
+    assert outer["tags"] == {"action": "sweep"}
+    assert all(record["duration_ms"] >= 0.0 for record in spans)
+
+
+def test_current_context_tracks_the_innermost_span():
+    assert trace.current_context() is None
+    with trace.capture():
+        with trace.span("outer") as outer:
+            context = trace.current_context()
+            assert context == TraceContext(outer["trace_id"], outer["span_id"])
+    assert trace.current_context() is None
+
+
+def test_activate_reroots_spans_on_a_shipped_context():
+    shipped = TraceContext("feedfeedfeedfeed", "beefbeefbeefbeef")
+    with trace.capture() as spans:
+        with trace.activate(shipped):
+            with trace.span("unit"):
+                pass
+    (record,) = spans
+    assert record["trace_id"] == shipped.trace_id
+    assert record["parent_span_id"] == shipped.span_id
+
+
+def test_activate_none_is_a_no_op():
+    with trace.capture() as spans:
+        with trace.activate(None):
+            with trace.span("unit"):
+                pass
+    assert spans[0]["parent_span_id"] == ""
+
+
+def test_capture_diverts_from_the_global_store():
+    store = trace.trace_store()
+    with trace.capture() as spans:
+        with trace.span("diverted"):
+            pass
+    (record,) = spans
+    assert store.timeline(record["trace_id"]) == []
+
+
+def test_uncaptured_spans_land_in_the_global_store():
+    with trace.span("stored") as record:
+        pass
+    timeline = trace.trace_store().timeline(record["trace_id"])
+    assert [entry["name"] for entry in timeline] == ["stored"]
+
+
+def test_disabled_tracing_yields_none_and_records_nothing():
+    metrics.set_enabled(False)
+    try:
+        with trace.capture() as spans:
+            with trace.span("ghost") as record:
+                assert record is None
+        assert spans == []
+        assert trace.start_span("ghost") is None
+    finally:
+        metrics.set_enabled(True)
+
+
+# --------------------------------------------------------------------------- #
+# the bounded store
+# --------------------------------------------------------------------------- #
+def _record(trace_id, span_id, start_ts=0.0):
+    return {
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_span_id": "",
+        "name": "x",
+        "start_ts": start_ts,
+        "duration_ms": 1.0,
+        "tags": {},
+    }
+
+
+def test_store_evicts_least_recently_touched_trace():
+    store = TraceStore(max_traces=2)
+    store.record(_record("t1", "a"))
+    store.record(_record("t2", "b"))
+    store.record(_record("t1", "c"))  # touch t1 so t2 is the LRU victim
+    store.record(_record("t3", "d"))
+    assert store.timeline("t2") == []
+    assert [r["span_id"] for r in store.timeline("t1")] == ["a", "c"]
+    assert [r["span_id"] for r in store.timeline("t3")] == ["d"]
+
+
+def test_store_caps_spans_per_trace():
+    store = TraceStore(max_spans=3)
+    for index in range(10):
+        store.record(_record("t1", f"s{index}", start_ts=float(index)))
+    assert len(store.timeline("t1")) == 3
+
+
+def test_timeline_orders_by_start_time():
+    store = TraceStore()
+    store.record(_record("t1", "late", start_ts=5.0))
+    store.record(_record("t1", "early", start_ts=1.0))
+    assert [r["span_id"] for r in store.timeline("t1")] == ["early", "late"]
+
+
+def test_store_ignores_records_without_a_trace_id():
+    store = TraceStore()
+    store.record({"span_id": "x", "name": "orphan", "start_ts": 0.0})
+    store.record(_record("", "y"))
+    assert store.timeline("") == []

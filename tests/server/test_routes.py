@@ -277,6 +277,31 @@ class TestScenariosRoute:
         assert "unknown session" in envelope["error"]
 
 
+class TestMetricsRoute:
+    def test_metrics_default_is_prometheus_text(self, base_url):
+        call(base_url, "POST", "/", {"action": "list_use_cases"})  # record one request
+        request = urllib.request.Request(base_url + "/api/v1/metrics")
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            assert response.status == 200
+            content_type = response.headers["Content-Type"]
+            assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+            assert response.headers["X-Repro-Api-Version"] == API_VERSION
+            text = response.read().decode("utf-8")
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_request_latency_ms histogram" in text
+        assert 'repro_requests_total{action="list_use_cases",ok="true"}' in text
+
+    def test_metrics_json_twin_matches_the_action(self, base_url):
+        status, headers, envelope = call(
+            base_url, "GET", "/api/v1/metrics?format=json"
+        )
+        assert status == 200
+        assert headers["X-Repro-Api-Version"] == API_VERSION
+        assert envelope["ok"]
+        assert envelope["data"]["enabled"] is True
+        assert "repro_requests_total" in envelope["data"]["metrics"]
+
+
 class TestLegacySurface:
     def test_bare_post_still_dispatches_with_versioned_envelope(self, base_url):
         status, headers, envelope = call(
