@@ -5,8 +5,10 @@ see: lock discipline in the engine/server (LCK001–LCK003), bitwise
 determinism of result-producing code (DET001–DET004), pickle-safety of
 everything shipped across the process boundary (PKL001), agreement
 between the five hand-maintained protocol/dispatch/route/CLI registries
-(REG001–REG006), and observability drift between the declarative
-``METRICS`` table and its instrumentation sites (OBS001–OBS003).
+plus the documented route tables (REG001–REG007), persistence discipline
+for backend-journaled state (PER001), and observability drift between the
+declarative ``METRICS`` table and its instrumentation sites
+(OBS001–OBS003).
 Findings are suppressable inline with a justified
 ``# repro: ignore[RULE] -- why`` comment; see :mod:`repro.check.engine`.
 
@@ -23,6 +25,7 @@ from .report import format_json, format_text, summarize
 from .rules_determinism import RULES as DETERMINISM_RULES
 from .rules_lock import RULES as LOCK_RULES
 from .rules_obs import RULES as OBS_RULES
+from .rules_persist import RULES as PERSIST_RULES
 from .rules_pickle import RULES as PICKLE_RULES
 from .rules_registry import RULES as REGISTRY_RULES
 
@@ -46,6 +49,7 @@ ALL_RULES: list[Rule] = [
     *DETERMINISM_RULES,
     *PICKLE_RULES,
     *REGISTRY_RULES,
+    *PERSIST_RULES,
     *OBS_RULES,
 ]
 

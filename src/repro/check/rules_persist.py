@@ -1,0 +1,165 @@
+"""Persistence-discipline rule (PER family).
+
+Durable state flows through one :class:`~repro.persist.StateBackend`: the
+session registry's entries, each session's scenario ledger, and the job
+store's records are journaled on every mutation so a restart can rebuild
+them.  A mutation that bypasses the journal is invisible until the restart
+that loses it — the worst kind of bug to find.  The project convention makes
+the contract checkable: a class that owns backend-persisted state declares
+the attributes in a ``_PERSISTED_FIELDS`` tuple literal.
+
+* **PER001** — any method (``__init__`` excepted: construction precedes
+  binding) that mutates a declared field — assignment, ``del``, item write,
+  or a mutating container call (``append``/``update``/``pop``/...) — must
+  also touch the persistence layer somewhere in its body: a call whose
+  target names ``_persist``, ``backend``, or ``transaction``.  Read-only
+  bookkeeping (``move_to_end`` LRU refreshes) is exempt, and deliberate
+  exceptions (ledger replay from already-journaled records) carry a
+  justified inline suppression.
+
+The check is per-method, not per-statement: a method that journals *and*
+mutates is trusted to order the two correctly (that ordering is exercised by
+the crash-recovery tests, which a static rule cannot replace).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .astutil import str_constants
+from .engine import Project, RawFinding, Rule
+
+__all__ = ["RULES"]
+
+#: Container-call names that mutate their receiver.  ``move_to_end`` is
+#: deliberately absent: reordering an OrderedDict changes no persisted
+#: content (it is the LRU-refresh idiom).
+_MUTATOR_CALLS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "update",
+        "setdefault",
+    }
+)
+
+#: Substrings that mark a call as touching the persistence layer.
+_PERSIST_MARKERS = ("_persist", "backend", "transaction")
+
+
+def _persisted_fields(cls: ast.ClassDef) -> set[str] | None:
+    """The class's declared ``_PERSISTED_FIELDS``, or ``None`` when absent."""
+    for node in cls.body:
+        value = None
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == "_PERSISTED_FIELDS"
+                for t in node.targets
+            ):
+                value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "_PERSISTED_FIELDS":
+                value = node.value
+        if value is not None:
+            fields = str_constants(value)
+            return set(fields) if fields is not None else None
+    return None
+
+
+def _self_attr_name(expr: ast.expr) -> str | None:
+    """``X`` when ``expr`` is exactly ``self.X``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _field_mutations(
+    method: ast.AST, fields: set[str]
+) -> Iterator[tuple[int, str, str]]:
+    """``(lineno, field, how)`` for every mutation of a persisted field."""
+    for node in ast.walk(method):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_CALLS:
+                receiver = _self_attr_name(node.func.value)
+                if receiver in fields:
+                    yield node.lineno, receiver, f".{node.func.attr}() call"
+            continue
+        queue = list(targets)
+        while queue:
+            expr = queue.pop()
+            if isinstance(expr, (ast.Tuple, ast.List)):
+                queue.extend(expr.elts)
+                continue
+            attr = _self_attr_name(expr)
+            if attr in fields:
+                yield node.lineno, attr, "assignment"
+            elif isinstance(expr, ast.Subscript):
+                attr = _self_attr_name(expr.value)
+                if attr in fields:
+                    yield node.lineno, attr, "item write"
+
+
+def _touches_persistence(method: ast.AST) -> bool:
+    """Whether the method body makes any persistence-layer call."""
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            target = ast.unparse(node.func).lower()
+            if any(marker in target for marker in _PERSIST_MARKERS):
+                return True
+    return False
+
+
+def check_per001(project: Project) -> Iterable[RawFinding]:
+    """Mutations of ``_PERSISTED_FIELDS`` attributes bypass the backend."""
+    for module in project.modules:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            fields = _persisted_fields(cls)
+            if not fields:
+                continue
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__":
+                    continue
+                if _touches_persistence(method):
+                    continue
+                for lineno, field_name, how in _field_mutations(method, fields):
+                    yield (
+                        module.relpath,
+                        lineno,
+                        f"'{cls.name}.{method.name}' mutates backend-persisted "
+                        f"field '{field_name}' ({how}) without touching the "
+                        "persistence layer; journal through the backend (or a "
+                        "_persist*/transaction helper) so the mutation survives "
+                        "a restart",
+                    )
+
+
+RULES = [
+    Rule(
+        "PER001",
+        "error",
+        "backend-persisted field mutated without journaling",
+        check_per001,
+    ),
+]

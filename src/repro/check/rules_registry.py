@@ -26,12 +26,17 @@ trees under ``tests/check/fixtures`` exercise one registry at a time.
   name the same command set.
 * **REG006** — ``ACTIONS`` equals the union of the dispatch-table keys, and
   job-able actions are a subset of the session handlers.
+* **REG007** — every ``_ROUTES`` entry appears, as ````METHOD /path````
+  with ``{group}`` placeholders, in the protocol docstring's route table and
+  in the repository README's route table, so the documented API surface
+  cannot silently lag the served one.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+from pathlib import Path
 from typing import Iterable
 
 from .astutil import ModuleInfo, enclosing_function, str_constants, string_dict_keys
@@ -311,6 +316,97 @@ def check_reg006(project: Project) -> Iterable[RawFinding]:
         )
 
 
+#: ``(?P<name>[^/]+)`` capture groups become ``{name}`` route placeholders.
+_ROUTE_GROUP_RE = re.compile(r"\(\?P<([^>]+)>\[\^/\]\+\)")
+
+
+def _route_templates(app: ModuleInfo) -> list[tuple[str, str, int]]:
+    """``(method, template, lineno)`` for each ``_ROUTES`` entry.
+
+    Resolves the pattern names back to their ``re.compile(r"...")`` string
+    literals and rewrites them as human-readable templates: anchors and the
+    optional trailing slash stripped, capture groups as ``{name}``.  Entries
+    whose pattern cannot be resolved statically are skipped (REG003 already
+    polices the table's structure).
+    """
+    patterns: dict[str, str] = {}
+    for node in app.tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and re.fullmatch(r"_R_[A-Z_]+", target.id)):
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and value.args
+            and isinstance(value.args[0], ast.Constant)
+            and isinstance(value.args[0].value, str)
+        ):
+            patterns[target.id] = value.args[0].value
+    routes = _module_assign(app, "_ROUTES")
+    templates: list[tuple[str, str, int]] = []
+    if routes is None or not isinstance(routes[0], (ast.Tuple, ast.List)):
+        return templates
+    for entry in routes[0].elts:
+        if not (isinstance(entry, (ast.Tuple, ast.List)) and len(entry.elts) == 3):
+            continue
+        method, pattern_ref = entry.elts[0], entry.elts[1]
+        if not (isinstance(method, ast.Constant) and isinstance(method.value, str)):
+            continue
+        raw = patterns.get(pattern_ref.id) if isinstance(pattern_ref, ast.Name) else None
+        if raw is None:
+            continue
+        template = raw.lstrip("^").rstrip("$")
+        template = template[:-2] if template.endswith("/?") else template
+        template = _ROUTE_GROUP_RE.sub(r"{\1}", template)
+        templates.append((method.value, template, entry.lineno))
+    return templates
+
+
+def _find_readme(root: Path) -> tuple[Path, str] | None:
+    """The nearest ``README.md`` at or above the analysis root.
+
+    The analysis root is the installed package directory (``src/repro``), so
+    the repository README sits two levels up; fixture trees may carry their
+    own README in the root itself.
+    """
+    for candidate in (root, root.parent, root.parent.parent):
+        path = candidate / "README.md"
+        if path.is_file():
+            return path, path.read_text(encoding="utf-8")
+    return None
+
+
+def check_reg007(project: Project) -> Iterable[RawFinding]:
+    """Every served route is documented in the protocol docstring and README."""
+    app = project.find("server/app.py")
+    if app is None:
+        return
+    templates = _route_templates(app)
+    if not templates:
+        return
+    protocol = project.find("server/protocol.py")
+    docstring = (ast.get_docstring(protocol.tree) or "") if protocol is not None else None
+    readme = _find_readme(project.root)
+    for method, template, lineno in templates:
+        if docstring is not None and f"``{method} {template}``" not in docstring:
+            yield (
+                app.relpath,
+                lineno,
+                f"route '{method} {template}' is served by _ROUTES but missing "
+                f"from the protocol docstring route table; add a "
+                f"``{method} {template}`` row",
+            )
+        if readme is not None and template not in readme[1]:
+            yield (
+                app.relpath,
+                lineno,
+                f"route '{method} {template}' is served by _ROUTES but missing "
+                f"from the route table in {readme[0].name}",
+            )
+
+
 RULES = [
     Rule("REG001", "error", "protocol action missing from docstring tables", check_reg001),
     Rule("REG002", "error", "thread-only job action without a recorded reason", check_reg002),
@@ -318,4 +414,5 @@ RULES = [
     Rule("REG004", "error", "terminal event published outside _finalize", check_reg004),
     Rule("REG005", "error", "CLI command table and subparsers disagree", check_reg005),
     Rule("REG006", "error", "action vocabulary and dispatch tables disagree", check_reg006),
+    Rule("REG007", "error", "served route missing from the documented route tables", check_reg007),
 ]

@@ -151,6 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=4, help="async-engine worker count"
     )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for the durable SQLite state (sessions, scenario "
+        "ledgers, and finished job results survive restarts); omit for "
+        "in-memory state",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="eagerly rebuild every dormant session from --state-dir at "
+        "startup (sessions otherwise recover lazily on first touch)",
+    )
 
     bench = subparsers.add_parser(
         "bench-sessions",
@@ -496,11 +509,17 @@ def _command_serve(args: argparse.Namespace) -> int:  # pragma: no cover - block
     from .server import serve_http
 
     httpd = serve_http(
-        args.host, args.port, executor=args.executor, workers=max(1, args.workers)
+        args.host,
+        args.port,
+        executor=args.executor,
+        workers=max(1, args.workers),
+        state_dir=args.state_dir,
+        recover=args.recover,
     )
     print(
         f"SystemD backend listening on http://{args.host}:{httpd.server_address[1]} "
-        f"(executor={httpd.backend.engine.executor_kind})"
+        f"(executor={httpd.backend.engine.executor_kind}, "
+        f"state={httpd.backend.registry.backend.kind})"
     )
     try:
         httpd.serve_forever()

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any
 from .results import GoalInversionResult, SensitivityResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..persist import StateBackend
     from ..scenarios.planner import SweepResult
 
 __all__ = ["Scenario", "ScenarioError", "ScenarioManager", "SCENARIO_KINDS"]
@@ -100,11 +101,24 @@ class Scenario:
 
 
 class ScenarioManager:
-    """Ledger of scenarios explored during a what-if session."""
+    """Ledger of scenarios explored during a what-if session.
+
+    The ledger is the session's authoritative append-only event log.  When a
+    durable :class:`~repro.persist.StateBackend` is bound (server sessions
+    under ``--state-dir``), every append and clear is journaled through it
+    so the ledger can be replayed bitwise after a restart; unbound managers
+    (library use, tests) behave exactly as before.
+    """
+
+    #: Attributes whose mutations must flow through a persistence hook —
+    #: the PER001 check rule enforces this contract statically.
+    _PERSISTED_FIELDS = ("_scenarios",)
 
     def __init__(self) -> None:
         self._scenarios: list[Scenario] = []
         self._ids = itertools.count(1)
+        self._backend: "StateBackend | None" = None
+        self._session_id: str | None = None
 
     def __len__(self) -> int:
         return len(self._scenarios)
@@ -113,37 +127,79 @@ class ScenarioManager:
         return iter(self._scenarios)
 
     # ------------------------------------------------------------------ #
+    # persistence binding
+    # ------------------------------------------------------------------ #
+    def bind_backend(self, backend: "StateBackend", session_id: str) -> None:
+        """Journal all subsequent appends/clears to ``backend``.
+
+        Binding does not write the existing ledger — callers either bind a
+        fresh manager or use :meth:`replay` to rebuild from the journal.
+        """
+        self._backend = backend
+        self._session_id = session_id
+
+    def replay(self, payloads: list[Mapping[str, Any]]) -> int:
+        """Rebuild the ledger from journaled :meth:`Scenario.to_dict` events.
+
+        Appends in journal order without re-persisting (the records are
+        already durable) and advances the id counter past the highest
+        replayed id so new scenarios never collide.  Returns the number of
+        events replayed.
+        """
+        replayed = [Scenario.from_dict(payload) for payload in payloads]
+        # repro: ignore[PER001] -- replay rebuilds from already-journaled records; re-persisting would double every event
+        self._scenarios.extend(replayed)
+        if replayed:
+            highest = max(s.scenario_id for s in self._scenarios)
+            self._ids = itertools.count(highest + 1)
+        return len(replayed)
+
+    def _persist_append(self, scenario: Scenario) -> None:
+        if self._backend is not None and self._session_id is not None:
+            self._backend.append_scenario(self._session_id, scenario.to_dict())
+
+    def _persist_clear(self) -> None:
+        if self._backend is not None and self._session_id is not None:
+            self._backend.clear_scenarios(self._session_id)
+
+    def _record(self, scenario: Scenario) -> Scenario:
+        """The single append path: journal first, then mutate the ledger."""
+        self._persist_append(scenario)
+        self._scenarios.append(scenario)
+        return scenario
+
+    # ------------------------------------------------------------------ #
     def record_sensitivity(
         self, name: str, result: SensitivityResult, *, notes: str = ""
     ) -> Scenario:
         """Track a sensitivity-analysis outcome as a scenario."""
-        scenario = Scenario(
-            scenario_id=next(self._ids),
-            name=name,
-            kind="sensitivity",
-            kpi_value=result.perturbed_kpi,
-            uplift=result.uplift,
-            detail=result.to_dict(),
-            notes=notes,
+        return self._record(
+            Scenario(
+                scenario_id=next(self._ids),
+                name=name,
+                kind="sensitivity",
+                kpi_value=result.perturbed_kpi,
+                uplift=result.uplift,
+                detail=result.to_dict(),
+                notes=notes,
+            )
         )
-        self._scenarios.append(scenario)
-        return scenario
 
     def record_goal_inversion(
         self, name: str, result: GoalInversionResult, *, notes: str = ""
     ) -> Scenario:
         """Track a goal-inversion / constrained-analysis outcome as a scenario."""
-        scenario = Scenario(
-            scenario_id=next(self._ids),
-            name=name,
-            kind="goal_inversion",
-            kpi_value=result.best_kpi,
-            uplift=result.uplift,
-            detail=result.to_dict(),
-            notes=notes,
+        return self._record(
+            Scenario(
+                scenario_id=next(self._ids),
+                name=name,
+                kind="goal_inversion",
+                kpi_value=result.best_kpi,
+                uplift=result.uplift,
+                detail=result.to_dict(),
+                notes=notes,
+            )
         )
-        self._scenarios.append(scenario)
-        return scenario
 
     def record_sweep(
         self, name: str, result: "SweepResult", *, notes: str = ""
@@ -154,17 +210,17 @@ class ScenarioManager:
         the full ranked result (frontier, marginals, cohorts) rides along in
         ``detail``.
         """
-        scenario = Scenario(
-            scenario_id=next(self._ids),
-            name=name,
-            kind="sweep",
-            kpi_value=result.best_kpi,
-            uplift=result.uplift,
-            detail=result.to_dict(),
-            notes=notes,
+        return self._record(
+            Scenario(
+                scenario_id=next(self._ids),
+                name=name,
+                kind="sweep",
+                kpi_value=result.best_kpi,
+                uplift=result.uplift,
+                detail=result.to_dict(),
+                notes=notes,
+            )
         )
-        self._scenarios.append(scenario)
-        return scenario
 
     # ------------------------------------------------------------------ #
     def get(self, scenario_id: int) -> Scenario:
@@ -219,5 +275,6 @@ class ScenarioManager:
         ]
 
     def clear(self) -> None:
-        """Forget all recorded scenarios."""
+        """Forget all recorded scenarios (journal included, when bound)."""
+        self._persist_clear()
         self._scenarios.clear()

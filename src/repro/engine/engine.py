@@ -90,6 +90,13 @@ class AnalysisEngine:
         back to threads and records the fallback in :meth:`stats`.
     clock:
         Monotonic time source, injectable for tests.
+    backend:
+        Durable-state backend the job store journals into (``None`` keeps
+        the process-local default).  With a durable backend, construction
+        eagerly restores journaled jobs: terminal records come back frozen
+        (bitwise-identical ``job_result`` payloads) and records the previous
+        process left non-terminal are re-marked
+        ``failed(server_restart)``.
     """
 
     def __init__(
@@ -100,10 +107,13 @@ class AnalysisEngine:
         max_finished: int = 256,
         executor: str = "thread",
         clock: Callable[[], float] = time.monotonic,
+        backend: Any = None,
     ) -> None:
         self._server = server
         self._clock = clock
-        self.store = JobStore(max_finished=max_finished)
+        self.store = JobStore(max_finished=max_finished, backend=backend)
+        if backend is not None and backend.durable:
+            self.store.restore()
         # every job's lifecycle + incremental payloads stream through here
         # (SSE subscribers replay/follow per-job channels — see events.py)
         self.events = JobEventBus(max_channels=max_finished)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 __all__ = [
     "Job",
@@ -99,6 +99,17 @@ class Job:
     attached: int = 1
     trace_id: str = ""
     parent_span_id: str = ""
+    #: Set on jobs recovered from a durable backend: the exact ``to_dict``
+    #: payload persisted at the terminal transition.  A frozen job reports
+    #: that payload verbatim — durations included — so recovered
+    #: ``job_result`` responses are bitwise-identical to pre-restart ones
+    #: (live monotonic clocks are meaningless across processes).
+    frozen: dict[str, Any] | None = field(default=None, repr=False)
+    #: Terminal-journal hook bound by the :class:`~repro.engine.store.JobStore`
+    #: at registration.  It runs on the terminal transition *before* the done
+    #: event releases result waiters — the crash-safety ordering ``job_result``
+    #: relies on: once a client observes a result, its durable record exists.
+    journal: Callable[["Job"], None] | None = field(default=None, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     _cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
     _done_event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -129,13 +140,14 @@ class Job:
             self._cancel_event.set()
             if self.cancel_requested_at is None:
                 self.cancel_requested_at = now
-            if self.state == PENDING:
+            cancelled_pending = self.state == PENDING
+            if cancelled_pending:
                 self.state = CANCELLED
                 self.error = "cancelled before start"
                 self.finished_at = now
-                self._done_event.set()
-                return True
-            return False
+        if cancelled_pending:
+            self._publish_terminal()
+        return cancelled_pending
 
     def finish(self, state: str, now: float, *, result: dict[str, Any] | None = None,
                error: str = "") -> None:
@@ -153,7 +165,7 @@ class Job:
                 self.progress = 1.0
             else:
                 self.error = error
-            self._done_event.set()
+        self._publish_terminal()
 
     def finish_success(self, result: dict[str, Any], now: float) -> None:
         """Complete the job — as ``done``, unless cancellation was requested
@@ -170,6 +182,25 @@ class Job:
                 self.result = result
                 self.progress = 1.0
             self.finished_at = now
+        self._publish_terminal()
+
+    def _publish_terminal(self) -> None:
+        """Journal the terminal snapshot, then release result waiters.
+
+        Runs outside the state lock (the journal hook re-reads the job via
+        :meth:`to_dict`, which takes it).  Exactly one thread gets here per
+        job — every terminal transition above is guarded by the
+        already-terminal check.  The ordering is the durable store's
+        crash-safety contract: by the time a ``job_result`` wait returns,
+        the result-bearing record has been journaled, so a crash right
+        after the client sees the result cannot lose it.  The done event is
+        set even when journaling fails — a persistence error must never
+        leave waiters blocked.
+        """
+        try:
+            if self.journal is not None:
+                self.journal(self)
+        finally:
             self._done_event.set()
 
     def set_progress(self, fraction: float) -> bool:
@@ -208,8 +239,16 @@ class Job:
         the job waited in the queue and how long it has been (or was)
         running.  ``include_result`` additionally embeds the payload of a
         finished job (``job_result`` uses it; ``list_jobs`` stays light).
+
+        A recovered (:attr:`frozen`) job returns its persisted snapshot
+        verbatim instead of recomputing durations.
         """
         with self._lock:
+            if self.frozen is not None:
+                payload = dict(self.frozen)
+                if not (include_result and self.state == DONE):
+                    payload.pop("result", None)
+                return payload
             reference = self.finished_at if self.finished_at is not None else now
             started_ref = self.started_at if self.started_at is not None else reference
             payload: dict[str, Any] = {
@@ -240,6 +279,38 @@ class Job:
         """Count one more coalesced submission served by this job."""
         with self._lock:
             self.attached += 1
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: dict[str, Any], *, params: dict[str, Any] | None = None
+    ) -> "Job":
+        """Rebuild a terminal job from its persisted ``to_dict`` snapshot.
+
+        The snapshot becomes the job's :attr:`frozen` payload; lifecycle
+        fields are mirrored out of it so filters (state, session) and
+        ``job_result`` semantics keep working, and the done event is
+        pre-set so result waits return immediately.
+        """
+        state = str(snapshot.get("state", FAILED))
+        if state not in TERMINAL_STATES:
+            raise ValueError(
+                f"from_snapshot() requires a terminal snapshot, got {state!r}"
+            )
+        job = cls(
+            job_id=str(snapshot["job_id"]),
+            action=str(snapshot.get("action", "")),
+            params=dict(params or {}),
+            session_id=str(snapshot.get("session_id", "")),
+            priority=int(snapshot.get("priority", 0)),
+            state=state,
+            progress=float(snapshot.get("progress", 0.0)),
+            result=snapshot.get("result"),
+            error=str(snapshot.get("error", "")),
+            attached=int(snapshot.get("attached", 1)),
+            frozen=dict(snapshot),
+        )
+        job._done_event.set()
+        return job
 
 
 class JobContext:

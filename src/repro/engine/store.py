@@ -23,6 +23,7 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Iterable
 
+from ..persist import JOB_INTERRUPTED_REASON, MemoryBackend, StateBackend
 from .job import Job
 
 __all__ = ["JobStore", "UnknownJobError"]
@@ -35,17 +36,35 @@ class UnknownJobError(KeyError):
 class JobStore:
     """Thread-safe map from job id to :class:`~repro.engine.job.Job`.
 
+    Every tracked job is journaled to a :class:`~repro.persist.StateBackend`
+    — a light ``pending`` record at registration, the full result-bearing
+    snapshot at the terminal transition — so ``job_result`` payloads survive
+    a restart when the backend is durable (:meth:`restore`).  The default
+    :class:`~repro.persist.MemoryBackend` keeps the pre-persistence
+    semantics: records die with the process.
+
     Parameters
     ----------
     max_finished:
         Finished jobs retained before LRU eviction; ``0`` forgets every job
         the moment it finishes (status polls then report it unknown).
+        Retention is durable: evicting a finished job deletes its journal
+        record too, so a restart never resurrects evicted results.
+    backend:
+        The durable-state backend to journal into.
     """
 
-    def __init__(self, max_finished: int = 256) -> None:
+    #: Attributes whose mutations must flow through a persistence hook —
+    #: the PER001 check rule enforces this contract statically.
+    _PERSISTED_FIELDS = ("_jobs",)
+
+    def __init__(
+        self, max_finished: int = 256, *, backend: StateBackend | None = None
+    ) -> None:
         if max_finished < 0:
             raise ValueError("max_finished must be >= 0")
         self.max_finished = max_finished
+        self.backend = backend if backend is not None else MemoryBackend()
         self._lock = threading.RLock()
         self._jobs: dict[str, Job] = {}
         self._finished_order: OrderedDict[str, None] = OrderedDict()
@@ -53,6 +72,47 @@ class JobStore:
         self._added_total = 0
         self._coalesced_total = 0
         self._evicted_total = 0
+        self._restored_total = 0
+        self._interrupted_total = 0
+
+    # ------------------------------------------------------------------ #
+    def _job_record(self, job: Job, *, include_result: bool) -> dict[str, Any]:
+        """The journaled form of a job: its snapshot plus the raw params
+        (``to_dict`` omits params, but restore needs them for filters like
+        ``sweep_result``'s space-hash lookup)."""
+        record = job.to_dict(include_result=include_result)
+        record["params"] = job.params
+        return record
+
+    def restore(self) -> int:
+        """Materialise journaled jobs at engine startup.
+
+        Non-terminal records are first re-marked ``failed`` with
+        :data:`~repro.persist.JOB_INTERRUPTED_REASON` — their execution died
+        with the previous process and silently dropping them would leave
+        clients polling forever.  Every record then becomes a frozen
+        :class:`Job` whose snapshot (durations and results included) is
+        reported verbatim, so recovered ``job_result`` payloads are
+        bitwise-identical to pre-restart ones.  Recovered jobs enrol in the
+        finished-retention LRU as the oldest entries (their monotonic
+        submission clocks did not survive; they order by job id at epoch 0).
+        Returns the number of jobs restored.
+        """
+        with self._lock:
+            self._interrupted_total += self.backend.mark_interrupted(
+                JOB_INTERRUPTED_REASON
+            )
+            records = sorted(self.backend.load_jobs(), key=lambda r: r["job_id"])
+            for record in records:
+                snapshot = dict(record["snapshot"])
+                params = snapshot.pop("params", {})
+                job = Job.from_snapshot(snapshot, params=params)
+                self._jobs[job.job_id] = job
+                self._finished_order[job.job_id] = None
+                self._restored_total += 1
+            while len(self._finished_order) > self.max_finished:
+                self._evict_one_finished()
+            return self._restored_total
 
     # ------------------------------------------------------------------ #
     def coalesce_or_add(self, key: str, factory: Callable[[], Job]) -> tuple[Job, bool]:
@@ -74,6 +134,10 @@ class JobStore:
                         self._coalesced_total += 1
                         return job, True
             job = factory()
+            job.journal = self._journal_terminal
+            self.backend.save_job(
+                job.job_id, job.state, self._job_record(job, include_result=False)
+            )
             self._jobs[job.job_id] = job
             if key:
                 self._inflight[key] = job.job_id
@@ -91,20 +155,51 @@ class JobStore:
                 self._finished_order.move_to_end(job_id)
             return job
 
+    def _journal_terminal(self, job: Job) -> None:
+        """Persist a job's result-bearing terminal snapshot.
+
+        Bound as the job's ``journal`` hook at registration, so it runs on
+        the terminal transition *before* the done event releases result
+        waiters (see ``Job._publish_terminal``): a client that observed a
+        ``job_result`` is guaranteed the record already hit the backend.
+        """
+        with self._lock:
+            self.backend.save_job(
+                job.job_id, job.state, self._job_record(job, include_result=True)
+            )
+
     def mark_finished(self, job: Job) -> None:
         """Record that ``job`` reached a terminal state: release its coalesce
-        key and enrol it in the bounded finished-retention set."""
+        key and enrol it in the bounded finished-retention set.
+
+        The result-bearing snapshot is NOT re-journaled here when the job
+        carries the store's ``journal`` hook — ``Job._publish_terminal``
+        already wrote it before any waiter was released, and the terminal
+        snapshot of a terminal job cannot have changed since.  The write only
+        happens for hook-less jobs (constructed outside ``coalesce_or_add``)
+        so their results are journaled at all.
+        """
         with self._lock:
             if self._inflight.get(job.coalesce_key) == job.job_id:
                 del self._inflight[job.coalesce_key]
             if job.job_id not in self._jobs:
                 return
+            if job.journal is None:
+                self.backend.save_job(
+                    job.job_id, job.state, self._job_record(job, include_result=True)
+                )
             self._finished_order[job.job_id] = None
             self._finished_order.move_to_end(job.job_id)
             while len(self._finished_order) > self.max_finished:
-                evicted_id, _ = self._finished_order.popitem(last=False)
-                self._jobs.pop(evicted_id, None)
-                self._evicted_total += 1
+                self._evict_one_finished()
+
+    def _evict_one_finished(self) -> None:
+        """Forget the least recently touched finished job, journal included
+        (callers hold the lock)."""
+        evicted_id, _ = self._finished_order.popitem(last=False)
+        self._jobs.pop(evicted_id, None)
+        self.backend.delete_job(evicted_id)
+        self._evicted_total += 1
 
     def list_jobs(
         self,
@@ -176,4 +271,6 @@ class JobStore:
                 "added_total": self._added_total,
                 "coalesced_total": self._coalesced_total,
                 "evicted_total": self._evicted_total,
+                "restored_total": self._restored_total,
+                "interrupted_total": self._interrupted_total,
             }

@@ -144,6 +144,32 @@ METRICS = {
         "outcome (done/error/cancelled).",
         labels=("worker", "outcome"),
     ),
+    "repro_persist_writes_total": MetricSpec(
+        "counter",
+        "Durable-state backend writes, by record kind "
+        "(session/scenario/version/job).",
+        labels=("kind",),
+    ),
+    "repro_persist_write_latency_ms": MetricSpec(
+        "histogram",
+        "Wall-clock latency of one durable-state write in milliseconds, "
+        "per record kind.",
+        labels=("kind",),
+        buckets=LATENCY_MS_BUCKETS,
+    ),
+    "repro_persist_records_replayed_total": MetricSpec(
+        "counter",
+        "Records read back from a durable-state backend during recovery "
+        "or lazy load, by record kind.",
+        labels=("kind",),
+    ),
+    "repro_persist_replay_latency_ms": MetricSpec(
+        "histogram",
+        "Wall-clock latency of one durable-state read/replay batch in "
+        "milliseconds, per record kind.",
+        labels=("kind",),
+        buckets=LATENCY_MS_BUCKETS,
+    ),
 }
 
 

@@ -1,0 +1,37 @@
+"""Durable state backends (``repro.persist``).
+
+The server's three authoritative state stores — the session registry, each
+session's scenario ledger, and the job store's terminal records — can
+persist through a pluggable :class:`StateBackend`.  :class:`MemoryBackend`
+keeps everything process-local (today's behaviour, and the default);
+:class:`SqliteBackend` journals every mutation to a WAL-mode SQLite file so
+a server restart recovers sessions, ledgers, and finished job results
+bitwise-identically (``repro serve --state-dir DIR``).
+
+Fitted models are deliberately *not* persisted: they rebuild through the
+fingerprint-keyed :class:`~repro.core.cache.ModelCache` on first touch,
+which keeps recovery cheap and bitwise-reproducible.
+
+See :mod:`repro.persist.backend` for the contract and
+:mod:`repro.persist.sqlite` for the durable implementation.
+"""
+
+from __future__ import annotations
+
+from .backend import (
+    JOB_INTERRUPTED_REASON,
+    MemoryBackend,
+    PersistenceError,
+    StateBackend,
+)
+from .sqlite import SqliteBackend, sqlite_path, open_backend
+
+__all__ = [
+    "JOB_INTERRUPTED_REASON",
+    "MemoryBackend",
+    "PersistenceError",
+    "SqliteBackend",
+    "StateBackend",
+    "open_backend",
+    "sqlite_path",
+]

@@ -1,0 +1,386 @@
+"""The durable-state contract and its in-memory reference implementation.
+
+A :class:`StateBackend` persists the three authoritative state stores of one
+backend server:
+
+* **session records** — one JSON document per registered session: its id,
+  read-only ``share_id``, the load parameters needed to rebuild the analysis
+  (``use_case`` / ``dataset_kwargs`` / ``random_state``), and wall-clock
+  created/last-used timestamps (the in-memory registry clocks are monotonic
+  and meaningless across restarts);
+* **scenario ledgers** — an append-only event log per session, replayed in
+  order on recovery (plus immutable named *versions*, snapshots of the
+  ledger taken through the versions API);
+* **job records** — a light ``pending`` record at submission and the full
+  ``to_dict(include_result=True)`` snapshot at the terminal transition, so
+  ``job_result`` payloads survive a restart bitwise; records still
+  non-terminal at recovery time are re-marked ``failed`` with
+  :data:`JOB_INTERRUPTED_REASON` rather than silently lost.
+
+Every public mutator runs inside the backend's :meth:`~StateBackend.
+transaction` hook and through one instrumented write path (the
+``repro_persist_*`` metrics), so subclasses only implement the raw
+``_write_*`` / ``_read_*`` primitives.  The ``PER001`` check rule enforces
+the caller-side half of the contract: code mutating a ``_PERSISTED_FIELDS``
+attribute must call through a backend/persist hook in the same method.
+
+:class:`MemoryBackend` is the default and preserves the pre-persistence
+behaviour exactly: state lives only in the process.  It still round-trips
+every record through JSON so both backends expose byte-identical semantics
+(tuples become lists, keys become strings) and one conformance suite covers
+the pair.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..obs import metrics
+
+__all__ = [
+    "JOB_INTERRUPTED_REASON",
+    "MemoryBackend",
+    "PersistenceError",
+    "StateBackend",
+]
+
+#: Error string stamped onto jobs found non-terminal during recovery: the
+#: server restarted underneath them and their execution is gone.
+JOB_INTERRUPTED_REASON = "server_restart"
+
+#: Job states that can never change again (mirrors
+#: ``repro.engine.job.TERMINAL_STATES``; duplicated here because importing
+#: the engine package from this layer would be circular).
+_TERMINAL_JOB_STATES = frozenset({"done", "failed", "cancelled"})
+
+_WRITES = metrics.counter("repro_persist_writes_total")
+_WRITE_LATENCY = metrics.histogram("repro_persist_write_latency_ms")
+_REPLAYED = metrics.counter("repro_persist_records_replayed_total")
+_REPLAY_LATENCY = metrics.histogram("repro_persist_replay_latency_ms")
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a backend cannot read or write its durable store."""
+
+
+def _json_roundtrip(payload: Any) -> Any:
+    """Normalise a record the way a durable store would (tuples → lists,
+    keys → strings), so both backends expose identical semantics."""
+    return json.loads(json.dumps(payload))
+
+
+class StateBackend:
+    """Abstract durable-state store; see the module docstring for the model.
+
+    Subclasses implement the ``_write_*`` / ``_read_*`` primitives; the
+    public methods defined here wrap every mutation in :meth:`transaction`
+    and the shared write metrics, so instrumentation and transactional
+    discipline cannot be forgotten per-backend.
+    """
+
+    #: Human-readable backend kind (``"memory"`` / ``"sqlite"``).
+    kind = "abstract"
+
+    #: Whether records outlive the process.  Callers use this to decide
+    #: eviction policy: a non-durable backend's record is worthless once its
+    #: in-memory twin is evicted (the process *is* the store), while a
+    #: durable backend keeps it for lazy recovery.
+    durable = False
+
+    @contextmanager
+    def transaction(self) -> Iterator["StateBackend"]:
+        """Atomicity hook: writes inside one ``with backend.transaction():``
+        block commit together.  The in-memory backend is trivially atomic
+        (single process-wide lock); SQLite maps this onto a real
+        ``BEGIN IMMEDIATE`` / ``COMMIT`` pair, reentrantly."""
+        yield self
+
+    @contextmanager
+    def _timed_write(self, kind: str) -> Iterator[None]:
+        started = time.perf_counter()
+        yield
+        _WRITES.labels(kind).inc()
+        _WRITE_LATENCY.labels(kind).observe((time.perf_counter() - started) * 1000.0)
+
+    @contextmanager
+    def _timed_replay(self, kind: str, count: "list[int]") -> Iterator[None]:
+        """``count`` is a one-slot list the caller fills with the number of
+        records materialised, so the counter reflects records, not calls."""
+        started = time.perf_counter()
+        yield
+        if count and count[0]:
+            _REPLAYED.labels(kind).inc(count[0])
+        _REPLAY_LATENCY.labels(kind).observe((time.perf_counter() - started) * 1000.0)
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def save_session(self, record: dict[str, Any]) -> None:
+        """Insert or replace one session record (keyed by ``session_id``)."""
+        if not record.get("session_id"):
+            raise PersistenceError("session record must carry a 'session_id'")
+        with self.transaction(), self._timed_write("session"):
+            self._write_session(_json_roundtrip(record))
+
+    def load_session(self, session_id: str) -> dict[str, Any] | None:
+        """The persisted record for ``session_id``, or ``None``."""
+        count = [0]
+        with self._timed_replay("session", count):
+            record = self._read_session(session_id)
+            count[0] = 1 if record is not None else 0
+        return record
+
+    def delete_session(self, session_id: str) -> None:
+        """Drop a session record *and* its ledger and versions (cascade)."""
+        with self.transaction(), self._timed_write("session"):
+            self._delete_session(session_id)
+            self._clear_scenarios(session_id)
+            self._delete_versions(session_id)
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        """Every persisted session record (unordered; callers sort)."""
+        return self._read_sessions()
+
+    def find_share(self, share_id: str) -> dict[str, Any] | None:
+        """Resolve a read-only share id to its session record, or ``None``."""
+        return self._read_share(share_id)
+
+    # ------------------------------------------------------------------ #
+    # scenario ledgers
+    # ------------------------------------------------------------------ #
+    def append_scenario(self, session_id: str, payload: dict[str, Any]) -> None:
+        """Append one scenario event to a session's ledger."""
+        with self.transaction(), self._timed_write("scenario"):
+            self._append_scenario(session_id, _json_roundtrip(payload))
+
+    def load_scenarios(self, session_id: str) -> list[dict[str, Any]]:
+        """The session's ledger events, in append order."""
+        count = [0]
+        with self._timed_replay("scenario", count):
+            events = self._read_scenarios(session_id)
+            count[0] = len(events)
+        return events
+
+    def clear_scenarios(self, session_id: str) -> None:
+        """Drop a session's ledger (a fresh ``load_use_case`` starts over)."""
+        with self.transaction(), self._timed_write("scenario"):
+            self._clear_scenarios(session_id)
+
+    # ------------------------------------------------------------------ #
+    # ledger versions (immutable snapshots)
+    # ------------------------------------------------------------------ #
+    def save_version(self, session_id: str, record: dict[str, Any]) -> None:
+        """Persist one immutable ledger snapshot (keyed by ``version_id``)."""
+        if "version_id" not in record:
+            raise PersistenceError("version record must carry a 'version_id'")
+        with self.transaction(), self._timed_write("version"):
+            self._write_version(session_id, _json_roundtrip(record))
+
+    def load_versions(self, session_id: str) -> list[dict[str, Any]]:
+        """A session's versions, oldest first (by ``version_id``)."""
+        count = [0]
+        with self._timed_replay("version", count):
+            records = self._read_versions(session_id)
+            count[0] = len(records)
+        return sorted(records, key=lambda r: r.get("version_id", 0))
+
+    # ------------------------------------------------------------------ #
+    # job records
+    # ------------------------------------------------------------------ #
+    def save_job(self, job_id: str, state: str, snapshot: dict[str, Any]) -> None:
+        """Insert or replace one job record (its current lifecycle snapshot)."""
+        with self.transaction(), self._timed_write("job"):
+            self._write_job(job_id, state, _json_roundtrip(snapshot))
+
+    def delete_job(self, job_id: str) -> None:
+        """Drop a job record (LRU eviction of its in-memory twin)."""
+        with self.transaction(), self._timed_write("job"):
+            self._delete_job(job_id)
+
+    def load_jobs(self) -> list[dict[str, Any]]:
+        """Every job record as ``{"job_id", "state", "snapshot"}`` dicts."""
+        count = [0]
+        with self._timed_replay("job", count):
+            records = self._read_jobs()
+            count[0] = len(records)
+        return records
+
+    def mark_interrupted(self, reason: str = JOB_INTERRUPTED_REASON) -> int:
+        """Re-mark every non-terminal job record as ``failed(reason)``.
+
+        Called once during recovery, before records are materialised: a job
+        that was pending or running when the process died can never finish,
+        and silently dropping it would leave clients polling forever.
+        Returns the number of records rewritten.
+        """
+        rewritten = 0
+        with self.transaction():
+            for record in self._read_jobs():
+                if record["state"] in _TERMINAL_JOB_STATES:
+                    continue
+                snapshot = dict(record["snapshot"])
+                snapshot["state"] = "failed"
+                snapshot["error"] = reason
+                with self._timed_write("job"):
+                    self._write_job(record["job_id"], "failed", snapshot)
+                rewritten += 1
+        return rewritten
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Row counts and backend identity for ``persist_stats``."""
+        return {"kind": self.kind, **self._counts()}
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+    # ------------------------------------------------------------------ #
+    # storage primitives (subclass responsibility)
+    # ------------------------------------------------------------------ #
+    def _write_session(self, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _read_session(self, session_id: str) -> dict[str, Any] | None:
+        raise NotImplementedError
+
+    def _delete_session(self, session_id: str) -> None:
+        raise NotImplementedError
+
+    def _read_sessions(self) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def _read_share(self, share_id: str) -> dict[str, Any] | None:
+        raise NotImplementedError
+
+    def _append_scenario(self, session_id: str, payload: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _read_scenarios(self, session_id: str) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def _clear_scenarios(self, session_id: str) -> None:
+        raise NotImplementedError
+
+    def _write_version(self, session_id: str, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _read_versions(self, session_id: str) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def _delete_versions(self, session_id: str) -> None:
+        raise NotImplementedError
+
+    def _write_job(self, job_id: str, state: str, snapshot: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _delete_job(self, job_id: str) -> None:
+        raise NotImplementedError
+
+    def _read_jobs(self) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def _counts(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+class MemoryBackend(StateBackend):
+    """Process-local backend: the pre-persistence behaviour, unchanged.
+
+    A restart loses everything — which is exactly what the server did before
+    durable state existed, and what tests/benchmarks that never pass a
+    ``state_dir`` still get.  All operations run under one lock; records are
+    JSON-normalised on write so semantics match :class:`SqliteBackend`.
+    """
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._sessions: dict[str, dict[str, Any]] = {}
+        self._scenarios: dict[str, list[dict[str, Any]]] = {}
+        self._versions: dict[str, dict[int, dict[str, Any]]] = {}
+        self._jobs: dict[str, dict[str, Any]] = {}
+
+    @contextmanager
+    def transaction(self) -> Iterator["MemoryBackend"]:
+        # the RLock makes nested transaction() blocks and the individual
+        # write primitives mutually atomic within this process
+        with self._lock:
+            yield self
+
+    def _write_session(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._sessions[record["session_id"]] = record
+
+    def _read_session(self, session_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            record = self._sessions.get(session_id)
+            return dict(record) if record is not None else None
+
+    def _delete_session(self, session_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def _read_sessions(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(record) for record in self._sessions.values()]
+
+    def _read_share(self, share_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            for record in self._sessions.values():
+                if record.get("share_id") == share_id:
+                    return dict(record)
+            return None
+
+    def _append_scenario(self, session_id: str, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self._scenarios.setdefault(session_id, []).append(payload)
+
+    def _read_scenarios(self, session_id: str) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(event) for event in self._scenarios.get(session_id, [])]
+
+    def _clear_scenarios(self, session_id: str) -> None:
+        with self._lock:
+            self._scenarios.pop(session_id, None)
+
+    def _write_version(self, session_id: str, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._versions.setdefault(session_id, {})[int(record["version_id"])] = record
+
+    def _read_versions(self, session_id: str) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(record) for record in self._versions.get(session_id, {}).values()]
+
+    def _delete_versions(self, session_id: str) -> None:
+        with self._lock:
+            self._versions.pop(session_id, None)
+
+    def _write_job(self, job_id: str, state: str, snapshot: dict[str, Any]) -> None:
+        with self._lock:
+            self._jobs[job_id] = {"job_id": job_id, "state": state, "snapshot": snapshot}
+
+    def _delete_job(self, job_id: str) -> None:
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def _read_jobs(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                {**record, "snapshot": dict(record["snapshot"])}
+                for record in self._jobs.values()
+            ]
+
+    def _counts(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "sessions": len(self._sessions),
+                "scenario_events": sum(len(v) for v in self._scenarios.values()),
+                "versions": sum(len(v) for v in self._versions.values()),
+                "jobs": len(self._jobs),
+                "durable": False,
+            }

@@ -1,0 +1,250 @@
+"""WAL-journaled SQLite implementation of :class:`~repro.persist.backend.
+StateBackend` — the durable default behind ``repro serve --state-dir DIR``.
+
+Design notes:
+
+* One connection, opened with ``check_same_thread=False`` and serialised by
+  an ``RLock`` — the server's write rate (a few records per request) is far
+  below where per-thread connections would pay for their complexity, and a
+  single writer sidesteps ``SQLITE_BUSY`` entirely.
+* ``journal_mode=WAL`` + ``synchronous=NORMAL``: commits survive process
+  crashes (the crash-recovery test SIGKILLs the server mid-flight); the
+  power-loss window NORMAL accepts is the standard WAL trade and keeps the
+  submit-path overhead inside the bench budget.
+* :meth:`transaction` is reentrant via a depth counter: the outermost entry
+  issues ``BEGIN IMMEDIATE``, the outermost exit commits (or rolls back on
+  error), inner entries just nest.  The base class wraps every public write
+  in it, so grouped mutations (e.g. "persist session + clear stale ledger")
+  commit atomically by nesting one more ``with backend.transaction():``.
+* Records are stored as JSON text columns keyed by their natural ids; the
+  ledger table's ``AUTOINCREMENT`` rowid preserves append order across
+  deletes, which is what makes replay deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from .backend import MemoryBackend, PersistenceError, StateBackend
+
+__all__ = ["SqliteBackend", "open_backend", "sqlite_path"]
+
+#: File name used inside a ``--state-dir`` directory.
+STATE_FILENAME = "repro-state.sqlite3"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sessions (
+    session_id TEXT PRIMARY KEY,
+    share_id   TEXT UNIQUE,
+    record     TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS scenarios (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    session_id TEXT NOT NULL,
+    record     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_scenarios_session ON scenarios (session_id);
+CREATE TABLE IF NOT EXISTS versions (
+    session_id TEXT NOT NULL,
+    version_id INTEGER NOT NULL,
+    record     TEXT NOT NULL,
+    PRIMARY KEY (session_id, version_id)
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id TEXT PRIMARY KEY,
+    state  TEXT NOT NULL,
+    record TEXT NOT NULL
+);
+"""
+
+
+def sqlite_path(state_dir: str | Path) -> Path:
+    """The canonical database path inside a state directory."""
+    return Path(state_dir) / STATE_FILENAME
+
+
+def open_backend(state_dir: str | Path | None) -> StateBackend:
+    """Factory the server/CLI layers use: ``None`` → in-memory (today's
+    behaviour), a directory → durable SQLite (created if missing)."""
+    if state_dir is None:
+        return MemoryBackend()
+    directory = Path(state_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    return SqliteBackend(sqlite_path(directory))
+
+
+class SqliteBackend(StateBackend):
+    """Durable backend: every record journaled to one WAL-mode SQLite file."""
+
+    kind = "sqlite"
+    durable = True
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.RLock()
+        self._txn_depth = 0
+        try:
+            # autocommit mode (isolation_level=None): transaction boundaries
+            # are explicit BEGIN/COMMIT issued by transaction() below
+            self._conn = sqlite3.connect(
+                str(self.path), check_same_thread=False, isolation_level=None
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+        except sqlite3.Error as exc:
+            raise PersistenceError(
+                f"cannot open state database at {self.path}: {exc}"
+            ) from exc
+
+    @contextmanager
+    def transaction(self) -> Iterator["SqliteBackend"]:
+        with self._lock:
+            if self._txn_depth == 0:
+                try:
+                    self._conn.execute("BEGIN IMMEDIATE")
+                except sqlite3.Error as exc:
+                    raise PersistenceError(f"cannot begin transaction: {exc}") from exc
+            self._txn_depth += 1
+            try:
+                yield self
+            except BaseException:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._txn_depth -= 1
+                if self._txn_depth == 0:
+                    try:
+                        self._conn.execute("COMMIT")
+                    except sqlite3.Error as exc:
+                        raise PersistenceError(f"commit failed: {exc}") from exc
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------ #
+    def _write_session(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO sessions (session_id, share_id, record) "
+                "VALUES (?, ?, ?)",
+                (record["session_id"], record.get("share_id"), json.dumps(record)),
+            )
+
+    def _read_session(self, session_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record FROM sessions WHERE session_id = ?", (session_id,)
+            ).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def _delete_session(self, session_id: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM sessions WHERE session_id = ?", (session_id,)
+            )
+
+    def _read_sessions(self) -> list[dict[str, Any]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT record FROM sessions ORDER BY session_id"
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def _read_share(self, share_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record FROM sessions WHERE share_id = ?", (share_id,)
+            ).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def _append_scenario(self, session_id: str, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO scenarios (session_id, record) VALUES (?, ?)",
+                (session_id, json.dumps(payload)),
+            )
+
+    def _read_scenarios(self, session_id: str) -> list[dict[str, Any]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT record FROM scenarios WHERE session_id = ? ORDER BY seq",
+                (session_id,),
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def _clear_scenarios(self, session_id: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM scenarios WHERE session_id = ?", (session_id,)
+            )
+
+    def _write_version(self, session_id: str, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO versions (session_id, version_id, record) "
+                "VALUES (?, ?, ?)",
+                (session_id, int(record["version_id"]), json.dumps(record)),
+            )
+
+    def _read_versions(self, session_id: str) -> list[dict[str, Any]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT record FROM versions WHERE session_id = ? "
+                "ORDER BY version_id",
+                (session_id,),
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def _delete_versions(self, session_id: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM versions WHERE session_id = ?", (session_id,)
+            )
+
+    def _write_job(self, job_id: str, state: str, snapshot: dict[str, Any]) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs (job_id, state, record) "
+                "VALUES (?, ?, ?)",
+                (job_id, state, json.dumps(snapshot)),
+            )
+
+    def _delete_job(self, job_id: str) -> None:
+        with self._lock:
+            self._conn.execute("DELETE FROM jobs WHERE job_id = ?", (job_id,))
+
+    def _read_jobs(self) -> list[dict[str, Any]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, state, record FROM jobs ORDER BY job_id"
+            ).fetchall()
+        return [
+            {"job_id": row[0], "state": row[1], "snapshot": json.loads(row[2])}
+            for row in rows
+        ]
+
+    def _counts(self) -> dict[str, Any]:
+        with self._lock:
+            counts = {
+                table: self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table}"  # noqa: S608 - fixed names
+                ).fetchone()[0]
+                for table in ("sessions", "scenarios", "versions", "jobs")
+            }
+        return {
+            "sessions": counts["sessions"],
+            "scenario_events": counts["scenarios"],
+            "versions": counts["versions"],
+            "jobs": counts["jobs"],
+            "durable": True,
+            "path": str(self.path),
+        }

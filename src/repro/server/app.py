@@ -38,6 +38,7 @@ as Server-Sent Events with ``Last-Event-ID`` resume.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import re
 import threading
@@ -49,15 +50,18 @@ from urllib.parse import parse_qsl, urlsplit
 
 from ..core import ModelCache
 from ..obs import metrics, trace
+from ..persist import StateBackend, open_backend
 from .handlers import HANDLERS, SERVER_HANDLERS, ServerState
 from .protocol import (
     ACTIONS,
     API_VERSION,
+    BARE_POST_DEPRECATION,
     ConflictError,
     NotFoundError,
     ProtocolError,
     Request,
     Response,
+    V1_ONLY_ACTIONS,
 )
 from .registry import DEFAULT_SESSION_ID, SessionRegistry, UnknownSessionError
 from .serialization import to_json_safe
@@ -106,11 +110,17 @@ _R_JOB_EVENTS = re.compile(
     r"^/api/v1/sessions/(?P<sid>[^/]+)/jobs/(?P<jid>[^/]+)/events/?$"
 )
 _R_SCENARIOS = re.compile(r"^/api/v1/sessions/(?P<sid>[^/]+)/scenarios/?$")
+_R_VERSIONS = re.compile(r"^/api/v1/sessions/(?P<sid>[^/]+)/versions/?$")
+_R_SHARE = re.compile(r"^/api/v1/sessions/share/(?P<share_id>[^/]+)/?$")
+_R_PERSIST = re.compile(r"^/api/v1/persistence/?$")
 _R_METRICS = re.compile(r"^/api/v1/metrics/?$")
 
 _ROUTES: tuple[tuple[str, re.Pattern[str], str], ...] = (
     ("GET", _R_SESSIONS, "_rest_list_sessions"),
     ("POST", _R_SESSIONS, "_rest_create_session"),
+    # the share route precedes the single-session route: ``share`` would
+    # otherwise match as a session id for two-segment lookalike paths
+    ("GET", _R_SHARE, "_rest_resolve_share"),
     ("GET", _R_SESSION, "_rest_get_session"),
     ("DELETE", _R_SESSION, "_rest_close_session"),
     ("GET", _R_JOBS, "_rest_list_jobs"),
@@ -118,7 +128,15 @@ _ROUTES: tuple[tuple[str, re.Pattern[str], str], ...] = (
     ("GET", _R_JOB, "_rest_get_job"),
     ("DELETE", _R_JOB, "_rest_cancel_job"),
     ("GET", _R_SCENARIOS, "_rest_list_scenarios"),
+    ("GET", _R_VERSIONS, "_rest_list_versions"),
+    ("POST", _R_VERSIONS, "_rest_create_version"),
+    ("GET", _R_PERSIST, "_rest_persist_stats"),
 )
+
+
+def _deprecated(response: Response) -> Response:
+    """Stamp the stage-2 deprecation notice onto a bare-POST response."""
+    return dataclasses.replace(response, deprecation=BARE_POST_DEPRECATION)
 
 
 class SystemDServer:
@@ -143,6 +161,11 @@ class SystemDServer:
         persistent process pool (see
         :class:`~repro.engine.process.ProcessExecutor`), falling back to
         threads where ``spawn`` is unavailable.
+    backend:
+        Durable-state backend for the registry and the engine's job store
+        (ignored when an explicit ``registry`` is passed — its backend wins,
+        so registry and job store always share one backend).  Defaults to
+        the process-local :class:`~repro.persist.MemoryBackend`.
     """
 
     def __init__(
@@ -153,20 +176,37 @@ class SystemDServer:
         engine_workers: int = 4,
         job_retention: int = 256,
         executor: str = "thread",
+        backend: StateBackend | None = None,
     ) -> None:
         # imported here, not at module level: repro.engine imports the handler
         # tables from repro.server, so a module-level import would be circular
         from ..engine import AnalysisEngine
 
-        self.registry = registry if registry is not None else SessionRegistry()
+        self.registry = (
+            registry if registry is not None else SessionRegistry(backend=backend)
+        )
         self.model_cache = model_cache if model_cache is not None else ModelCache()
+        # sessions recovered lazily by the registry rebuild their models
+        # through the server's shared cache
+        self.registry.model_cache = self.model_cache
         self.engine = AnalysisEngine(
-            self, workers=engine_workers, max_finished=job_retention, executor=executor
+            self,
+            workers=engine_workers,
+            max_finished=job_retention,
+            executor=executor,
+            backend=self.registry.backend,
         )
         self._request_log: deque[dict[str, Any]] = deque(maxlen=REQUEST_LOG_LIMIT)
         self._log_lock = threading.Lock()
         self._requests_total = 0
         self._requests_failed = 0
+
+    # ------------------------------------------------------------------ #
+    def recover_sessions(self) -> list[str]:
+        """Eagerly recover every dormant session from the durable backend
+        (``repro serve --recover``); lazy per-session recovery on first touch
+        happens regardless.  Returns the recovered session ids."""
+        return self.registry.recover_all()
 
     # ------------------------------------------------------------------ #
     @property
@@ -283,25 +323,29 @@ class SystemDServer:
     def handle_http(self, body: str) -> tuple[int, Response]:
         """Dispatch one HTTP request body, returning ``(status, response)``.
 
-        Envelope problems — invalid JSON, a non-object body, a missing or
-        unknown action — are rejected with status 400 and a structured error
-        response (still counted in the request log); well-formed requests
-        dispatch through :meth:`handle` and return 200, with handler-level
-        failures reported inside the envelope as before.
+        This is the bare-POST protocol surface, at deprecation stage 2: every
+        response it returns carries the :data:`BARE_POST_DEPRECATION` notice,
+        and :data:`V1_ONLY_ACTIONS` are rejected with a protocol error naming
+        their ``/api/v1`` route.  Envelope problems — invalid JSON, a
+        non-object body, a missing or unknown action — are rejected with
+        status 400 and a structured error response (still counted in the
+        request log); well-formed requests dispatch through :meth:`handle`
+        and return 200, with handler-level failures reported inside the
+        envelope as before.
         """
         try:
             payload = json.loads(body) if body.strip() else {}
         except json.JSONDecodeError as exc:
             response = Response.failure(f"request is not valid JSON: {exc}", kind="protocol")
             self._record("?", "", response)
-            return 400, response
+            return 400, _deprecated(response)
         if not isinstance(payload, dict):
             response = Response.failure(
                 f"request body must be a JSON object, got {type(payload).__name__}",
                 kind="protocol",
             )
             self._record("?", "", response)
-            return 400, response
+            return 400, _deprecated(response)
         try:
             request = Request.from_dict(payload)
         except ProtocolError as exc:
@@ -309,8 +353,18 @@ class SystemDServer:
                 str(exc), kind="protocol", request_id=str(payload.get("request_id") or "")
             )
             self._record(str(payload.get("action", "?")), "", response)
-            return 400, response
-        return 200, self.handle(request)
+            return 400, _deprecated(response)
+        if request.action in V1_ONLY_ACTIONS:
+            response = Response.failure(
+                f"action {request.action!r} is served through /api/v1 only "
+                "(bare-POST deprecation stage 2); see the route table in "
+                "repro.server.protocol",
+                kind="protocol",
+                request_id=request.request_id,
+            )
+            self._record(request.action, "", response)
+            return 400, _deprecated(response)
+        return 200, _deprecated(self.handle(request))
 
     # ------------------------------------------------------------------ #
     # resource-routed API (/api/v1): HTTP verbs mapped onto actions
@@ -399,7 +453,9 @@ class SystemDServer:
         return params
 
     def _rest_list_sessions(self, match, query, body) -> tuple[int, Response]:
-        response = self.handle(Request(action="list_sessions"))
+        response = self.handle(
+            Request(action="list_sessions", params=self._page_params(query))
+        )
         return _status_for(response), response
 
     def _rest_create_session(self, match, query, body) -> tuple[int, Response]:
@@ -484,6 +540,30 @@ class SystemDServer:
         response = self.handle(
             Request(action="list_scenarios", params=params, session_id=session_id)
         )
+        return _status_for(response), response
+
+    def _rest_list_versions(self, match, query, body) -> tuple[int, Response]:
+        session_id = match.group("sid")
+        params: dict[str, Any] = {"session_id": session_id, **self._page_params(query)}
+        response = self.handle(Request(action="list_versions", params=params))
+        return _status_for(response), response
+
+    def _rest_create_version(self, match, query, body) -> tuple[int, Response]:
+        session_id = match.group("sid")
+        params = dict(body)
+        params["session_id"] = session_id
+        response = self.handle(Request(action="create_version", params=params))
+        return (201 if response.ok else _status_for(response)), response
+
+    def _rest_resolve_share(self, match, query, body) -> tuple[int, Response]:
+        share_id = match.group("share_id")
+        response = self.handle(
+            Request(action="resolve_share", params={"share_id": share_id})
+        )
+        return _status_for(response), response
+
+    def _rest_persist_stats(self, match, query, body) -> tuple[int, Response]:
+        response = self.handle(Request(action="persist_stats"))
         return _status_for(response), response
 
     def stream_check(self, session_id: str, job_id: str) -> Response | None:
@@ -605,11 +685,14 @@ class _SystemDHTTPHandler(BaseHTTPRequestHandler):
             status, response = self.backend.handle_http(body)
             payload = response.to_dict()
         except Exception as exc:  # noqa: BLE001 - the adapter must not emit tracebacks
-            status = 500
-            payload = Response.failure(
-                f"internal error: {type(exc).__name__}: {exc}", kind="internal"
-            ).to_dict()
-        self._send_json(status, payload)
+            self._send_json(
+                500,
+                Response.failure(
+                    f"internal error: {type(exc).__name__}: {exc}", kind="internal"
+                ).to_dict(),
+            )
+            return
+        self._send_json(status, payload, deprecated=True)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         try:
@@ -787,12 +870,18 @@ class _SystemDHTTPHandler(BaseHTTPRequestHandler):
             ).to_dict(),
         )
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, payload: dict[str, Any], *, deprecated: bool = False
+    ) -> None:
         encoded = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
         self.send_header("X-Repro-Api-Version", API_VERSION)
+        if deprecated:
+            # RFC 9111 miscellaneous warning: the bare-POST protocol surface
+            # is at deprecation stage 2 (see repro.server.protocol)
+            self.send_header("Warning", f'299 - "{BARE_POST_DEPRECATION}"')
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -806,6 +895,8 @@ def serve_http(
     *,
     executor: str = "thread",
     workers: int = 4,
+    state_dir: str | None = None,
+    recover: bool = False,
 ) -> ThreadingHTTPServer:
     """Create (but do not start) an HTTP server wrapping a fresh backend.
 
@@ -814,9 +905,17 @@ def serve_http(
     dispatches each request on its own thread, which the session locks make
     safe.  ``executor``/``workers`` configure the backend's async engine
     (``repro serve --executor process --workers N``).
+
+    ``state_dir`` points the server at a durable SQLite state directory
+    (``repro serve --state-dir DIR``): sessions, scenario ledgers, and
+    finished job results then survive restarts.  Interrupted jobs are
+    re-marked failed at startup; ``recover=True`` additionally rebuilds
+    every dormant session eagerly instead of on first touch.
     """
     httpd = ThreadingHTTPServer((host, port), _SystemDHTTPHandler)
     httpd.backend = SystemDServer(  # type: ignore[attr-defined]
-        engine_workers=workers, executor=executor
+        engine_workers=workers, executor=executor, backend=open_backend(state_dir)
     )
+    if recover:
+        httpd.backend.recover_sessions()  # type: ignore[attr-defined]
     return httpd

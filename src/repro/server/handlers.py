@@ -19,6 +19,7 @@ so jobs publish partial progress and honour cancellation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -44,6 +45,11 @@ class ServerState:
     #: Shared model cache injected by the server; sessions created outside a
     #: server keep the default per-session cache.
     model_cache: ModelCache | None = None
+    #: Durable-state hook bound by the session registry: called after a
+    #: ``load_use_case`` swaps in a fresh analysis, so the new load
+    #: parameters are journaled and the fresh scenario ledger starts
+    #: recording.  ``None`` outside a registry (library use, bare tests).
+    persist_hook: Callable[["ServerState"], None] | None = None
 
     def require_session(self) -> WhatIfSession:
         """Return the active session or raise a protocol error."""
@@ -52,6 +58,11 @@ class ServerState:
                 "no dataset loaded; send a 'load_use_case' request first"
             )
         return self.session
+
+    def notify_persist(self) -> None:
+        """Journal this state through the registry's hook, when bound."""
+        if self.persist_hook is not None:
+            self.persist_hook(self)
 
 
 # --------------------------------------------------------------------------- #
@@ -89,6 +100,11 @@ def handle_load_use_case(state: ServerState, params: dict[str, Any]) -> dict[str
         model_cache=state.model_cache,
     )
     state.use_case_key = key
+    # remember the load parameters (they are the session's rebuild recipe)
+    # and journal them through the registry's persistence hook
+    state.options["dataset_kwargs"] = dataset_kwargs
+    state.options["random_state"] = params.get("random_state", 0)
+    state.notify_persist()
     return {
         "use_case": use_case.key,
         "kpi": use_case.kpi,
@@ -366,6 +382,26 @@ def _parse_page(params: dict[str, Any]) -> tuple[int | None, int]:
     return limit, offset
 
 
+def _page_envelope(
+    key: str,
+    items: list[Any],
+    *,
+    total: int,
+    limit: int | None,
+    offset: int,
+    **extra: Any,
+) -> dict[str, Any]:
+    """The uniform paging envelope every list endpoint shares: the page under
+    ``key`` plus ``total`` (unsliced match count) and the echoed window."""
+    return {key: items, "total": total, "limit": limit, "offset": offset, **extra}
+
+
+def _page_slice(items: list[Any], limit: int | None, offset: int) -> list[Any]:
+    """Apply a ``limit``/``offset`` window to an already-ordered list."""
+    stop = None if limit is None else offset + limit
+    return items[offset:stop]
+
+
 def handle_list_scenarios(state: ServerState, params: dict[str, Any]) -> dict[str, Any]:
     """List the scenarios (options) tracked so far.
 
@@ -374,14 +410,14 @@ def handle_list_scenarios(state: ServerState, params: dict[str, Any]) -> dict[st
     """
     session = state.require_session()
     limit, offset = _parse_page(params)
-    total = len(session.scenarios)
     page = session.scenarios.list(limit=limit, offset=offset)
-    return {
-        "scenarios": to_json_safe([s.to_dict() for s in page]),
-        "total": total,
-        "limit": limit,
-        "offset": offset,
-    }
+    return _page_envelope(
+        "scenarios",
+        to_json_safe([s.to_dict() for s in page]),
+        total=len(session.scenarios),
+        limit=limit,
+        offset=offset,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -402,7 +438,10 @@ def handle_create_session(server: "SystemDServer", params: dict[str, Any]) -> di
             raise ConflictError(str(exc)) from exc
         raise ProtocolError(str(exc)) from exc
     entry.state.model_cache = server.model_cache
-    payload: dict[str, Any] = {"session_id": entry.session_id}
+    payload: dict[str, Any] = {
+        "session_id": entry.session_id,
+        "share_id": entry.share_id,
+    }
     if params.get("use_case"):
         try:
             with entry.lock:
@@ -429,8 +468,21 @@ def handle_close_session(server: "SystemDServer", params: dict[str, Any]) -> dic
 
 
 def handle_list_sessions(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
-    """Summaries of every live session."""
-    return {"sessions": server.registry.list_sessions()}
+    """Summaries of every session, live and dormant.
+
+    Pagination: ``limit``/``offset`` slice the stable ``(created_at,
+    session_id)`` ordering the registry guarantees; ``total`` always
+    reports the unsliced count.
+    """
+    limit, offset = _parse_page(params)
+    sessions = server.registry.list_sessions()
+    return _page_envelope(
+        "sessions",
+        _page_slice(sessions, limit, offset),
+        total=len(sessions),
+        limit=limit,
+        offset=offset,
+    )
 
 
 def handle_server_stats(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
@@ -448,6 +500,113 @@ def handle_metrics(server: "SystemDServer", params: dict[str, Any]) -> dict[str,
     from ..obs import metrics
 
     return metrics.registry().to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# server-scoped handlers: ledger versions, share ids, durable-state stats
+# (deprecation stage 2: these actions are served through /api/v1 only)
+# --------------------------------------------------------------------------- #
+def _resolve_session_id(params: dict[str, Any]) -> str:
+    # imported here like UnknownSessionError elsewhere: the registry imports
+    # ServerState from this module, so a top-level import would be circular
+    from .registry import DEFAULT_SESSION_ID
+
+    return str(params.get("session_id") or "") or DEFAULT_SESSION_ID
+
+
+def _require_known_session(server: "SystemDServer", session_id: str) -> None:
+    """404 unless the session is live, dormant-but-durable, or the default."""
+    from .registry import DEFAULT_SESSION_ID
+
+    if session_id == DEFAULT_SESSION_ID or session_id in server.registry:
+        return
+    if server.registry.backend.load_session(session_id) is None:
+        raise NotFoundError(
+            f"unknown session {session_id!r}; create one with 'create_session' "
+            "or omit session_id for the default session"
+        )
+
+
+def handle_create_version(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Snapshot the session's scenario ledger as an immutable version.
+
+    The version — name, creation instant, and the full event list — is
+    persisted through the durable-state backend, so it survives restarts
+    and ledger clears.  Duplicate names conflict (HTTP 409).
+    """
+    session_id = _resolve_session_id(params)
+    entry = server._entry_for(session_id)
+    name = str(params.get("name") or "")
+    backend = server.registry.backend
+    with entry.lock:
+        session = entry.state.require_session()
+        events = [scenario.to_dict() for scenario in session.scenarios]
+        existing = backend.load_versions(session_id)
+        if name and any(v.get("name") == name for v in existing):
+            raise ConflictError(
+                f"version named {name!r} already exists for session {session_id!r}"
+            )
+        version_id = max((int(v["version_id"]) for v in existing), default=0) + 1
+        record = {
+            "version_id": version_id,
+            "name": name or f"v{version_id}",
+            "created_at": time.time(),
+            "scenario_count": len(events),
+            "events": events,
+        }
+        backend.save_version(session_id, record)
+    summary = {k: v for k, v in record.items() if k != "events"}
+    return {"version": summary, "session_id": session_id}
+
+
+def handle_list_versions(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """List a session's ledger versions (summaries, oldest first).
+
+    Versions are read straight from the durable backend — the session is not
+    recovered or touched, so listing a dormant session's versions is cheap.
+    Pagination follows the uniform ``limit``/``offset``/``total`` contract.
+    """
+    session_id = _resolve_session_id(params)
+    _require_known_session(server, session_id)
+    limit, offset = _parse_page(params)
+    records = server.registry.backend.load_versions(session_id)
+    summaries = [{k: v for k, v in r.items() if k != "events"} for r in records]
+    return _page_envelope(
+        "versions",
+        _page_slice(summaries, limit, offset),
+        total=len(summaries),
+        limit=limit,
+        offset=offset,
+        session_id=session_id,
+    )
+
+
+def handle_resolve_share(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Resolve a read-only share id (minted at session create) to its session.
+
+    Returns the session summary without recovering or touching the session;
+    unknown share ids are 404s.
+    """
+    share_id = params.get("share_id")
+    if not share_id:
+        raise ProtocolError("'share_id' parameter is required")
+    summary = server.registry.find_share(str(share_id))
+    if summary is None:
+        raise NotFoundError(f"unknown share id {share_id!r}")
+    return {"session": summary, "read_only": True}
+
+
+def handle_persist_stats(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
+    """Durable-state backend identity, row counts, and recovery counters."""
+    registry_stats = server.registry.stats()
+    return {
+        "persistence": registry_stats["backend"],
+        "recovered_sessions": registry_stats["recovered_total"],
+        "jobs": {
+            key: server.engine.store.stats()[key]
+            for key in ("restored_total", "interrupted_total")
+        },
+    }
 
 
 # --------------------------------------------------------------------------- #
@@ -560,18 +719,19 @@ def handle_list_jobs(server: "SystemDServer", params: dict[str, Any]) -> dict[st
     limit, offset = _parse_page(params)
     state_filter = [str(s) for s in states] if states is not None else None
     sid_filter = str(session_id) if session_id else None
-    return {
-        "jobs": server.engine.list_jobs(
+    return _page_envelope(
+        "jobs",
+        server.engine.list_jobs(
             session_id=sid_filter,
             states=state_filter,
             limit=limit,
             offset=offset,
         ),
-        "total": server.engine.count_jobs(session_id=sid_filter, states=state_filter),
-        "limit": limit,
-        "offset": offset,
-        "engine": server.engine.stats(),
-    }
+        total=server.engine.count_jobs(session_id=sid_filter, states=state_filter),
+        limit=limit,
+        offset=offset,
+        engine=server.engine.stats(),
+    )
 
 
 def handle_sweep(server: "SystemDServer", params: dict[str, Any]) -> dict[str, Any]:
@@ -684,6 +844,10 @@ SERVER_HANDLERS: dict[str, Callable[["SystemDServer", dict[str, Any]], dict[str,
     "list_jobs": handle_list_jobs,
     "sweep": handle_sweep,
     "sweep_result": handle_sweep_result,
+    "create_version": handle_create_version,
+    "list_versions": handle_list_versions,
+    "resolve_share": handle_resolve_share,
+    "persist_stats": handle_persist_stats,
 }
 
 

@@ -27,13 +27,23 @@ Beyond the paper's single-analysis vocabulary, the backend serves many
 concurrent analyses (see :mod:`repro.server.registry`):
 
 ===================  ======================================================
-action               session management
+action               session management & durable state
 ===================  ======================================================
-``create_session``   register a new analysis session, returns its id
-``close_session``    unregister a session
-``list_sessions``    summaries of every live session
+``create_session``   register a new analysis session, returns its id and a
+                     read-only ``share_id``
+``close_session``    unregister a session (removes its durable record)
+``list_sessions``    summaries of every session, live and dormant, paginated
+                     with ``limit``/``offset``/``total`` over the stable
+                     ``(created_at, session_id)`` ordering
 ``server_stats``     registry, model-cache, engine, and request counters
 ``metrics``          JSON twin of the Prometheus metrics exposition
+``create_version``   snapshot a session's scenario ledger as an immutable,
+                     durably persisted version (*/api/v1 only*)
+``list_versions``    list a session's ledger versions (*/api/v1 only*)
+``resolve_share``    resolve a read-only share id to its session summary
+                     (*/api/v1 only*)
+``persist_stats``    durable-state backend identity and row counts
+                     (*/api/v1 only*)
 ===================  ======================================================
 
 Long-running analyses can run without blocking the caller through the async
@@ -92,15 +102,26 @@ route                                                      action(s)
 ``DELETE /api/v1/sessions/{sid}/jobs/{jid}``               ``cancel_job``
 ``GET /api/v1/sessions/{sid}/jobs/{jid}/events``           SSE event stream
 ``GET /api/v1/sessions/{sid}/scenarios``                   ``list_scenarios`` (paginated)
+``GET /api/v1/sessions/{sid}/versions``                    ``list_versions``
+``POST /api/v1/sessions/{sid}/versions``                   ``create_version``
+``GET /api/v1/sessions/share/{share_id}``                  ``resolve_share``
+``GET /api/v1/persistence``                                ``persist_stats``
 ``GET /api/v1/metrics``                                    Prometheus text (``?format=json`` for the ``metrics`` action)
 =========================================================  =================
 
-Deprecation path for the bare-POST protocol: (1) today — both transports
-served, bare POST is the compatibility surface; (2) next — bare-POST
-responses may add a ``deprecation`` notice field and new capabilities
-(streaming, pagination cursors) land on ``/api/v1`` only; (3) eventually —
-bare POST becomes opt-in via server configuration.  No stage breaks the
-envelope: ``ok``/``data``/``error`` keep their meaning throughout.
+Deprecation path for the bare-POST protocol — **stage 2 is in effect**:
+
+1. *(done)* both transports served, bare POST was the compatibility surface;
+2. **(now)** every bare-POST response carries a ``deprecation`` notice field
+   (and HTTP bare-POST responses a ``Warning: 299`` header), and new
+   capabilities land on ``/api/v1`` only — the ledger-versioning, share-id,
+   and persistence actions (:data:`V1_ONLY_ACTIONS`) are rejected with a
+   protocol error naming their ``/api/v1`` route when sent as bare-POST
+   envelopes;
+3. *(eventually)* bare POST becomes opt-in via server configuration.
+
+No stage breaks the envelope: ``ok``/``data``/``error`` keep their meaning
+throughout, and ``/api/v1`` responses never carry ``deprecation``.
 """
 
 from __future__ import annotations
@@ -111,11 +132,13 @@ from typing import Any
 __all__ = [
     "ACTIONS",
     "API_VERSION",
+    "BARE_POST_DEPRECATION",
     "ConflictError",
     "NotFoundError",
     "ProtocolError",
     "Request",
     "Response",
+    "V1_ONLY_ACTIONS",
 ]
 
 #: Version stamped into every response envelope (and the
@@ -149,6 +172,26 @@ ACTIONS = (
     "list_jobs",
     "sweep",
     "sweep_result",
+    "create_version",
+    "list_versions",
+    "resolve_share",
+    "persist_stats",
+)
+
+#: Actions introduced at deprecation stage 2, served exclusively through
+#: their ``/api/v1`` routes.  Bare-POST envelopes naming one of these are
+#: rejected with a protocol error pointing at the route.
+V1_ONLY_ACTIONS = frozenset(
+    {"create_version", "list_versions", "resolve_share", "persist_stats"}
+)
+
+#: The stage-2 notice attached to every bare-POST response envelope (see the
+#: deprecation path in the module docstring).
+#: Kept ASCII-only: HTTP headers are latin-1 encoded and this string rides
+#: in the bare-POST ``Warning`` header verbatim.
+BARE_POST_DEPRECATION = (
+    "the bare-POST protocol is deprecated (stage 2); use the resource-routed "
+    "/api/v1 API, where new capabilities land exclusively"
 )
 
 
@@ -248,6 +291,11 @@ class Response:
         Server-side processing time, surfaced so the latency benchmark (P1)
         can report per-view response times the way the paper's "fast real-time
         response" requirement frames them.
+    deprecation:
+        Stage-2 deprecation notice attached by the bare-POST transport
+        (:data:`BARE_POST_DEPRECATION`).  Serialised only when set, keeping
+        ``/api/v1`` and in-process envelopes byte-compatible with earlier
+        clients.
     """
 
     ok: bool
@@ -257,6 +305,7 @@ class Response:
     request_id: str = ""
     session_id: str = ""
     elapsed_ms: float = 0.0
+    deprecation: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe representation."""
@@ -271,6 +320,8 @@ class Response:
         }
         if self.error_kind:
             payload["error_kind"] = self.error_kind
+        if self.deprecation:
+            payload["deprecation"] = self.deprecation
         return payload
 
     @classmethod

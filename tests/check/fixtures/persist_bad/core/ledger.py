@@ -1,0 +1,28 @@
+"""Bad fixture ledger: persisted fields mutated without journaling."""
+
+
+class Ledger:
+    _PERSISTED_FIELDS = ("_events", "_index")
+
+    def __init__(self, backend):
+        self.backend = backend
+        self._events = []
+        self._index = {}
+        self._cursor = 0
+
+    def record(self, event):
+        # PER001: append to a persisted field, no persistence-layer call
+        self._events.append(event)
+        return event
+
+    def forget(self, key):
+        # PER001: item delete on a persisted field without journaling
+        del self._index[key]
+
+    def reset(self):
+        # PER001: rebinding a persisted field without journaling
+        self._events = []
+
+    def advance(self):
+        # fine: _cursor is not a persisted field
+        self._cursor += 1

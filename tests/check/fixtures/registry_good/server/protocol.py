@@ -8,6 +8,14 @@ action      purpose
 ``alpha``   session-scoped action
 ``beta``    server-scoped action
 ==========  =====================
+
+Routes:
+
+=========================  ==============
+route                      action
+=========================  ==============
+``GET /api/v1/sessions``   ``alpha``
+=========================  ==============
 """
 
 API_VERSION = "1"

@@ -92,7 +92,7 @@ def test_pickle_rule_passes_on_good_fixture():
 # --------------------------------------------------------------------------- #
 def test_registry_rules_fire_on_bad_fixture():
     rules = fired(run_fixture("registry_bad"))
-    assert {"REG001", "REG002", "REG003", "REG004", "REG005", "REG006"} <= rules
+    assert {"REG001", "REG002", "REG003", "REG004", "REG005", "REG006", "REG007"} <= rules
 
 
 def test_registry_rules_pass_on_good_fixture():
@@ -108,6 +108,42 @@ def test_reg006_reports_each_direction_of_drift():
     assert any("'beta'" in m and "no handler" in m for m in messages)
     assert any("'delta'" in m and "not declared" in m for m in messages)
     assert any("'gamma'" in m and "no synchronous handler" in m for m in messages)
+
+
+def test_reg007_reports_docstring_and_readme_drift():
+    messages = [
+        f.message
+        for f in run_fixture("registry_bad", only=["REG007"])
+        if not f.suppressed
+    ]
+    # the served route is documented in neither table, with {group}
+    # placeholders rendered from the regex capture groups
+    assert any("protocol docstring" in m and "GET /api/v1/sessions" in m for m in messages)
+    assert any("README.md" in m and "GET /api/v1/sessions" in m for m in messages)
+
+
+# --------------------------------------------------------------------------- #
+# persistence discipline
+# --------------------------------------------------------------------------- #
+def test_persist_rule_fires_on_bad_fixture():
+    findings = [
+        f for f in run_fixture("persist_bad", only=["PER001"]) if not f.suppressed
+    ]
+    messages = " | ".join(f.message for f in findings)
+    assert len(findings) == 3
+    assert "'Ledger.record'" in messages and "'_events'" in messages
+    assert "'Ledger.forget'" in messages and "'_index'" in messages
+    assert "'Ledger.reset'" in messages
+    # the unpersisted counter in 'advance' is out of scope
+    assert "advance" not in messages
+
+
+def test_persist_rule_passes_on_good_fixture():
+    # journaled mutations, a suppressed replay, and an LRU move_to_end all
+    # stay silent
+    findings = run_fixture("persist_good")
+    assert fired(findings) == set()
+    assert any(f.rule == "PER001" and f.suppressed for f in findings)
 
 
 # --------------------------------------------------------------------------- #

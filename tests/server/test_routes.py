@@ -336,3 +336,167 @@ class TestLegacySurface:
         status, _, envelope = call(base_url, "GET", "/anything")
         assert status == 405
         assert not envelope["ok"]
+
+class TestVersionsRoutes:
+    @pytest.fixture(scope="class")
+    def session_id(self, base_url):
+        sid = "versions-sess"
+        status, _, _ = call(base_url, "POST", "/api/v1/sessions", {"session_id": sid})
+        assert status == 201
+        status, _, envelope = call(
+            base_url,
+            "POST",
+            "/",
+            {
+                "action": "load_use_case",
+                "session_id": sid,
+                "params": {
+                    "use_case": "deal_closing",
+                    "dataset_kwargs": {"n_prospects": 60},
+                },
+            },
+        )
+        assert status == 200 and envelope["ok"]
+        return sid
+
+    def test_create_version_is_201_and_ids_increment(self, base_url, session_id):
+        status, _, envelope = call(
+            base_url, "POST", f"/api/v1/sessions/{session_id}/versions", {"name": "v-one"}
+        )
+        assert status == 201, envelope
+        assert envelope["data"]["version"]["version_id"] == 1
+        assert envelope["data"]["version"]["name"] == "v-one"
+        status, _, envelope = call(
+            base_url, "POST", f"/api/v1/sessions/{session_id}/versions", {}
+        )
+        assert status == 201
+        assert envelope["data"]["version"]["version_id"] == 2
+        assert envelope["data"]["version"]["name"] == "v2"  # default name
+
+    def test_duplicate_version_name_is_409(self, base_url, session_id):
+        status, _, envelope = call(
+            base_url, "POST", f"/api/v1/sessions/{session_id}/versions", {"name": "v-one"}
+        )
+        assert status == 409
+        assert envelope["error_kind"] == "conflict"
+
+    def test_list_versions_pages_uniformly(self, base_url, session_id):
+        status, _, envelope = call(
+            base_url, "GET", f"/api/v1/sessions/{session_id}/versions"
+        )
+        assert status == 200
+        assert envelope["data"]["total"] >= 2
+        assert [v["version_id"] for v in envelope["data"]["versions"]] == sorted(
+            v["version_id"] for v in envelope["data"]["versions"]
+        )
+        status, _, page = call(
+            base_url,
+            "GET",
+            f"/api/v1/sessions/{session_id}/versions?limit=1&offset=1",
+        )
+        assert status == 200
+        assert page["data"]["limit"] == 1 and page["data"]["offset"] == 1
+        assert len(page["data"]["versions"]) == 1
+        assert page["data"]["versions"][0]["version_id"] == 2
+        assert page["data"]["total"] == envelope["data"]["total"]
+
+    def test_versions_of_unknown_session_is_404(self, base_url):
+        status, _, envelope = call(base_url, "GET", "/api/v1/sessions/ghost/versions")
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+
+    def test_create_version_without_loaded_analysis_is_400(self, base_url):
+        status, _, _ = call(
+            base_url, "POST", "/api/v1/sessions", {"session_id": "versions-empty"}
+        )
+        assert status == 201
+        status, _, envelope = call(
+            base_url, "POST", "/api/v1/sessions/versions-empty/versions", {"name": "x"}
+        )
+        assert status == 400
+        assert not envelope["ok"]
+
+
+class TestShareRoute:
+    def test_share_id_resolves_read_only(self, base_url):
+        status, _, created = call(
+            base_url, "POST", "/api/v1/sessions", {"session_id": "share-sess"}
+        )
+        assert status == 201
+        share_id = created["data"]["share_id"]
+        assert share_id.startswith("sh-")
+        status, _, envelope = call(base_url, "GET", f"/api/v1/sessions/share/{share_id}")
+        assert status == 200, envelope
+        assert envelope["data"]["session"]["session_id"] == "share-sess"
+        assert envelope["data"]["read_only"] is True
+
+    def test_unknown_share_is_404(self, base_url):
+        status, _, envelope = call(base_url, "GET", "/api/v1/sessions/share/sh-nope")
+        assert status == 404
+        assert envelope["error_kind"] == "not_found"
+
+    def test_share_path_does_not_shadow_a_session_named_share(self, base_url):
+        # the route table orders the share route before the single-session
+        # route; a two-segment /sessions/share path must resolve shares
+        status, _, envelope = call(base_url, "GET", "/api/v1/sessions/share")
+        assert status == 404  # the *session* route: no session named 'share'
+
+
+class TestPersistenceRoute:
+    def test_persistence_stats_surface(self, base_url):
+        status, _, envelope = call(base_url, "GET", "/api/v1/persistence")
+        assert status == 200, envelope
+        assert envelope["data"]["persistence"]["kind"] == "memory"
+        assert envelope["data"]["persistence"]["durable"] is False
+        assert envelope["data"]["recovered_sessions"] == 0
+        jobs = envelope["data"]["jobs"]
+        assert set(jobs) == {"restored_total", "interrupted_total"}
+
+
+class TestDeprecationStage2:
+    def test_bare_post_carries_notice_field_and_warning_header(self, base_url):
+        status, headers, envelope = call(
+            base_url, "POST", "/", {"action": "list_use_cases"}
+        )
+        assert status == 200
+        assert envelope["deprecation"].startswith("the bare-POST protocol is deprecated")
+        assert headers["Warning"].startswith('299 - "')
+
+    def test_bare_post_errors_carry_the_notice_too(self, base_url):
+        status, headers, envelope = call(base_url, "POST", "/", {"nonsense": True})
+        assert status == 400
+        assert "deprecation" in envelope
+        assert "Warning" in headers
+
+    def test_api_v1_responses_never_carry_the_notice(self, base_url):
+        status, headers, envelope = call(base_url, "GET", "/api/v1/sessions")
+        assert status == 200
+        assert "deprecation" not in envelope
+        assert "Warning" not in headers
+
+    def test_v1_only_action_is_rejected_over_bare_post(self, base_url):
+        for action in ("create_version", "list_versions", "resolve_share", "persist_stats"):
+            status, _, envelope = call(base_url, "POST", "/", {"action": action})
+            assert status == 400, action
+            assert "/api/v1" in envelope["error"]
+            assert envelope["error_kind"] == "protocol"
+
+    def test_sessions_listing_pages_uniformly(self, base_url):
+        for sid in ("paging-a", "paging-b"):
+            status, _, _ = call(base_url, "POST", "/api/v1/sessions", {"session_id": sid})
+            assert status == 201
+        status, _, full = call(base_url, "GET", "/api/v1/sessions")
+        assert status == 200
+        total = full["data"]["total"]
+        assert total >= 2
+        status, _, page = call(base_url, "GET", "/api/v1/sessions?limit=1&offset=1")
+        assert status == 200
+        assert page["data"]["total"] == total
+        assert page["data"]["limit"] == 1 and page["data"]["offset"] == 1
+        assert len(page["data"]["sessions"]) == 1
+        # stable (created_at, session_id) ordering: page 2 is the full
+        # listing's second row (age/idle tick live, so compare identities)
+        assert (
+            page["data"]["sessions"][0]["session_id"]
+            == full["data"]["sessions"][1]["session_id"]
+        )
